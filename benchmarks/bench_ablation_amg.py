@@ -1,0 +1,103 @@
+"""Ablation A1 -- AMG design choices (DESIGN.md calls these out).
+
+Sweeps the smoothed-aggregation knobs the implementation makes explicit:
+prolongator smoothing on/off, smoother type/sweeps, and Additive-Schwarz
+overlap, measuring CG iteration counts -- the quantities each choice is
+supposed to buy.
+"""
+
+import numpy as np
+
+from repro import galeri, mpi, solvers, tpetra
+from repro.teuchos import ParameterList
+
+from .common import Section, table
+
+NRANKS = 2
+NX = NY = 28
+
+
+def _cg_iters(comm, prec_factory):
+    A = galeri.laplace_2d(NX, NY, comm)
+    b = tpetra.Vector(A.row_map).putScalar(1.0)
+    prec = prec_factory(A)
+    r = solvers.cg(A, b, prec=prec, tol=1e-10, maxiter=500)
+    extra = ""
+    if isinstance(prec, solvers.MLPreconditioner):
+        extra = (f"{prec.num_levels} levels, "
+                 f"OC={prec.operator_complexity():.2f}")
+    return r.converged, r.iterations, extra
+
+
+VARIANTS = [
+    ("ML default (smoothed P, SGS)", lambda A: solvers.MLPreconditioner(A)),
+    ("ML unsmoothed P", lambda A: solvers.MLPreconditioner(
+        A, ParameterList("ML").set("prolongator: smooth", False))),
+    ("ML Jacobi smoother", lambda A: solvers.MLPreconditioner(
+        A, ParameterList("ML").set("smoother: type", "jacobi"))),
+    ("ML 2 smoother sweeps", lambda A: solvers.MLPreconditioner(
+        A, ParameterList("ML").set("smoother: sweeps", 2))),
+    ("ML coarse<=200 (shallower)", lambda A: solvers.MLPreconditioner(
+        A, ParameterList("ML").set("coarse: max size", 200))),
+    ("AS(sym) overlap 0", lambda A: solvers.AdditiveSchwarz(
+        A, overlap=0, variant="as")),
+    ("AS(sym) overlap 1", lambda A: solvers.AdditiveSchwarz(
+        A, overlap=1, variant="as")),
+    ("AS(sym) overlap 2", lambda A: solvers.AdditiveSchwarz(
+        A, overlap=2, variant="as")),
+    ("RAS overlap 1 (nonsym!)", lambda A: solvers.AdditiveSchwarz(
+        A, overlap=1, variant="ras")),
+]
+
+
+def _measure():
+    rows = []
+    for label, factory in VARIANTS:
+        conv, its, extra = mpi.run_spmd(
+            lambda comm, f=factory: _cg_iters(comm, f), NRANKS)[0]
+        rows.append((label, str(conv), its, extra))
+    return rows
+
+
+def generate_report() -> str:
+    rows = _measure()
+    section = Section("A1: AMG / Schwarz design-choice ablation")
+    section.add(table(["variant", "converged", "CG iterations", "notes"],
+                      rows,
+                      title=f"{NX}x{NY} Poisson, {NRANKS} ranks, tol 1e-10"))
+    by = {r[0]: r[2] for r in rows}
+    section.line(
+        f"Prolongator smoothing buys iterations "
+        f"({by['ML default (smoothed P, SGS)']} vs "
+        f"{by['ML unsmoothed P']} unsmoothed); SGS beats damped Jacobi as "
+        f"the smoother; symmetric-Schwarz overlap monotonically reduces "
+        f"iterations ({by['AS(sym) overlap 0']} -> "
+        f"{by['AS(sym) overlap 1']} -> {by['AS(sym) overlap 2']}). The "
+        f"RAS row is the cautionary ablation: the restricted variant is "
+        f"nonsymmetric, so pairing it with CG costs iterations -- the "
+        f"reason the implementation exposes both variants.")
+    return section.render()
+
+
+def test_smoothed_beats_unsmoothed(benchmark):
+    def run():
+        a = mpi.run_spmd(lambda c: _cg_iters(
+            c, VARIANTS[0][1]), NRANKS)[0][1]
+        b = mpi.run_spmd(lambda c: _cg_iters(
+            c, VARIANTS[1][1]), NRANKS)[0][1]
+        return a, b
+    smoothed, unsmoothed = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert smoothed <= unsmoothed
+
+
+def test_overlap_monotone(benchmark):
+    def run():
+        return [mpi.run_spmd(lambda c, f=f: _cg_iters(c, f),
+                             NRANKS)[0][1]
+                for _label, f in VARIANTS[5:8]]
+    its = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert its[0] >= its[1] >= its[2]
+
+
+if __name__ == "__main__":
+    print(generate_report())

@@ -1,0 +1,114 @@
+"""Ablation A2 -- collective algorithm choices in the MPI substrate.
+
+DESIGN.md: collectives are built on point-to-point with the classic
+algorithms (binomial broadcast, ring allgather, pairwise alltoall,
+dissemination barrier).  This bench compares them against naive linear
+variants implemented here over the same p2p layer: message counts and the
+critical-path depth (rounds) are measured, and latency-bound times
+projected -- the reason the tree algorithms are the defaults.
+"""
+
+import math
+
+import numpy as np
+
+from repro import mpi
+from repro.mpi import COMMODITY_CLUSTER
+
+from .common import Section, table
+
+P = 16
+
+
+def _linear_bcast(comm, obj, root=0):
+    if comm.rank == root:
+        for r in range(comm.size):
+            if r != root:
+                comm.send(obj, r, tag=900)
+        return obj
+    return comm.recv(source=root, tag=900)
+
+
+def _linear_barrier(comm):
+    token = comm.gather(None, root=0)
+    comm.bcast(token is not None, root=0)
+
+
+def _traffic(p, fn):
+    def body(comm):
+        before = comm.traffic_snapshot()
+        fn(comm)
+        delta = comm.traffic_snapshot() - before
+        return delta.sends
+    sends = mpi.run_spmd(body, p)
+    return sum(sends), max(sends)
+
+
+def _measure():
+    payload = list(range(256))  # ~2 KB pickled
+    rows = []
+
+    total, per_rank = _traffic(P, lambda c: c.bcast(
+        payload if c.rank == 0 else None, root=0))
+    depth = math.ceil(math.log2(P))
+    rows.append(("bcast: binomial tree", total, per_rank, depth,
+                 f"{COMMODITY_CLUSTER.alpha * depth * 1e6:.1f}"))
+
+    total, per_rank = _traffic(P, lambda c: _linear_bcast(
+        c, payload if c.rank == 0 else payload))
+    rows.append(("bcast: linear (naive)", total, per_rank, P - 1,
+                 f"{COMMODITY_CLUSTER.alpha * (P - 1) * 1e6:.1f}"))
+
+    total, per_rank = _traffic(P, lambda c: c.barrier())
+    rows.append(("barrier: dissemination", total, per_rank,
+                 math.ceil(math.log2(P)),
+                 f"{COMMODITY_CLUSTER.alpha * math.ceil(math.log2(P)) * 1e6:.1f}"))
+
+    total, per_rank = _traffic(P, _linear_barrier)
+    rows.append(("barrier: gather+bcast (naive)", total, per_rank,
+                 2 * math.ceil(math.log2(P)) + P - 1, "-"))
+
+    total, per_rank = _traffic(P, lambda c: c.allgather(c.rank))
+    rows.append(("allgather: ring", total, per_rank, P - 1,
+                 f"{COMMODITY_CLUSTER.alpha * (P - 1) * 1e6:.1f}"))
+
+    def gather_bcast_allgather(c):
+        all_items = c.gather(c.rank, root=0)
+        c.bcast(all_items, root=0)
+    total, per_rank = _traffic(P, gather_bcast_allgather)
+    rows.append(("allgather: gather+bcast (naive)", total, per_rank,
+                 P - 1 + math.ceil(math.log2(P)), "-"))
+    return rows
+
+
+def generate_report() -> str:
+    rows = _measure()
+    section = Section("A2: collective-algorithm ablation "
+                      f"(P = {P} ranks)")
+    section.add(table(
+        ["algorithm", "total msgs", "max msgs/rank", "rounds (depth)",
+         "proj latency us"], rows))
+    section.line(
+        "The tree/dissemination algorithms bound both the root's fan-out "
+        "(max msgs/rank) and the critical path at O(log P), where the "
+        "naive variants serialize O(P) messages through one rank -- the "
+        "measured counts show why the substrate uses the classic "
+        "algorithms, which is what makes its traffic a faithful model of "
+        "real MPI traffic.")
+    return section.render()
+
+
+def test_tree_bcast_bounds_root_fanout(benchmark):
+    def run():
+        tree = _traffic(P, lambda c: c.bcast(
+            [0] * 64 if c.rank == 0 else None, root=0))
+        linear = _traffic(P, lambda c: _linear_bcast(c, [0] * 64))
+        return tree, linear
+    (t_total, t_max), (l_total, l_max) = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+    assert t_max <= math.ceil(math.log2(P))
+    assert l_max == P - 1
+
+
+if __name__ == "__main__":
+    print(generate_report())

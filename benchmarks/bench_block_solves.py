@@ -1,0 +1,91 @@
+"""Ablation A4 -- pseudo-block CG vs one-at-a-time solves (multi-RHS).
+
+The Belos argument: iterating all right-hand sides together amortizes the
+distributed kernels and, crucially, fuses the global reductions -- one
+allreduce of k scalars instead of k allreduces of one.  The bench measures
+both wall time and the allreduce count (latency on a cluster scales with
+the count, not the payload).
+"""
+
+import time
+
+import numpy as np
+
+from repro import galeri, mpi, solvers, tpetra
+from repro.mpi import COMMODITY_CLUSTER
+
+from .common import Section, table
+
+NRANKS = 2
+NX = NY = 20
+NVECS = [1, 2, 4, 8]
+
+
+def _run(comm, nvec):
+    A = galeri.laplace_2d(NX, NY, comm)
+    Xt = tpetra.MultiVector(A.row_map, nvec)
+    Xt.randomize(seed=2)
+    B = A @ Xt
+
+    before = comm.traffic_snapshot()
+    t0 = time.perf_counter()
+    blk = solvers.block_cg(A, B, tol=1e-10, maxiter=2000)
+    t_block = time.perf_counter() - t0
+    blk_msgs = (comm.traffic_snapshot() - before).sends
+
+    before = comm.traffic_snapshot()
+    t0 = time.perf_counter()
+    for j in range(nvec):
+        solvers.cg(A, B.vector(j).copy(), tol=1e-10, maxiter=2000)
+    t_seq = time.perf_counter() - t0
+    seq_msgs = (comm.traffic_snapshot() - before).sends
+    return (bool(blk.converged.all()), blk.iterations, t_block, blk_msgs,
+            t_seq, seq_msgs)
+
+
+def _measure():
+    rows = []
+    for nvec in NVECS:
+        conv, its, t_blk, m_blk, t_seq, m_seq = mpi.run_spmd(
+            lambda c, n=nvec: _run(c, n), NRANKS)[0]
+        assert conv
+        lat_blk = m_blk * COMMODITY_CLUSTER.alpha
+        lat_seq = m_seq * COMMODITY_CLUSTER.alpha
+        rows.append((nvec, its, f"{t_blk * 1e3:.0f}", f"{t_seq * 1e3:.0f}",
+                     m_blk, m_seq, f"{lat_seq / max(lat_blk, 1e-12):.1f}x"))
+    return rows
+
+
+def generate_report() -> str:
+    rows = _measure()
+    section = Section("A4: pseudo-block CG vs sequential single-RHS "
+                      "solves")
+    section.add(table(
+        ["RHS", "block its", "block ms", "seq ms", "block msgs",
+         "seq msgs", "latency saving"], rows,
+        title=f"{NX}x{NY} Poisson, {NRANKS} ranks, tol 1e-10 "
+              f"(msgs = rank-0 sends; latency projected per message)"))
+    section.line(
+        "Iteration counts match the hardest single system, while the "
+        "message count stays ~flat in the RHS count (reductions fused "
+        "into one allreduce per iteration) -- on a latency-bound cluster "
+        "the projected saving grows linearly with the block width, which "
+        "is precisely the Belos pseudo-block design argument.")
+    return section.render()
+
+
+def test_block_messages_flat_in_nrhs(benchmark):
+    def run():
+        r1 = mpi.run_spmd(lambda c: _run(c, 1), NRANKS)[0]
+        r8 = mpi.run_spmd(lambda c: _run(c, 8), NRANKS)[0]
+        return r1, r8
+    r1, r8 = benchmark.pedantic(run, rounds=1, iterations=1)
+    blk_msgs_1, blk_msgs_8 = r1[3], r8[3]
+    seq_msgs_8 = r8[5]
+    # block traffic grows far slower than sequential traffic
+    assert blk_msgs_8 < seq_msgs_8
+    assert blk_msgs_8 < 3 * blk_msgs_1
+
+
+if __name__ == "__main__":
+    print(generate_report())

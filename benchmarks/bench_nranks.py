@@ -1,0 +1,88 @@
+"""C8 -- rank-count sweep of the distributed SpMV kernel.
+
+For 1..32 ranks on a fixed 2-D Poisson problem, measures the exact halo
+traffic of one SpMV and projects time with the alpha-beta model: the
+surface-to-volume shape (halo ~ O(sqrt(N) * P) for 1-D row striping)
+determines where communication starts to eat the speedup.
+"""
+
+import numpy as np
+
+from repro import galeri, mpi, tpetra
+from repro.mpi import COMMODITY_CLUSTER, ETHERNET
+
+from .common import Section, table
+
+NX = NY = 64
+RANKS = [1, 2, 4, 8, 16, 32]
+
+
+def _spmv_traffic(p):
+    def body(comm):
+        A = galeri.laplace_2d(NX, NY, comm)
+        x = tpetra.Vector(A.row_map).putScalar(1.0)
+        before = comm.traffic_snapshot()
+        y = A @ x
+        delta = comm.traffic_snapshot() - before
+        return delta.sends, delta.bytes_sent, float(y.norm2())
+    results = mpi.run_spmd(body, p)
+    msgs = sum(r[0] for r in results)
+    nbytes = sum(r[1] for r in results)
+    return msgs, nbytes, results[0][2]
+
+
+def _measure():
+    n = NX * NY
+    flops = 2 * 5 * n  # 5-point stencil
+    rows = []
+    norm_ref = None
+    t1 = {}
+    for p in RANKS:
+        msgs, nbytes, norm = _spmv_traffic(p)
+        if norm_ref is None:
+            norm_ref = norm
+        assert abs(norm - norm_ref) < 1e-9
+        row = [p, msgs, f"{nbytes:,}"]
+        for model in (COMMODITY_CLUSTER, ETHERNET):
+            total = model.compute_time(flops / p) + \
+                model.comm_time(msgs, nbytes)
+            t1.setdefault(model.name, model.compute_time(flops))
+            row.append(f"{t1[model.name] / total:.2f}")
+        rows.append(tuple(row))
+    return rows
+
+
+def generate_report() -> str:
+    rows = _measure()
+    section = Section("C8: SpMV rank sweep (measured traffic, projected "
+                      "speedup)")
+    section.add(table(
+        ["ranks", "halo msgs", "halo bytes", "speedup (cluster)",
+         "speedup (ethernet)"], rows,
+        title=f"{NX}x{NY} 5-point Poisson SpMV; result norm identical at "
+              f"every rank count"))
+    section.line(
+        "Halo traffic grows linearly with the rank count (row-striped "
+        "1-D decomposition: 2 neighbor exchanges per interior rank) while "
+        "per-rank compute shrinks, so projected speedup rolls over "
+        "sooner on the slow interconnect -- the textbook strong-scaling "
+        "shape, driven here by measured message counts.")
+    return section.render()
+
+
+def test_spmv_4_ranks(benchmark):
+    def run():
+        return _spmv_traffic(4)
+    msgs, nbytes, _norm = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert msgs > 0 and nbytes > 0
+
+
+def test_spmv_correct_across_ranks(benchmark):
+    def run():
+        return [_spmv_traffic(p)[2] for p in (1, 3, 8)]
+    norms = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert max(norms) - min(norms) < 1e-9
+
+
+if __name__ == "__main__":
+    print(generate_report())

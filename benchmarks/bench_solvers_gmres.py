@@ -1,0 +1,80 @@
+"""C4b -- nonsymmetric solves: GMRES/BiCGStab/TFQMR on convection-diffusion.
+
+The convection-dominated Recirc2D-style operator is the standard
+nonsymmetric stress test; the shape to verify is that ILU-type
+preconditioning collapses the iteration count and that CG (wrong method)
+fails where GMRES succeeds.
+"""
+
+import numpy as np
+
+from repro import galeri, mpi, solvers, tpetra
+
+from .common import Section, table
+
+NRANKS = 3
+NX = NY = 24
+
+
+def _measure():
+    def body(comm):
+        A = galeri.convection_diffusion_2d(NX, NY, comm, conv_x=20.0,
+                                           conv_y=10.0)
+        x_true = tpetra.Vector(A.row_map)
+        x_true.randomize(seed=2)
+        b = A @ x_true
+        rows = []
+
+        def run(label, fn):
+            r = fn()
+            err = (r.x - x_true).norm2() / x_true.norm2()
+            rows.append((label, str(r.converged), r.iterations,
+                         f"{err:.1e}"))
+
+        run("GMRES(30)", lambda: solvers.gmres(A, b, tol=1e-10,
+                                               maxiter=4000))
+        run("GMRES(30) + ILU(0)", lambda: solvers.gmres(
+            A, b, prec=solvers.ILU0(A), tol=1e-10, maxiter=4000))
+        run("GMRES(30) + ILUT", lambda: solvers.gmres(
+            A, b, prec=solvers.ILUT(A), tol=1e-10, maxiter=4000))
+        run("BiCGStab + ILU(0)", lambda: solvers.bicgstab(
+            A, b, prec=solvers.ILU0(A), tol=1e-10, maxiter=4000))
+        run("TFQMR + ILU(0)", lambda: solvers.tfqmr(
+            A, b, prec=solvers.ILU0(A), tol=1e-10, maxiter=4000))
+        run("CG (wrong method)", lambda: solvers.cg(
+            A, b, tol=1e-10, maxiter=300))
+        return rows
+    return mpi.run_spmd(body, NRANKS)[0]
+
+
+def generate_report() -> str:
+    rows = _measure()
+    section = Section("C4b: nonsymmetric convection-diffusion solves")
+    section.add(table(
+        ["method", "converged", "iterations", "rel err"], rows,
+        title=f"{NX}x{NY} upwinded convection-diffusion, conv=(20,10), "
+              f"{NRANKS} ranks"))
+    section.line(
+        "GMRES and its transpose-free cousins converge; ILU-type "
+        "preconditioning cuts iterations by an order of magnitude; CG, "
+        "which assumes symmetry, fails to converge -- the standard "
+        "qualitative picture for this operator family.")
+    return section.render()
+
+
+def test_gmres_ilu_convdiff(benchmark):
+    def run():
+        def body(comm):
+            A = galeri.convection_diffusion_2d(NX, NY, comm, conv_x=20.0,
+                                               conv_y=10.0)
+            b = tpetra.Vector(A.row_map).putScalar(1.0)
+            r = solvers.gmres(A, b, prec=solvers.ILU0(A), tol=1e-10,
+                              maxiter=2000)
+            return r.converged, r.iterations
+        return mpi.run_spmd(body, NRANKS)[0]
+    conv, _its = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert conv
+
+
+if __name__ == "__main__":
+    print(generate_report())

@@ -1,0 +1,82 @@
+"""C1 -- "parallel array computations as straightforward as serial":
+scaling of distributed ufunc evaluation.
+
+The thread runtime shares one CPU, so raw wall time cannot show scaling;
+instead the bench measures the actual per-worker work and communication
+for 1..16 workers and projects strong-scaling times with the alpha-beta
+cost model -- the communication *counts* are exact, only the rates are
+modeled.
+"""
+
+import numpy as np
+
+from repro import odin
+from repro.mpi import COMMODITY_CLUSTER
+from repro.odin.context import OdinContext
+
+from .common import Section, table
+
+N = 1_000_000
+WORKER_COUNTS = [1, 2, 4, 8, 16]
+FLOPS_PER_ELEMENT = 9.0  # sqrt(u*u+v*v)*2-1: ~9 flops with sqrt weight
+
+
+def _traffic_for(w):
+    with OdinContext(w) as ctx:
+        u = odin.random(N, ctx=ctx, seed=1)
+        v = odin.random(N, ctx=ctx, seed=2)
+        ctx.reset_counters()
+        with odin.lazy():
+            expr = odin.sqrt(u * u + v * v) * 2.0 - 1.0
+        _out = odin.evaluate(expr, use_seamless=False)
+        cm, cb = ctx.control_traffic()
+        wm, wb = ctx.worker_traffic()
+    return cm + wm, cb + wb
+
+
+def _measure():
+    model = COMMODITY_CLUSTER
+    t1 = None
+    rows = []
+    for w in WORKER_COUNTS:
+        msgs, nbytes = _traffic_for(w)
+        compute = model.compute_time(N * FLOPS_PER_ELEMENT / w)
+        comm = model.comm_time(msgs, nbytes)
+        total = compute + comm
+        if t1 is None:
+            t1 = total
+        rows.append((w, msgs, f"{nbytes:,}", f"{compute * 1e3:.2f}",
+                     f"{comm * 1e6:.0f}", f"{total * 1e3:.2f}",
+                     f"{t1 / total:.2f}", f"{t1 / total / w * 100:.0f}%"))
+    return rows
+
+
+def generate_report() -> str:
+    rows = _measure()
+    section = Section("C1: strong scaling of a fused distributed "
+                      "expression (projected)")
+    section.add(table(
+        ["workers", "messages", "bytes", "compute ms", "comm us",
+         "total ms", "speedup", "efficiency"], rows,
+        title=f"sqrt(u*u+v*v)*2-1, N = {N:,}; traffic measured, times "
+              f"projected on {COMMODITY_CLUSTER.name}"))
+    section.line(
+        "The expression is embarrassingly parallel: measured "
+        "communication stays in the control plane (kilobytes), so "
+        "projected efficiency stays near 100% out to 16 workers -- the "
+        "serial NumPy code needed zero changes to get there, which is "
+        "the section III-D claim.")
+    return section.render()
+
+
+def test_scaling_traffic_is_flat(benchmark):
+    def run():
+        return {w: _traffic_for(w) for w in (2, 8)}
+    traffic = benchmark.pedantic(run, rounds=1, iterations=1)
+    # bytes grow at most modestly with worker count (control plane only)
+    assert traffic[8][1] < 20 * traffic[2][1]
+    assert traffic[8][1] < 8 * N  # never anywhere near the payload
+
+
+if __name__ == "__main__":
+    print(generate_report())

@@ -1,0 +1,53 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench module exposes ``generate_report() -> str`` producing the
+table/series the corresponding paper artifact requires (see DESIGN.md's
+experiment index); ``benchmarks/run_all.py`` collects them into
+EXPERIMENTS.md.  The ``test_*`` functions additionally register wall-clock
+timings with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, List, Sequence
+
+__all__ = ["table", "Section"]
+
+
+def table(headers: Sequence[str], rows: Iterable[Sequence], title: str = "",
+          widths: Sequence[int] = None) -> str:
+    """Render a fixed-width text table."""
+    rows = [tuple(str(c) for c in row) for row in rows]
+    if widths is None:
+        widths = [max(len(h), *(len(r[i]) for r in rows)) + 2
+                  if rows else len(h) + 2
+                  for i, h in enumerate(headers)]
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    header_line = "".join(h.ljust(w) for h, w in zip(headers, widths))
+    out.write(header_line.rstrip() + "\n")
+    out.write("-" * len(header_line.rstrip()) + "\n")
+    for row in rows:
+        out.write("".join(c.ljust(w)
+                          for c, w in zip(row, widths)).rstrip() + "\n")
+    return out.getvalue()
+
+
+class Section:
+    """Accumulates a titled report."""
+
+    def __init__(self, title: str):
+        self.parts: List[str] = [f"## {title}", ""]
+
+    def add(self, text: str) -> "Section":
+        self.parts.append(text)
+        return self
+
+    def line(self, text: str = "") -> "Section":
+        self.parts.append(text)
+        return self
+
+    def render(self) -> str:
+        return "\n".join(self.parts) + "\n"

@@ -1,0 +1,69 @@
+"""Regenerate every paper artifact's report (run: python -m benchmarks.run_all).
+
+Collects the ``generate_report()`` of each bench module -- one per table,
+figure, listing or claim in DESIGN.md's experiment index -- into a single
+document (written to stdout and, with ``--out``, to a file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+MODULES = [
+    "bench_table1_packages",
+    "bench_fig1_control_plane",
+    "bench_fig2_integration",
+    "bench_finite_difference",
+    "bench_jit_speedup",
+    "bench_cpp_export",
+    "bench_ufunc_scaling",
+    "bench_weak_scaling",
+    "bench_redistribution",
+    "bench_loop_fusion",
+    "bench_solvers_poisson",
+    "bench_solvers_gmres",
+    "bench_mapreduce",
+    "bench_framework_pipeline",
+    "bench_nranks",
+    "bench_ablation_amg",
+    "bench_ablation_collectives",
+    "bench_ablation_rma",
+    "bench_block_solves",
+]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--out", default=None,
+                        help="also write the combined report to this file")
+    parser.add_argument("--only", default=None,
+                        help="comma-separated module suffixes to run")
+    args = parser.parse_args(argv)
+
+    selected = MODULES
+    if args.only:
+        wanted = args.only.split(",")
+        selected = [m for m in MODULES if any(w in m for w in wanted)]
+
+    chunks = []
+    for name in selected:
+        module = __import__(f"benchmarks.{name}", fromlist=["generate_report"])
+        t0 = time.perf_counter()
+        try:
+            report = module.generate_report()
+        except Exception as exc:  # noqa: BLE001 - collect, don't die
+            report = f"## {name}\n\nFAILED: {exc!r}\n"
+        dt = time.perf_counter() - t0
+        chunks.append(report + f"\n(generated in {dt:.1f}s)\n")
+        print(chunks[-1])
+    combined = "\n".join(chunks)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(combined)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""A Trilinos-style command line solver driver.
+
+Shows the Teuchos `CommandLineProcessor` pattern the Trilinos example
+drivers use: declare options, parse argv into a ParameterList, and hand
+everything to the solver stack.
+
+    python examples/solver_driver.py --nx=48 --solver=CG --prec=ML
+    python examples/solver_driver.py --matrix=Recirc2D --solver=GMRES --prec=ILU
+    python examples/solver_driver.py --help
+"""
+
+import sys
+from contextlib import nullcontext
+
+from repro import core, galeri, mpi, tpetra
+from repro.teuchos import CommandLineProcessor, ParameterList, TimeMonitor
+
+
+def make_clp() -> CommandLineProcessor:
+    clp = CommandLineProcessor(doc="Distributed linear solve driver")
+    clp.set_option("matrix", "Laplace2D",
+                   "gallery operator (Laplace2D, Recirc2D, Anisotropic2D)")
+    clp.set_option("nx", 32, "grid points per side")
+    clp.set_option("ranks", 4, "SPMD ranks")
+    clp.set_option("solver", "CG", "CG|GMRES|BICGSTAB|MINRES|TFQMR|"
+                                   "Direct|AMG")
+    clp.set_option("prec", "ML", "None|Jacobi|GS|SGS|ILU|ILUT|Chebyshev|"
+                                 "Schwarz|ML")
+    clp.set_option("tol", 1e-10, "relative residual tolerance")
+    clp.set_option("verbose", False, "print the residual history")
+    return clp
+
+
+def main(argv=None) -> int:
+    options = make_clp().parse(argv)
+    nx = options.get("nx")
+
+    def program(comm):
+        # the timer registry is process-global: time on rank 0 only
+        def timed(name):
+            return TimeMonitor(name) if comm.rank == 0 else nullcontext()
+
+        with timed("assembly"):
+            A = galeri.create_matrix(options.get("matrix"), comm,
+                                     nx=nx, ny=nx)
+        x_true = tpetra.Vector(A.row_map)
+        x_true.randomize(seed=42)
+        b = A @ x_true
+        params = ParameterList("LS") \
+            .set("Solver", options.get("solver")) \
+            .set("Preconditioner", options.get("prec")) \
+            .set("Tolerance", options.get("tol")) \
+            .set("Max Iterations", 5000)
+        with timed("solve"):
+            result = core.solve(A, b, params)
+        err = (result.x - x_true).norm2() / x_true.norm2()
+        return result.converged, result.iterations, err, result.history
+
+    results = mpi.run_spmd(program, options.get("ranks"))
+    converged, its, err, history = results[0]
+
+    print(f"matrix     : {options.get('matrix')} {nx}x{nx} on "
+          f"{options.get('ranks')} ranks")
+    print(f"solver     : {options.get('solver')} + {options.get('prec')}")
+    print(f"converged  : {converged} in {its} iterations")
+    print(f"rel error  : {err:.3e}")
+    if options.get("verbose"):
+        for k, r in enumerate(history):
+            print(f"  it {k:4d}  ||r||/||b|| = {r:.3e}")
+    print()
+    print(TimeMonitor.summarize())
+    return 0 if converged else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

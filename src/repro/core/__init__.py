@@ -1,0 +1,15 @@
+"""repro.core -- the framework tying PyTrilinos, ODIN and Seamless together.
+
+The paper's Discussion section describes the intended workflow: initialize
+data with ODIN, solve with PyTrilinos solvers that call back to a Python
+model, and compile the callback with Seamless "when the time comes to
+solve one or more large problems".  :mod:`repro.core.framework` implements
+that pipeline end to end; :func:`solve` is the high-level linear-solve
+entry point used throughout the examples.
+"""
+
+from .framework import (PipelineReport, newton_krylov_pipeline, solve,
+                        solve_odin)
+
+__all__ = ["solve", "solve_odin", "newton_krylov_pipeline",
+           "PipelineReport"]

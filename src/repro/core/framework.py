@@ -1,0 +1,204 @@
+"""The full-framework pipeline (paper Discussion section, Fig. 2).
+
+Three integration layers:
+
+- :func:`solve` -- one-call distributed linear solve: matrix + rhs +
+  ParameterList in, SolverResult out (inside an SPMD region).
+- :func:`solve_odin` -- the same, driven from the ODIN global mode: ODIN
+  arrays in, ODIN array out (re-exported from
+  :mod:`repro.odin.trilinos`).
+- :func:`newton_krylov_pipeline` -- the Discussion use case end to end: a
+  nonlinear problem whose *model callback is a plain Python scalar kernel*,
+  solved with NOX Newton-Krylov; pass ``compile_callback=True`` and the
+  kernel is Seamless-JIT-compiled before the solve, exactly the "convert
+  this callback into a highly efficient numerical kernel" step.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from .. import solvers, tpetra
+from ..teuchos import ParameterList
+
+__all__ = ["solve", "solve_odin", "newton_krylov_pipeline",
+           "PipelineReport"]
+
+
+def solve(A: tpetra.Operator, b: tpetra.Vector,
+          params: Optional[ParameterList] = None) -> solvers.SolverResult:
+    """Solve A x = b with solver and preconditioner chosen by parameters.
+
+    Parameters (all optional)::
+
+        ParameterList("Linear Solve")
+            .set("Solver", "CG" | "GMRES" | "BICGSTAB" | "MINRES" |
+                           "TFQMR" | "Direct" | "AMG")
+            .set("Preconditioner", "None" | "Jacobi" | "GS" | "SGS" |
+                                   "ILU" | "ILUT" | "Chebyshev" |
+                                   "Schwarz" | "ML")
+            .set("Tolerance", 1e-8).set("Max Iterations", 1000)
+    """
+    params = params if params is not None else ParameterList("Linear Solve")
+    method = str(params.get("Solver", "GMRES")).upper()
+    if method == "DIRECT":
+        if not isinstance(A, tpetra.CrsMatrix):
+            raise TypeError("direct solve needs an assembled CrsMatrix")
+        x = solvers.create_solver(
+            str(params.get("Direct Solver", "KLU")), A).solve(b)
+        r = tpetra.Vector(b.map, dtype=b.dtype)
+        A.apply(x, r)
+        r.update(1.0, b, -1.0)
+        rel = r.norm2() / (b.norm2() or 1.0)
+        return solvers.SolverResult(x, True, 1, rel, [rel])
+    prec_name = str(params.get("Preconditioner", "None"))
+    prec = None
+    if prec_name.upper() == "ML":
+        prec = solvers.MLPreconditioner(A, params.sublist("ML"))
+    elif prec_name.lower() not in ("none", ""):
+        prec = solvers.create_preconditioner(prec_name, A,
+                                             params.sublist("Ifpack"))
+    if method == "AMG":
+        ml = prec if isinstance(prec, solvers.MLPreconditioner) else \
+            solvers.MLPreconditioner(A)
+        return ml.solve(b, tol=float(params.get("Tolerance", 1e-8)),
+                        maxiter=int(params.get("Max Iterations", 100)))
+    aztec = ParameterList("AztecOO")
+    aztec.set("Solver", method)
+    aztec.set("Tolerance", float(params.get("Tolerance", 1e-8)))
+    aztec.set("Max Iterations", int(params.get("Max Iterations", 1000)))
+    if params.isParameter("Restart"):
+        aztec.set("Restart", int(params.get("Restart", 30)))
+    return solvers.AztecOO(A, prec=prec, params=aztec).iterate(b)
+
+
+def solve_odin(matrix_name: str, b, **kwargs):
+    """ODIN-facing linear solve (see :func:`repro.odin.trilinos.solve`)."""
+    from ..odin import trilinos as odin_trilinos
+    return odin_trilinos.solve(matrix_name, b, **kwargs)
+
+
+@dataclass
+class PipelineReport:
+    """Outcome of the Discussion-section pipeline run."""
+
+    converged: bool
+    newton_iterations: int
+    linear_iterations: int
+    residual_norm: float
+    callback_compiled: bool
+    callback_time: float      # total seconds spent in model callbacks
+    total_time: float
+
+    def __repr__(self):
+        mode = "Seamless-compiled" if self.callback_compiled else \
+            "pure-Python"
+        return (f"PipelineReport({mode} callback, "
+                f"{self.newton_iterations} Newton its, "
+                f"{self.linear_iterations} linear its, "
+                f"callback {self.callback_time:.3f}s / "
+                f"total {self.total_time:.3f}s)")
+
+
+def newton_krylov_pipeline(comm, n: int,
+                           model_kernel: Optional[Callable] = None,
+                           lam: float = 1.0,
+                           compile_callback: bool = False,
+                           tol: float = 1e-10,
+                           jacobian: str = "analytic") -> PipelineReport:
+    """Run the paper's end-to-end use case inside an SPMD region.
+
+    Solves the 1-D Bratu problem ``-u'' = lam * exp(u)`` on *n* interior
+    points with Newton's method: the nonlinear residual evaluates a
+    *per-element Python model kernel* -- by default ``f(u) = lam * e^u`` as
+    an element-at-a-time loop, which is exactly the kind of callback the
+    paper says to prototype in pure Python and then hand to Seamless.
+
+    ``jacobian`` selects the linearization: ``"analytic"`` assembles the
+    tridiagonal Jacobian and preconditions GMRES with its ILU(0) (robust
+    at any size); ``"jfnk"`` uses Jacobian-free directional differences
+    (fine for small n, the classic NOX matrix-free mode).
+
+    With ``compile_callback=True`` the kernel loop is JIT-compiled via
+    :func:`repro.seamless.jit` before the solve.
+    """
+    from ..galeri import laplace_1d
+
+    h = 1.0 / (n + 1)
+    A = laplace_1d(n, comm)
+    kernel = model_kernel if model_kernel is not None else _bratu_kernel
+    if compile_callback:
+        from ..seamless import jit
+        compiled = jit(kernel)
+        # force compilation now so the solve measures steady-state speed
+        warm = np.zeros(4)
+        compiled(warm, np.zeros(4), lam)
+        kernel_fn = compiled
+        compiled_ok = getattr(compiled, "signatures", None)
+        callback_compiled = bool(compiled_ok)
+    else:
+        kernel_fn = kernel
+        callback_compiled = False
+
+    callback_time = [0.0]
+
+    def residual(u: tpetra.Vector) -> tpetra.Vector:
+        # the discrete Bratu equations: A u - h^2 * lam * exp(u) = 0
+        r = A @ u                       # distributed SpMV
+        out = np.empty_like(u.local_view)
+        t0 = time.perf_counter()
+        kernel_fn(out, u.local_view, lam)   # the Python model callback
+        callback_time[0] += time.perf_counter() - t0
+        r.local_view[...] = r.local_view - h ** 2 * out
+        return r
+
+    jac_fn = None
+    prec_factory = None
+    if jacobian == "analytic":
+        def jac_fn(u: tpetra.Vector) -> tpetra.CrsMatrix:
+            # J = A - h^2 * lam * diag(exp(u)): reuse A's structure,
+            # adjust the local diagonal entries in place
+            J = tpetra.CrsMatrix(A.row_map, dtype=A.dtype)
+            J.domain = A.domain_map()
+            J.range = A.range_map()
+            J.col_map_gids = A.col_map_gids
+            J.importer = A.importer
+            J._filled = True
+            J._build_rows = []
+            shift = h ** 2 * lam * np.exp(u.local_view)
+            lm = A.local_matrix.tolil(copy=True)
+            for lrow in range(J.num_my_rows):
+                lm[lrow, lrow] -= shift[lrow]  # owned cols come first
+            J.local_matrix = lm.tocsr()
+            return J
+
+        def prec_factory(u: tpetra.Vector):
+            return solvers.ILU0(jac_fn(u))
+
+    x0 = tpetra.Vector(A.domain_map())
+    params = ParameterList("NOX")
+    params.set("Nonlinear Tolerance", tol)
+    params.set("Line Search", "Backtrack")
+    t0 = time.perf_counter()
+    result = solvers.NewtonSolver(residual, jacobian=jac_fn,
+                                  prec_factory=prec_factory,
+                                  params=params).solve(x0)
+    total = time.perf_counter() - t0
+    return PipelineReport(result.converged, result.iterations,
+                          result.linear_iterations, result.residual_norm,
+                          callback_compiled, callback_time[0], total)
+
+
+def _bratu_kernel(out, u, lam):
+    """The pure-Python model: f_i = lam * exp(u_i), element at a time."""
+    for i in range(len(u)):
+        out[i] = lam * exp(u[i])
+
+
+# the kernel body uses a module-level exp so both the interpreter and the
+# Seamless frontend resolve it
+from math import exp  # noqa: E402

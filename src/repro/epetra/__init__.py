@@ -1,0 +1,211 @@
+"""repro.epetra -- first-generation linear algebra facade (Epetra).
+
+The paper (section II) explains that Epetra predates usable C++ templates,
+so it is fixed to ``double`` scalars and ``int`` ordinals, and that classic
+PyTrilinos "mimick[ed] the C++ interface", yielding non-Pythonic methods.
+This module reproduces both properties deliberately: it wraps the generic
+:mod:`repro.tpetra` engine with the Epetra spellings (``NumMyElements``,
+``Norm2``, ``Multiply``...), pinned to float64/int32, so the repository
+demonstrates the exact interface evolution the paper argues for.
+
+New code should prefer :mod:`repro.tpetra`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import tpetra
+from ..mpi import Intracomm
+
+__all__ = ["PyComm", "Map", "Vector", "CrsMatrix"]
+
+_INT_MAX = np.iinfo(np.int32).max
+
+
+class PyComm:
+    """Epetra_Comm-style wrapper over an intracomm."""
+
+    def __init__(self, comm: Intracomm):
+        self._comm = comm
+
+    def MyPID(self) -> int:
+        return self._comm.rank
+
+    def NumProc(self) -> int:
+        return self._comm.size
+
+    def Barrier(self) -> None:
+        self._comm.barrier()
+
+    def SumAll(self, value):
+        return self._comm.allreduce(value)
+
+    def MaxAll(self, value):
+        from ..mpi import MAX
+        return self._comm.allreduce(value, op=MAX)
+
+    def MinAll(self, value):
+        from ..mpi import MIN
+        return self._comm.allreduce(value, op=MIN)
+
+    def Broadcast(self, obj, root: int = 0):
+        return self._comm.bcast(obj, root=root)
+
+    @property
+    def tpetra_comm(self) -> Intracomm:
+        return self._comm
+
+
+class Map:
+    """Epetra_Map: int32 ordinals, uniform linear distribution."""
+
+    def __init__(self, num_global: int, index_base: int, comm: PyComm):
+        if num_global > _INT_MAX:
+            raise OverflowError(
+                "Epetra maps use 32-bit ordinals; problem too large "
+                "(use tpetra.Map for 64-bit indexing)")
+        if index_base != 0:
+            raise NotImplementedError("only IndexBase=0 is supported")
+        self._comm = comm
+        self._map = tpetra.Map.create_contiguous(int(num_global),
+                                                 comm.tpetra_comm)
+
+    def NumGlobalElements(self) -> int:
+        return self._map.num_global
+
+    def NumMyElements(self) -> int:
+        return self._map.num_my_elements
+
+    def MyGlobalElements(self) -> np.ndarray:
+        return self._map.my_gids.astype(np.int32)
+
+    def GID(self, lid: int) -> int:
+        return self._map.gid(lid)
+
+    def LID(self, gid: int) -> int:
+        return int(self._map.lid(int(gid)))
+
+    def MyGID(self, gid: int) -> bool:
+        return bool(self._map.owns(int(gid)))
+
+    def Comm(self) -> PyComm:
+        return self._comm
+
+    @property
+    def tpetra_map(self) -> tpetra.Map:
+        return self._map
+
+
+class Vector:
+    """Epetra_Vector: always float64."""
+
+    def __init__(self, map_: Map):
+        self._map = map_
+        self._vec = tpetra.Vector(map_.tpetra_map, dtype=np.float64)
+
+    def PutScalar(self, alpha: float) -> int:
+        self._vec.putScalar(float(alpha))
+        return 0
+
+    def Random(self) -> int:
+        self._vec.randomize()
+        return 0
+
+    def Norm1(self) -> float:
+        return self._vec.norm1()
+
+    def Norm2(self) -> float:
+        return self._vec.norm2()
+
+    def NormInf(self) -> float:
+        return self._vec.normInf()
+
+    def Dot(self, other: "Vector") -> float:
+        return self._vec.dot(other._vec)
+
+    def Update(self, alpha: float, other: "Vector", beta: float) -> int:
+        """this = alpha*other + beta*this."""
+        self._vec.update(alpha, other._vec, beta)
+        return 0
+
+    def Scale(self, alpha: float) -> int:
+        self._vec.scale(alpha)
+        return 0
+
+    def MeanValue(self) -> float:
+        return self._vec.meanValue()
+
+    def ExtractCopy(self) -> np.ndarray:
+        return self._vec.local_view.copy()
+
+    def __getitem__(self, lid: int) -> float:
+        return float(self._vec.local_view[lid])
+
+    def __setitem__(self, lid: int, value: float) -> None:
+        self._vec.local_view[lid] = value
+
+    def Map(self) -> Map:
+        return self._map
+
+    @property
+    def tpetra_vector(self) -> tpetra.Vector:
+        return self._vec
+
+
+class CrsMatrix:
+    """Epetra_CrsMatrix: float64 values, int32 indices, C++-style API."""
+
+    def __init__(self, copy_mode: str, row_map: Map,
+                 num_entries_per_row: int = 0):
+        # copy_mode mirrors Epetra's (Copy/View) first argument; only Copy
+        # semantics exist here.
+        if copy_mode not in ("Copy", "View"):
+            raise ValueError("first argument is Epetra's Copy/View flag")
+        self._row_map = row_map
+        self._mat = tpetra.CrsMatrix(row_map.tpetra_map, dtype=np.float64)
+
+    def InsertGlobalValues(self, global_row: int, values, indices) -> int:
+        self._mat.insert_global_values(int(global_row),
+                                       np.asarray(indices, dtype=np.int64),
+                                       np.asarray(values, dtype=np.float64))
+        return 0
+
+    def FillComplete(self) -> int:
+        self._mat.fillComplete()
+        return 0
+
+    def Filled(self) -> bool:
+        return self._mat.is_fill_complete
+
+    def NumGlobalRows(self) -> int:
+        return self._mat.num_global_rows
+
+    def NumMyRows(self) -> int:
+        return self._mat.num_my_rows
+
+    def NumGlobalNonzeros(self) -> int:
+        return self._mat.num_global_nonzeros()
+
+    def Multiply(self, trans: bool, x: Vector, y: Vector) -> int:
+        self._mat.apply(x.tpetra_vector, y.tpetra_vector, trans=trans)
+        return 0
+
+    def NormFrobenius(self) -> float:
+        return self._mat.norm_frobenius()
+
+    def NormInf(self) -> float:
+        return self._mat.norm_inf()
+
+    def ExtractDiagonalCopy(self, d: Vector) -> int:
+        d.tpetra_vector.local[...] = self._mat.diagonal().local
+        return 0
+
+    def RowMap(self) -> Map:
+        return self._row_map
+
+    @property
+    def tpetra_matrix(self) -> tpetra.CrsMatrix:
+        return self._mat

@@ -1,0 +1,18 @@
+"""repro.galeri -- gallery of example maps and matrices (Galeri equivalent).
+
+Per Table I: "Examples of common maps and matrices."  These are the
+workhorses of the benchmark suite: structured-grid Laplacians in 1/2/3-D,
+convection-diffusion (nonsymmetric), biharmonic, tridiagonal, and random
+SPD matrices, all assembled directly into distributed
+:class:`~repro.tpetra.crsmatrix.CrsMatrix` objects.
+"""
+
+from .maps import create_map
+from .matrices import (anisotropic_2d, biharmonic_1d,
+                       convection_diffusion_2d, create_matrix, laplace_1d,
+                       laplace_2d, laplace_3d, random_spd, tridiag)
+
+__all__ = ["create_map", "create_matrix", "laplace_1d", "laplace_2d",
+           "laplace_3d", "convection_diffusion_2d", "anisotropic_2d",
+           "biharmonic_1d",
+           "tridiag", "random_spd"]

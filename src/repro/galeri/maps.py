@@ -1,0 +1,31 @@
+"""Map gallery (Galeri's Maps module)."""
+
+from __future__ import annotations
+
+from ..mpi import Intracomm
+from ..tpetra import Map
+
+__all__ = ["create_map"]
+
+
+def create_map(kind: str, num_global: int, comm: Intracomm, **kwargs) -> Map:
+    """Create a map by gallery name.
+
+    - ``"Linear"``      -- uniform contiguous blocks (Galeri's Linear)
+    - ``"Interlaced"``  -- cyclic round-robin (Galeri's Interlaced)
+    - ``"Random"``      -- pseudo-random but reproducible partition
+    """
+    key = kind.strip().lower()
+    if key == "linear":
+        return Map.create_contiguous(num_global, comm)
+    if key == "interlaced":
+        return Map.create_cyclic(num_global, comm)
+    if key == "random":
+        import numpy as np
+        seed = int(kwargs.get("seed", 0))
+        rng = np.random.default_rng(seed)
+        owner = rng.integers(0, comm.size, size=num_global)
+        my = np.nonzero(owner == comm.rank)[0].astype(np.int64)
+        # every rank draws the same sequence, so the partition is consistent
+        return Map(num_global, my, comm, kind="arbitrary")
+    raise ValueError(f"unknown map kind {kind!r}")

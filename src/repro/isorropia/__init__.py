@@ -1,0 +1,19 @@
+"""repro.isorropia -- partitioning and load balancing (Isorropia equivalent).
+
+Per Table I: "Partitioning algorithms."  Provides
+
+- weighted 1-D repartitioning,
+- recursive coordinate bisection (RCB) for mesh-like coordinate data,
+- multilevel graph partitioning (greedy growth + Kernighan-Lin boundary
+  refinement),
+- partition quality metrics (edge cut, imbalance),
+- :func:`repartition` which turns any of these into a new
+  :class:`~repro.tpetra.map.Map` for redistributing matrices and vectors.
+"""
+
+from .metrics import edge_cut, imbalance, partition_quality
+from .partition import (graph_partition, partition_1d, rcb_partition,
+                        repartition)
+
+__all__ = ["partition_1d", "rcb_partition", "graph_partition",
+           "repartition", "edge_cut", "imbalance", "partition_quality"]

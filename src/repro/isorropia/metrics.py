@@ -1,0 +1,48 @@
+"""Partition quality metrics."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["edge_cut", "imbalance", "partition_quality"]
+
+
+def edge_cut(adjacency: sp.spmatrix, parts: np.ndarray) -> float:
+    """Total weight of edges crossing part boundaries (each edge once)."""
+    A = sp.coo_matrix(adjacency)
+    parts = np.asarray(parts)
+    crossing = parts[A.row] != parts[A.col]
+    # each undirected edge appears twice in a symmetric matrix
+    return float(np.abs(A.data[crossing]).sum() / 2.0)
+
+
+def imbalance(parts: np.ndarray, nparts: int,
+              weights: np.ndarray = None) -> float:
+    """max part weight / ideal part weight (1.0 = perfectly balanced)."""
+    parts = np.asarray(parts)
+    if weights is None:
+        weights = np.ones(len(parts))
+    sizes = np.zeros(nparts)
+    np.add.at(sizes, parts, weights)
+    ideal = weights.sum() / nparts
+    return float(sizes.max() / ideal) if ideal > 0 else 1.0
+
+
+def partition_quality(adjacency: sp.spmatrix, parts: np.ndarray,
+                      nparts: int) -> Dict[str, float]:
+    """Summary dict: edge cut, imbalance, and boundary vertex count."""
+    A = sp.csr_matrix(adjacency)
+    parts = np.asarray(parts)
+    boundary = 0
+    for v in range(A.shape[0]):
+        nbrs = A.indices[A.indptr[v]:A.indptr[v + 1]]
+        if np.any(parts[nbrs] != parts[v]):
+            boundary += 1
+    return {
+        "edge_cut": edge_cut(A, parts),
+        "imbalance": imbalance(parts, nparts),
+        "boundary_vertices": float(boundary),
+    }

@@ -1,0 +1,192 @@
+"""Partitioning algorithms.
+
+The partitioners are deterministic serial algorithms applied to gathered
+(or replicated) structure -- the same result on every rank -- while the
+*interface* is distributed: inputs and outputs are maps and distributed
+matrices.  Trilinos' Zoltan-backed Isorropia partitions in parallel, but
+the quantity that matters downstream (the assignment) is identical, and
+gathering the structure graph is exact for the problem sizes the thread
+runtime hosts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..tpetra import CrsMatrix, Map
+
+__all__ = ["partition_1d", "rcb_partition", "graph_partition",
+           "repartition"]
+
+
+def partition_1d(weights: np.ndarray, nparts: int) -> np.ndarray:
+    """Contiguous 1-D partition of weighted items into balanced chunks.
+
+    Greedy prefix splitting at ideal multiples of total/nparts; returns the
+    part id of each item.
+    """
+    weights = np.asarray(weights, dtype=float)
+    if np.any(weights < 0):
+        raise ValueError("weights must be nonnegative")
+    n = len(weights)
+    total = weights.sum()
+    if nparts <= 0:
+        raise ValueError("nparts must be positive")
+    if total == 0:
+        return np.minimum(np.arange(n) * nparts // max(n, 1), nparts - 1)
+    prefix = np.cumsum(weights)
+    ideal = total / nparts
+    parts = np.minimum((prefix - weights / 2) // ideal, nparts - 1)
+    return parts.astype(np.int64)
+
+
+def rcb_partition(coords: np.ndarray, nparts: int,
+                  weights: Optional[np.ndarray] = None) -> np.ndarray:
+    """Recursive coordinate bisection.
+
+    Splits along the longest axis at the weighted median, recursing until
+    *nparts* parts exist.  Handles non-power-of-two part counts by
+    splitting proportionally.
+    """
+    coords = np.atleast_2d(np.asarray(coords, dtype=float))
+    if coords.shape[0] < coords.shape[1] and coords.shape[0] <= 3:
+        coords = coords.T
+    n = coords.shape[0]
+    weights = np.ones(n) if weights is None else np.asarray(weights, float)
+    out = np.zeros(n, dtype=np.int64)
+
+    def recurse(idx: np.ndarray, parts: int, first_part: int) -> None:
+        if parts == 1 or len(idx) == 0:
+            out[idx] = first_part
+            return
+        left_parts = parts // 2
+        frac = left_parts / parts
+        sub = coords[idx]
+        spans = sub.max(axis=0) - sub.min(axis=0) if len(idx) else \
+            np.zeros(coords.shape[1])
+        axis = int(np.argmax(spans))
+        order = np.argsort(sub[:, axis], kind="stable")
+        w = weights[idx][order]
+        cut = np.searchsorted(np.cumsum(w), frac * w.sum(), side="right")
+        cut = int(np.clip(cut, 1, len(idx) - 1)) if len(idx) > 1 else 0
+        left = idx[order[:cut]]
+        right = idx[order[cut:]]
+        recurse(left, left_parts, first_part)
+        recurse(right, parts - left_parts, first_part + left_parts)
+
+    recurse(np.arange(n), nparts, 0)
+    return out
+
+
+def graph_partition(adjacency: sp.spmatrix, nparts: int,
+                    refine_passes: int = 4, seed: int = 0) -> np.ndarray:
+    """Multilevel-flavored graph partition: greedy BFS growth + KL refine.
+
+    *adjacency* is a symmetric sparse matrix whose nonzeros are edges
+    (weights used as edge weights).  Deterministic for a fixed seed.
+    """
+    A = sp.csr_matrix(adjacency)
+    n = A.shape[0]
+    if A.shape[0] != A.shape[1]:
+        raise ValueError("adjacency must be square")
+    target = n / nparts
+    parts = np.full(n, -1, dtype=np.int64)
+    rng = np.random.default_rng(seed)
+    degrees = np.diff(A.indptr)
+    unassigned = set(range(n))
+    for p in range(nparts):
+        if not unassigned:
+            break
+        budget = int(round(target)) if p < nparts - 1 else len(unassigned)
+        # seed at the lowest-degree unassigned vertex (peripheral start)
+        seed_v = min(unassigned, key=lambda v: (degrees[v], v))
+        frontier = [seed_v]
+        grown = 0
+        while frontier and grown < budget:
+            v = frontier.pop(0)
+            if parts[v] != -1:
+                continue
+            parts[v] = p
+            unassigned.discard(v)
+            grown += 1
+            nbrs = A.indices[A.indptr[v]:A.indptr[v + 1]]
+            frontier.extend(int(u) for u in nbrs if parts[u] == -1)
+        # if the region ran out of frontier, jump to another component
+        while grown < budget and unassigned:
+            v = min(unassigned)
+            frontier = [v]
+            while frontier and grown < budget:
+                u = frontier.pop(0)
+                if parts[u] != -1:
+                    continue
+                parts[u] = p
+                unassigned.discard(u)
+                grown += 1
+                nbrs = A.indices[A.indptr[u]:A.indptr[u + 1]]
+                frontier.extend(int(w) for w in nbrs if parts[w] == -1)
+    parts[parts == -1] = nparts - 1
+    # KL-style boundary refinement: move vertices when gain > 0 and
+    # balance is preserved
+    sizes = np.bincount(parts, minlength=nparts).astype(float)
+    max_size = np.ceil(1.05 * target)
+    for _pass in range(refine_passes):
+        moved = 0
+        for v in rng.permutation(n):
+            pv = parts[v]
+            sl = slice(A.indptr[v], A.indptr[v + 1])
+            nbr_parts = parts[A.indices[sl]]
+            w = np.abs(A.data[sl])
+            internal = w[nbr_parts == pv].sum()
+            best_gain, best_p = 0.0, pv
+            for q in np.unique(nbr_parts):
+                if q == pv or sizes[q] + 1 > max_size:
+                    continue
+                external = w[nbr_parts == q].sum()
+                gain = external - internal
+                if gain > best_gain and sizes[pv] > 1:
+                    best_gain, best_p = gain, q
+            if best_p != pv:
+                parts[v] = best_p
+                sizes[pv] -= 1
+                sizes[best_p] += 1
+                moved += 1
+        if moved == 0:
+            break
+    return parts
+
+
+def repartition(A: CrsMatrix, method: str = "graph",
+                coords: Optional[np.ndarray] = None,
+                weights: Optional[np.ndarray] = None, seed: int = 0) -> Map:
+    """Compute a better row map for a distributed matrix.  Collective.
+
+    ``method``: ``"graph"`` (edge-cut minimizing), ``"rcb"`` (needs
+    *coords*: one row of coordinates per global row), or ``"1d"``
+    (contiguous chunks balanced by row nonzeros).
+
+    Returns a new Map; move data with
+    :class:`~repro.tpetra.import_export.Import`.
+    """
+    comm = A.row_map.comm
+    nparts = comm.size
+    A_global = A.to_scipy_global(root=None)
+    if method == "graph":
+        # symmetrize the pattern to get an undirected graph
+        pattern = (abs(A_global) + abs(A_global.T)).tocsr()
+        pattern.setdiag(0)
+        pattern.eliminate_zeros()
+        parts = graph_partition(pattern, nparts, seed=seed)
+    elif method == "rcb":
+        if coords is None:
+            raise ValueError("rcb needs coordinates")
+        parts = rcb_partition(coords, nparts, weights=weights)
+    elif method == "1d":
+        row_weights = np.diff(A_global.indptr).astype(float)
+        parts = partition_1d(row_weights, nparts)
+    else:
+        raise ValueError(f"unknown method {method!r}")
+    my_gids = np.nonzero(parts == comm.rank)[0].astype(np.int64)
+    return Map(A.num_global_rows, my_gids, comm, kind="arbitrary")

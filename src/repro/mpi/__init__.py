@@ -1,0 +1,74 @@
+"""repro.mpi -- an MPI-like message-passing substrate on a thread SPMD runtime.
+
+The public surface follows mpi4py conventions (the substrate documented in
+the project's HPC guides): lowercase comm methods move pickled Python
+objects, uppercase methods move NumPy buffers.  See
+:mod:`repro.mpi.runtime` for how the offline substitution of real MPI
+preserves the behaviours that matter.
+
+Quick start::
+
+    from repro import mpi
+
+    def program(comm):
+        rank = comm.Get_rank()
+        data = comm.bcast({'a': 7} if rank == 0 else None, root=0)
+        return comm.allreduce(rank)
+
+    results = mpi.run_spmd(program, nranks=4)
+"""
+
+from .comm import Group, Intracomm
+from .cart import CartComm, dims_create
+from .costmodel import (COMMODITY_CLUSTER, ETHERNET, FAST_INTERCONNECT,
+                        CostModel)
+from .counters import CommCounters, CounterSnapshot
+from .datatypes import (BOOL, BYTE, CHAR, C_DOUBLE_COMPLEX, C_FLOAT_COMPLEX,
+                        DOUBLE, FLOAT, INT, INT32_T, INT64_T, LONG,
+                        LONG_LONG, SHORT, UNSIGNED, UNSIGNED_LONG, Datatype,
+                        from_numpy_dtype)
+from .errors import (AbortError, CommError, DeadlockError, MPIError,
+                     RankError, TagError, TruncationError)
+from .io import (MODE_APPEND, MODE_CREATE, MODE_RDONLY, MODE_RDWR,
+                 MODE_WRONLY, File)
+from .ops import (BAND, BOR, BXOR, LAND, LOR, MAX, MAXLOC, MIN, MINLOC,
+                  PROD, SUM, Op, create_op)
+from .request import Request, RecvRequest, SendRequest, testall, waitall
+from .rma import Win
+from .runtime import (RankContext, World, current_context, default_timeout,
+                      run_spmd, set_default_timeout)
+from .status import ANY_SOURCE, ANY_TAG, Status
+
+
+def get_comm_world() -> Intracomm:
+    """The world communicator of the SPMD region running this thread."""
+    ctx = current_context()
+    return Intracomm(ctx, list(range(ctx.world.nranks)))
+
+
+__all__ = [
+    # runtime
+    "run_spmd", "World", "RankContext", "current_context", "get_comm_world",
+    "default_timeout", "set_default_timeout",
+    # comm
+    "Intracomm", "Group", "CartComm", "dims_create",
+    # status / requests
+    "Status", "ANY_SOURCE", "ANY_TAG", "Request", "SendRequest",
+    "RecvRequest", "waitall", "testall",
+    # datatypes
+    "Datatype", "from_numpy_dtype", "BYTE", "CHAR", "SHORT", "INT", "LONG",
+    "LONG_LONG", "UNSIGNED", "UNSIGNED_LONG", "FLOAT", "DOUBLE",
+    "C_FLOAT_COMPLEX", "C_DOUBLE_COMPLEX", "BOOL", "INT32_T", "INT64_T",
+    # ops
+    "Op", "create_op", "SUM", "PROD", "MAX", "MIN", "LAND", "LOR", "BAND",
+    "BOR", "BXOR", "MAXLOC", "MINLOC",
+    # errors
+    "MPIError", "DeadlockError", "TruncationError", "RankError", "TagError",
+    "CommError", "AbortError",
+    # instrumentation
+    "CommCounters", "CounterSnapshot", "CostModel", "COMMODITY_CLUSTER",
+    "FAST_INTERCONNECT", "ETHERNET",
+    # MPI-IO / RMA
+    "Win", "File", "MODE_RDONLY", "MODE_WRONLY", "MODE_RDWR", "MODE_CREATE",
+    "MODE_APPEND",
+]

@@ -1,0 +1,154 @@
+"""Cartesian process topologies (``MPI_Cart_create`` and friends).
+
+ODIN's N-dimensional block distributions and the structured-grid finite
+difference use case (paper section III-G) sit naturally on a Cartesian
+topology: halo exchanges become shifts along grid axes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .comm import Intracomm
+
+__all__ = ["dims_create", "CartComm"]
+
+
+def dims_create(nnodes: int, ndims: int,
+                dims: Optional[Sequence[int]] = None) -> List[int]:
+    """Choose a balanced factorisation of *nnodes* over *ndims* dimensions.
+
+    Entries of *dims* that are nonzero are kept fixed, as in
+    ``MPI_Dims_create``.
+    """
+    out = [0] * ndims if dims is None else list(dims)
+    if len(out) != ndims:
+        raise ValueError("dims length must equal ndims")
+    fixed = 1
+    free_idx = [i for i, d in enumerate(out) if d == 0]
+    for d in out:
+        if d:
+            fixed *= d
+    if fixed == 0:
+        raise ValueError("fixed dims must be positive")
+    if nnodes % fixed:
+        raise ValueError(f"{nnodes} nodes not divisible by fixed dims {out}")
+    remaining = nnodes // fixed
+    # Greedy: repeatedly give the largest prime factor to the smallest dim.
+    factors = _prime_factors(remaining)
+    sizes = {i: 1 for i in free_idx}
+    for f in sorted(factors, reverse=True):
+        smallest = min(free_idx, key=lambda i: sizes[i]) if free_idx else None
+        if smallest is None:
+            raise ValueError("no free dimension to place factors")
+        sizes[smallest] *= f
+    for i in free_idx:
+        out[i] = sizes[i]
+    return out
+
+
+def _prime_factors(n: int) -> List[int]:
+    factors = []
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            factors.append(d)
+            n //= d
+        d += 1
+    if n > 1:
+        factors.append(n)
+    return factors
+
+
+class CartComm(Intracomm):
+    """A communicator with an attached Cartesian grid structure."""
+
+    def __init__(self, parent: Intracomm, dims: Sequence[int],
+                 periods: Optional[Sequence[bool]] = None):
+        ndims = len(dims)
+        nnodes = 1
+        for d in dims:
+            nnodes *= d
+        if nnodes != parent.size:
+            raise ValueError(
+                f"grid {tuple(dims)} needs {nnodes} ranks, comm has "
+                f"{parent.size}")
+        periods = [False] * ndims if periods is None else list(periods)
+        if len(periods) != ndims:
+            raise ValueError("periods length must equal dims length")
+        child = parent.dup()
+        super().__init__(parent.context, child._world_ranks,
+                         ctx_id=child._ctx_id)
+        self.dims = list(dims)
+        self.periods = periods
+        self.ndims = ndims
+
+    # -- rank <-> coordinates ------------------------------------------
+    def coords_of(self, rank: int) -> Tuple[int, ...]:
+        """Cartesian coordinates of a rank (row-major, like MPI)."""
+        coords = []
+        rem = rank
+        for d in reversed(self.dims):
+            coords.append(rem % d)
+            rem //= d
+        return tuple(reversed(coords))
+
+    def rank_of(self, coords: Sequence[int]) -> int:
+        rank = 0
+        for c, d, periodic in zip(coords, self.dims, self.periods):
+            if periodic:
+                c %= d
+            elif not 0 <= c < d:
+                raise ValueError(f"coordinate {c} out of range 0..{d - 1}")
+            rank = rank * d + c
+        return rank
+
+    @property
+    def coords(self) -> Tuple[int, ...]:
+        return self.coords_of(self.rank)
+
+    def Get_coords(self, rank: int) -> List[int]:
+        return list(self.coords_of(rank))
+
+    def Shift(self, direction: int, disp: int = 1):
+        """Source/destination ranks for a shift along *direction*.
+
+        Returns ``(source, dest)``; either is ``None`` at a non-periodic
+        boundary (MPI_PROC_NULL).
+        """
+        coords = list(self.coords)
+        periodic = self.periods[direction]
+        extent = self.dims[direction]
+
+        def neighbor(offset: int) -> Optional[int]:
+            c = coords[direction] + offset
+            if periodic:
+                c %= extent
+            elif not 0 <= c < extent:
+                return None
+            nc = list(coords)
+            nc[direction] = c
+            return self.rank_of(nc)
+
+        return neighbor(-disp), neighbor(disp)
+
+    def neighbor_exchange(self, direction: int, send_up, send_down):
+        """Exchange halo payloads with both neighbors along *direction*.
+
+        ``send_up`` goes to the +1 neighbor, ``send_down`` to the -1
+        neighbor.  Returns ``(from_down, from_up)`` (``None`` at open
+        boundaries).  Tags encode direction so concurrent-axis exchanges
+        cannot cross-match.
+        """
+        src_down, dest_up = self.Shift(direction, 1)
+        tag_up = 2 * direction
+        tag_down = 2 * direction + 1
+        if dest_up is not None:
+            self.send(send_up, dest_up, tag=tag_up)
+        if src_down is not None:
+            self.send(send_down, src_down, tag=tag_down)
+        from_down = self.recv(src_down, tag=tag_up) if src_down is not None \
+            else None
+        from_up = self.recv(dest_up, tag=tag_down) if dest_up is not None \
+            else None
+        return from_down, from_up

@@ -1,0 +1,718 @@
+"""Communicators: point-to-point and collective operations.
+
+The interface follows mpi4py's conventions (see the tutorial the substrate
+guides reference): lowercase methods communicate arbitrary picklable Python
+objects; uppercase methods communicate NumPy buffers with near-zero
+interpretation overhead.  Collectives are implemented *on top of* the
+point-to-point layer with the classic algorithms (binomial trees, rings,
+pairwise exchange, dissemination barrier) so that message counters reflect
+genuine algorithmic traffic rather than magic shared-memory shortcuts.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
+
+from . import ops as _ops
+from .datatypes import decode_buffer_spec
+from .errors import RankError, TagError, TruncationError
+from .request import RecvRequest, SendRequest
+from .runtime import RankContext
+from .status import ANY_SOURCE, ANY_TAG, Status
+
+__all__ = ["Group", "Intracomm"]
+
+
+class Group:
+    """An ordered set of world ranks; the process-group abstraction."""
+
+    def __init__(self, world_ranks: Sequence[int]):
+        self._ranks = list(world_ranks)
+
+    @property
+    def size(self) -> int:
+        return len(self._ranks)
+
+    def rank_of(self, world_rank: int) -> int:
+        """Group rank of a world rank (-1 if absent)."""
+        try:
+            return self._ranks.index(world_rank)
+        except ValueError:
+            return -1
+
+    def Incl(self, ranks: Sequence[int]) -> "Group":
+        """Subgroup containing the given *group* ranks, in that order."""
+        return Group([self._ranks[r] for r in ranks])
+
+    def Excl(self, ranks: Sequence[int]) -> "Group":
+        excl = set(ranks)
+        return Group([wr for i, wr in enumerate(self._ranks) if i not in excl])
+
+    def world_ranks(self) -> List[int]:
+        return list(self._ranks)
+
+
+class Intracomm:
+    """A communicator over an ordered list of world ranks.
+
+    Each rank holds its own instance; instances on different ranks that
+    were created by the same (SPMD-ordered) sequence of calls share a
+    context id, which is what isolates their message traffic.
+    """
+
+    def __init__(self, ctx: RankContext, world_ranks: Sequence[int],
+                 ctx_id: Any = ("world",)):
+        self._ctx = ctx
+        self._world_ranks = list(world_ranks)
+        self._ctx_id = ctx_id
+        self._rank = self._world_ranks.index(ctx.rank)
+        self._size = len(self._world_ranks)
+        self._coll_seq = 0   # per-collective tag stream; SPMD-consistent
+        self._child_seq = 0  # id stream for derived communicators
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def Get_rank(self) -> int:
+        return self._rank
+
+    def Get_size(self) -> int:
+        return self._size
+
+    @property
+    def group(self) -> Group:
+        return Group(self._world_ranks)
+
+    @property
+    def context(self) -> RankContext:
+        return self._ctx
+
+    def world_rank(self, rank: int) -> int:
+        """Translate a comm rank to its world rank."""
+        return self._world_ranks[rank]
+
+    def counters(self):
+        """This rank's live traffic counters (world-wide, not per-comm)."""
+        return self._ctx.world.counters[self._ctx.rank]
+
+    def traffic_snapshot(self):
+        return self.counters().snapshot()
+
+    def __repr__(self):
+        return (f"Intracomm(rank={self._rank}/{self._size}, "
+                f"ctx={self._ctx_id!r})")
+
+    # ------------------------------------------------------------------
+    # argument checking helpers
+    # ------------------------------------------------------------------
+    def _check_rank(self, rank: int, allow_any: bool = False) -> None:
+        if allow_any and rank == ANY_SOURCE:
+            return
+        if not 0 <= rank < self._size:
+            raise RankError(f"rank {rank} out of range for size {self._size}")
+
+    @staticmethod
+    def _check_tag(tag: int, allow_any: bool = False) -> None:
+        if allow_any and tag == ANY_TAG:
+            return
+        if tag < 0:
+            raise TagError(f"tag must be >= 0, got {tag}")
+
+    def _p2p_ctx(self):
+        return (self._ctx_id, "p")
+
+    def _next_coll(self):
+        tag = self._coll_seq
+        self._coll_seq += 1
+        return (self._ctx_id, "c"), tag
+
+    # ------------------------------------------------------------------
+    # point-to-point: Python objects (pickle path)
+    # ------------------------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        self._check_rank(dest)
+        self._check_tag(tag)
+        self._ctx.send_object(self._world_ranks[dest], self._p2p_ctx(),
+                              tag, obj)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+             status: Optional[Status] = None) -> Any:
+        self._check_rank(source, allow_any=True)
+        self._check_tag(tag, allow_any=True)
+        src_world = (ANY_SOURCE if source == ANY_SOURCE
+                     else self._world_ranks[source])
+        msg = self._ctx.recv_message(self._p2p_ctx(), src_world, tag)
+        if status is not None:
+            status.source = self._world_ranks.index(msg.src)
+            status.tag = msg.tag
+            status.count_bytes = msg.nbytes
+        return pickle.loads(msg.payload)
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> SendRequest:
+        self.send(obj, dest, tag)
+        return SendRequest()
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> RecvRequest:
+        self._check_rank(source, allow_any=True)
+        self._check_tag(tag, allow_any=True)
+        src_world = (ANY_SOURCE if source == ANY_SOURCE
+                     else self._world_ranks[source])
+
+        def complete(status):
+            msg = self._ctx.recv_message(self._p2p_ctx(), src_world, tag)
+            if status is not None:
+                status.source = self._world_ranks.index(msg.src)
+                status.tag = msg.tag
+                status.count_bytes = msg.nbytes
+            return pickle.loads(msg.payload)
+
+        def poll(status):
+            msg = self._ctx.poll_message(self._p2p_ctx(), src_world, tag,
+                                         remove=True)
+            if msg is None:
+                return False, None
+            if status is not None:
+                status.source = self._world_ranks.index(msg.src)
+                status.tag = msg.tag
+                status.count_bytes = msg.nbytes
+            return True, pickle.loads(msg.payload)
+
+        return RecvRequest(complete, poll)
+
+    def sendrecv(self, sendobj: Any, dest: int, sendtag: int = 0,
+                 source: int = ANY_SOURCE, recvtag: int = ANY_TAG) -> Any:
+        # Eager buffered sends cannot deadlock, so send-then-recv is safe.
+        self.send(sendobj, dest, sendtag)
+        return self.recv(source, recvtag)
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+              status: Optional[Status] = None) -> Status:
+        """Block until a matching message is available (without receiving)."""
+        self._check_rank(source, allow_any=True)
+        self._check_tag(tag, allow_any=True)
+        src_world = (ANY_SOURCE if source == ANY_SOURCE
+                     else self._world_ranks[source])
+        mb = self._ctx.world.mailboxes[self._ctx.rank]
+        msg = mb.retrieve(self._p2p_ctx(), src_world, tag,
+                          self._ctx.world.timeout, remove=False)
+        st = status if status is not None else Status()
+        st.source = self._world_ranks.index(msg.src)
+        st.tag = msg.tag
+        st.count_bytes = msg.nbytes
+        return st
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+               status: Optional[Status] = None) -> bool:
+        self._check_rank(source, allow_any=True)
+        self._check_tag(tag, allow_any=True)
+        src_world = (ANY_SOURCE if source == ANY_SOURCE
+                     else self._world_ranks[source])
+        msg = self._ctx.poll_message(self._p2p_ctx(), src_world, tag,
+                                     remove=False)
+        if msg is None:
+            return False
+        if status is not None:
+            status.source = self._world_ranks.index(msg.src)
+            status.tag = msg.tag
+            status.count_bytes = msg.nbytes
+        return True
+
+    # ------------------------------------------------------------------
+    # point-to-point: NumPy buffers (fast path)
+    # ------------------------------------------------------------------
+    def Send(self, buf, dest: int, tag: int = 0) -> None:
+        self._check_rank(dest)
+        self._check_tag(tag)
+        flat, _count, _dt = decode_buffer_spec(buf)
+        self._ctx.send_buffer(self._world_ranks[dest], self._p2p_ctx(),
+                              tag, flat)
+
+    def Recv(self, buf, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+             status: Optional[Status] = None) -> None:
+        self._check_rank(source, allow_any=True)
+        self._check_tag(tag, allow_any=True)
+        flat, count, dt = decode_buffer_spec(buf)
+        src_world = (ANY_SOURCE if source == ANY_SOURCE
+                     else self._world_ranks[source])
+        msg = self._ctx.recv_message(self._p2p_ctx(), src_world, tag)
+        incoming = np.asarray(msg.payload)
+        if incoming.nbytes > flat.nbytes:
+            raise TruncationError(
+                f"message of {incoming.nbytes} bytes does not fit receive "
+                f"buffer of {flat.nbytes} bytes")
+        n = incoming.nbytes // dt.extent
+        flat[:n] = incoming.view(dt.np_dtype)[:n]
+        if status is not None:
+            status.source = self._world_ranks.index(msg.src)
+            status.tag = msg.tag
+            status.count_bytes = msg.nbytes
+
+    def Isend(self, buf, dest: int, tag: int = 0) -> SendRequest:
+        self.Send(buf, dest, tag)
+        return SendRequest()
+
+    def Irecv(self, buf, source: int = ANY_SOURCE,
+              tag: int = ANY_TAG) -> RecvRequest:
+        def complete(status):
+            self.Recv(buf, source, tag, status)
+            return None
+
+        def poll(status):
+            self._check_rank(source, allow_any=True)
+            src_world = (ANY_SOURCE if source == ANY_SOURCE
+                         else self._world_ranks[source])
+            if self._ctx.poll_message(self._p2p_ctx(), src_world, tag,
+                                      remove=False) is None:
+                return False, None
+            self.Recv(buf, source, tag, status)
+            return True, None
+
+        return RecvRequest(complete, poll)
+
+    def Sendrecv(self, sendbuf, dest: int, sendtag: int = 0,
+                 recvbuf=None, source: int = ANY_SOURCE,
+                 recvtag: int = ANY_TAG,
+                 status: Optional[Status] = None) -> None:
+        self.Send(sendbuf, dest, sendtag)
+        self.Recv(recvbuf, source, recvtag, status)
+
+    # ------------------------------------------------------------------
+    # collectives: object (pickle) path
+    # ------------------------------------------------------------------
+    def barrier(self) -> None:
+        """Dissemination barrier: ceil(log2 p) rounds of pairwise signals."""
+        ctx_id, tag = self._next_coll()
+        p = self._size
+        if p == 1:
+            return
+        rounds = max(1, math.ceil(math.log2(p)))
+        me = self._rank
+        for k in range(rounds):
+            dist = 1 << k
+            dest = (me + dist) % p
+            src = (me - dist) % p
+            self._ctx.send_object(self._world_ranks[dest], ctx_id,
+                                  tag * rounds + k, None)
+            self._ctx.recv_message(ctx_id, self._world_ranks[src],
+                                   tag * rounds + k)
+
+    Barrier = barrier
+
+    def bcast(self, obj: Any = None, root: int = 0) -> Any:
+        """Binomial-tree broadcast of a Python object."""
+        self._check_rank(root)
+        ctx_id, tag = self._next_coll()
+        p = self._size
+        if p == 1:
+            return obj
+        # Rotate ranks so the root is virtual rank 0.
+        vrank = (self._rank - root) % p
+        if vrank != 0:
+            src = (((vrank - 1) // 2) + root) % p  # parent in binary tree
+            msg = self._ctx.recv_message(ctx_id, self._world_ranks[src], tag)
+            obj = pickle.loads(msg.payload)
+        for child in (2 * vrank + 1, 2 * vrank + 2):
+            if child < p:
+                dest = (child + root) % p
+                self._ctx.send_object(self._world_ranks[dest], ctx_id,
+                                      tag, obj)
+        return obj
+
+    def scatter(self, sendobj: Optional[Sequence] = None,
+                root: int = 0) -> Any:
+        self._check_rank(root)
+        ctx_id, tag = self._next_coll()
+        if self._rank == root:
+            if sendobj is None or len(sendobj) != self._size:
+                raise ValueError("root must supply a sequence of comm.size "
+                                 "elements to scatter")
+            mine = sendobj[root]
+            for r in range(self._size):
+                if r != root:
+                    self._ctx.send_object(self._world_ranks[r], ctx_id,
+                                          tag, sendobj[r])
+            return mine
+        msg = self._ctx.recv_message(ctx_id, self._world_ranks[root], tag)
+        return pickle.loads(msg.payload)
+
+    def gather(self, sendobj: Any, root: int = 0) -> Optional[List[Any]]:
+        self._check_rank(root)
+        ctx_id, tag = self._next_coll()
+        if self._rank == root:
+            out: List[Any] = [None] * self._size
+            out[root] = sendobj
+            for r in range(self._size):
+                if r != root:
+                    msg = self._ctx.recv_message(
+                        ctx_id, self._world_ranks[r], tag)
+                    out[r] = pickle.loads(msg.payload)
+            return out
+        self._ctx.send_object(self._world_ranks[root], ctx_id, tag, sendobj)
+        return None
+
+    def allgather(self, sendobj: Any) -> List[Any]:
+        """Ring allgather: p-1 steps, each forwarding one block."""
+        ctx_id, tag = self._next_coll()
+        p = self._size
+        out: List[Any] = [None] * p
+        out[self._rank] = sendobj
+        if p == 1:
+            return out
+        right = self._world_ranks[(self._rank + 1) % p]
+        left_rank = (self._rank - 1) % p
+        left = self._world_ranks[left_rank]
+        cur = sendobj
+        cur_idx = self._rank
+        for _step in range(p - 1):
+            self._ctx.send_object(right, ctx_id, tag, (cur_idx, cur))
+            msg = self._ctx.recv_message(ctx_id, left, tag)
+            cur_idx, cur = pickle.loads(msg.payload)
+            out[cur_idx] = cur
+        return out
+
+    def alltoall(self, sendobjs: Sequence[Any]) -> List[Any]:
+        """Pairwise-exchange alltoall."""
+        if len(sendobjs) != self._size:
+            raise ValueError("alltoall needs comm.size send objects")
+        ctx_id, tag = self._next_coll()
+        p = self._size
+        out: List[Any] = [None] * p
+        out[self._rank] = sendobjs[self._rank]
+        for offset in range(1, p):
+            dest = (self._rank + offset) % p
+            src = (self._rank - offset) % p
+            self._ctx.send_object(self._world_ranks[dest], ctx_id, tag,
+                                  sendobjs[dest])
+            msg = self._ctx.recv_message(ctx_id, self._world_ranks[src], tag)
+            out[src] = pickle.loads(msg.payload)
+        return out
+
+    def reduce(self, sendobj: Any, op: _ops.Op = _ops.SUM,
+               root: int = 0) -> Any:
+        """Binomial-tree reduction (rank-ordered fold if non-commutative)."""
+        self._check_rank(root)
+        if not op.commutative:
+            parts = self.gather(sendobj, root=root)
+            if self._rank != root:
+                return None
+            acc = parts[0]
+            for part in parts[1:]:
+                acc = op(acc, part)
+            return acc
+        ctx_id, tag = self._next_coll()
+        p = self._size
+        vrank = (self._rank - root) % p
+        acc = sendobj
+        mask = 1
+        while mask < p:
+            if vrank & mask:
+                dest = ((vrank & ~mask) + root) % p
+                self._ctx.send_object(self._world_ranks[dest], ctx_id,
+                                      tag, acc)
+                return None
+            partner = vrank | mask
+            if partner < p:
+                src = (partner + root) % p
+                msg = self._ctx.recv_message(ctx_id, self._world_ranks[src],
+                                             tag)
+                acc = op(acc, pickle.loads(msg.payload))
+            mask <<= 1
+        return acc if self._rank == root else None
+
+    def allreduce(self, sendobj: Any, op: _ops.Op = _ops.SUM) -> Any:
+        result = self.reduce(sendobj, op=op, root=0)
+        return self.bcast(result, root=0)
+
+    def scan(self, sendobj: Any, op: _ops.Op = _ops.SUM) -> Any:
+        """Inclusive prefix reduction along rank order (linear chain)."""
+        ctx_id, tag = self._next_coll()
+        acc = sendobj
+        if self._rank > 0:
+            msg = self._ctx.recv_message(
+                ctx_id, self._world_ranks[self._rank - 1], tag)
+            acc = op(pickle.loads(msg.payload), sendobj)
+        if self._rank + 1 < self._size:
+            self._ctx.send_object(self._world_ranks[self._rank + 1],
+                                  ctx_id, tag, acc)
+        return acc
+
+    def exscan(self, sendobj: Any, op: _ops.Op = _ops.SUM) -> Any:
+        """Exclusive prefix reduction; rank 0 receives ``None``."""
+        ctx_id, tag = self._next_coll()
+        prefix = None
+        if self._rank > 0:
+            msg = self._ctx.recv_message(
+                ctx_id, self._world_ranks[self._rank - 1], tag)
+            prefix = pickle.loads(msg.payload)
+        if self._rank + 1 < self._size:
+            acc = sendobj if prefix is None else op(prefix, sendobj)
+            self._ctx.send_object(self._world_ranks[self._rank + 1],
+                                  ctx_id, tag, acc)
+        return prefix
+
+    # ------------------------------------------------------------------
+    # collectives: buffer path
+    # ------------------------------------------------------------------
+    def Bcast(self, buf, root: int = 0) -> None:
+        self._check_rank(root)
+        ctx_id, tag = self._next_coll()
+        p = self._size
+        if p == 1:
+            return
+        flat, count, dt = decode_buffer_spec(buf)
+        vrank = (self._rank - root) % p
+        if vrank != 0:
+            src = (((vrank - 1) // 2) + root) % p
+            msg = self._ctx.recv_message(ctx_id, self._world_ranks[src], tag)
+            incoming = np.asarray(msg.payload).view(dt.np_dtype)
+            flat[:count] = incoming[:count]
+        for child in (2 * vrank + 1, 2 * vrank + 2):
+            if child < p:
+                dest = (child + root) % p
+                self._ctx.send_buffer(self._world_ranks[dest], ctx_id, tag,
+                                      flat[:count])
+
+    def Scatter(self, sendbuf, recvbuf, root: int = 0) -> None:
+        """Scatter equal contiguous blocks of *sendbuf* from the root."""
+        self._check_rank(root)
+        rflat, rcount, rdt = decode_buffer_spec(recvbuf)
+        counts = [rcount] * self._size
+        displs = [rcount * r for r in range(self._size)]
+        self.Scatterv(sendbuf, counts, displs, recvbuf, root=root)
+
+    def Scatterv(self, sendbuf, counts, displs, recvbuf,
+                 root: int = 0) -> None:
+        self._check_rank(root)
+        ctx_id, tag = self._next_coll()
+        rflat, rcount, rdt = decode_buffer_spec(recvbuf)
+        if self._rank == root:
+            sflat, _scount, sdt = decode_buffer_spec(sendbuf)
+            for r in range(self._size):
+                block = sflat[displs[r]:displs[r] + counts[r]]
+                if r == root:
+                    rflat[:counts[r]] = block
+                else:
+                    self._ctx.send_buffer(self._world_ranks[r], ctx_id,
+                                          tag, block)
+        else:
+            msg = self._ctx.recv_message(ctx_id, self._world_ranks[root], tag)
+            incoming = np.asarray(msg.payload).view(rdt.np_dtype)
+            if incoming.size > rcount:
+                raise TruncationError("Scatterv recv buffer too small")
+            rflat[:incoming.size] = incoming
+
+    def Gather(self, sendbuf, recvbuf, root: int = 0) -> None:
+        sflat, scount, _sdt = decode_buffer_spec(sendbuf)
+        counts = [scount] * self._size
+        displs = [scount * r for r in range(self._size)]
+        self.Gatherv(sendbuf, recvbuf, counts, displs, root=root)
+
+    def Gatherv(self, sendbuf, recvbuf, counts, displs,
+                root: int = 0) -> None:
+        self._check_rank(root)
+        ctx_id, tag = self._next_coll()
+        sflat, scount, sdt = decode_buffer_spec(sendbuf)
+        if self._rank == root:
+            rflat, _rcount, rdt = decode_buffer_spec(recvbuf)
+            rflat[displs[root]:displs[root] + scount] = sflat[:scount]
+            for r in range(self._size):
+                if r == root:
+                    continue
+                msg = self._ctx.recv_message(ctx_id, self._world_ranks[r],
+                                             tag)
+                incoming = np.asarray(msg.payload).view(rdt.np_dtype)
+                if incoming.size > counts[r]:
+                    raise TruncationError("Gatherv recv slot too small")
+                rflat[displs[r]:displs[r] + incoming.size] = incoming
+        else:
+            self._ctx.send_buffer(self._world_ranks[root], ctx_id, tag,
+                                  sflat[:scount])
+
+    def Allgather(self, sendbuf, recvbuf) -> None:
+        sflat, scount, _dt = decode_buffer_spec(sendbuf)
+        counts = [scount] * self._size
+        displs = [scount * r for r in range(self._size)]
+        self.Allgatherv(sendbuf, recvbuf, counts, displs)
+
+    def Allgatherv(self, sendbuf, recvbuf, counts, displs) -> None:
+        """Ring allgather over buffers."""
+        ctx_id, tag = self._next_coll()
+        p = self._size
+        sflat, scount, sdt = decode_buffer_spec(sendbuf)
+        rflat, _rcount, rdt = decode_buffer_spec(recvbuf)
+        me = self._rank
+        rflat[displs[me]:displs[me] + scount] = sflat[:scount].view(rdt.np_dtype)
+        if p == 1:
+            return
+        right = self._world_ranks[(me + 1) % p]
+        left = self._world_ranks[(me - 1) % p]
+        cur_idx = me
+        for _step in range(p - 1):
+            block = rflat[displs[cur_idx]:displs[cur_idx] + counts[cur_idx]]
+            # prepend the block index as a tiny header via object send would
+            # lose the buffer path; instead derive the index from ring math.
+            self._ctx.send_buffer(right, ctx_id, tag, block)
+            msg = self._ctx.recv_message(ctx_id, left, tag)
+            cur_idx = (cur_idx - 1) % p
+            incoming = np.asarray(msg.payload).view(rdt.np_dtype)
+            rflat[displs[cur_idx]:displs[cur_idx] + incoming.size] = incoming
+
+    def Alltoall(self, sendbuf, recvbuf) -> None:
+        ctx_id, tag = self._next_coll()
+        p = self._size
+        sflat, scount, sdt = decode_buffer_spec(sendbuf)
+        rflat, rcount, rdt = decode_buffer_spec(recvbuf)
+        if scount % p or rcount % p:
+            raise ValueError("Alltoall buffers must divide evenly by size")
+        sblk = scount // p
+        rblk = rcount // p
+        rflat[self._rank * rblk:(self._rank + 1) * rblk] = \
+            sflat[self._rank * sblk:(self._rank + 1) * sblk].view(rdt.np_dtype)
+        for offset in range(1, p):
+            dest = (self._rank + offset) % p
+            src = (self._rank - offset) % p
+            self._ctx.send_buffer(self._world_ranks[dest], ctx_id, tag,
+                                  sflat[dest * sblk:(dest + 1) * sblk])
+            msg = self._ctx.recv_message(ctx_id, self._world_ranks[src], tag)
+            incoming = np.asarray(msg.payload).view(rdt.np_dtype)
+            rflat[src * rblk:src * rblk + incoming.size] = incoming
+
+    def Reduce(self, sendbuf, recvbuf, op: _ops.Op = _ops.SUM,
+               root: int = 0) -> None:
+        self._check_rank(root)
+        ctx_id, tag = self._next_coll()
+        p = self._size
+        sflat, scount, sdt = decode_buffer_spec(sendbuf)
+        acc = sflat[:scount].astype(sdt.np_dtype, copy=True)
+        vrank = (self._rank - root) % p
+        mask = 1
+        done_root = True
+        while mask < p:
+            if vrank & mask:
+                dest = ((vrank & ~mask) + root) % p
+                self._ctx.send_buffer(self._world_ranks[dest], ctx_id,
+                                      tag, acc)
+                done_root = False
+                break
+            partner = vrank | mask
+            if partner < p:
+                src = (partner + root) % p
+                msg = self._ctx.recv_message(ctx_id, self._world_ranks[src],
+                                             tag)
+                incoming = np.asarray(msg.payload).view(sdt.np_dtype)
+                acc = op.np_func(acc, incoming)
+            mask <<= 1
+        if done_root and self._rank == root and recvbuf is not None:
+            rflat, _rc, rdt = decode_buffer_spec(recvbuf)
+            rflat[:acc.size] = acc.view(rdt.np_dtype)
+
+    def Allreduce(self, sendbuf, recvbuf, op: _ops.Op = _ops.SUM) -> None:
+        self.Reduce(sendbuf, recvbuf, op=op, root=0)
+        self.Bcast(recvbuf, root=0)
+
+    def reduce_scatter(self, sendobjs: Sequence[Any],
+                       op: _ops.Op = _ops.SUM) -> Any:
+        """Reduce comm.size contributions elementwise, scatter the results:
+        rank r receives the reduction of everyone's sendobjs[r]."""
+        if len(sendobjs) != self._size:
+            raise ValueError("reduce_scatter needs comm.size send objects")
+        shuffled = self.alltoall(list(sendobjs))
+        acc = shuffled[0]
+        for part in shuffled[1:]:
+            acc = op(acc, part)
+        return acc
+
+    def Scan(self, sendbuf, recvbuf, op: _ops.Op = _ops.SUM) -> None:
+        """Inclusive prefix reduction over buffers (linear chain)."""
+        ctx_id, tag = self._next_coll()
+        sflat, scount, sdt = decode_buffer_spec(sendbuf)
+        acc = sflat[:scount].astype(sdt.np_dtype, copy=True)
+        if self._rank > 0:
+            msg = self._ctx.recv_message(
+                ctx_id, self._world_ranks[self._rank - 1], tag)
+            incoming = np.asarray(msg.payload).view(sdt.np_dtype)
+            acc = op.np_func(incoming, acc)
+        if self._rank + 1 < self._size:
+            self._ctx.send_buffer(self._world_ranks[self._rank + 1],
+                                  ctx_id, tag, acc)
+        rflat, _rc, rdt = decode_buffer_spec(recvbuf)
+        rflat[:acc.size] = acc.view(rdt.np_dtype)
+
+    def Exscan(self, sendbuf, recvbuf, op: _ops.Op = _ops.SUM) -> None:
+        """Exclusive prefix reduction over buffers; rank 0's recvbuf is
+        left untouched (MPI leaves it undefined)."""
+        ctx_id, tag = self._next_coll()
+        sflat, scount, sdt = decode_buffer_spec(sendbuf)
+        prefix = None
+        if self._rank > 0:
+            msg = self._ctx.recv_message(
+                ctx_id, self._world_ranks[self._rank - 1], tag)
+            prefix = np.asarray(msg.payload).view(sdt.np_dtype).copy()
+        if self._rank + 1 < self._size:
+            acc = sflat[:scount].astype(sdt.np_dtype, copy=True) \
+                if prefix is None else op.np_func(prefix, sflat[:scount])
+            self._ctx.send_buffer(self._world_ranks[self._rank + 1],
+                                  ctx_id, tag, np.asarray(acc))
+        if prefix is not None:
+            rflat, _rc, rdt = decode_buffer_spec(recvbuf)
+            rflat[:prefix.size] = prefix.view(rdt.np_dtype)
+
+    # ------------------------------------------------------------------
+    # communicator construction
+    # ------------------------------------------------------------------
+    def dup(self) -> "Intracomm":
+        """Duplicate: same group, isolated context."""
+        seq = self._child_seq
+        self._child_seq += 1
+        return Intracomm(self._ctx, self._world_ranks,
+                         ctx_id=(self._ctx_id, "dup", seq))
+
+    Dup = dup
+
+    def split(self, color: int, key: int = 0) -> Optional["Intracomm"]:
+        """Partition the communicator by *color*, ordering ranks by *key*.
+
+        Returns ``None`` on ranks passing a negative color (MPI_UNDEFINED).
+        """
+        seq = self._child_seq
+        self._child_seq += 1
+        triples = self.allgather((color, key, self._rank))
+        if color < 0:
+            return None
+        members = sorted(
+            (k, r) for (c, k, r) in triples if c == color)
+        ranks = [self._world_ranks[r] for (_k, r) in members]
+        return Intracomm(self._ctx, ranks,
+                         ctx_id=(self._ctx_id, "split", seq, color))
+
+    Split = split
+
+    def Create(self, group: Group) -> Optional["Intracomm"]:
+        """Communicator over a subgroup (collective over the parent)."""
+        seq = self._child_seq
+        self._child_seq += 1
+        self.barrier()
+        if group.rank_of(self._ctx.rank) < 0:
+            return None
+        return Intracomm(self._ctx, group.world_ranks(),
+                         ctx_id=(self._ctx_id, "create", seq))
+
+    def Free(self) -> None:
+        """No-op: contexts are garbage collected."""
+
+    def Abort(self, errorcode: int = 1) -> None:
+        self._ctx.world.abort(self._ctx.rank,
+                              RuntimeError(f"MPI_Abort({errorcode})"))
+        self._ctx.world.check_abort()

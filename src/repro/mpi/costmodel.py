@@ -1,0 +1,50 @@
+"""Alpha-beta communication cost model.
+
+The thread runtime exchanges messages at shared-memory speed, so raw wall
+time says nothing about cluster behaviour.  Scaling benchmarks therefore
+combine *measured message counts and volumes* (from
+:class:`~repro.mpi.counters.CommCounters`) with a latency/bandwidth model:
+
+    T_comm = alpha * n_messages + n_bytes / beta
+
+Defaults approximate a commodity cluster interconnect of the paper's era
+(~2 microsecond latency, ~2.5 GB/s effective bandwidth).  The absolute
+numbers are configurable; the *shape* of scaling curves (who wins, where
+crossovers fall) is what the reproduction relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostModel", "COMMODITY_CLUSTER", "FAST_INTERCONNECT",
+           "ETHERNET"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Latency/bandwidth (alpha-beta) model of an interconnect."""
+
+    name: str
+    alpha: float        # per-message latency, seconds
+    beta: float         # bandwidth, bytes/second
+    flop_rate: float = 2.0e9   # per-core useful FLOP/s for compute terms
+
+    def comm_time(self, n_messages: int, n_bytes: int) -> float:
+        """Projected communication time for a traffic total."""
+        return self.alpha * n_messages + n_bytes / self.beta
+
+    def compute_time(self, n_flops: float) -> float:
+        return n_flops / self.flop_rate
+
+    def total_time(self, n_messages: int, n_bytes: int,
+                   n_flops: float) -> float:
+        return self.comm_time(n_messages, n_bytes) + \
+            self.compute_time(n_flops)
+
+
+COMMODITY_CLUSTER = CostModel("commodity-cluster", alpha=2.0e-6,
+                              beta=2.5e9)
+FAST_INTERCONNECT = CostModel("fast-interconnect", alpha=0.5e-6,
+                              beta=12.0e9)
+ETHERNET = CostModel("gigabit-ethernet", alpha=50.0e-6, beta=0.125e9)

@@ -1,0 +1,79 @@
+"""Per-rank communication instrumentation.
+
+Every message that passes through the runtime is counted here, so
+higher layers (ODIN's communication-strategy chooser, the Fig.-1 control
+plane experiment, the alpha-beta scaling model) work from *measured*
+traffic rather than estimates.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+
+__all__ = ["CommCounters", "CounterSnapshot"]
+
+
+class CounterSnapshot:
+    """Immutable copy of one rank's counters at a point in time."""
+
+    __slots__ = ("sends", "recvs", "bytes_sent", "bytes_recvd", "by_peer")
+
+    def __init__(self, sends, recvs, bytes_sent, bytes_recvd, by_peer):
+        self.sends = sends
+        self.recvs = recvs
+        self.bytes_sent = bytes_sent
+        self.bytes_recvd = bytes_recvd
+        self.by_peer = dict(by_peer)
+
+    def __sub__(self, other):
+        """Traffic delta between two snapshots (self - other)."""
+        by_peer = defaultdict(int, self.by_peer)
+        for peer, nbytes in other.by_peer.items():
+            by_peer[peer] -= nbytes
+        return CounterSnapshot(
+            self.sends - other.sends,
+            self.recvs - other.recvs,
+            self.bytes_sent - other.bytes_sent,
+            self.bytes_recvd - other.bytes_recvd,
+            {p: b for p, b in by_peer.items() if b},
+        )
+
+    def __repr__(self):
+        return (f"CounterSnapshot(sends={self.sends}, recvs={self.recvs}, "
+                f"bytes_sent={self.bytes_sent}, bytes_recvd={self.bytes_recvd})")
+
+
+class CommCounters:
+    """Mutable per-rank traffic counters. Thread-safe."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.sends = 0
+        self.recvs = 0
+        self.bytes_sent = 0
+        self.bytes_recvd = 0
+        # dest rank (world numbering) -> bytes sent to that peer
+        self.by_peer = defaultdict(int)
+
+    def record_send(self, dest_world_rank: int, nbytes: int) -> None:
+        with self._lock:
+            self.sends += 1
+            self.bytes_sent += nbytes
+            self.by_peer[dest_world_rank] += nbytes
+
+    def record_recv(self, nbytes: int) -> None:
+        with self._lock:
+            self.recvs += 1
+            self.bytes_recvd += nbytes
+
+    def snapshot(self) -> CounterSnapshot:
+        with self._lock:
+            return CounterSnapshot(self.sends, self.recvs, self.bytes_sent,
+                                   self.bytes_recvd, self.by_peer)
+
+    def reset(self) -> None:
+        with self._lock:
+            self.sends = self.recvs = 0
+            self.bytes_sent = self.bytes_recvd = 0
+            self.by_peer.clear()

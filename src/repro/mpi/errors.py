@@ -1,0 +1,40 @@
+"""Exception hierarchy for the message-passing substrate."""
+
+
+class MPIError(Exception):
+    """Base class for all errors raised by :mod:`repro.mpi`."""
+
+
+class DeadlockError(MPIError):
+    """A blocking operation waited longer than the runtime's deadlock timeout.
+
+    Raised instead of hanging forever, so mismatched send/recv pairs and
+    mismatched collectives surface as test failures rather than frozen runs.
+    """
+
+
+class TruncationError(MPIError):
+    """A received message is larger than the posted receive buffer."""
+
+
+class RankError(MPIError):
+    """A rank argument is out of range for the communicator."""
+
+
+class TagError(MPIError):
+    """A tag argument is negative or exceeds the supported upper bound."""
+
+
+class CommError(MPIError):
+    """A communicator is invalid (e.g. the null communicator, or used
+    outside the SPMD region that created it)."""
+
+
+class AbortError(MPIError):
+    """Raised in every rank when one rank calls :func:`abort` or dies with
+    an unhandled exception, mirroring ``MPI_Abort`` semantics."""
+
+    def __init__(self, origin_rank, cause):
+        super().__init__(f"rank {origin_rank} aborted: {cause!r}")
+        self.origin_rank = origin_rank
+        self.cause = cause

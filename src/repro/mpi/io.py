@@ -1,0 +1,157 @@
+"""MPI-IO style collective file access (``MPI_File``).
+
+The paper's section III-H: "ODIN, being compatible with MPI, can make use
+of MPI's distributed IO routines."  This module provides the rank-offset
+file interface those routines define -- collective open/close, explicit
+offset reads/writes (``Read_at``/``Write_at``), shared-pointer ordered
+writes (``Write_ordered``), and a simple strided file view -- implemented
+on an ordinary file with per-world locking, which on a shared filesystem
+is semantically what independent MPI-IO gives.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Optional
+
+import numpy as np
+
+from .comm import Intracomm
+from .errors import MPIError
+
+__all__ = ["File", "MODE_RDONLY", "MODE_WRONLY", "MODE_RDWR",
+           "MODE_CREATE", "MODE_APPEND"]
+
+MODE_RDONLY = 1
+MODE_WRONLY = 2
+MODE_RDWR = 4
+MODE_CREATE = 8
+MODE_APPEND = 16
+
+# one lock per path: ranks are threads sharing the OS file table
+_path_locks: dict = {}
+_path_locks_guard = threading.Lock()
+
+
+def _lock_for(path: str) -> threading.Lock:
+    with _path_locks_guard:
+        return _path_locks.setdefault(os.path.abspath(path),
+                                      threading.Lock())
+
+
+class File:
+    """A collectively opened file with explicit-offset access."""
+
+    def __init__(self, comm: Intracomm, path: str, amode: int):
+        self.comm = comm
+        self.path = path
+        self.amode = amode
+        self._view_disp = 0
+        self._view_dtype = np.dtype(np.uint8)
+        # rank 0 creates/truncates; everyone then opens
+        if comm.rank == 0:
+            if amode & MODE_CREATE and not os.path.exists(path):
+                open(path, "wb").close()
+            if not os.path.exists(path):
+                comm.bcast(("err", FileNotFoundError(path)), root=0)
+                raise FileNotFoundError(path)
+            comm.bcast(("ok", None), root=0)
+        else:
+            tag, exc = comm.bcast(None, root=0)
+            if tag == "err":
+                raise exc
+        flags = "r+b" if amode & (MODE_WRONLY | MODE_RDWR) else "rb"
+        self._fh = open(path, flags)
+        self._lock = _lock_for(path)
+        self._closed = False
+
+    @classmethod
+    def Open(cls, comm: Intracomm, path: str, amode: int) -> "File":
+        """mpi4py spelling: ``MPI.File.Open(comm, path, amode)``."""
+        return cls(comm, path, amode)
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def Set_view(self, disp: int = 0, dtype=np.uint8) -> None:
+        """Set the file view: a displacement plus an element type, so
+        offsets below are in *elements* of *dtype* past *disp* bytes."""
+        self._view_disp = int(disp)
+        self._view_dtype = np.dtype(dtype)
+
+    def _byte_offset(self, offset: int) -> int:
+        return self._view_disp + int(offset) * self._view_dtype.itemsize
+
+    # ------------------------------------------------------------------
+    # explicit-offset access
+    # ------------------------------------------------------------------
+    def Write_at(self, offset: int, buf) -> None:
+        """Write *buf* (ndarray) at element *offset* of the view."""
+        self._check_open()
+        data = np.ascontiguousarray(buf)
+        with self._lock:
+            self._fh.seek(self._byte_offset(offset))
+            self._fh.write(data.tobytes())
+            self._fh.flush()
+
+    def Read_at(self, offset: int, buf) -> None:
+        """Read into *buf* (ndarray) from element *offset* of the view."""
+        self._check_open()
+        out = np.asarray(buf)
+        with self._lock:
+            self._fh.seek(self._byte_offset(offset))
+            raw = self._fh.read(out.nbytes)
+        if len(raw) < out.nbytes:
+            raise MPIError(f"short read: wanted {out.nbytes} bytes, got "
+                           f"{len(raw)}")
+        flat = out.reshape(-1)
+        flat[...] = np.frombuffer(raw, dtype=out.dtype)
+
+    def Write_at_all(self, offset: int, buf) -> None:
+        """Collective Write_at (completion barrier at the end)."""
+        self.Write_at(offset, buf)
+        self.comm.barrier()
+
+    def Read_at_all(self, offset: int, buf) -> None:
+        self.comm.barrier()   # writers before this view must be done
+        self.Read_at(offset, buf)
+
+    # ------------------------------------------------------------------
+    # ordered (shared-pointer) access
+    # ------------------------------------------------------------------
+    def Write_ordered(self, buf) -> None:
+        """Collective: rank r's block lands after ranks 0..r-1's blocks.
+
+        Equivalent to MPI's shared-file-pointer ordered write: offsets are
+        computed with an exscan of the contribution sizes.
+        """
+        data = np.ascontiguousarray(buf)
+        counts = self.comm.allgather(data.nbytes)
+        my_off = sum(counts[:self.comm.rank])
+        self._check_open()
+        with self._lock:
+            self._fh.seek(self._view_disp + my_off)
+            self._fh.write(data.tobytes())
+            self._fh.flush()
+        self.comm.barrier()
+
+    def Get_size(self) -> int:
+        self._check_open()
+        return os.path.getsize(self.path)
+
+    def Close(self) -> None:
+        if not self._closed:
+            self.comm.barrier()
+            self._fh.close()
+            self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise MPIError("file is closed")
+
+    def __enter__(self) -> "File":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.Close()

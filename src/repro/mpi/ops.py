@@ -1,0 +1,73 @@
+"""Reduction operations for reduce/allreduce/scan collectives.
+
+Each :class:`Op` carries both an elementwise NumPy implementation (used for
+the buffer path) and a Python-object implementation (used for the pickle
+path), plus commutativity information that reduction tree algorithms need.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Op", "SUM", "PROD", "MAX", "MIN", "LAND", "LOR", "BAND", "BOR",
+           "BXOR", "MAXLOC", "MINLOC", "create_op"]
+
+
+class Op:
+    """A reduction operation usable with reduce/allreduce/scan."""
+
+    __slots__ = ("name", "np_func", "py_func", "commutative")
+
+    def __init__(self, name, np_func, py_func=None, commutative=True):
+        self.name = name
+        self.np_func = np_func
+        self.py_func = py_func if py_func is not None else np_func
+        self.commutative = commutative
+
+    def __call__(self, a, b):
+        """Combine two contributions (NumPy arrays or Python objects)."""
+        if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+            return self.np_func(a, b)
+        return self.py_func(a, b)
+
+    def __repr__(self):
+        return f"Op({self.name})"
+
+
+def _maxloc(a, b):
+    """Pairwise (value, index) max: ties resolved to the lower index."""
+    av, ai = a
+    bv, bi = b
+    if bv > av or (bv == av and bi < ai):
+        return (bv, bi)
+    return (av, ai)
+
+
+def _minloc(a, b):
+    av, ai = a
+    bv, bi = b
+    if bv < av or (bv == av and bi < ai):
+        return (bv, bi)
+    return (av, ai)
+
+
+SUM = Op("MPI_SUM", np.add)
+PROD = Op("MPI_PROD", np.multiply)
+MAX = Op("MPI_MAX", np.maximum, py_func=max)
+MIN = Op("MPI_MIN", np.minimum, py_func=min)
+LAND = Op("MPI_LAND", np.logical_and, py_func=lambda a, b: bool(a) and bool(b))
+LOR = Op("MPI_LOR", np.logical_or, py_func=lambda a, b: bool(a) or bool(b))
+BAND = Op("MPI_BAND", np.bitwise_and, py_func=lambda a, b: a & b)
+BOR = Op("MPI_BOR", np.bitwise_or, py_func=lambda a, b: a | b)
+BXOR = Op("MPI_BXOR", np.bitwise_xor, py_func=lambda a, b: a ^ b)
+MAXLOC = Op("MPI_MAXLOC", _maxloc, py_func=_maxloc)
+MINLOC = Op("MPI_MINLOC", _minloc, py_func=_minloc)
+
+
+def create_op(func, commute=True, name="MPI_USER_OP"):
+    """Create a user-defined reduction op from a binary callable.
+
+    Mirrors ``MPI.Op.Create``.  Non-commutative ops are applied strictly in
+    rank order by the collective algorithms.
+    """
+    return Op(name, func, py_func=func, commutative=commute)

@@ -1,0 +1,86 @@
+"""Nonblocking-communication request handles.
+
+Sends in this runtime are eager and buffered, so a send request is complete
+at creation.  Receive requests defer the mailbox retrieval to
+:meth:`Request.wait` / :meth:`Request.test`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, List, Optional
+
+from .status import Status
+
+__all__ = ["Request", "SendRequest", "RecvRequest", "waitall", "testall"]
+
+
+class Request:
+    """Abstract nonblocking operation handle."""
+
+    def wait(self, status: Optional[Status] = None) -> Any:
+        raise NotImplementedError
+
+    def test(self, status: Optional[Status] = None):
+        """Return ``(flag, value)``: flag is True when complete."""
+        raise NotImplementedError
+
+    # mpi4py spelling
+    Wait = wait
+    Test = test
+
+
+class SendRequest(Request):
+    """A completed (eager) send."""
+
+    __slots__ = ()
+
+    def wait(self, status: Optional[Status] = None) -> None:
+        return None
+
+    def test(self, status: Optional[Status] = None):
+        return True, None
+
+    Wait = wait
+    Test = test
+
+
+class RecvRequest(Request):
+    """A pending receive; completion happens on wait/test."""
+
+    def __init__(self, complete_fn, poll_fn):
+        self._complete_fn = complete_fn
+        self._poll_fn = poll_fn
+        self._done = False
+        self._value: Any = None
+
+    def wait(self, status: Optional[Status] = None) -> Any:
+        if not self._done:
+            self._value = self._complete_fn(status)
+            self._done = True
+        return self._value
+
+    def test(self, status: Optional[Status] = None):
+        if self._done:
+            return True, self._value
+        ok, value = self._poll_fn(status)
+        if ok:
+            self._done = True
+            self._value = value
+        return ok, self._value if ok else None
+
+    Wait = wait
+    Test = test
+
+
+def waitall(requests: List[Request]) -> List[Any]:
+    """Complete every request; returns their values in order."""
+    return [req.wait() for req in requests]
+
+
+def testall(requests: List[Request]):
+    """Nonblocking completion check for a set of requests."""
+    flags = [req.test()[0] for req in requests]
+    if all(flags):
+        return True, [req.wait() for req in requests]
+    return False, None

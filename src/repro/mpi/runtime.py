@@ -1,0 +1,282 @@
+"""SPMD thread runtime: the machine under the MPI-like interface.
+
+The paper's substrate is real MPI on a cluster.  Offline we execute the same
+single-program-multiple-data model with one OS thread per rank.  Each rank
+owns a mailbox; sends are eager and buffered (payloads are copied/pickled at
+send time), so the memory-isolation semantics of distributed ranks are
+preserved even though the ranks share an address space.  Blocking operations
+time out with :class:`~repro.mpi.errors.DeadlockError` instead of hanging,
+and an unhandled exception in any rank aborts the whole world, mirroring
+``MPI_Abort``.
+
+Two execution styles are offered:
+
+- :func:`run_spmd` -- run one function on every rank of a fresh world and
+  return the per-rank results (this is ``mpiexec -n N python script.py``).
+- :class:`World` with a bound driver -- used by ODIN's process/worker model
+  (Fig. 1 of the paper), where the calling thread acts as one rank and the
+  worker ranks run a service loop.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+import time
+from typing import Any, Callable, List, Optional, Sequence
+
+import numpy as np
+
+from .counters import CommCounters
+from .errors import AbortError, DeadlockError, MPIError
+from .status import ANY_SOURCE, ANY_TAG, Status
+
+__all__ = ["World", "RankContext", "Message", "run_spmd", "current_context",
+           "default_timeout", "set_default_timeout"]
+
+_DEFAULT_TIMEOUT = float(os.environ.get("REPRO_MPI_TIMEOUT", "120"))
+
+_tls = threading.local()
+
+
+def default_timeout() -> float:
+    """Current deadlock-detection timeout in seconds."""
+    return _DEFAULT_TIMEOUT
+
+
+def set_default_timeout(seconds: float) -> None:
+    """Set the deadlock-detection timeout for subsequently created worlds."""
+    global _DEFAULT_TIMEOUT
+    _DEFAULT_TIMEOUT = float(seconds)
+
+
+def current_context() -> "RankContext":
+    """The rank context bound to the calling thread.
+
+    Raises :class:`MPIError` when called outside an SPMD region.
+    """
+    ctx = getattr(_tls, "ctx", None)
+    if ctx is None:
+        raise MPIError("no rank context bound to this thread "
+                       "(are you outside an SPMD region?)")
+    return ctx
+
+
+class Message:
+    """An in-flight message envelope.
+
+    ``kind`` is ``'buffer'`` (payload: contiguous 1-D ndarray copy) or
+    ``'pickle'`` (payload: pickled bytes).  ``nbytes`` is the on-the-wire
+    size used for instrumentation.
+    """
+
+    __slots__ = ("ctx_id", "src", "tag", "kind", "payload", "nbytes")
+
+    def __init__(self, ctx_id, src, tag, kind, payload, nbytes):
+        self.ctx_id = ctx_id
+        self.src = src
+        self.tag = tag
+        self.kind = kind
+        self.payload = payload
+        self.nbytes = nbytes
+
+    def matches(self, ctx_id, source, tag) -> bool:
+        return (self.ctx_id == ctx_id
+                and (source == ANY_SOURCE or self.src == source)
+                and (tag == ANY_TAG or self.tag == tag))
+
+
+class _Mailbox:
+    """FIFO of pending messages for one rank, with matched retrieval."""
+
+    def __init__(self, world: "World"):
+        self._world = world
+        self._cond = threading.Condition()
+        self._queue: List[Message] = []
+
+    def deposit(self, msg: Message) -> None:
+        with self._cond:
+            self._queue.append(msg)
+            self._cond.notify_all()
+
+    def wake(self) -> None:
+        """Wake blocked receivers (used on world abort)."""
+        with self._cond:
+            self._cond.notify_all()
+
+    def _find(self, ctx_id, source, tag, remove: bool) -> Optional[Message]:
+        for i, msg in enumerate(self._queue):
+            if msg.matches(ctx_id, source, tag):
+                if remove:
+                    del self._queue[i]
+                return msg
+        return None
+
+    def retrieve(self, ctx_id, source, tag, timeout: float,
+                 remove: bool = True) -> Message:
+        """Block until a matching message arrives; return (and remove) it."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while True:
+                self._world.check_abort()
+                msg = self._find(ctx_id, source, tag, remove)
+                if msg is not None:
+                    return msg
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise DeadlockError(
+                        f"recv(source={source}, tag={tag}, ctx={ctx_id}) "
+                        f"timed out after {timeout:.1f}s; pending queue has "
+                        f"{len(self._queue)} unmatched message(s)")
+                self._cond.wait(timeout=min(remaining, 0.25))
+
+    def poll(self, ctx_id, source, tag, remove: bool) -> Optional[Message]:
+        with self._cond:
+            self._world.check_abort()
+            return self._find(ctx_id, source, tag, remove)
+
+
+class World:
+    """A set of ranks that can exchange messages.
+
+    One :class:`World` backs one SPMD run (or one ODIN worker pool).  Rank
+    numbering inside the world is the "world rank"; communicators map their
+    own ranks onto these.
+    """
+
+    def __init__(self, nranks: int, timeout: Optional[float] = None):
+        if nranks < 1:
+            raise ValueError("world needs at least one rank")
+        self.nranks = nranks
+        self.timeout = _DEFAULT_TIMEOUT if timeout is None else float(timeout)
+        self.mailboxes = [_Mailbox(self) for _ in range(nranks)]
+        self.counters = [CommCounters() for _ in range(nranks)]
+        self._abort_lock = threading.Lock()
+        self._abort: Optional[AbortError] = None
+
+    # -- failure propagation ------------------------------------------------
+    def abort(self, origin_rank: int, cause: BaseException) -> None:
+        with self._abort_lock:
+            if self._abort is None:
+                self._abort = AbortError(origin_rank, cause)
+        for mb in self.mailboxes:
+            mb.wake()
+
+    def check_abort(self) -> None:
+        if self._abort is not None:
+            raise self._abort
+
+    @property
+    def aborted(self) -> bool:
+        return self._abort is not None
+
+    # -- transport ----------------------------------------------------------
+    def deliver(self, src: int, dest: int, ctx_id, tag, kind, payload,
+                nbytes) -> None:
+        """Deposit a message into *dest*'s mailbox and count the traffic."""
+        self.counters[src].record_send(dest, nbytes)
+        self.mailboxes[dest].deposit(
+            Message(ctx_id, src, tag, kind, payload, nbytes))
+
+    def total_traffic(self):
+        """Aggregate (messages, bytes) over all ranks' send counters."""
+        msgs = sum(c.snapshot().sends for c in self.counters)
+        nbytes = sum(c.snapshot().bytes_sent for c in self.counters)
+        return msgs, nbytes
+
+
+class RankContext:
+    """Per-thread handle identifying 'which rank am I' within a world."""
+
+    def __init__(self, world: World, rank: int):
+        self.world = world
+        self.rank = rank
+
+    # -- low-level typed transport (used by Comm) ---------------------------
+    def send_buffer(self, dest: int, ctx_id, tag, flat: np.ndarray) -> None:
+        payload = np.ascontiguousarray(flat).copy()
+        self.world.deliver(self.rank, dest, ctx_id, tag, "buffer",
+                           payload, payload.nbytes)
+
+    def send_object(self, dest: int, ctx_id, tag, obj: Any) -> None:
+        blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        self.world.deliver(self.rank, dest, ctx_id, tag, "pickle",
+                           blob, len(blob))
+
+    def recv_message(self, ctx_id, source, tag,
+                     timeout: Optional[float] = None) -> Message:
+        timeout = self.world.timeout if timeout is None else timeout
+        msg = self.world.mailboxes[self.rank].retrieve(
+            ctx_id, source, tag, timeout)
+        self.world.counters[self.rank].record_recv(msg.nbytes)
+        return msg
+
+    def poll_message(self, ctx_id, source, tag,
+                     remove: bool = False) -> Optional[Message]:
+        msg = self.world.mailboxes[self.rank].poll(ctx_id, source, tag, remove)
+        if msg is not None and remove:
+            self.world.counters[self.rank].record_recv(msg.nbytes)
+        return msg
+
+    def bind(self) -> None:
+        """Bind this context to the calling thread."""
+        _tls.ctx = self
+
+    def unbind(self) -> None:
+        if getattr(_tls, "ctx", None) is self:
+            _tls.ctx = None
+
+
+def run_spmd(fn: Callable[..., Any], nranks: int, args: Sequence = (),
+             kwargs: Optional[dict] = None, timeout: Optional[float] = None,
+             pass_comm: bool = True) -> List[Any]:
+    """Run *fn* on every rank of a fresh *nranks*-rank world.
+
+    This is the offline equivalent of ``mpiexec -n nranks``.  When
+    *pass_comm* is true (default), *fn* is called as
+    ``fn(comm, *args, **kwargs)`` with that rank's world communicator;
+    otherwise ``fn(*args, **kwargs)`` and the rank obtains its communicator
+    via :func:`repro.mpi.get_comm_world`.
+
+    Returns the list of per-rank return values (index = rank).  If any rank
+    raises, the world is aborted and the first failing rank's exception is
+    re-raised in the caller.
+    """
+    from .comm import Intracomm  # local import: comm builds on runtime
+
+    kwargs = kwargs or {}
+    world = World(nranks, timeout=timeout)
+    results: List[Any] = [None] * nranks
+    errors: List[Optional[BaseException]] = [None] * nranks
+
+    def body(rank: int) -> None:
+        ctx = RankContext(world, rank)
+        ctx.bind()
+        try:
+            comm = Intracomm(ctx, list(range(nranks)))
+            if pass_comm:
+                results[rank] = fn(comm, *args, **kwargs)
+            else:
+                results[rank] = fn(*args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - must propagate any error
+            errors[rank] = exc
+            world.abort(rank, exc)
+        finally:
+            ctx.unbind()
+
+    threads = [threading.Thread(target=body, args=(r,),
+                                name=f"spmd-rank-{r}", daemon=True)
+               for r in range(nranks)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    for rank, exc in enumerate(errors):
+        if exc is not None and not isinstance(exc, AbortError):
+            raise exc
+    for exc in errors:
+        if exc is not None:
+            raise exc
+    return results

@@ -1,0 +1,36 @@
+"""Receive status objects, mirroring ``MPI_Status``."""
+
+from __future__ import annotations
+
+__all__ = ["Status", "ANY_SOURCE", "ANY_TAG"]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+class Status:
+    """Metadata about a received (or probed) message."""
+
+    __slots__ = ("source", "tag", "count_bytes", "error")
+
+    def __init__(self, source=ANY_SOURCE, tag=ANY_TAG, count_bytes=0, error=0):
+        self.source = source
+        self.tag = tag
+        self.count_bytes = count_bytes
+        self.error = error
+
+    def Get_source(self) -> int:
+        return self.source
+
+    def Get_tag(self) -> int:
+        return self.tag
+
+    def Get_count(self, datatype=None) -> int:
+        """Number of received elements of *datatype* (bytes if None)."""
+        if datatype is None:
+            return self.count_bytes
+        return self.count_bytes // datatype.extent
+
+    def __repr__(self):
+        return (f"Status(source={self.source}, tag={self.tag}, "
+                f"bytes={self.count_bytes})")

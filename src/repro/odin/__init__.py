@@ -1,0 +1,86 @@
+"""repro.odin -- Optimized Distributed NumPy.
+
+The paper's ODIN: a distributed array data structure with two modes of
+interaction --
+
+**Global mode** (section III-B): DistArrays behave like NumPy arrays while
+computation happens on worker nodes::
+
+    from repro import odin
+    odin.init(nworkers=4)
+
+    x = odin.linspace(1, 2 * 3.14159, 10**6)
+    y = odin.sin(x)
+    dy = y[1:] - y[:-1]          # distributed slicing + halo traffic
+    dydx = dy / (x[1] - x[0])
+
+**Local mode** (section III-C): ``@odin.local`` functions run per-worker on
+the local segment::
+
+    @odin.local
+    def hypot(x, y):
+        return odin.sqrt(x**2 + y**2)
+
+    h = hypot(x, y)
+
+Plus: distribution control (block/cyclic/block-cyclic/arbitrary, any axis,
+nonuniform), lazy expressions with loop fusion (``odin.lazy``), automatic
+communication-minimizing redistribution with a ``strategy`` override,
+distributed I/O, tabular Map-Reduce, and Trilinos interop
+(:mod:`repro.odin.trilinos`).
+"""
+
+from . import tabular, trilinos
+from .array import DistArray
+from .context import (OdinContext, get_context, init, local_registry,
+                      shutdown, worker_comm, worker_index, worker_state)
+from .creation import (arange, array, empty, empty_like, fromfunction, full,
+                       linspace, load, ones, ones_like, rand, randn, random,
+                       zeros, zeros_like)
+from .distribution import (ArbitraryDistribution, BlockCyclicDistribution,
+                           BlockDistribution, CyclicDistribution,
+                           Distribution, GridDistribution,
+                           make_distribution)
+from .expr import LazyExpr, evaluate, is_lazy, lazy
+from .linalg import concatenate, dot, matmul, sort
+from .tabular import compress
+from .io import load as load_dataset
+from .io import load_shared, save, save_shared
+from .local import LocalFunction, local
+from .reductions import (amax, amin, argmax, argmin,  # noqa: A004
+                         bincount, histogram, mean, prod, std, sum)
+from .ufuncs import (BINARY_NAMES, TERNARY_NAMES, UNARY_NAMES,
+                     binary_ufunc, choose_strategy, current_strategy,
+                     nary_ufunc, redistribution_cost, strategy,
+                     unary_ufunc, _make_module_ufuncs)
+
+# install odin.sqrt, odin.sin, odin.add, ... at package level
+_make_module_ufuncs(globals())
+
+__all__ = [
+    # lifecycle
+    "init", "shutdown", "get_context", "OdinContext",
+    "worker_comm", "worker_index", "worker_state", "local_registry",
+    # array + creation
+    "DistArray", "zeros", "ones", "empty", "full", "arange", "linspace",
+    "random", "rand", "randn", "array", "fromfunction", "zeros_like",
+    "ones_like", "empty_like", "load",
+    # distributions
+    "Distribution", "BlockDistribution", "CyclicDistribution",
+    "BlockCyclicDistribution", "ArbitraryDistribution", "GridDistribution",
+    "make_distribution",
+    # local mode
+    "local", "LocalFunction",
+    # lazy / fusion
+    "lazy", "evaluate", "LazyExpr", "is_lazy",
+    # strategies
+    "strategy", "current_strategy", "choose_strategy",
+    "redistribution_cost", "unary_ufunc", "binary_ufunc",
+    "UNARY_NAMES", "BINARY_NAMES", "TERNARY_NAMES", "nary_ufunc",
+    # reductions / linalg
+    "sum", "prod", "amin", "amax", "mean", "std", "dot", "matmul",
+    "histogram", "bincount", "concatenate", "argmin", "argmax", "sort",
+    # io / tabular / trilinos
+    "save", "load_dataset", "save_shared", "load_shared", "tabular",
+    "trilinos", "compress",
+] + UNARY_NAMES + BINARY_NAMES + TERNARY_NAMES

@@ -1,0 +1,296 @@
+"""The ODIN process / worker-node runtime (Fig. 1 of the paper).
+
+The end user interacts with the *ODIN process* (the calling thread, rank 0
+of an internal world).  Worker nodes (ranks 1..N) sit in a service loop
+receiving small control messages -- an opcode plus index metadata, "at most
+tens of bytes" of payload for creation ops -- and perform all array
+allocation, computation and data movement themselves.  Workers own a
+private sub-communicator so they "can communicate directly with each other,
+bypassing the ODIN process", which is how redistribution and halo exchange
+avoid making the driver a bottleneck.
+
+Every op round-trips a tiny status gather so worker exceptions surface on
+the driver immediately instead of desynchronizing the command stream.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..mpi.comm import Intracomm
+from ..mpi.runtime import RankContext, World
+from .distribution import Distribution
+from . import opcodes
+from .worker import WorkerState, execute_op
+
+__all__ = ["OdinContext", "init", "shutdown", "get_context",
+           "worker_comm", "worker_index", "local_registry"]
+
+# Registry of @odin.local functions.  The decorator "broadcasts the
+# resulting function object to all worker nodes and injects it into their
+# namespace" -- with thread workers, the namespace is a shared registry and
+# the broadcast ships the (tiny) name, preserving the control-message
+# economics of the paper's design.
+local_registry: Dict[str, Callable] = {}
+
+_worker_tls = threading.local()
+
+
+def worker_comm() -> Intracomm:
+    """The workers-only communicator; valid inside worker execution
+    (e.g. within an ``@odin.local`` function)."""
+    comm = getattr(_worker_tls, "comm", None)
+    if comm is None:
+        raise RuntimeError("worker_comm() is only available on ODIN workers "
+                           "(inside @odin.local functions)")
+    return comm
+
+
+def worker_index() -> int:
+    """This worker's index in 0..nworkers-1 (inside worker execution)."""
+    idx = getattr(_worker_tls, "index", None)
+    if idx is None:
+        raise RuntimeError("worker_index() is only available on ODIN workers")
+    return idx
+
+
+def worker_state():
+    """This worker's :class:`~repro.odin.worker.WorkerState` (inside
+    worker execution); gives local functions access to other arrays'
+    local blocks by id."""
+    state = getattr(_worker_tls, "state", None)
+    if state is None:
+        raise RuntimeError("worker_state() is only available on ODIN "
+                           "workers")
+    return state
+
+
+class OdinContext:
+    """One driver plus *nworkers* persistent worker threads."""
+
+    def __init__(self, nworkers: int, timeout: Optional[float] = None):
+        if nworkers < 1:
+            raise ValueError("need at least one worker")
+        self.nworkers = nworkers
+        self.world = World(nworkers + 1, timeout=timeout)
+        self._driver_ctx = RankContext(self.world, 0)
+        self.comm = Intracomm(self._driver_ctx,
+                              list(range(nworkers + 1)))
+        self._next_array_id = 0
+        self._alive = True
+        self._pending_deletes: List[int] = []
+        self._lock = threading.RLock()
+        self._threads = [
+            threading.Thread(target=self._worker_main, args=(w,),
+                             name=f"odin-worker-{w}", daemon=True)
+            for w in range(nworkers)
+        ]
+        for t in self._threads:
+            t.start()
+        # Workers split off their own comm; the driver passes a negative
+        # color so it is excluded (split over the full comm, collective).
+        self.comm.split(-1, 0)
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+    def _worker_main(self, windex: int) -> None:
+        ctx = RankContext(self.world, windex + 1)
+        ctx.bind()
+        comm = Intracomm(ctx, list(range(self.nworkers + 1)))
+        wcomm = comm.split(0, windex)
+        _worker_tls.comm = wcomm
+        _worker_tls.index = windex
+        state = WorkerState(index=windex, comm=wcomm,
+                            registry=local_registry, full_comm=comm)
+        _worker_tls.state = state
+        try:
+            while True:
+                op = comm.bcast(None, root=0)
+                if op[0] == opcodes.SHUTDOWN:
+                    comm.gather(("ok", None), root=0)
+                    return
+                try:
+                    result = execute_op(state, op)
+                    status = ("ok", result)
+                except Exception as exc:  # noqa: BLE001 - report to driver
+                    status = ("err", exc)
+                comm.gather(status, root=0)
+        except Exception:
+            # runtime failure (e.g. world aborted): leave quietly, the
+            # driver will see the abort on its own next operation.
+            return
+        finally:
+            ctx.unbind()
+
+    # ------------------------------------------------------------------
+    # driver side
+    # ------------------------------------------------------------------
+    def _issue(self, *op) -> List[Any]:
+        """Broadcast one op and collect per-worker results (driver)."""
+        with self._lock:
+            if not self._alive:
+                raise RuntimeError("ODIN context has been shut down")
+            self._drain_pending_deletes()
+            self.comm.bcast(op, root=0)
+            statuses = self.comm.gather(None, root=0)
+        results = []
+        for status in statuses[1:]:
+            tag, payload = status
+            if tag == "err":
+                raise payload
+            results.append(payload)
+        return results
+
+    def _drain_pending_deletes(self) -> None:
+        """Free arrays whose handles were garbage collected.
+
+        ``DistArray.__del__`` must not issue ops itself (GC can fire in the
+        middle of another op's bcast/gather pair); it enqueues ids here and
+        the next user-initiated op flushes them.  Caller holds the lock.
+        """
+        if self._pending_deletes:
+            ids, self._pending_deletes = self._pending_deletes, []
+            self.comm.bcast((opcodes.DELETE_MANY, ids), root=0)
+            self.comm.gather(None, root=0)
+
+    def new_array_id(self) -> int:
+        with self._lock:
+            self._next_array_id += 1
+            return self._next_array_id
+
+    # -- array lifecycle -------------------------------------------------
+    def create(self, array_id: int, dist: Distribution, dtype,
+               fill_spec) -> None:
+        """Allocate + initialize locally on every worker: the only
+        communication is this short descriptor message."""
+        self._issue(opcodes.CREATE, array_id, dist, np.dtype(dtype).str,
+                    fill_spec)
+
+    def scatter(self, array_id: int, dist: Distribution,
+                array: np.ndarray) -> None:
+        """Ship real data from the driver (data plane, not control)."""
+        array = np.asarray(array)
+        blocks = []
+        for w in range(self.nworkers):
+            blocks.append(np.ascontiguousarray(
+                array[dist.global_selector(w)]))
+        with self._lock:
+            if not self._alive:
+                raise RuntimeError("ODIN context has been shut down")
+            self._drain_pending_deletes()
+            self.comm.bcast((opcodes.SCATTER, array_id, dist,
+                             array.dtype.str), root=0)
+            # workers participate in the scatter inside their op handler;
+            # the driver's own slot is unused
+            self.comm.scatter([None] + blocks, root=0)
+            statuses = self.comm.gather(None, root=0)
+        for status in statuses[1:]:
+            if status[0] == "err":
+                raise status[1]
+
+    def delete(self, array_id: int) -> None:
+        """Queue an array for deletion (safe to call from __del__)."""
+        if self._alive:
+            self._pending_deletes.append(array_id)
+
+    def gather(self, array_id: int) -> np.ndarray:
+        """Assemble the full array on the driver."""
+        pieces = self._issue(opcodes.GATHER, array_id)
+        dist, blocks = pieces[0][0], [p[1] for p in pieces]
+        out = np.empty(dist.global_shape, dtype=blocks[0].dtype)
+        for w, block in enumerate(blocks):
+            out[dist.global_selector(w)] = block
+        return out
+
+    # -- compute ----------------------------------------------------------
+    def run(self, *op) -> List[Any]:
+        """Generic op dispatch (used by the array layer)."""
+        return self._issue(*op)
+
+    def call_local(self, fname: str, arg_specs, kwarg_specs,
+                   out_id: Optional[int] = None,
+                   out_dist=None) -> List[Any]:
+        """Invoke a registered @odin.local function on every worker.
+
+        When *out_dist* is given, a worker whose return block matches that
+        distribution's local shape stores it under *out_id* (otherwise the
+        first array argument's distribution is the storage candidate).
+        """
+        return self._issue(opcodes.CALL_LOCAL, fname, arg_specs,
+                           kwarg_specs, out_id, out_dist)
+
+    # -- instrumentation ---------------------------------------------------
+    def control_traffic(self):
+        """(messages, bytes) sent by the ODIN process so far: the control
+        plane of Fig. 1."""
+        snap = self.world.counters[0].snapshot()
+        return snap.sends, snap.bytes_sent
+
+    def worker_traffic(self):
+        """(messages, bytes) of worker-to-worker data-plane traffic."""
+        msgs = 0
+        nbytes = 0
+        for w in range(1, self.nworkers + 1):
+            snap = self.world.counters[w].snapshot()
+            for peer, b in snap.by_peer.items():
+                if peer != 0:  # exclude worker->driver result traffic
+                    nbytes += b
+            msgs += snap.sends
+        return msgs, nbytes
+
+    def reset_counters(self) -> None:
+        for c in self.world.counters:
+            c.reset()
+
+    # -- lifecycle ---------------------------------------------------------
+    def shutdown(self) -> None:
+        with self._lock:
+            if not self._alive:
+                return
+            self.comm.bcast((opcodes.SHUTDOWN,), root=0)
+            self.comm.gather(None, root=0)
+            self._alive = False
+        for t in self._threads:
+            t.join(timeout=10)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.shutdown()
+
+    def __repr__(self):
+        state = "alive" if self._alive else "shut down"
+        return f"OdinContext({self.nworkers} workers, {state})"
+
+
+_default_context: Optional[OdinContext] = None
+
+
+def init(nworkers: int = 4, timeout: Optional[float] = None) -> OdinContext:
+    """Start (or restart) the default ODIN context."""
+    global _default_context
+    if _default_context is not None and _default_context._alive:
+        _default_context.shutdown()
+    _default_context = OdinContext(nworkers, timeout=timeout)
+    return _default_context
+
+
+def shutdown() -> None:
+    """Stop the default context's workers."""
+    global _default_context
+    if _default_context is not None:
+        _default_context.shutdown()
+        _default_context = None
+
+
+def get_context() -> OdinContext:
+    """The default context, auto-started with 4 workers if absent."""
+    global _default_context
+    if _default_context is None or not _default_context._alive:
+        _default_context = OdinContext(4)
+    return _default_context

@@ -1,0 +1,515 @@
+"""Array distributions: how a global N-D array is split over workers.
+
+Paper section III-A: creation routines "take optional arguments to control
+the distribution": which nodes, which dimension, nonuniform sections, and
+"either block, cyclic, block-cyclic, or another arbitrary global-to-local
+index mapping".  All four are here, parameterized by the distributed axis.
+
+A distribution answers purely index-arithmetic questions (no
+communication): which global indices along the distributed axis live on
+worker *w*, in which local order, and conversely who owns a given global
+index.  The redistribution engine in :mod:`repro.odin.redistribute` is
+built on those answers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Distribution", "BlockDistribution", "CyclicDistribution",
+           "BlockCyclicDistribution", "ArbitraryDistribution",
+           "GridDistribution", "ConcatDistribution", "make_distribution"]
+
+
+class Distribution:
+    """Base class: a single-axis decomposition of a global shape."""
+
+    kind = "abstract"
+    # distributions whose local_position needs the worker id must route
+    # through the general (worker-aware) redistribution engine
+    general_only = False
+
+    def __init__(self, global_shape: Sequence[int], axis: int,
+                 nworkers: int):
+        self.global_shape = tuple(int(s) for s in global_shape)
+        if not self.global_shape:
+            raise ValueError("zero-dimensional arrays are not distributed")
+        self.axis = int(axis) % len(self.global_shape)
+        self.nworkers = int(nworkers)
+
+    # -- interface ------------------------------------------------------
+    def indices_for(self, worker: int) -> np.ndarray:
+        """Global indices along the distributed axis owned by *worker*,
+        in local storage order."""
+        raise NotImplementedError
+
+    def owner_of(self, global_idx: np.ndarray) -> np.ndarray:
+        """Owning worker of each global index along the distributed axis."""
+        raise NotImplementedError
+
+    def local_position(self, global_idx: np.ndarray) -> np.ndarray:
+        """Local (storage) position of each global index on its owner."""
+        raise NotImplementedError
+
+    # -- derived --------------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        return len(self.global_shape)
+
+    @property
+    def axis_length(self) -> int:
+        return self.global_shape[self.axis]
+
+    def local_count(self, worker: int) -> int:
+        return len(self.indices_for(worker))
+
+    def local_shape(self, worker: int) -> Tuple[int, ...]:
+        shape = list(self.global_shape)
+        shape[self.axis] = self.local_count(worker)
+        return tuple(shape)
+
+    def counts(self) -> List[int]:
+        return [self.local_count(w) for w in range(self.nworkers)]
+
+    def same_as(self, other: "Distribution") -> bool:
+        """Conformability test: identical global shape and identical
+        index-to-worker assignment (paper III-D: binary ufuncs are
+        'trivially parallelizable' exactly in this case)."""
+        if self.global_shape != other.global_shape:
+            return False
+        if self.axis != other.axis or self.nworkers != other.nworkers:
+            return False
+        return all(
+            np.array_equal(self.indices_for(w), other.indices_for(w))
+            for w in range(self.nworkers))
+
+    def with_shape(self, global_shape: Sequence[int]) -> "Distribution":
+        """Same scheme applied to a different global shape."""
+        raise NotImplementedError
+
+    # -- multi-axis protocol (used by the redistribution engine) --------
+    @property
+    def dist_axes(self) -> Tuple[int, ...]:
+        """The axes this distribution actually splits."""
+        return (self.axis,)
+
+    def axis_indices(self, worker: int, axis: int) -> Optional[np.ndarray]:
+        """Global indices along *axis* owned by *worker*, or None when
+        the axis is not distributed (the worker holds its full extent)."""
+        if axis == self.axis:
+            return self.indices_for(worker)
+        return None
+
+    def axis_local_position(self, worker: int, axis: int,
+                            gids: np.ndarray) -> np.ndarray:
+        """Local storage positions of global indices along *axis*."""
+        if axis == self.axis:
+            return self.local_position(gids)
+        return np.asarray(gids, dtype=np.int64)
+
+    def global_selector(self, worker: int):
+        """Open-mesh indexer placing this worker's block in a global array:
+        ``global_arr[dist.global_selector(w)] = local_block``."""
+        per_axis = []
+        for ax in range(self.ndim):
+            ids = self.axis_indices(worker, ax)
+            per_axis.append(np.arange(self.global_shape[ax],
+                                      dtype=np.int64)
+                            if ids is None else ids)
+        return np.ix_(*per_axis)
+
+    def __repr__(self):
+        return (f"{type(self).__name__}(shape={self.global_shape}, "
+                f"axis={self.axis}, workers={self.nworkers})")
+
+    def __eq__(self, other):
+        return isinstance(other, Distribution) and self.same_as(other)
+
+
+class BlockDistribution(Distribution):
+    """Contiguous blocks, uniform by default or with explicit counts
+    (the paper's "apportion nonuniform sections of an array to each
+    node")."""
+
+    kind = "block"
+
+    def __init__(self, global_shape, axis: int, nworkers: int,
+                 counts: Optional[Sequence[int]] = None):
+        super().__init__(global_shape, axis, nworkers)
+        n = self.axis_length
+        if counts is None:
+            base = n // nworkers
+            extra = n % nworkers
+            counts = [base + (1 if w < extra else 0)
+                      for w in range(nworkers)]
+        counts = [int(c) for c in counts]
+        if len(counts) != nworkers or sum(counts) != n:
+            raise ValueError(f"counts {counts} do not partition axis of "
+                             f"length {n} over {nworkers} workers")
+        self._counts = counts
+        self._offsets = np.zeros(nworkers + 1, dtype=np.int64)
+        np.cumsum(counts, out=self._offsets[1:])
+
+    @property
+    def uniform(self) -> bool:
+        return len(set(self._counts[:-1] or [0])) <= 1
+
+    def indices_for(self, worker: int) -> np.ndarray:
+        return np.arange(self._offsets[worker], self._offsets[worker + 1],
+                         dtype=np.int64)
+
+    def owner_of(self, global_idx) -> np.ndarray:
+        gi = np.asarray(global_idx, dtype=np.int64)
+        return (np.searchsorted(self._offsets, gi, side="right") - 1) \
+            .astype(np.int64)
+
+    def local_position(self, global_idx) -> np.ndarray:
+        gi = np.asarray(global_idx, dtype=np.int64)
+        return gi - self._offsets[self.owner_of(gi)]
+
+    def local_count(self, worker: int) -> int:
+        return self._counts[worker]
+
+    def with_shape(self, global_shape) -> "BlockDistribution":
+        return BlockDistribution(global_shape, self.axis, self.nworkers)
+
+
+class CyclicDistribution(Distribution):
+    """Round-robin along the axis: index i lives on worker i % P."""
+
+    kind = "cyclic"
+
+    def indices_for(self, worker: int) -> np.ndarray:
+        return np.arange(worker, self.axis_length, self.nworkers,
+                         dtype=np.int64)
+
+    def owner_of(self, global_idx) -> np.ndarray:
+        gi = np.asarray(global_idx, dtype=np.int64)
+        return gi % self.nworkers
+
+    def local_position(self, global_idx) -> np.ndarray:
+        gi = np.asarray(global_idx, dtype=np.int64)
+        return gi // self.nworkers
+
+    def with_shape(self, global_shape) -> "CyclicDistribution":
+        return CyclicDistribution(global_shape, self.axis, self.nworkers)
+
+
+class BlockCyclicDistribution(Distribution):
+    """Blocks of *block_size* dealt round-robin (ScaLAPACK-style)."""
+
+    kind = "block-cyclic"
+
+    def __init__(self, global_shape, axis: int, nworkers: int,
+                 block_size: int = 1):
+        super().__init__(global_shape, axis, nworkers)
+        if block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        self.block_size = int(block_size)
+
+    def indices_for(self, worker: int) -> np.ndarray:
+        b = self.block_size
+        n = self.axis_length
+        blocks = np.arange(worker, -(-n // b), self.nworkers,
+                           dtype=np.int64)
+        pieces = [np.arange(blk * b, min((blk + 1) * b, n), dtype=np.int64)
+                  for blk in blocks]
+        return np.concatenate(pieces) if pieces else \
+            np.empty(0, dtype=np.int64)
+
+    def owner_of(self, global_idx) -> np.ndarray:
+        gi = np.asarray(global_idx, dtype=np.int64)
+        return (gi // self.block_size) % self.nworkers
+
+    def local_position(self, global_idx) -> np.ndarray:
+        gi = np.asarray(global_idx, dtype=np.int64)
+        block = gi // self.block_size
+        local_block = block // self.nworkers
+        return local_block * self.block_size + gi % self.block_size
+
+    def with_shape(self, global_shape) -> "BlockCyclicDistribution":
+        return BlockCyclicDistribution(global_shape, self.axis,
+                                       self.nworkers, self.block_size)
+
+
+class ArbitraryDistribution(Distribution):
+    """Explicit global-to-local mapping: one index list per worker.
+
+    ``validate=False`` skips the O(n log n) partition check for lists that
+    are derived from an existing distribution (internal callers).
+    """
+
+    kind = "arbitrary"
+
+    def __init__(self, global_shape, axis: int,
+                 index_lists: Sequence[np.ndarray], validate: bool = True):
+        super().__init__(global_shape, axis, len(index_lists))
+        self._lists = [np.asarray(ix, dtype=np.int64) for ix in index_lists]
+        n = self.axis_length
+        total = sum(len(ix) for ix in self._lists)
+        if total != n:
+            raise ValueError("index lists must partition the axis exactly")
+        if validate:
+            seen = np.concatenate(self._lists) if self._lists else \
+                np.empty(0, dtype=np.int64)
+            if not np.array_equal(np.sort(seen), np.arange(n)):
+                raise ValueError("index lists must partition the axis "
+                                 "exactly")
+        self._owner = np.empty(n, dtype=np.int64)
+        self._pos = np.empty(n, dtype=np.int64)
+        for w, ix in enumerate(self._lists):
+            self._owner[ix] = w
+            self._pos[ix] = np.arange(len(ix))
+
+    def indices_for(self, worker: int) -> np.ndarray:
+        return self._lists[worker]
+
+    def owner_of(self, global_idx) -> np.ndarray:
+        return self._owner[np.asarray(global_idx, dtype=np.int64)]
+
+    def local_position(self, global_idx) -> np.ndarray:
+        return self._pos[np.asarray(global_idx, dtype=np.int64)]
+
+    def with_shape(self, global_shape) -> "Distribution":
+        raise ValueError("an arbitrary distribution does not generalize to "
+                         "a new shape; specify one explicitly")
+
+
+class GridDistribution(Distribution):
+    """Multi-axis block decomposition over a worker grid.
+
+    Paper section III-A lists "which dimension or dimensions to distribute
+    over"; this is the plural case: e.g. a (1000, 1000) array on a 2x3
+    worker grid gives each worker a ~500x333 tile.  Workers map onto grid
+    coordinates row-major.
+    """
+
+    kind = "grid"
+
+    def __init__(self, global_shape, axes: Sequence[int],
+                 grid: Sequence[int]):
+        axes = tuple(int(a) for a in axes)
+        grid = tuple(int(g) for g in grid)
+        if len(axes) != len(grid):
+            raise ValueError("axes and grid must have equal length")
+        if len(set(axes)) != len(axes):
+            raise ValueError("axes must be distinct")
+        nworkers = 1
+        for g in grid:
+            nworkers *= g
+        super().__init__(global_shape, axes[0], nworkers)
+        self.axes = tuple(a % len(self.global_shape) for a in axes)
+        self.grid = grid
+        # uniform block offsets per distributed axis
+        self._axis_offsets = {}
+        for ax, g in zip(self.axes, grid):
+            n = self.global_shape[ax]
+            counts = np.full(g, n // g, dtype=np.int64)
+            counts[:n % g] += 1
+            offsets = np.zeros(g + 1, dtype=np.int64)
+            np.cumsum(counts, out=offsets[1:])
+            self._axis_offsets[ax] = offsets
+
+    # -- worker <-> grid coordinates ------------------------------------
+    def coords_of(self, worker: int) -> Tuple[int, ...]:
+        coords = []
+        rem = worker
+        for g in reversed(self.grid):
+            coords.append(rem % g)
+            rem //= g
+        return tuple(reversed(coords))
+
+    def worker_at(self, coords: Sequence[int]) -> int:
+        w = 0
+        for c, g in zip(coords, self.grid):
+            if not 0 <= c < g:
+                raise ValueError(f"grid coordinate {c} out of range")
+            w = w * g + c
+        return w
+
+    # -- multi-axis protocol ---------------------------------------------
+    @property
+    def dist_axes(self) -> Tuple[int, ...]:
+        return self.axes
+
+    def axis_indices(self, worker: int, axis: int) -> Optional[np.ndarray]:
+        if axis not in self._axis_offsets:
+            return None
+        dim = self.axes.index(axis)
+        c = self.coords_of(worker)[dim]
+        offsets = self._axis_offsets[axis]
+        return np.arange(offsets[c], offsets[c + 1], dtype=np.int64)
+
+    def axis_local_position(self, worker: int, axis: int,
+                            gids: np.ndarray) -> np.ndarray:
+        gids = np.asarray(gids, dtype=np.int64)
+        if axis not in self._axis_offsets:
+            return gids
+        dim = self.axes.index(axis)
+        c = self.coords_of(worker)[dim]
+        return gids - self._axis_offsets[axis][c]
+
+    # -- base interface ----------------------------------------------------
+    def indices_for(self, worker: int) -> np.ndarray:
+        """Indices along the *first* distributed axis (base-interface
+        compatibility; prefer :meth:`axis_indices`)."""
+        return self.axis_indices(worker, self.axes[0])
+
+    def owner_of(self, global_idx) -> np.ndarray:
+        raise NotImplementedError(
+            "single-axis ownership is ambiguous on a grid; use "
+            "axis_indices/worker_at")
+
+    def local_position(self, global_idx) -> np.ndarray:
+        raise NotImplementedError(
+            "use axis_local_position with an explicit axis on a grid")
+
+    def local_shape(self, worker: int) -> Tuple[int, ...]:
+        shape = list(self.global_shape)
+        for ax in self.axes:
+            shape[ax] = len(self.axis_indices(worker, ax))
+        return tuple(shape)
+
+    def local_count(self, worker: int) -> int:
+        return len(self.indices_for(worker))
+
+    def same_as(self, other: "Distribution") -> bool:
+        if not isinstance(other, GridDistribution):
+            # a 1-axis grid is equivalent to a block distribution
+            if isinstance(other, BlockDistribution) and \
+                    len(self.axes) == 1:
+                return other.same_as_gridlike(self)
+            return False
+        return (self.global_shape == other.global_shape
+                and self.axes == other.axes and self.grid == other.grid)
+
+    def with_shape(self, global_shape) -> "GridDistribution":
+        return GridDistribution(global_shape, self.axes, self.grid)
+
+    def __repr__(self):
+        return (f"GridDistribution(shape={self.global_shape}, "
+                f"axes={self.axes}, grid={self.grid})")
+
+
+class ConcatDistribution(Distribution):
+    """Ownership of a concatenation result, described by its parts.
+
+    Worker w's local block is [part0's w-block, part1's w-block, ...] in
+    order; globally part k's indices are shifted by the lengths of the
+    preceding parts.  The descriptor stays tiny on the wire (it stores the
+    part distributions, not index lists), which is why
+    :func:`repro.odin.linalg.concatenate` is a control-plane-only op.
+    """
+
+    kind = "concat"
+    general_only = True  # local positions depend on the worker
+
+    def __init__(self, parts: Sequence[Distribution], axis: int):
+        parts = list(parts)
+        if not parts:
+            raise ValueError("need at least one part")
+        nworkers = parts[0].nworkers
+        shape = list(parts[0].global_shape)
+        shape[axis] = sum(p.global_shape[axis] for p in parts)
+        super().__init__(tuple(shape), axis, nworkers)
+        self.parts = parts
+        self._offsets = np.zeros(len(parts) + 1, dtype=np.int64)
+        np.cumsum([p.global_shape[axis] for p in parts],
+                  out=self._offsets[1:])
+
+    def indices_for(self, worker: int) -> np.ndarray:
+        return np.concatenate(
+            [self._offsets[k] + p.indices_for(worker)
+             for k, p in enumerate(self.parts)])
+
+    def owner_of(self, global_idx) -> np.ndarray:
+        gi = np.atleast_1d(np.asarray(global_idx, dtype=np.int64))
+        out = np.empty(len(gi), dtype=np.int64)
+        part = np.searchsorted(self._offsets, gi, side="right") - 1
+        for k, p in enumerate(self.parts):
+            mask = part == k
+            if mask.any():
+                out[mask] = p.owner_of(gi[mask] - self._offsets[k])
+        return out
+
+    def local_position(self, global_idx) -> np.ndarray:
+        raise NotImplementedError(
+            "concat positions depend on the worker; use "
+            "axis_local_position")
+
+    def axis_local_position(self, worker: int, axis: int,
+                            gids: np.ndarray) -> np.ndarray:
+        gids = np.asarray(gids, dtype=np.int64)
+        if axis != self.axis:
+            return gids
+        bases = np.zeros(len(self.parts), dtype=np.int64)
+        np.cumsum([p.local_count(worker) for p in self.parts[:-1]],
+                  out=bases[1:])
+        out = np.empty(len(gids), dtype=np.int64)
+        part = np.searchsorted(self._offsets, gids, side="right") - 1
+        for k, p in enumerate(self.parts):
+            mask = part == k
+            if mask.any():
+                out[mask] = bases[k] + \
+                    p.local_position(gids[mask] - self._offsets[k])
+        return out
+
+    def local_count(self, worker: int) -> int:
+        return sum(p.local_count(worker) for p in self.parts)
+
+    def with_shape(self, global_shape) -> "Distribution":
+        raise ValueError("a concat distribution does not generalize to a "
+                         "new shape")
+
+
+def _block_same_as_gridlike(self: "BlockDistribution",
+                            grid: "GridDistribution") -> bool:
+    if self.global_shape != grid.global_shape or \
+            self.nworkers != grid.nworkers:
+        return False
+    if grid.axes != (self.axis,):
+        return False
+    return all(np.array_equal(self.indices_for(w),
+                              grid.axis_indices(w, self.axis))
+               for w in range(self.nworkers))
+
+
+BlockDistribution.same_as_gridlike = _block_same_as_gridlike
+
+
+def make_distribution(global_shape, nworkers: int, dist: str = "block",
+                      axis: int = 0, counts=None, block_size: int = 1,
+                      index_lists=None, axes=None,
+                      grid=None) -> Distribution:
+    """Factory used by every ODIN creation routine's ``dist=`` argument."""
+    key = dist.strip().lower().replace("_", "-")
+    if key in ("block", "b"):
+        return BlockDistribution(global_shape, axis, nworkers, counts=counts)
+    if key in ("cyclic", "c"):
+        return CyclicDistribution(global_shape, axis, nworkers)
+    if key in ("block-cyclic", "bc"):
+        return BlockCyclicDistribution(global_shape, axis, nworkers,
+                                       block_size=block_size)
+    if key in ("arbitrary", "a"):
+        if index_lists is None:
+            raise ValueError("arbitrary distribution needs index_lists")
+        return ArbitraryDistribution(global_shape, axis, index_lists)
+    if key in ("grid", "g"):
+        if axes is None:
+            axes = (0, 1)
+        if grid is None:
+            grid = _balanced_grid(nworkers, len(axes))
+        d = GridDistribution(global_shape, axes, grid)
+        if d.nworkers != nworkers:
+            raise ValueError(f"grid {grid} needs {d.nworkers} workers, "
+                             f"context has {nworkers}")
+        return d
+    raise ValueError(f"unknown distribution {dist!r}")
+
+
+def _balanced_grid(nworkers: int, ndims: int) -> Tuple[int, ...]:
+    """Near-square factorization of the worker count (like dims_create)."""
+    from ..mpi.cart import dims_create
+    return tuple(dims_create(nworkers, ndims))

@@ -1,0 +1,134 @@
+"""The local mode of interaction: ``@odin.local`` (paper section III-C).
+
+The decorator's two tasks, straight from the paper: (1) broadcast the
+function to all workers and inject it into their namespace, so it can be
+called from the global level; (2) create a global version so that calling
+it broadcasts a message to all workers to call their local copy, with
+distributed-array arguments replaced by the local segment.
+
+Inside a local function the worker may communicate directly with its peers
+through :func:`repro.odin.context.worker_comm` -- "for performance critical
+routines, users are encouraged to create local functions that communicate
+directly with other worker nodes so as to ensure that the ODIN process does
+not become a performance bottleneck".
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Optional
+
+import numpy as np
+
+from .array import DistArray
+from .context import OdinContext, get_context, local_registry
+from .distribution import Distribution
+
+__all__ = ["local", "LocalFunction"]
+
+
+class LocalFunction:
+    """The global-level proxy of a worker-side function."""
+
+    def __init__(self, fn: Callable, name: Optional[str] = None):
+        self.fn = fn
+        self.name = name or f"{fn.__module__}.{fn.__qualname__}"
+        # inject into the worker namespace (the registry broadcast)
+        local_registry[self.name] = fn
+        functools.update_wrapper(self, fn)
+
+    def __call__(self, *args, **kwargs):
+        ctx = None
+        arg_specs = []
+        for a in args:
+            if isinstance(a, DistArray):
+                ctx = a.ctx
+                arg_specs.append(("array", a.array_id))
+            else:
+                arg_specs.append(("value", a))
+        kwarg_specs = {}
+        for k, v in kwargs.items():
+            if isinstance(v, DistArray):
+                ctx = v.ctx
+                kwarg_specs[k] = ("array", v.array_id)
+            else:
+                kwarg_specs[k] = ("value", v)
+        ctx = ctx if ctx is not None else get_context()
+        out_id = ctx.new_array_id()
+        results = ctx.call_local(self.name, tuple(arg_specs), kwarg_specs,
+                                 out_id=out_id)
+        tags = {tag for tag, _p in results}
+        if tags == {"stored"}:
+            # every worker produced a conforming local block: the result is
+            # a new distributed array (the paper's hypot example)
+            dist = results[0][1]
+            dtype = self._probe_dtype(ctx, out_id)
+            return DistArray(ctx, out_id, dist, dtype)
+        return [payload for _tag, payload in results]
+
+    @staticmethod
+    def _probe_dtype(ctx: OdinContext, array_id: int):
+        from . import opcodes
+        pieces = ctx.run(opcodes.GATHER, array_id)
+        for _dist, block in pieces:
+            if block.size:
+                return block.dtype
+        return pieces[0][1].dtype
+
+    def local_call(self, *args, **kwargs):
+        """Run the underlying function directly (driver-side, serial)."""
+        return self.fn(*args, **kwargs)
+
+    def __repr__(self):
+        return f"LocalFunction({self.name})"
+
+
+def local(fn: Callable = None, *, name: Optional[str] = None):
+    """Decorator registering *fn* as an ODIN local function.
+
+    ::
+
+        @odin.local
+        def hypot(x, y):
+            return odin.sqrt(x**2 + y**2)
+
+        h = hypot(x, y)      # x, y DistArrays -> h is a DistArray
+    """
+    if fn is None:
+        return lambda f: LocalFunction(f, name=name)
+    return LocalFunction(fn, name=name)
+
+
+# -- built-in local helpers used by the array layer ------------------------
+def _builtin_squeeze(block, axes=()):
+    return np.squeeze(block, axis=tuple(axes))
+
+
+local_registry["__squeeze__"] = _builtin_squeeze
+
+
+def _call_builtin_local(ctx: OdinContext, name: str, arrays, kwargs,
+                        out_dist: Distribution, dtype) -> DistArray:
+    """Invoke a builtin worker helper whose result has a known dist."""
+    arg_specs = tuple(("array", a.array_id) for a in arrays)
+    kwarg_specs = {k: ("value", v) for k, v in kwargs.items()}
+    out_id = ctx.new_array_id()
+    results = ctx.call_local(name, arg_specs, kwarg_specs, out_id=out_id)
+    # builtin helpers may return blocks whose shape no longer matches the
+    # input distribution; workers stored nothing, so scatter the dist in a
+    # second op
+    tags = {tag for tag, _p in results}
+    if tags == {"stored"}:
+        return DistArray(ctx, out_id, results[0][1], dtype)
+    # the helper returned reshaped blocks: reassemble and scatter under the
+    # target distribution (driver-mediated, used only for tiny metadata ops
+    # like squeeze)
+    blocks = [payload for _tag, payload in results]
+    full = np.empty(out_dist.global_shape, dtype=dtype)
+    for w, block in enumerate(blocks):
+        idx = out_dist.indices_for(w)
+        sl = [slice(None)] * out_dist.ndim
+        sl[out_dist.axis] = idx
+        full[tuple(sl)] = block
+    ctx.scatter(out_id, out_dist, full)
+    return DistArray(ctx, out_id, out_dist, dtype)

@@ -1,0 +1,30 @@
+"""Opcodes of the driver->worker control protocol.
+
+Control messages are tuples ``(opcode, *args)``; args are index metadata
+(array ids, distribution descriptors, op names) -- never bulk array data.
+The two data-plane exceptions are SCATTER (driver ships real blocks) and
+GATHER (workers ship blocks back), which exist precisely so everything
+else can stay small.
+"""
+
+CREATE = "create"            # (id, dist, dtype_str, fill_spec)
+SCATTER = "scatter"          # (id, dist, dtype_str) + buffer scatter
+DELETE_MANY = "delete_many"  # (ids,)
+DELETE = "delete"            # (id,)
+GATHER = "gather"            # (id,) -> per-worker (dist, block)
+FETCH = "fetch"              # (id, axis_indices) -> values at global idx
+UFUNC = "ufunc"              # (name, in_specs, out_id)
+FUSED = "fused"              # (program, in_ids, out_id, use_seamless)
+REDIST = "redistribute"      # (src_id, dst_id, new_dist)
+TRANSPOSE = "transpose"      # (src_id, dst_id, axes_perm, new_dist)
+SLICE = "slice"              # (src_id, dst_id, slices, new_dist)
+SETITEM = "setitem"          # (id, slices, value_spec)
+REDUCE = "reduce"            # (id, op_name, axis) -> partials
+MATMUL = "matmul"            # reserved
+CALL_LOCAL = "call_local"    # (fname, arg_specs, kwarg_specs)
+LOAD = "load"                # (id, dist, dtype_str, path_pattern)
+SAVE = "save"                # (id, path_pattern)
+GROUPBY = "groupby"          # tabular shuffle-reduce
+TRANSFORM = "transform"      # (src_id, dst_id, fname) -> new local length
+SET_DIST = "set_dist"        # (id, dist) fix metadata after a transform
+SHUTDOWN = "shutdown"

@@ -1,0 +1,157 @@
+"""ODIN <-> PyTrilinos interoperability (paper section III-E).
+
+"ODIN arrays are designed to be optionally compatible with Trilinos
+distributed Vectors and MultiVectors and their associated global-to-local
+mapping class."
+
+The bridge is zero-copy in spirit: an ODIN distribution along axis 0 *is*
+a Tpetra map (same global-to-local assignment), so conversion runs inside
+an ``@odin.local``-style worker op -- each worker wraps its block as the
+local segment of a Tpetra vector on the worker communicator.  On top of
+that, :func:`solve` lets a driver-side user hand ODIN arrays directly to
+the Krylov/AMG stack of :mod:`repro.solvers`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from .. import tpetra
+from ..teuchos import ParameterList
+from .array import DistArray
+from .context import local_registry, worker_comm, worker_index
+from .creation import zeros as _odin_zeros
+from .distribution import BlockDistribution, Distribution
+
+__all__ = ["dist_to_map", "map_to_dist", "solve", "matvec"]
+
+
+def dist_to_map(dist: Distribution, comm) -> tpetra.Map:
+    """The Tpetra map equivalent to an axis-0 ODIN distribution.
+
+    Called on a worker with the worker communicator.
+    """
+    if dist.ndim != 1:
+        raise ValueError("only 1-D arrays map onto Tpetra vectors")
+    my_gids = dist.indices_for(comm.rank)
+    return tpetra.Map(dist.axis_length, my_gids, comm, kind=dist.kind
+                      if dist.kind in ("contiguous",) else "arbitrary")
+
+
+def map_to_dist(map_: tpetra.Map, nworkers: int) -> Distribution:
+    """An ODIN distribution equivalent to a Tpetra map (driver side).
+
+    Requires the map's gid lists, so it is built from per-worker lists
+    gathered by the caller.
+    """
+    raise NotImplementedError(
+        "construct distributions directly; maps are worker-side objects")
+
+
+# ----------------------------------------------------------------------
+# worker-side kernels registered in the ODIN namespace
+# ----------------------------------------------------------------------
+def _solve_kernel(b_block, x0_block, matrix_name, matrix_params,
+                  solver_params, dist):
+    """Runs on every worker: assemble the operator on the worker comm,
+    solve collectively, return the local solution block."""
+    from .. import galeri, solvers
+
+    comm = worker_comm()
+    m = dist_to_map(dist, comm)
+    A = galeri.create_matrix(matrix_name, comm, map_=m, **matrix_params)
+    b = tpetra.Vector(m)
+    b.local_view[...] = b_block
+    x = tpetra.Vector(m)
+    x.local_view[...] = x0_block
+    prec_name = solver_params.pop("Preconditioner", "None")
+    prec = solvers.create_preconditioner(prec_name, A) \
+        if prec_name not in (None, "None", "none") else None
+    plist = ParameterList("AztecOO")
+    for key, value in solver_params.items():
+        plist.set(key, value)
+    result = solvers.AztecOO(A, prec=prec, params=plist).iterate(b, x=x)
+    info = {"converged": result.converged,
+            "iterations": result.iterations,
+            "residual": result.residual_norm}
+    return result.x.local_view.copy(), info
+
+
+local_registry["__odin_trilinos_solve__"] = _solve_kernel
+
+
+def _matvec_kernel(x_block, matrix_name, matrix_params, dist):
+    from .. import galeri
+
+    comm = worker_comm()
+    m = dist_to_map(dist, comm)
+    A = galeri.create_matrix(matrix_name, comm, map_=m, **matrix_params)
+    x = tpetra.Vector(m)
+    x.local_view[...] = x_block
+    return (A @ x).local_view.copy()
+
+
+local_registry["__odin_trilinos_matvec__"] = _matvec_kernel
+
+
+# ----------------------------------------------------------------------
+# driver-side API
+# ----------------------------------------------------------------------
+def solve(matrix_name: str, b: DistArray,
+          x0: Optional[DistArray] = None,
+          matrix_params: Optional[dict] = None,
+          solver: str = "CG", preconditioner: str = "None",
+          tol: float = 1e-8, maxiter: int = 1000):
+    """Solve ``A x = b`` where A is a Galeri operator and b an ODIN array.
+
+    This is the paper's headline integration: "easily initialize a problem
+    with NumPy-like ODIN distributed arrays and then pass those arrays to
+    a PyTrilinos solution algorithm, leveraging Trilinos optimizations and
+    scalability."  Returns ``(x, info)`` with x an ODIN DistArray.
+    """
+    if b.ndim != 1:
+        raise ValueError("b must be 1-D")
+    x0 = x0 if x0 is not None else _odin_zeros(
+        b.shape, dtype=b.dtype, ctx=b.ctx)
+    if not x0.dist.same_as(b.dist):
+        x0 = x0.redistribute(b.dist)
+    solver_params = {"Solver": solver, "Tolerance": tol,
+                     "Max Iterations": maxiter,
+                     "Preconditioner": preconditioner}
+    out_id = b.ctx.new_array_id()
+    results = b.ctx.call_local(
+        "__odin_trilinos_solve__",
+        (("array", b.array_id), ("array", x0.array_id),
+         ("value", matrix_name), ("value", matrix_params or {}),
+         ("value", solver_params), ("value", b.dist)),
+        {}, out_id=out_id)
+    blocks_info = [payload for _tag, payload in results]
+    info = blocks_info[0][1]
+    # assemble the solution as a new DistArray via scatterless storage:
+    # each worker returned (block, info); re-store the block under out_id
+    x = _store_blocks(b, [bi[0] for bi in blocks_info])
+    return x, info
+
+
+def matvec(matrix_name: str, x: DistArray,
+           matrix_params: Optional[dict] = None) -> DistArray:
+    """y = A x with A a distributed Galeri operator and x an ODIN array."""
+    results = x.ctx.call_local(
+        "__odin_trilinos_matvec__",
+        (("array", x.array_id), ("value", matrix_name),
+         ("value", matrix_params or {}), ("value", x.dist)),
+        {}, out_id=None)
+    blocks = [payload for _tag, payload in results]
+    return _store_blocks(x, blocks)
+
+
+def _store_blocks(like: DistArray, blocks) -> DistArray:
+    """Create a DistArray from per-worker blocks conforming to *like*."""
+    full = np.empty(like.shape, dtype=blocks[0].dtype)
+    for w, block in enumerate(blocks):
+        full[like.dist.indices_for(w)] = block
+    out_id = like.ctx.new_array_id()
+    like.ctx.scatter(out_id, like.dist, full)
+    return DistArray(like.ctx, out_id, like.dist, full.dtype)

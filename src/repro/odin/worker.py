@@ -1,0 +1,656 @@
+"""Worker-node execution engine.
+
+Each worker holds the local segments of every live distributed array and
+executes control ops from the driver.  All bulk data movement happens here,
+over the workers-only communicator -- the ODIN process never relays array
+data (Fig. 1's "worker nodes can communicate directly with each other").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..mpi.comm import Intracomm
+from . import opcodes
+from .distribution import (ArbitraryDistribution, BlockDistribution,
+                           Distribution)
+
+__all__ = ["WorkerState", "execute_op", "UFUNCS"]
+
+# ufuncs exposed as odin.<name>; unary and binary sets drive arity checks
+UNARY_UFUNCS = {
+    "negative": np.negative, "absolute": np.absolute, "abs": np.absolute,
+    "sqrt": np.sqrt, "exp": np.exp, "log": np.log, "log2": np.log2,
+    "log10": np.log10, "sin": np.sin, "cos": np.cos, "tan": np.tan,
+    "arcsin": np.arcsin, "arccos": np.arccos, "arctan": np.arctan,
+    "sinh": np.sinh, "cosh": np.cosh, "tanh": np.tanh,
+    "floor": np.floor, "ceil": np.ceil, "rint": np.rint, "sign": np.sign,
+    "square": np.square, "reciprocal": np.reciprocal, "conj": np.conjugate,
+    "isnan": np.isnan, "isinf": np.isinf, "logical_not": np.logical_not,
+}
+BINARY_UFUNCS = {
+    "add": np.add, "subtract": np.subtract, "multiply": np.multiply,
+    "divide": np.divide, "true_divide": np.true_divide,
+    "floor_divide": np.floor_divide, "power": np.power, "mod": np.mod,
+    "arctan2": np.arctan2, "hypot": np.hypot, "maximum": np.maximum,
+    "minimum": np.minimum, "fmax": np.fmax, "fmin": np.fmin,
+    "equal": np.equal, "not_equal": np.not_equal, "less": np.less,
+    "less_equal": np.less_equal, "greater": np.greater,
+    "greater_equal": np.greater_equal, "logical_and": np.logical_and,
+    "logical_or": np.logical_or, "logical_xor": np.logical_xor,
+}
+TERNARY_UFUNCS = {
+    "where": np.where, "clip": np.clip,
+}
+UFUNCS = {**UNARY_UFUNCS, **BINARY_UFUNCS, **TERNARY_UFUNCS}
+
+REDUCERS = {
+    "sum": np.add, "prod": np.multiply, "min": np.minimum,
+    "max": np.maximum, "any": np.logical_or, "all": np.logical_and,
+}
+
+
+@dataclass
+class WorkerState:
+    """Everything one worker knows."""
+
+    index: int
+    comm: Intracomm                       # workers-only communicator
+    registry: Dict[str, Callable]         # @odin.local functions
+    full_comm: Optional[Intracomm] = None  # driver + workers (scatter path)
+    arrays: Dict[int, Tuple[np.ndarray, Distribution]] = field(
+        default_factory=dict)
+
+    def get(self, array_id: int) -> Tuple[np.ndarray, Distribution]:
+        try:
+            return self.arrays[array_id]
+        except KeyError:
+            raise KeyError(f"worker {self.index}: unknown array id "
+                           f"{array_id}") from None
+
+
+# ----------------------------------------------------------------------
+# creation
+# ----------------------------------------------------------------------
+def _fill_local(state: WorkerState, dist: Distribution, dtype,
+                fill_spec) -> np.ndarray:
+    """Allocate and initialize the local block from a tiny descriptor.
+
+    Index-dependent fills (arange, linspace, fromfunction, random seeds)
+    are computed from the worker's own global indices -- no data on the
+    wire, exactly as the paper describes for ``odin.rand(shape)``.
+    """
+    w = state.index
+    shape = dist.local_shape(w)
+    kind = fill_spec[0]
+    if kind == "zeros":
+        return np.zeros(shape, dtype=dtype)
+    if kind == "ones":
+        return np.ones(shape, dtype=dtype)
+    if kind == "empty":
+        return np.empty(shape, dtype=dtype)
+    if kind == "full":
+        return np.full(shape, fill_spec[1], dtype=dtype)
+    if kind == "random":
+        seed = fill_spec[1]
+        rng = np.random.default_rng(None if seed is None else seed + w)
+        return rng.random(shape).astype(dtype, copy=False)
+    if kind == "normal":
+        seed = fill_spec[1]
+        rng = np.random.default_rng(None if seed is None else seed + w)
+        return rng.standard_normal(shape).astype(dtype, copy=False)
+    if kind == "fromfunction":
+        fn = state.registry[fill_spec[1]]
+        per_axis = []
+        for ax in range(dist.ndim):
+            ids = dist.axis_indices(w, ax)
+            per_axis.append(np.arange(dist.global_shape[ax])
+                            if ids is None else ids)
+        grids = np.meshgrid(*per_axis, indexing="ij")
+        return np.asarray(fn(*grids), dtype=dtype)
+    if len(dist.dist_axes) > 1:
+        raise ValueError(f"fill {kind!r} is 1-D-indexed; use fromfunction "
+                         f"for grid-distributed arrays")
+    gi = dist.indices_for(w).astype(np.float64)
+    if kind == "arange":
+        start, step = fill_spec[1], fill_spec[2]
+        vals = (start + step * gi).astype(dtype, copy=False)
+    elif kind == "linspace":
+        start, stop, num, endpoint = fill_spec[1:]
+        denom = (num - 1) if endpoint else num
+        step = (stop - start) / denom if denom else 0.0
+        vals = (start + step * gi).astype(dtype, copy=False)
+    else:
+        raise ValueError(f"unknown fill spec {fill_spec!r}")
+    if dist.ndim == 1:
+        return vals
+    # index-dependent 1-D fills broadcast along the distributed axis
+    shape_b = [1] * dist.ndim
+    shape_b[dist.axis] = len(gi)
+    return np.broadcast_to(vals.reshape(shape_b), shape).copy()
+
+
+# ----------------------------------------------------------------------
+# redistribution (the workhorse: worker-to-worker, driver untouched)
+# ----------------------------------------------------------------------
+def _intersect_owned(mine: np.ndarray, dst: Distribution,
+                     v: int) -> np.ndarray:
+    """Sorted intersection of *mine* with worker v's holdings in *dst*.
+
+    Fast path: when *mine* is sorted and *dst* assigns v a contiguous
+    range (block distributions), the intersection is a searchsorted
+    slice -- O(log n) instead of intersect1d's O(n log n) sort.  Both the
+    sender and the receiver of a transfer call this with the same
+    arguments, so the element order on the wire always agrees.
+    """
+    from .distribution import BlockDistribution
+    if isinstance(dst, BlockDistribution) and \
+            (len(mine) < 2 or bool(np.all(np.diff(mine) > 0))):
+        lo = dst._offsets[v]
+        hi = dst._offsets[v + 1]
+        i0 = int(np.searchsorted(mine, lo))
+        i1 = int(np.searchsorted(mine, hi))
+        return mine[i0:i1]
+    return np.intersect1d(mine, dst.indices_for(v), assume_unique=True)
+
+
+def _is_multi_axis(src: Distribution, dst: Distribution) -> bool:
+    return (len(src.dist_axes) > 1 or len(dst.dist_axes) > 1
+            or src.general_only or dst.general_only)
+
+
+def _redistribute_block(state: WorkerState, local: np.ndarray,
+                        src: Distribution, dst: Distribution) -> np.ndarray:
+    """Move a local block from distribution *src* to *dst*.
+
+    Both sides of every pairwise transfer compute the intersection of
+    ownership deterministically from the distribution descriptors, so only
+    array data crosses the wire -- no index lists.  Single-axis pairs use
+    fast range intersections; grid distributions go through the general
+    per-axis Cartesian-intersection engine (ownership is separable per
+    axis, so the overlap of two workers is always a rectangular tile).
+    """
+    if _is_multi_axis(src, dst):
+        return _redistribute_general(state, local, src, dst)
+    comm = state.comm
+    P = comm.size
+    w = state.index
+    out = np.empty(dst.local_shape(w),
+                   dtype=local.dtype)
+    my_src = src.indices_for(w)
+    sendobjs: List[Any] = [None] * P
+    for v in range(P):
+        if src.axis == dst.axis:
+            inter = _intersect_owned(my_src, dst, v)
+            if len(inter) == 0:
+                continue
+            take = src.local_position(inter)
+            piece = np.take(local, take, axis=src.axis)
+        else:
+            # I own full slabs along dst.axis; send v's columns of my slab
+            piece = np.take(local, dst.indices_for(v), axis=dst.axis)
+        if v == w:
+            _place_piece(out, piece, w, w, src, dst)
+        else:
+            sendobjs[v] = piece
+    received = comm.alltoall(sendobjs)
+    for u, piece in enumerate(received):
+        if piece is not None:
+            _place_piece(out, piece, u, w, src, dst)
+    return out
+
+
+def _pair_tile(src: Distribution, dst: Distribution, from_w: int,
+               to_w: int):
+    """Per-axis sorted intersections of from_w's src block with to_w's dst
+    block, or None when the tile is empty.  Axes neither side distributes
+    are full-extent and omitted (slice(None))."""
+    ndim = len(src.global_shape)
+    tile = []
+    for ax in range(ndim):
+        mine = src.axis_indices(from_w, ax)
+        theirs = dst.axis_indices(to_w, ax)
+        if mine is None and theirs is None:
+            tile.append(None)  # full extent on both sides
+            continue
+        if mine is None:
+            inter = np.asarray(theirs, dtype=np.int64)
+        elif theirs is None:
+            inter = np.asarray(mine, dtype=np.int64)
+        else:
+            inter = np.intersect1d(mine, theirs, assume_unique=True)
+        if len(inter) == 0:
+            return None
+        tile.append(inter)
+    return tile
+
+
+def _take_tile(local: np.ndarray, dist: Distribution, worker: int,
+               tile) -> np.ndarray:
+    out = local
+    for ax, inter in enumerate(tile):
+        if inter is None:
+            continue
+        pos = dist.axis_local_position(worker, ax, inter)
+        out = np.take(out, pos, axis=ax)
+    return np.ascontiguousarray(out)
+
+
+def _place_tile(out: np.ndarray, piece: np.ndarray, dist: Distribution,
+                worker: int, tile) -> None:
+    per_axis = []
+    for ax, inter in enumerate(tile):
+        if inter is None:
+            per_axis.append(np.arange(out.shape[ax], dtype=np.int64))
+        else:
+            per_axis.append(dist.axis_local_position(worker, ax, inter))
+    out[np.ix_(*per_axis)] = piece
+
+
+def _redistribute_general(state: WorkerState, local: np.ndarray,
+                          src: Distribution,
+                          dst: Distribution) -> np.ndarray:
+    comm = state.comm
+    P = comm.size
+    w = state.index
+    out = np.empty(dst.local_shape(w), dtype=local.dtype)
+    sendobjs: List[Any] = [None] * P
+    for v in range(P):
+        tile = _pair_tile(src, dst, w, v)
+        if tile is None:
+            continue
+        piece = _take_tile(local, src, w, tile)
+        if v == w:
+            _place_tile(out, piece, dst, w, tile)
+        else:
+            sendobjs[v] = piece
+    received = comm.alltoall(sendobjs)
+    for u, piece in enumerate(received):
+        if piece is not None:
+            tile = _pair_tile(src, dst, u, w)
+            _place_tile(out, piece, dst, w, tile)
+    return out
+
+
+def _place_piece(out: np.ndarray, piece: np.ndarray, from_w: int,
+                 to_w: int, src: Distribution, dst: Distribution) -> None:
+    if src.axis == dst.axis:
+        inter = _intersect_owned(src.indices_for(from_w), dst, to_w)
+        pos = dst.local_position(inter)
+        sl = [slice(None)] * dst.ndim
+        sl[dst.axis] = pos
+        out[tuple(sl)] = piece
+    else:
+        rows = src.indices_for(from_w)   # global along src.axis
+        sl = [slice(None)] * dst.ndim
+        sl[src.axis] = rows              # full extent locally on dst side
+        out[tuple(sl)] = piece
+
+
+# ----------------------------------------------------------------------
+# slicing
+# ----------------------------------------------------------------------
+def _slice_survivors(dist: Distribution, worker: int, sl: slice):
+    """Global source indices on *worker* that survive slice *sl* along the
+    distributed axis, plus their new global indices."""
+    start, stop, step = sl.indices(dist.axis_length)
+    mine = dist.indices_for(worker)
+    if step > 0:
+        mask = (mine >= start) & (mine < stop) & ((mine - start) % step == 0)
+    else:
+        mask = (mine <= start) & (mine > stop) & ((start - mine) % -step == 0)
+    kept = mine[mask]
+    new_g = (kept - start) // step
+    return kept, new_g
+
+
+def _apply_slice(state: WorkerState, local: np.ndarray, src: Distribution,
+                 slices, new_dist: Distribution) -> np.ndarray:
+    """Slice then redistribute to *new_dist* (same ndim preserved)."""
+    w = state.index
+    # local part: every non-distributed axis is sliced in place
+    local_sl = []
+    mid_shape = list(src.global_shape)
+    for ax, sl in enumerate(slices):
+        if ax == src.axis:
+            local_sl.append(slice(None))
+        else:
+            local_sl.append(sl)
+            mid_shape[ax] = len(range(*sl.indices(src.global_shape[ax])))
+    part = local[tuple(local_sl)]
+    # distributed axis: keep survivors, renumber them globally
+    axis_sl = slices[src.axis]
+    kept, _new_g = _slice_survivors(src, w, axis_sl)
+    take = src.axis_local_position(w, src.axis, kept)
+    part = np.take(part, take, axis=src.axis)
+    start, stop, step = axis_sl.indices(src.axis_length)
+    mid_shape[src.axis] = len(range(start, stop, step))
+    # ownership after the cut, before rebalancing: each worker holds the
+    # survivors of its own segment (deterministically recomputable)
+    lists = [_slice_survivors(src, v, axis_sl)[1]
+             for v in range(src.nworkers)]
+    inter = ArbitraryDistribution(tuple(mid_shape), src.axis, lists,
+                                  validate=False)
+    return _redistribute_block(state, part, inter, new_dist)
+
+
+# ----------------------------------------------------------------------
+# fused expression evaluation (loop fusion, paper section III intro)
+# ----------------------------------------------------------------------
+def _eval_program(state: WorkerState, program, blocks: List[np.ndarray],
+                  use_seamless: bool) -> np.ndarray:
+    """Evaluate a postfix elementwise program over conformable blocks.
+
+    With ``use_seamless`` the program is compiled to a single native loop
+    via :mod:`repro.seamless` (true loop fusion); otherwise a NumPy stack
+    machine evaluates it block-at-a-time (still one control round-trip for
+    the whole expression instead of one per op).
+    """
+    if use_seamless:
+        try:
+            from .fusion import compiled_kernel
+            kernel = compiled_kernel(tuple(program), len(blocks))
+            if kernel is not None:
+                return kernel(blocks)
+        except Exception:
+            pass  # fall back to the stack machine
+    stack: List[np.ndarray] = []
+    for inst in program:
+        tag = inst[0]
+        if tag == "load":
+            stack.append(blocks[inst[1]])
+        elif tag == "const":
+            stack.append(inst[1])
+        elif tag == "unary":
+            stack.append(UNARY_UFUNCS[inst[1]](stack.pop()))
+        elif tag == "binary":
+            b = stack.pop()
+            a = stack.pop()
+            stack.append(BINARY_UFUNCS[inst[1]](a, b))
+        else:
+            raise ValueError(f"bad instruction {inst!r}")
+    if len(stack) != 1:
+        raise ValueError("malformed fusion program")
+    return np.asarray(stack[0])
+
+
+def _key_hash(keys: np.ndarray) -> np.ndarray:
+    """Deterministic shuffle hash for group-by keys (ints or strings)."""
+    keys = np.asarray(keys)
+    if keys.dtype.kind in "iu":
+        return np.abs(keys.astype(np.int64) * np.int64(2654435761)) \
+            & np.int64(0x7FFFFFFF)
+    out = np.empty(len(keys), dtype=np.int64)
+    for i, k in enumerate(keys):
+        h = 0
+        for ch in str(k).encode():
+            h = (h * 131 + ch) & 0x7FFFFFFF
+        out[i] = h
+    return out
+
+
+# ----------------------------------------------------------------------
+# dispatch
+# ----------------------------------------------------------------------
+def execute_op(state: WorkerState, op: tuple) -> Any:
+    code = op[0]
+
+    if code == opcodes.CREATE:
+        _code, array_id, dist, dtype_str, fill_spec = op
+        state.arrays[array_id] = (
+            _fill_local(state, dist, np.dtype(dtype_str), fill_spec), dist)
+        return None
+
+    if code == opcodes.SCATTER:
+        _code, array_id, dist, _dtype_str = op
+        block = state.full_comm.scatter(None, root=0)
+        state.arrays[array_id] = (block, dist)
+        return None
+
+    if code == opcodes.DELETE:
+        state.arrays.pop(op[1], None)
+        return None
+
+    if code == opcodes.DELETE_MANY:
+        for array_id in op[1]:
+            state.arrays.pop(array_id, None)
+        return None
+
+    if code == opcodes.GATHER:
+        local, dist = state.get(op[1])
+        return (dist, local)
+
+    if code == opcodes.FETCH:
+        _code, array_id, index_tuple = op
+        local, dist = state.get(array_id)
+        li = []
+        for ax in range(dist.ndim):
+            ids = dist.axis_indices(state.index, ax)
+            if ids is None:
+                li.append(int(index_tuple[ax]))
+                continue
+            pos = np.nonzero(ids == index_tuple[ax])[0]
+            if len(pos) == 0:
+                return None  # not this worker's tile
+            li.append(int(pos[0]))
+        return local[tuple(li)]
+
+    if code == opcodes.UFUNC:
+        _code, name, in_specs, out_id = op
+        blocks = []
+        dist = None
+        for spec in in_specs:
+            if spec[0] == "array":
+                block, d = state.get(spec[1])
+                blocks.append(block)
+                dist = d if dist is None else dist
+            else:
+                blocks.append(spec[1])
+        result = UFUNCS[name](*blocks)
+        state.arrays[out_id] = (np.asarray(result), dist)
+        return None
+
+    if code == opcodes.FUSED:
+        _code, program, in_ids, out_id, use_seamless = op
+        blocks = []
+        dist = None
+        for array_id in in_ids:
+            block, d = state.get(array_id)
+            blocks.append(block)
+            dist = d if dist is None else dist
+        result = _eval_program(state, program, blocks, use_seamless)
+        state.arrays[out_id] = (result, dist)
+        return None
+
+    if code == opcodes.REDIST:
+        _code, src_id, dst_id, new_dist = op
+        local, src_dist = state.get(src_id)
+        moved = _redistribute_block(state, local, src_dist, new_dist)
+        state.arrays[dst_id] = (moved, new_dist)
+        return None
+
+    if code == opcodes.TRANSPOSE:
+        # axis permutation keeps every element on its worker: the new
+        # distribution permutes the distributed axes the same way, so the
+        # whole op is a local np.transpose -- zero communication
+        _code, src_id, dst_id, axes_perm, new_dist = op
+        local, _src_dist = state.get(src_id)
+        state.arrays[dst_id] = (
+            np.ascontiguousarray(np.transpose(local, axes_perm)), new_dist)
+        return None
+
+    if code == opcodes.SLICE:
+        _code, src_id, dst_id, slices, new_dist = op
+        local, src_dist = state.get(src_id)
+        out = _apply_slice(state, local, src_dist, slices, new_dist)
+        state.arrays[dst_id] = (out, new_dist)
+        return None
+
+    if code == opcodes.SETITEM:
+        _code, array_id, slices, value_spec = op
+        local, dist = state.get(array_id)
+        w = state.index
+        local_sl = []
+        for ax, sl in enumerate(slices):
+            if ax == dist.axis:
+                local_sl.append(None)  # placeholder
+            else:
+                local_sl.append(sl)
+        kept, _new_g = _slice_survivors(dist, w, slices[dist.axis])
+        take = dist.axis_local_position(w, dist.axis, kept)
+        local_sl[dist.axis] = take
+        if value_spec[0] == "scalar":
+            sl = list(local_sl)
+            local[tuple(sl)] = value_spec[1]
+        else:
+            raise ValueError("only scalar setitem values are supported via "
+                             "control messages; use local functions for "
+                             "array-valued assignment")
+        return None
+
+    if code == opcodes.REDUCE:
+        _code, array_id, op_name, axis = op[:4]
+        local, dist = state.get(array_id)
+        reducer = REDUCERS[op_name]
+        if axis is None:
+            if local.size == 0:
+                return ("partial", None)
+            return ("partial", reducer.reduce(local, axis=None))
+        if len(dist.dist_axes) > 1:
+            # grid: reduce locally, ship the tile with its remaining-axes
+            # coordinates; the driver combines overlapping tiles
+            part = reducer.reduce(local, axis=axis) if local.size else None
+            coords = []
+            for ax in range(dist.ndim):
+                if ax == axis:
+                    continue
+                ids = dist.axis_indices(state.index, ax)
+                coords.append(None if ids is None else ids)
+            return ("tile", coords, part)
+        if axis == dist.axis:
+            part = reducer.reduce(local, axis=axis) if local.size else None
+            return ("partial", part)
+        # purely local reduction: result stays distributed, with the same
+        # axis decomposition (expressed as an arbitrary distribution so
+        # nonuniform block counts survive unchanged)
+        reduced = reducer.reduce(local, axis=axis)
+        new_shape = tuple(s for i, s in enumerate(dist.global_shape)
+                          if i != axis)
+        new_axis = dist.axis - (1 if axis < dist.axis else 0)
+        lists = [dist.indices_for(v) for v in range(dist.nworkers)]
+        new_dist = ArbitraryDistribution(new_shape, new_axis, lists,
+                                         validate=False)
+        out_id = op[4]
+        state.arrays[out_id] = (reduced, new_dist)
+        return ("stored", new_dist)
+
+    if code == opcodes.CALL_LOCAL:
+        _code, fname, arg_specs, kwarg_specs, out_id = op[:5]
+        out_dist = op[5] if len(op) > 5 else None
+        fn = state.registry[fname]
+        args = []
+        first_dist = None
+        for spec in arg_specs:
+            if spec[0] == "array":
+                block, d = state.get(spec[1])
+                args.append(block)
+                first_dist = d if first_dist is None else first_dist
+            else:
+                args.append(spec[1])
+        kwargs = {}
+        for key, spec in kwarg_specs.items():
+            if spec[0] == "array":
+                block, d = state.get(spec[1])
+                kwargs[key] = block
+                first_dist = d if first_dist is None else first_dist
+            else:
+                kwargs[key] = spec[1]
+        result = fn(*args, **kwargs)
+        target = out_dist if out_dist is not None else first_dist
+        if out_id is not None and isinstance(result, np.ndarray) and \
+                target is not None and \
+                result.shape == target.local_shape(state.index):
+            state.arrays[out_id] = (result, target)
+            return ("stored", target)
+        return ("value", result)
+
+    if code == opcodes.TRANSFORM:
+        # apply a registered record-wise transform; the local length may
+        # change (filter), so the driver fixes the distribution afterwards
+        _code, src_id, dst_id, fname = op
+        local, _dist = state.get(src_id)
+        fn = state.registry[fname]
+        result = np.asarray(fn(local))
+        state.arrays[dst_id] = (result, None)
+        return (int(result.shape[0]), result.dtype.str
+                if result.dtype.names is None else result.dtype.descr)
+
+    if code == opcodes.SET_DIST:
+        _code, array_id, dist = op
+        local, _old = state.get(array_id)
+        expected = dist.local_shape(state.index)
+        if tuple(local.shape) != tuple(expected):
+            raise ValueError(f"stored block shape {local.shape} does not "
+                             f"match assigned distribution {expected}")
+        state.arrays[array_id] = (local, dist)
+        return None
+
+    if code == opcodes.GROUPBY:
+        # shuffle rows by key hash over the worker comm, then aggregate
+        _code, src_id, dst_id, key_field, agg_field, agg_op = op
+        local, _dist = state.get(src_id)
+        P = state.comm.size
+        keys = local[key_field]
+        dest = _key_hash(keys) % P
+        outbound = [local[dest == v] for v in range(P)]
+        received = state.comm.alltoall(outbound)
+        mine = np.concatenate([r for r in received if len(r)]) \
+            if any(len(r) for r in received) else local[:0]
+        uniq, inverse = np.unique(mine[key_field], return_inverse=True)
+        values = mine[agg_field]
+        if agg_op == "count":
+            agg = np.bincount(inverse, minlength=len(uniq)).astype(
+                np.float64)
+        elif agg_op == "sum":
+            agg = np.bincount(inverse, weights=values.astype(np.float64),
+                              minlength=len(uniq))
+        elif agg_op == "mean":
+            sums = np.bincount(inverse, weights=values.astype(np.float64),
+                               minlength=len(uniq))
+            cnts = np.bincount(inverse, minlength=len(uniq))
+            agg = sums / np.maximum(cnts, 1)
+        elif agg_op in ("min", "max"):
+            fill = np.inf if agg_op == "min" else -np.inf
+            agg = np.full(len(uniq), fill)
+            ufn = np.minimum if agg_op == "min" else np.maximum
+            ufn.at(agg, inverse, values.astype(np.float64))
+        else:
+            raise ValueError(f"unknown aggregation {agg_op!r}")
+        out = np.empty(len(uniq), dtype=[("key", uniq.dtype),
+                                         ("value", np.float64)])
+        out["key"] = uniq
+        out["value"] = agg
+        state.arrays[dst_id] = (out, None)
+        return (int(len(out)), out.dtype.descr)
+
+    if code == opcodes.SAVE:
+        _code, array_id, pattern = op
+        local, dist = state.get(array_id)
+        np.save(pattern.format(rank=state.index), local)
+        return None
+
+    if code == opcodes.LOAD:
+        _code, array_id, dist, dtype_str, pattern = op
+        block = np.load(pattern.format(rank=state.index))
+        expected = dist.local_shape(state.index)
+        if block.shape != expected:
+            raise ValueError(f"loaded block shape {block.shape} != expected "
+                             f"{expected}")
+        state.arrays[array_id] = (block.astype(np.dtype(dtype_str),
+                                               copy=False), dist)
+        return None
+
+    raise ValueError(f"unknown opcode {code!r}")

@@ -1,0 +1,172 @@
+"""C header parsing for automatic foreign-function discovery.
+
+Paper section IV-C: "the argument types and return types of the exposed
+functions are automatically discovered. One has only to specify the header
+file location."
+
+Real-world headers are macro soup, so discovery runs the system
+preprocessor (``cc -E``) first -- the same trick every production binding
+generator uses -- and then parses the flattened prototypes.  Only functions
+whose full signature is expressible in ctypes scalars/pointers are bound;
+the rest are skipped, which is the right behavior for "make the math
+library available" use cases.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import re
+import subprocess
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["CFunctionDecl", "parse_header", "preprocess_header",
+           "ctype_of", "HeaderParseError"]
+
+
+class HeaderParseError(RuntimeError):
+    pass
+
+
+_SCALAR_CTYPES = {
+    "void": None,
+    "char": ctypes.c_char,
+    "signed char": ctypes.c_byte,
+    "unsigned char": ctypes.c_ubyte,
+    "short": ctypes.c_short, "short int": ctypes.c_short,
+    "unsigned short": ctypes.c_ushort,
+    "int": ctypes.c_int,
+    "unsigned": ctypes.c_uint, "unsigned int": ctypes.c_uint,
+    "long": ctypes.c_long, "long int": ctypes.c_long,
+    "unsigned long": ctypes.c_ulong, "unsigned long int": ctypes.c_ulong,
+    "long long": ctypes.c_longlong, "long long int": ctypes.c_longlong,
+    "unsigned long long": ctypes.c_ulonglong,
+    "float": ctypes.c_float,
+    "double": ctypes.c_double,
+    "long double": ctypes.c_longdouble,
+    "size_t": ctypes.c_size_t,
+    "int8_t": ctypes.c_int8, "int16_t": ctypes.c_int16,
+    "int32_t": ctypes.c_int32, "int64_t": ctypes.c_int64,
+    "uint8_t": ctypes.c_uint8, "uint16_t": ctypes.c_uint16,
+    "uint32_t": ctypes.c_uint32, "uint64_t": ctypes.c_uint64,
+}
+
+_QUALIFIERS = ("extern", "static", "inline", "__inline", "__inline__",
+               "const", "volatile", "register", "restrict", "__restrict",
+               "__restrict__", "_Noreturn", "__extension__")
+
+
+@dataclass
+class CFunctionDecl:
+    """One parsed prototype."""
+
+    name: str
+    restype: Optional[type]        # ctypes type or None for void
+    argtypes: List[type]
+    signature: str                  # human-readable
+
+    def bind(self, lib: ctypes.CDLL):
+        fn = getattr(lib, self.name)
+        fn.restype = self.restype
+        fn.argtypes = self.argtypes
+        return fn
+
+
+def preprocess_header(header: str, cc: str = "cc") -> str:
+    """Run the system preprocessor over ``#include <header>``."""
+    program = f"#include <{header}>\n"
+    try:
+        proc = subprocess.run(
+            [cc, "-E", "-P", "-x", "c", "-"], input=program,
+            capture_output=True, text=True, timeout=60)
+    except (OSError, subprocess.SubprocessError) as exc:
+        raise HeaderParseError(f"preprocessing {header!r} failed: {exc}") \
+            from None
+    if proc.returncode != 0:
+        raise HeaderParseError(
+            f"preprocessing {header!r} failed:\n{proc.stderr[:2000]}")
+    return proc.stdout
+
+
+def ctype_of(decl: str) -> Optional[object]:
+    """ctypes type of a C type spelling; ``False`` when unsupported.
+
+    Returns None for ``void``; pointer types map to the matching
+    ``ctypes.POINTER`` (``char*`` to ``c_char_p``).
+    """
+    text = decl.strip()
+    pointers = text.count("*")
+    text = text.replace("*", " ")
+    words = [w for w in text.split() if w not in _QUALIFIERS
+             and not w.startswith("__")]
+    base = " ".join(words)
+    if base not in _SCALAR_CTYPES:
+        return False
+    scalar = _SCALAR_CTYPES[base]
+    if pointers == 0:
+        return scalar
+    if pointers == 1:
+        if scalar is ctypes.c_char:
+            return ctypes.c_char_p
+        if scalar is None:
+            return ctypes.c_void_p
+        return ctypes.POINTER(scalar)
+    return False
+
+
+_PROTO_RE = re.compile(
+    r"(?P<ret>[A-Za-z_][\w\s\*]*?)\s*"
+    r"\b(?P<name>[A-Za-z_]\w*)\s*"
+    r"\((?P<args>[^()]*)\)\s*"
+    r"(?:__asm__\s*\([^)]*\)\s*)?"
+    r"(?:__attribute__\s*\(\([^)]*\)\)\s*)*"
+    r";",
+)
+
+
+def parse_header(header: str, cc: str = "cc") -> Dict[str, CFunctionDecl]:
+    """All bindable function prototypes declared by a system header."""
+    text = preprocess_header(header, cc=cc)
+    # strip attribute noise that confuses the prototype regex; the inner
+    # pattern tolerates one level of nested parens, applied to a fixpoint
+    attr = re.compile(
+        r"__attribute__\s*\(\([^()]*(?:\([^()]*\)[^()]*)*\)\)")
+    prev = None
+    while prev != text:
+        prev = text
+        text = attr.sub(" ", text)
+    text = re.sub(r"__asm\w*\s*\(\s*\"[^\"]*\"\s*\)", " ", text)
+    text = re.sub(r"\b_Nullable\b|\b_Nonnull\b", " ", text)
+    decls: Dict[str, CFunctionDecl] = {}
+    for match in _PROTO_RE.finditer(text):
+        name = match.group("name")
+        ret = ctype_of(match.group("ret"))
+        if ret is False:
+            continue
+        args_text = match.group("args").strip()
+        argtypes: List[type] = []
+        ok = True
+        if args_text not in ("", "void"):
+            for raw in args_text.split(","):
+                raw = raw.strip()
+                if raw == "...":
+                    ok = False  # variadics need explicit handling
+                    break
+                # drop a trailing parameter name if present
+                param = re.sub(r"\b[A-Za-z_]\w*$", "",
+                               raw).strip() or raw
+                t = ctype_of(param)
+                if t in (False, None):
+                    # retry including the last word (unnamed parameter)
+                    t = ctype_of(raw)
+                if t is False or t is None:
+                    ok = False
+                    break
+                argtypes.append(t)
+        if not ok:
+            continue
+        signature = f"{match.group('ret').strip()} {name}({args_text})"
+        decls[name] = CFunctionDecl(name, ret, argtypes, signature)
+    if not decls:
+        raise HeaderParseError(f"no bindable prototypes found in {header!r}")
+    return decls

@@ -1,0 +1,95 @@
+"""The ``seamless`` command line utility (paper section IV-B).
+
+"One would use the seamless command line utility to generate the extension
+module."
+
+::
+
+    seamless build kernels.py --function sum:float64[] --function dot:float64[],float64[]
+    seamless export-cpp kernels.py --function sum:float64[] -o out/
+    seamless inspect kernels.py --function sum:float64[]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Sequence
+
+
+def _parse_function_specs(specs: List[str]) -> Dict[str, Sequence[str]]:
+    out: Dict[str, Sequence[str]] = {}
+    for spec in specs:
+        if ":" in spec:
+            name, types = spec.split(":", 1)
+            out[name] = [t for t in types.split(",") if t]
+        else:
+            out[spec] = []
+    if not out:
+        raise SystemExit("at least one --function is required")
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="seamless",
+        description="Seamless static compiler and export tool")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_build = sub.add_parser(
+        "build", help="statically compile functions to a .so + wrapper")
+    p_build.add_argument("source", help="Python source file")
+    p_build.add_argument("--function", "-f", action="append", default=[],
+                         help="NAME or NAME:type1,type2 (repeatable)")
+    p_build.add_argument("--out-dir", "-o", default=None)
+    p_build.add_argument("--name", default=None, help="module name")
+
+    p_export = sub.add_parser(
+        "export-cpp", help="export functions as a C++ header + library")
+    p_export.add_argument("source")
+    p_export.add_argument("--function", "-f", action="append", default=[])
+    p_export.add_argument("--out-dir", "-o", required=True)
+    p_export.add_argument("--name", default="seamless_export")
+    p_export.add_argument("--namespace", default="numpy")
+
+    p_inspect = sub.add_parser(
+        "inspect", help="print the generated C for a function")
+    p_inspect.add_argument("source")
+    p_inspect.add_argument("--function", "-f", action="append", default=[])
+
+    args = parser.parse_args(argv)
+
+    if args.command == "build":
+        from .static import build_module
+        functions = _parse_function_specs(args.function)
+        wrapper = build_module(args.source, functions,
+                               out_dir=args.out_dir,
+                               module_name=args.name)
+        print(f"wrote {wrapper}")
+        return 0
+
+    if args.command == "export-cpp":
+        from .cpp_export import export_cpp
+        functions = _parse_function_specs(args.function)
+        with open(args.source, encoding="utf-8") as fh:
+            source = fh.read()
+        paths = export_cpp(source, functions, args.out_dir,
+                           name=args.name, namespace=args.namespace)
+        for kind, path in paths.items():
+            print(f"{kind}: {path}")
+        return 0
+
+    if args.command == "inspect":
+        from .static import compile_source
+        functions = _parse_function_specs(args.function)
+        with open(args.source, encoding="utf-8") as fh:
+            source = fh.read()
+        c_source, _statics = compile_source(source, functions)
+        print(c_source)
+        return 0
+
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

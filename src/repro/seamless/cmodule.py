@@ -1,0 +1,113 @@
+"""CModule: trivially import C libraries into Python (paper section IV-C).
+
+The paper's example, verbatim::
+
+    class cmath(CModule):
+        Header = "math.h"
+
+    libm = cmath("m")
+    libm.atan2(1.0, 2.0)
+
+Subclassing :class:`CModule` declares *which header* describes the library;
+instantiating it with a library name loads the shared library (found the
+same way ctypes' ``find_library`` does) and exposes every function whose
+prototype the header discovery could express -- no manual signature
+specification and no separate compilation step.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import ctypes.util
+from typing import Dict, Optional
+
+from .cheader import CFunctionDecl, HeaderParseError, parse_header
+
+__all__ = ["CModule", "BoundFunction"]
+
+
+class BoundFunction:
+    """A foreign function with discovered argtypes/restype."""
+
+    def __init__(self, decl: CFunctionDecl, fn):
+        self.decl = decl
+        self._fn = fn
+        self.__name__ = decl.name
+        self.__doc__ = f"C function: {decl.signature}"
+
+    def __call__(self, *args):
+        return self._fn(*args)
+
+    def __repr__(self):
+        return f"<BoundFunction {self.decl.signature}>"
+
+
+class CModule:
+    """Base class for header-described C libraries.
+
+    Class attributes:
+
+    - ``Header``: header name to discover prototypes from (required).
+    - ``CC``: compiler used for preprocessing (default ``cc``).
+    """
+
+    Header: Optional[str] = None
+    CC: str = "cc"
+
+    def __init__(self, library: str):
+        cls = type(self)
+        if cls.Header is None:
+            raise TypeError(f"{cls.__name__} must define a Header class "
+                            f"attribute")
+        path = ctypes.util.find_library(library) or library
+        try:
+            self._lib = ctypes.CDLL(path)
+        except OSError as exc:
+            raise OSError(f"cannot load library {library!r}: {exc}") \
+                from None
+        self._decls = self._discover(cls.Header, cls.CC)
+        self._bound: Dict[str, BoundFunction] = {}
+        self.library_name = library
+
+    _decl_cache: Dict[tuple, Dict[str, CFunctionDecl]] = {}
+
+    @classmethod
+    def _discover(cls, header: str, cc: str) -> Dict[str, CFunctionDecl]:
+        key = (header, cc)
+        if key not in CModule._decl_cache:
+            CModule._decl_cache[key] = parse_header(header, cc=cc)
+        return CModule._decl_cache[key]
+
+    def __getattr__(self, name: str) -> BoundFunction:
+        # called only for names not found normally
+        if name.startswith("_"):
+            raise AttributeError(name)
+        bound = self._bound.get(name)
+        if bound is not None:
+            return bound
+        decl = self._decls.get(name)
+        if decl is None:
+            raise AttributeError(
+                f"{type(self).__name__}: header {type(self).Header!r} "
+                f"declares no bindable function {name!r}")
+        try:
+            fn = decl.bind(self._lib)
+        except AttributeError:
+            raise AttributeError(
+                f"library {self.library_name!r} has no symbol "
+                f"{name!r}") from None
+        bound = BoundFunction(decl, fn)
+        self._bound[name] = bound
+        return bound
+
+    def functions(self):
+        """Names of every discovered (bindable) function."""
+        return sorted(self._decls)
+
+    def __dir__(self):
+        return sorted(set(super().__dir__()) | set(self._decls))
+
+    def __repr__(self):
+        return (f"{type(self).__name__}({self.library_name!r}, "
+                f"{len(self._decls)} functions from "
+                f"{type(self).Header!r})")

@@ -1,0 +1,277 @@
+"""Type inference over Seamless IR.
+
+Forward dataflow with promotion at joins, iterated to a fixpoint so loop
+back-edges see their own assignments (``res = 0`` then ``res += it[i]``
+with float elements types ``res`` as float64, like the paper's ``sum``
+example).  Deviations from Python semantics follow the same compromises
+Numba documents: true division always yields float64; ``**`` yields
+float64; integer arithmetic is 64-bit with wraparound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from . import ir
+from .frontend import UnsupportedError
+from .stypes import (BOOL, FLOAT64, INT64, VOID, ArrayType, SType, promote)
+
+__all__ = ["TypedFunction", "infer"]
+
+
+class TypedFunction:
+    """IR plus the resolved type environment and return type."""
+
+    def __init__(self, fir: ir.FunctionIR, arg_types, env, return_type,
+                 callees=None):
+        self.ir = fir
+        self.arg_types = list(arg_types)
+        self.env: Dict[str, SType] = env
+        self.return_type: SType = return_type
+        # symbol -> TypedFunction for user helpers called from this body
+        self.callees: Dict[str, "TypedFunction"] = callees or {}
+
+    @property
+    def locals(self) -> Dict[str, SType]:
+        return {name: t for name, t in self.env.items()
+                if name not in self.ir.arg_names}
+
+    def __repr__(self):
+        args = ", ".join(f"{n}: {t}" for n, t in
+                         zip(self.ir.arg_names, self.arg_types))
+        return f"TypedFunction({self.ir.name}({args}) -> {self.return_type})"
+
+
+def infer(fir: ir.FunctionIR, arg_types,
+          resolver=None) -> TypedFunction:
+    """Resolve every expression's type for the given argument types.
+
+    *resolver(name, arg_types) -> TypedFunction* resolves user-function
+    calls (other @jit functions or plain helpers from the caller's
+    globals); each resolved helper is compiled into the same translation
+    unit by the backend.
+    """
+    if len(arg_types) != len(fir.arg_names):
+        raise TypeError(f"{fir.name} takes {len(fir.arg_names)} arguments, "
+                        f"got {len(arg_types)} types")
+    env: Dict[str, SType] = dict(zip(fir.arg_names, arg_types))
+    callees: Dict[str, TypedFunction] = {}
+    return_type: Optional[SType] = None
+    ctx = {"resolver": resolver, "callees": callees}
+
+    def expr(node: ir.Node) -> SType:
+        t = _expr_type(node, env, ctx)
+        node.stype = t
+        return t
+
+    def bind(name: str, t: SType) -> bool:
+        old = env.get(name)
+        if old is None:
+            env[name] = t
+            return True
+        if old == t:
+            return False
+        if old.is_array or t.is_array:
+            raise UnsupportedError(
+                f"variable {name!r} switches between array and scalar")
+        new = promote(old, t)
+        env[name] = new
+        return new != old
+
+    def stmts(nodes) -> bool:
+        changed = False
+        for node in nodes:
+            changed |= stmt(node)
+        return changed
+
+    def stmt(node: ir.Node) -> bool:
+        nonlocal return_type
+        if isinstance(node, ir.Assign):
+            return bind(node.target, expr(node.value))
+        if isinstance(node, ir.StoreSub):
+            arr_t = env.get(node.array)
+            if not isinstance(arr_t, ArrayType):
+                raise UnsupportedError(f"{node.array!r} is not an array")
+            _check_index_arity(node.array, arr_t, node.index2)
+            expr(node.index)
+            if node.index2 is not None:
+                expr(node.index2)
+            expr(node.value)
+            return False
+        if isinstance(node, ir.For):
+            changed = bind(node.var, INT64)
+            for part in (node.start, node.stop, node.step):
+                expr(part)
+            changed |= stmts(node.body)
+            return changed
+        if isinstance(node, ir.While):
+            expr(node.cond)
+            return stmts(node.body)
+        if isinstance(node, ir.If):
+            expr(node.cond)
+            return stmts(node.body) | stmts(node.orelse)
+        if isinstance(node, (ir.Break, ir.Continue)):
+            return False
+        if isinstance(node, ir.Return):
+            t = expr(node.value) if node.value is not None else VOID
+            if t.is_array:
+                raise UnsupportedError("returning arrays is not supported")
+            if return_type is None or return_type == VOID:
+                changed = return_type != t
+                return_type = t
+            elif t != VOID:
+                new = promote(return_type, t)
+                changed = new != return_type
+                return_type = new
+            else:
+                changed = False
+            return changed
+        raise UnsupportedError(f"cannot type statement "
+                               f"{type(node).__name__}")
+
+    for _round in range(10):
+        if not stmts(fir.body):
+            break
+    else:
+        raise UnsupportedError("type inference did not converge")
+    # final pass so every expression node carries its settled type
+    stmts(fir.body)
+    if return_type is None:
+        return_type = VOID
+    return TypedFunction(fir, arg_types, env, return_type,
+                         callees=callees)
+
+
+def _expr_type(node: ir.Node, env, ctx=None) -> SType:
+    ctx = ctx or {"resolver": None, "callees": {}}
+    if isinstance(node, ir.Const):
+        if isinstance(node.value, bool):
+            return BOOL
+        if isinstance(node.value, int):
+            return INT64
+        return FLOAT64
+    if isinstance(node, ir.Name):
+        try:
+            return env[node.id]
+        except KeyError:
+            raise UnsupportedError(
+                f"name {node.id!r} is not a parameter or a previously "
+                f"assigned local (globals are not supported)") from None
+    if isinstance(node, ir.BinOp):
+        lt = _expr_type(node.left, env, ctx)
+        rt = _expr_type(node.right, env, ctx)
+        node.left.stype = lt
+        node.right.stype = rt
+        if lt.is_array or rt.is_array:
+            raise UnsupportedError("whole-array operators are not supported "
+                                   "in kernels; loop over elements")
+        if node.op == "div":
+            return FLOAT64
+        if node.op == "pow":
+            return FLOAT64
+        if node.op in ("bitand", "bitor", "bitxor", "lshift", "rshift"):
+            if FLOAT64 in (lt, rt):
+                raise UnsupportedError("bitwise ops need integer operands")
+            return INT64
+        t = promote(lt, rt)
+        return INT64 if t == BOOL else t
+    if isinstance(node, ir.UnaryOp):
+        t = _expr_type(node.operand, env, ctx)
+        node.operand.stype = t
+        if node.op == "not":
+            return BOOL
+        return INT64 if t == BOOL else t
+    if isinstance(node, (ir.Compare,)):
+        for child in (node.left, node.right):
+            child.stype = _expr_type(child, env, ctx)
+        return BOOL
+    if isinstance(node, ir.BoolOp):
+        for child in node.values:
+            child.stype = _expr_type(child, env, ctx)
+        return BOOL
+    if isinstance(node, ir.Call):
+        arg_ts = []
+        for a in node.args:
+            t = _expr_type(a, env, ctx)
+            a.stype = t
+            arg_ts.append(t)
+        if any(t.is_array for t in arg_ts):
+            raise UnsupportedError(f"{node.func}() on whole arrays is not "
+                                   f"supported in kernels")
+        if node.func == "int":
+            return INT64
+        if node.func in ("float",):
+            return FLOAT64
+        if node.func in ("abs",):
+            return arg_ts[0] if arg_ts[0] == INT64 else FLOAT64
+        if node.func in ("min", "max"):
+            if len(arg_ts) != 2:
+                raise UnsupportedError("min/max take exactly two scalars")
+            return promote(arg_ts[0], arg_ts[1])
+        if node.func == "round":
+            return FLOAT64
+        return FLOAT64  # the C math library
+    if isinstance(node, ir.UserCall):
+        resolver = ctx.get("resolver")
+        if resolver is None:
+            raise UnsupportedError(
+                f"call to unknown function {node.func!r} (no resolver in "
+                f"this compilation context)")
+        arg_ts = []
+        for a in node.args:
+            t = _expr_type(a, env, ctx)
+            a.stype = t
+            arg_ts.append(t)
+        if any(t.is_array for t in arg_ts):
+            raise UnsupportedError("user helpers take scalar arguments "
+                                   "only")
+        callee = resolver(node.func, arg_ts)
+        symbol = "__u_" + node.func + "_" + \
+            "_".join(t.name.replace("[]", "a") for t in arg_ts)
+        node.symbol = symbol
+        callees = ctx["callees"]
+        callees[symbol] = callee
+        # hoist the helper's own helpers into this unit
+        callees.update(callee.callees)
+        return callee.return_type
+    if isinstance(node, ir.IfExp):
+        node.cond.stype = _expr_type(node.cond, env, ctx)
+        bt = _expr_type(node.body, env, ctx)
+        ot = _expr_type(node.orelse, env, ctx)
+        node.body.stype = bt
+        node.orelse.stype = ot
+        if bt.is_array or ot.is_array:
+            raise UnsupportedError("conditional expressions must produce "
+                                   "scalars")
+        return promote(bt, ot)
+    if isinstance(node, ir.Subscript):
+        arr_t = env.get(node.array)
+        if not isinstance(arr_t, ArrayType):
+            raise UnsupportedError(f"{node.array!r} is not an array")
+        _check_index_arity(node.array, arr_t, node.index2)
+        node.index.stype = _expr_type(node.index, env, ctx)
+        if node.index2 is not None:
+            node.index2.stype = _expr_type(node.index2, env, ctx)
+        return arr_t.element
+    if isinstance(node, ir.LenOf):
+        arr_t = env.get(node.array)
+        if not isinstance(arr_t, ArrayType):
+            raise UnsupportedError(f"len() of non-array {node.array!r}")
+        return INT64
+    if isinstance(node, ir.ShapeOf):
+        arr_t = env.get(node.array)
+        if not isinstance(arr_t, ArrayType):
+            raise UnsupportedError(f"shape of non-array {node.array!r}")
+        if not 0 <= node.dim < arr_t.ndim:
+            raise UnsupportedError(
+                f"{node.array}.shape[{node.dim}] out of range for a "
+                f"{arr_t.ndim}-D array")
+        return INT64
+    raise UnsupportedError(f"cannot type expression {type(node).__name__}")
+
+
+def _check_index_arity(name, arr_t, index2):
+    if arr_t.ndim == 2 and index2 is None:
+        raise UnsupportedError(f"{name!r} is 2-D: index it as {name}[i, j]")
+    if arr_t.ndim == 1 and index2 is not None:
+        raise UnsupportedError(f"{name!r} is 1-D: single index only")

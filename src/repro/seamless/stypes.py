@@ -1,0 +1,148 @@
+"""The Seamless type lattice.
+
+Small by design: the paper's approach is "staged and incremental, focusing
+on the parts of Python and NumPy that yield the greatest performance
+benefits" -- for numeric kernels those are int64/float64/bool scalars and
+contiguous 1-D numeric arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["SType", "INT64", "FLOAT64", "BOOL", "VOID", "ArrayType",
+           "int64_array", "float64_array", "int64_array2d",
+           "float64_array2d", "promote", "discover", "from_annotation"]
+
+
+class SType:
+    """A scalar Seamless type."""
+
+    __slots__ = ("name", "c_name", "np_dtype", "rank")
+
+    def __init__(self, name: str, c_name: str, np_dtype, rank: int):
+        self.name = name
+        self.c_name = c_name
+        self.np_dtype = np.dtype(np_dtype) if np_dtype is not None else None
+        self.rank = rank  # promotion order: bool < int64 < float64
+
+    def __repr__(self):
+        return self.name
+
+    def __eq__(self, other):
+        return isinstance(other, SType) and self.name == other.name
+
+    def __hash__(self):
+        return hash(self.name)
+
+    @property
+    def is_array(self) -> bool:
+        return isinstance(self, ArrayType)
+
+
+BOOL = SType("bool", "int64_t", np.bool_, 0)
+INT64 = SType("int64", "int64_t", np.int64, 1)
+FLOAT64 = SType("float64", "double", np.float64, 2)
+VOID = SType("void", "void", None, -1)
+
+
+class ArrayType(SType):
+    """A contiguous C-order array of a scalar element type."""
+
+    __slots__ = ("element", "ndim")
+
+    def __init__(self, element: SType, ndim: int = 1):
+        suffix = "[]" if ndim == 1 else "[" + "," * (ndim - 1) + "]"
+        super().__init__(f"{element.name}{suffix}", f"{element.c_name}*",
+                         element.np_dtype, element.rank)
+        self.element = element
+        self.ndim = ndim
+
+    def __repr__(self):
+        return self.name
+
+
+int64_array = ArrayType(INT64)
+float64_array = ArrayType(FLOAT64)
+int64_array2d = ArrayType(INT64, ndim=2)
+float64_array2d = ArrayType(FLOAT64, ndim=2)
+
+
+def promote(a: SType, b: SType) -> SType:
+    """Numeric promotion of two scalar types."""
+    if a.is_array or b.is_array:
+        raise TypeError("cannot promote array types")
+    return a if a.rank >= b.rank else b
+
+
+def discover(value) -> SType:
+    """Type discovery from an example value (the paper's lazy-JIT path)."""
+    if isinstance(value, bool):
+        return BOOL
+    if isinstance(value, (int, np.integer)):
+        return INT64
+    if isinstance(value, (float, np.floating)):
+        return FLOAT64
+    if isinstance(value, np.ndarray):
+        if value.ndim not in (1, 2):
+            raise TypeError(f"only 1-D and 2-D arrays are supported, got "
+                            f"{value.ndim}-D")
+        if value.dtype.kind == "f":
+            return float64_array if value.ndim == 1 else float64_array2d
+        if value.dtype.kind in "iub":
+            return int64_array if value.ndim == 1 else int64_array2d
+        raise TypeError(f"unsupported array dtype {value.dtype}")
+    if isinstance(value, (list, tuple)):
+        if not value:
+            return float64_array
+        if all(isinstance(v, (bool, int, np.integer)) for v in value):
+            return int64_array
+        if all(isinstance(v, (int, float, np.number)) for v in value):
+            return float64_array
+        raise TypeError("heterogeneous sequence")
+    raise TypeError(f"cannot infer a Seamless type for "
+                    f"{type(value).__name__}")
+
+
+_NAMED = {
+    "bool": BOOL, "int": INT64, "int64": INT64, "i8": INT64,
+    "float": FLOAT64, "float64": FLOAT64, "f8": FLOAT64,
+    "int[]": int64_array, "int64[]": int64_array,
+    "float[]": float64_array, "float64[]": float64_array,
+    "int[,]": int64_array2d, "int64[,]": int64_array2d,
+    "float[,]": float64_array2d, "float64[,]": float64_array2d,
+    "list_of_int": int64_array, "list_of_float": float64_array,
+}
+
+
+def from_annotation(ann) -> Optional[SType]:
+    """Translate a user type hint (string, python type, numpy dtype,
+    SType) into a Seamless type."""
+    if ann is None:
+        return None
+    if isinstance(ann, SType):
+        return ann
+    if isinstance(ann, str):
+        key = ann.strip().lower()
+        if key in _NAMED:
+            return _NAMED[key]
+        raise TypeError(f"unknown type annotation {ann!r}")
+    if ann is int:
+        return INT64
+    if ann is float:
+        return FLOAT64
+    if ann is bool:
+        return BOOL
+    try:
+        dt = np.dtype(ann)
+    except TypeError:
+        raise TypeError(f"unknown type annotation {ann!r}") from None
+    if dt.kind == "f":
+        return FLOAT64
+    if dt.kind in "iu":
+        return INT64
+    if dt.kind == "b":
+        return BOOL
+    raise TypeError(f"unsupported dtype annotation {ann!r}")

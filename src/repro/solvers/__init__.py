@@ -1,0 +1,38 @@
+"""repro.solvers -- the Trilinos solver stack equivalents.
+
+- :mod:`repro.solvers.krylov`  -- AztecOO: CG, GMRES, BiCGStab, MINRES, TFQMR
+- :mod:`repro.solvers.ifpack`  -- algebraic preconditioners
+- :mod:`repro.solvers.direct`  -- Amesos: uniform direct-solver interface
+- :mod:`repro.solvers.ml`      -- smoothed-aggregation algebraic multigrid
+- :mod:`repro.solvers.anasazi` -- eigensolvers
+- :mod:`repro.solvers.nox`     -- nonlinear (Newton / JFNK) solvers
+- :mod:`repro.solvers.komplex` -- complex systems via real equivalents
+"""
+
+from .anasazi import (EigenResult, inverse_iteration, lanczos, lobpcg,
+                      power_method)
+from .direct import (SOLVER_NAMES, DenseLAPACK, DirectSolver, SparseLU,
+                     create_solver)
+from .ifpack import (SOR, AdditiveSchwarz, Chebyshev, GaussSeidel, ILU0,
+                     ILUT, Jacobi, Preconditioner, SymmetricGaussSeidel,
+                     create_preconditioner)
+from .komplex import (complex_to_real_maps, komplex_system,
+                      split_komplex_solution)
+from .krylov import (AztecOO, BlockSolverResult, SolverResult, bicgstab,
+                     block_cg, cg, gmres, minres, tfqmr)
+from .ml import Level, MLPreconditioner, smoothed_aggregation_hierarchy
+from .nox import JacobianFreeOperator, NewtonSolver, NonlinearResult
+
+__all__ = [
+    "cg", "gmres", "bicgstab", "minres", "tfqmr", "block_cg",
+    "BlockSolverResult", "AztecOO", "SolverResult",
+    "Jacobi", "GaussSeidel", "SymmetricGaussSeidel", "SOR", "Chebyshev",
+    "ILU0", "ILUT", "AdditiveSchwarz", "Preconditioner",
+    "create_preconditioner",
+    "DirectSolver", "SparseLU", "DenseLAPACK", "create_solver",
+    "SOLVER_NAMES",
+    "MLPreconditioner", "smoothed_aggregation_hierarchy", "Level",
+    "power_method", "inverse_iteration", "lanczos", "lobpcg", "EigenResult",
+    "NewtonSolver", "NonlinearResult", "JacobianFreeOperator",
+    "komplex_system", "split_komplex_solution", "complex_to_real_maps",
+]

@@ -1,0 +1,286 @@
+"""Eigensolvers for distributed operators (the Anasazi package equivalent).
+
+Power iteration, (shift-and-)inverse iteration, Lanczos with full
+reorthogonalization for symmetric operators, and LOBPCG with optional
+preconditioning -- the block methods Anasazi is known for, operating purely
+through the Operator/Vector protocol so matrices and matrix-free operators
+both work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..tpetra import CrsMatrix, MultiVector, Operator, Vector
+
+__all__ = ["EigenResult", "power_method", "inverse_iteration", "lanczos",
+           "lobpcg"]
+
+
+@dataclass
+class EigenResult:
+    """Eigenvalues (ascending unless noted) and their vectors."""
+
+    eigenvalues: np.ndarray
+    eigenvectors: List[Vector]
+    iterations: int
+    converged: bool
+    history: List[float] = field(default_factory=list)
+
+
+def power_method(op: Operator, tol: float = 1e-8, maxiter: int = 1000,
+                 seed: int = 3) -> EigenResult:
+    """Dominant eigenpair by power iteration."""
+    v = Vector(op.domain_map())
+    v.randomize(seed=seed)
+    v.scale(1.0 / v.norm2())
+    w = Vector(op.range_map())
+    lam_old = 0.0
+    history = []
+    for k in range(1, maxiter + 1):
+        op.apply(v, w)
+        lam = v.dot(w)  # Rayleigh quotient
+        nrm = w.norm2()
+        if nrm == 0:
+            return EigenResult(np.array([0.0]), [v], k, True, history)
+        w.scale(1.0 / nrm)
+        v, w = w, v
+        history.append(abs(lam - lam_old))
+        if abs(lam - lam_old) <= tol * max(1.0, abs(lam)):
+            return EigenResult(np.array([lam]), [v], k, True, history)
+        lam_old = lam
+    return EigenResult(np.array([lam_old]), [v], maxiter, False, history)
+
+
+def inverse_iteration(A: CrsMatrix, shift: float = 0.0, tol: float = 1e-8,
+                      maxiter: int = 200, seed: int = 5) -> EigenResult:
+    """Eigenpair nearest *shift* via inverse iteration with a direct solve."""
+    from .direct import SparseLU
+
+    shifted = _shifted_matrix(A, -shift)
+    lu = SparseLU(shifted).numeric_factorization()
+    v = Vector(A.domain_map())
+    v.randomize(seed=seed)
+    v.scale(1.0 / v.norm2())
+    w = Vector(A.domain_map())
+    lam_old = None
+    history = []
+    for k in range(1, maxiter + 1):
+        lu.solve(v, w)
+        nrm = w.norm2()
+        w.scale(1.0 / nrm)
+        av = Vector(A.range_map())
+        A.apply(w, av)
+        lam = w.dot(av)
+        history.append(abs(lam - lam_old) if lam_old is not None else np.inf)
+        if lam_old is not None and \
+                abs(lam - lam_old) <= tol * max(1.0, abs(lam)):
+            return EigenResult(np.array([lam]), [w], k, True, history)
+        lam_old = lam
+        v.local[...] = w.local
+    return EigenResult(np.array([lam_old]), [w], maxiter, False, history)
+
+
+def _shifted_matrix(A: CrsMatrix, sigma: float) -> CrsMatrix:
+    """A + sigma I as a new fill-complete matrix."""
+    out = CrsMatrix(A.row_map, dtype=A.dtype)
+    coo = A.local_matrix.tocoo()
+    for i, j, v in zip(coo.row, coo.col, coo.data):
+        out.insert_global_values(int(A.row_map.gid(int(i))),
+                                 [int(A.col_map_gids[int(j)])], [v])
+    for gid in A.row_map.my_gids:
+        out.insert_global_values(int(gid), [int(gid)], [sigma])
+    out.fillComplete(domain_map=A.domain_map(), range_map=A.range_map())
+    return out
+
+
+def lanczos(op: Operator, nev: int = 4, tol: float = 1e-8,
+            max_krylov: int = 0, which: str = "SM",
+            seed: int = 11) -> EigenResult:
+    """Symmetric Lanczos with full reorthogonalization.
+
+    ``which``: ``"SM"`` smallest eigenvalues, ``"LM"`` largest.  The Krylov
+    dimension grows until the wanted Ritz values converge (residual bound
+    ``beta * |last row of eigvec|``).
+    """
+    n = op.domain_map().num_global
+    if max_krylov <= 0:
+        max_krylov = min(n, max(4 * nev + 20, 40))
+    q = Vector(op.domain_map())
+    q.randomize(seed=seed)
+    q.scale(1.0 / q.norm2())
+    basis: List[Vector] = [q]
+    alphas: List[float] = []
+    betas: List[float] = []
+    history = []
+    w = Vector(op.range_map())
+    for j in range(max_krylov):
+        op.apply(basis[j], w)
+        alpha = basis[j].dot(w)
+        alphas.append(alpha)
+        w.update(-alpha, basis[j], 1.0)
+        if j > 0:
+            w.update(-betas[-1], basis[j - 1], 1.0)
+        # full reorthogonalization (twice is enough)
+        for _pass in range(2):
+            for v in basis:
+                w.update(-v.dot(w), v, 1.0)
+        beta = w.norm2()
+        k = j + 1
+        if k >= nev:
+            T = np.diag(alphas) + np.diag(betas, 1) + np.diag(betas, -1)
+            evals, evecs = np.linalg.eigh(T)
+            idx = np.argsort(evals)
+            if which.upper() == "LM":
+                idx = idx[::-1]
+            res = np.abs(beta * evecs[-1, idx[:nev]])
+            history.append(float(res.max()))
+            if np.all(res <= tol * np.maximum(1.0, np.abs(evals[idx[:nev]]))) \
+                    or beta <= 1e-14 or k == n:
+                vecs = _ritz_vectors(basis, evecs[:, idx[:nev]])
+                order = np.argsort(evals[idx[:nev]])
+                return EigenResult(np.sort(evals[idx[:nev]]),
+                                   [vecs[i] for i in order], k, True,
+                                   history)
+        if beta <= 1e-14:
+            break
+        betas.append(beta)
+        basis.append(w * (1.0 / beta))
+        w = Vector(op.range_map())
+    T = np.diag(alphas) + np.diag(betas[:len(alphas) - 1], 1) + \
+        np.diag(betas[:len(alphas) - 1], -1)
+    evals, evecs = np.linalg.eigh(T)
+    idx = np.argsort(evals)
+    if which.upper() == "LM":
+        idx = idx[::-1]
+    sel = idx[:nev]
+    vecs = _ritz_vectors(basis, evecs[:, sel])
+    order = np.argsort(evals[sel])
+    return EigenResult(np.sort(evals[sel]), [vecs[i] for i in order],
+                       len(alphas), False, history)
+
+
+def _ritz_vectors(basis: List[Vector], coeffs: np.ndarray) -> List[Vector]:
+    out = []
+    for col in range(coeffs.shape[1]):
+        v = Vector(basis[0].map, dtype=basis[0].dtype)
+        for i in range(min(len(basis), coeffs.shape[0])):
+            v.update(float(coeffs[i, col]), basis[i], 1.0)
+        out.append(v)
+    return out
+
+
+def lobpcg(A: Operator, nev: int = 4, prec: Optional[Operator] = None,
+           tol: float = 1e-6, maxiter: int = 200,
+           seed: int = 13) -> EigenResult:
+    """Locally optimal block preconditioned CG for the smallest eigenpairs
+    of a symmetric positive definite operator."""
+    map_ = A.domain_map()
+    X = MultiVector(map_, nev)
+    X.randomize(seed=seed)
+    _orthonormalize(X)
+    P: Optional[MultiVector] = None
+    history = []
+    lam = np.zeros(nev)
+    for k in range(1, maxiter + 1):
+        AX = _apply_block(A, X)
+        lam = np.einsum("ij,ij->j", X.local, AX.local)
+        lam = _allreduce_cols(X, lam)
+        # residuals R = AX - X diag(lam)
+        R = MultiVector(map_, nev)
+        R.local[...] = AX.local - X.local * lam
+        resnorm = np.sqrt(_allreduce_cols(
+            X, np.einsum("ij,ij->j", R.local, R.local)))
+        scale = np.maximum(1.0, np.abs(lam))
+        history.append(float((resnorm / scale).max()))
+        if history[-1] <= tol:
+            return _lobpcg_result(X, lam, k, True, history)
+        W = R if prec is None else _apply_block(prec, R)
+        # Rayleigh-Ritz on span[X, W, P]
+        blocks = [X, W] + ([P] if P is not None else [])
+        S = _concat(blocks)
+        _orthonormalize(S)
+        AS = _apply_block(A, S)
+        G = _block_inner(S, AS)
+        evals, evecs = np.linalg.eigh(G)
+        C = evecs[:, :nev]
+        Xnew = _block_combine(S, C)
+        # implicit P: the part of the new X outside the old X block
+        P = _block_combine(S, _zero_top(C, nev))
+        X = Xnew
+        _orthonormalize(X)
+    return _lobpcg_result(X, lam, maxiter, False, history)
+
+
+def _apply_block(op: Operator, X: MultiVector) -> MultiVector:
+    out = MultiVector(X.map, X.num_vectors, dtype=X.dtype)
+    for j in range(X.num_vectors):
+        xj = X.vector(j)
+        yj = out.vector(j)
+        op.apply(xj, yj)
+    return out
+
+
+def _allreduce_cols(mv: MultiVector, local: np.ndarray) -> np.ndarray:
+    out = np.zeros_like(local)
+    mv.comm.Allreduce(np.ascontiguousarray(local), out)
+    return out
+
+
+def _block_inner(A: MultiVector, B: MultiVector) -> np.ndarray:
+    local = A.local.T @ B.local
+    out = np.zeros_like(local)
+    A.comm.Allreduce(np.ascontiguousarray(local), out)
+    return out
+
+
+def _orthonormalize(X: MultiVector) -> None:
+    """In-place distributed Gram-Schmidt (two passes)."""
+    for _pass in range(2):
+        gram = _block_inner(X, X)
+        # Cholesky-based orthonormalization
+        try:
+            L = np.linalg.cholesky(gram)
+            X.local[...] = np.linalg.solve(L, X.local.T).T
+        except np.linalg.LinAlgError:
+            # fall back to column-by-column MGS
+            for j in range(X.num_vectors):
+                vj = X.vector(j)
+                for i in range(j):
+                    vi = X.vector(i)
+                    vj.update(-vi.dot(vj), vi, 1.0)
+                nrm = vj.norm2()
+                if nrm > 0:
+                    vj.scale(1.0 / nrm)
+
+
+def _concat(blocks: List[MultiVector]) -> MultiVector:
+    total = sum(b.num_vectors for b in blocks)
+    out = MultiVector(blocks[0].map, total, dtype=blocks[0].dtype)
+    col = 0
+    for b in blocks:
+        out.local[:, col:col + b.num_vectors] = b.local
+        col += b.num_vectors
+    return out
+
+
+def _block_combine(S: MultiVector, C: np.ndarray) -> MultiVector:
+    out = MultiVector(S.map, C.shape[1], dtype=S.dtype)
+    out.local[...] = S.local @ C
+    return out
+
+
+def _zero_top(C: np.ndarray, nev: int) -> np.ndarray:
+    out = C.copy()
+    out[:nev, :] = 0.0
+    return out
+
+
+def _lobpcg_result(X: MultiVector, lam: np.ndarray, iters: int,
+                   converged: bool, history: List[float]) -> EigenResult:
+    order = np.argsort(lam)
+    vecs = [X.vector(int(j)).copy() for j in order]
+    return EigenResult(np.sort(lam), vecs, iters, converged, history)

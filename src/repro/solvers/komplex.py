@@ -1,0 +1,92 @@
+"""Complex linear systems via real equivalent forms (Komplex equivalent).
+
+Trilinos' Komplex solves (A + iB)(x + iy) = (b + ic) by assembling the
+2x2-block real system
+
+    [ A  -B ] [x]   [b]
+    [ B   A ] [y] = [c]
+
+("K1" formulation) so that all-real solvers and preconditioners apply.
+The interleaved variant (real/imag per unknown adjacent) is also provided
+because it preserves bandedness for banded A, B.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..tpetra import CrsMatrix, Map, Vector
+
+__all__ = ["komplex_system", "split_komplex_solution", "complex_to_real_maps"]
+
+
+def complex_to_real_maps(map_: Map, interleaved: bool = False) -> Map:
+    """The doubled map hosting the real equivalent system."""
+    if interleaved:
+        gids = np.empty(2 * map_.num_my_elements, dtype=np.int64)
+        gids[0::2] = 2 * map_.my_gids
+        gids[1::2] = 2 * map_.my_gids + 1
+        return Map(2 * map_.num_global, gids, map_.comm, kind="arbitrary")
+    gids = np.concatenate([map_.my_gids,
+                           map_.my_gids + map_.num_global])
+    return Map(2 * map_.num_global, gids, map_.comm, kind="arbitrary")
+
+
+def komplex_system(A_complex: CrsMatrix, b_complex: Vector,
+                   interleaved: bool = False
+                   ) -> Tuple[CrsMatrix, Vector]:
+    """Build the real equivalent (matrix, rhs) of a complex system.
+
+    ``A_complex`` must be a fill-complete CrsMatrix with complex dtype;
+    ``b_complex`` a complex Vector on its row map.
+    """
+    if not np.issubdtype(A_complex.dtype, np.complexfloating):
+        raise TypeError("komplex_system expects a complex matrix")
+    map_ = A_complex.row_map
+    n = map_.num_global
+    rmap = complex_to_real_maps(map_, interleaved)
+    K = CrsMatrix(rmap, dtype=np.float64)
+    coo = A_complex.local_matrix.tocoo()
+    for i, j, v in zip(coo.row, coo.col, coo.data):
+        gr = int(map_.my_gids[int(i)])
+        gc = int(A_complex.col_map_gids[int(j)])
+        a, b = float(v.real), float(v.imag)
+        if interleaved:
+            r_re, r_im = 2 * gr, 2 * gr + 1
+            c_re, c_im = 2 * gc, 2 * gc + 1
+        else:
+            r_re, r_im = gr, gr + n
+            c_re, c_im = gc, gc + n
+        # [a -b; b a] block
+        if a != 0.0:
+            K.insert_global_values(r_re, [c_re], [a])
+            K.insert_global_values(r_im, [c_im], [a])
+        if b != 0.0:
+            K.insert_global_values(r_re, [c_im], [-b])
+            K.insert_global_values(r_im, [c_re], [b])
+    K.fillComplete()
+    rhs = Vector(rmap, dtype=np.float64)
+    nloc = map_.num_my_elements
+    if interleaved:
+        rhs.local_view[0::2] = b_complex.local_view.real
+        rhs.local_view[1::2] = b_complex.local_view.imag
+    else:
+        rhs.local_view[:nloc] = b_complex.local_view.real
+        rhs.local_view[nloc:] = b_complex.local_view.imag
+    return K, rhs
+
+
+def split_komplex_solution(x_real: Vector, map_: Map,
+                           interleaved: bool = False) -> Vector:
+    """Recover the complex solution from the real equivalent solution."""
+    out = Vector(map_, dtype=np.complex128)
+    nloc = map_.num_my_elements
+    if interleaved:
+        out.local_view[...] = x_real.local_view[0::2] + \
+            1j * x_real.local_view[1::2]
+    else:
+        out.local_view[...] = x_real.local_view[:nloc] + \
+            1j * x_real.local_view[nloc:]
+    return out

@@ -1,0 +1,16 @@
+"""repro.teuchos -- general tools (the Trilinos Teuchos package equivalent).
+
+Per Table I of the paper: "parameter lists, reference counted pointers,
+XML I/O, etc.".  Python's own reference counting stands in for RCPs; the
+parameter list and timing utilities are reproduced in full because the
+solver stack is configured through them.
+"""
+
+from .cli import CommandLineError, CommandLineProcessor
+from .parameter_list import ParameterList, ParameterListAcceptor
+from .timer import Time, TimeMonitor
+from .xmlio import from_xml, to_xml
+
+__all__ = ["ParameterList", "ParameterListAcceptor", "Time", "TimeMonitor",
+           "to_xml", "from_xml", "CommandLineProcessor",
+           "CommandLineError"]

@@ -1,0 +1,138 @@
+"""Command line processing (Teuchos::CommandLineProcessor).
+
+The Trilinos utility the example drivers are built on: options are
+declared with defaults and docs, parsed from argv, and land in a
+:class:`~repro.teuchos.parameter_list.ParameterList`.  Supports
+``--name=value`` and ``--name value`` spellings, ``--flag/--no-flag``
+booleans, and generated ``--help`` text.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from .parameter_list import ParameterList
+
+__all__ = ["CommandLineProcessor", "CommandLineError"]
+
+
+class CommandLineError(Exception):
+    """Unrecognized or malformed command line arguments."""
+
+
+class _Option:
+    __slots__ = ("name", "default", "doc", "type")
+
+    def __init__(self, name, default, doc):
+        self.name = name
+        self.default = default
+        self.doc = doc
+        self.type = type(default)
+
+
+class CommandLineProcessor:
+    """Declarative argv parser producing a ParameterList.
+
+    ::
+
+        clp = CommandLineProcessor(doc="Poisson solve driver")
+        clp.set_option("n", 64, "grid points per side")
+        clp.set_option("solver", "CG", "Krylov method")
+        clp.set_option("verbose", False, "print residual history")
+        params = clp.parse(argv)
+        n = params.get("n")
+    """
+
+    def __init__(self, doc: str = "", throw_exceptions: bool = True):
+        self.doc = doc
+        self.throw_exceptions = throw_exceptions
+        self._options: Dict[str, _Option] = {}
+
+    def set_option(self, name: str, default, doc: str = ""
+                   ) -> "CommandLineProcessor":
+        if not isinstance(default, (bool, int, float, str)):
+            raise TypeError(f"option {name!r}: defaults must be "
+                            f"bool/int/float/str")
+        self._options[name] = _Option(name, default, doc)
+        return self
+
+    # ------------------------------------------------------------------
+    def help_text(self) -> str:
+        lines = []
+        if self.doc:
+            lines.append(self.doc)
+            lines.append("")
+        lines.append("Options:")
+        width = max((len(o.name) for o in self._options.values()),
+                    default=0) + 2
+        for opt in self._options.values():
+            if opt.type is bool:
+                spelling = f"--{opt.name} / --no-{opt.name}"
+            else:
+                spelling = f"--{opt.name}=<{opt.type.__name__}>"
+            lines.append(f"  {spelling:<{width + 12}} {opt.doc} "
+                         f"(default: {opt.default})")
+        return "\n".join(lines)
+
+    def parse(self, argv: Optional[Sequence[str]] = None) -> ParameterList:
+        """Parse argv (default ``sys.argv[1:]``) into a ParameterList."""
+        argv = list(sys.argv[1:]) if argv is None else list(argv)
+        out = ParameterList("CommandLine")
+        for opt in self._options.values():
+            out.set(opt.name, opt.default, doc=opt.doc)
+        i = 0
+        while i < len(argv):
+            token = argv[i]
+            if token in ("-h", "--help"):
+                print(self.help_text())
+                raise SystemExit(0)
+            if not token.startswith("--"):
+                self._fail(f"unexpected positional argument {token!r}")
+                i += 1
+                continue
+            body = token[2:]
+            value: Optional[str]
+            if "=" in body:
+                name, value = body.split("=", 1)
+            else:
+                name, value = body, None
+            negated = False
+            if name.startswith("no-") and name[3:] in self._options and \
+                    self._options[name[3:]].type is bool:
+                name = name[3:]
+                negated = True
+            opt = self._options.get(name)
+            if opt is None:
+                self._fail(f"unrecognized option --{name}")
+                i += 1
+                continue
+            if opt.type is bool:
+                if value is None:
+                    parsed = not negated
+                else:
+                    parsed = value.strip().lower() in ("1", "true", "yes",
+                                                       "on")
+                    if negated:
+                        parsed = not parsed
+            else:
+                if value is None:
+                    i += 1
+                    if i >= len(argv):
+                        self._fail(f"option --{name} needs a value")
+                        break
+                    value = argv[i]
+                try:
+                    parsed = opt.type(value)
+                except ValueError:
+                    self._fail(f"option --{name}: cannot parse {value!r} "
+                               f"as {opt.type.__name__}")
+                    i += 1
+                    continue
+            out.set(name, parsed)
+            i += 1
+        return out
+
+    def _fail(self, message: str) -> None:
+        if self.throw_exceptions:
+            raise CommandLineError(message)

@@ -1,0 +1,201 @@
+"""Hierarchical, validated parameter lists (Teuchos::ParameterList).
+
+The whole solver stack (`repro.solvers`) is configured through these, the
+same way Trilinos packages are.  A :class:`ParameterList` behaves like a
+dict with case-preserving string keys, nested sublists, used/unused
+tracking (Trilinos warns about unused parameters -- handy for catching
+typos in solver options), and optional validators.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = ["ParameterList", "ParameterListAcceptor"]
+
+
+class _Entry:
+    __slots__ = ("value", "used", "validator", "doc")
+
+    def __init__(self, value, validator=None, doc=""):
+        self.value = value
+        self.used = False
+        self.validator = validator
+        self.doc = doc
+
+
+class ParameterList:
+    """A dict-like container of named parameters and nested sublists."""
+
+    def __init__(self, name: str = "ANONYMOUS", **params: Any):
+        self.name = name
+        self._entries: Dict[str, _Entry] = {}
+        for key, value in params.items():
+            self.set(key, value)
+
+    # ------------------------------------------------------------------
+    # core access
+    # ------------------------------------------------------------------
+    def set(self, key: str, value: Any, doc: str = "",
+            validator: Optional[Callable[[Any], bool]] = None) -> "ParameterList":
+        """Set a parameter; returns self for chaining."""
+        if not isinstance(key, str):
+            raise TypeError("parameter names must be strings")
+        if validator is not None and not validator(value):
+            raise ValueError(f"value {value!r} rejected by validator "
+                             f"for parameter {key!r}")
+        entry = self._entries.get(key)
+        if entry is not None and entry.validator is not None \
+                and not entry.validator(value):
+            raise ValueError(f"value {value!r} rejected by validator "
+                             f"for parameter {key!r}")
+        if entry is None or validator is not None:
+            self._entries[key] = _Entry(value, validator, doc)
+        else:
+            entry.value = value
+        return self
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Get a parameter, marking it used; sets the default if absent.
+
+        Follows Teuchos semantics: ``get`` with a default *inserts* the
+        default so later gets agree.
+        """
+        if key not in self._entries:
+            if default is None:
+                raise KeyError(f"parameter {key!r} not found in list "
+                               f"{self.name!r}")
+            self.set(key, default)
+        entry = self._entries[key]
+        entry.used = True
+        return entry.value
+
+    def sublist(self, key: str) -> "ParameterList":
+        """Get (creating if needed) a nested sublist."""
+        if key not in self._entries:
+            self.set(key, ParameterList(name=key))
+        entry = self._entries[key]
+        if not isinstance(entry.value, ParameterList):
+            raise TypeError(f"parameter {key!r} exists and is not a sublist")
+        entry.used = True
+        return entry.value
+
+    def isParameter(self, key: str) -> bool:
+        return key in self._entries
+
+    def isSublist(self, key: str) -> bool:
+        return key in self._entries and \
+            isinstance(self._entries[key].value, ParameterList)
+
+    def remove(self, key: str) -> None:
+        del self._entries[key]
+
+    # ------------------------------------------------------------------
+    # dict-like conveniences
+    # ------------------------------------------------------------------
+    def __getitem__(self, key: str) -> Any:
+        entry = self._entries[key]
+        entry.used = True
+        return entry.value
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self.set(key, value)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def keys(self) -> List[str]:
+        return list(self._entries)
+
+    def items(self):
+        return [(k, e.value) for k, e in self._entries.items()]
+
+    # ------------------------------------------------------------------
+    # hygiene
+    # ------------------------------------------------------------------
+    def unused(self) -> List[str]:
+        """Dotted paths of parameters that were set but never read."""
+        out = []
+        for key, entry in self._entries.items():
+            if isinstance(entry.value, ParameterList):
+                out.extend(f"{key}.{sub}" for sub in entry.value.unused())
+            elif not entry.used:
+                out.append(key)
+        return out
+
+    def update(self, other: "ParameterList",
+               override: bool = True) -> "ParameterList":
+        """Merge another list into this one (recursively for sublists)."""
+        for key, entry in other._entries.items():
+            if isinstance(entry.value, ParameterList):
+                self.sublist(key).update(entry.value, override=override)
+            elif override or key not in self._entries:
+                self.set(key, entry.value)
+        return self
+
+    def copy(self) -> "ParameterList":
+        out = ParameterList(name=self.name)
+        for key, entry in self._entries.items():
+            value = entry.value
+            if isinstance(value, ParameterList):
+                value = value.copy()
+            out.set(key, value, doc=entry.doc, validator=entry.validator)
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {k: (v.to_dict() if isinstance(v, ParameterList) else v)
+                for k, v in self.items()}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any],
+                  name: str = "ANONYMOUS") -> "ParameterList":
+        plist = cls(name=name)
+        for key, value in data.items():
+            if isinstance(value, dict):
+                plist.set(key, cls.from_dict(value, name=key))
+            else:
+                plist.set(key, value)
+        return plist
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, ParameterList) and \
+            self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:
+        return f"ParameterList({self.name!r}, {self.to_dict()!r})"
+
+    def pretty(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        lines = [f"{pad}{self.name}:"]
+        for key, entry in self._entries.items():
+            if isinstance(entry.value, ParameterList):
+                lines.append(entry.value.pretty(indent + 1))
+            else:
+                star = "" if entry.used else "  [unused]"
+                lines.append(f"{pad}  {key} = {entry.value!r}{star}")
+        return "\n".join(lines)
+
+
+class ParameterListAcceptor:
+    """Mixin for objects configured by a :class:`ParameterList`.
+
+    Subclasses override :meth:`default_parameters` and read their options
+    in ``__init__`` via ``self.plist.get(...)``.
+    """
+
+    def __init__(self, params: Optional[ParameterList] = None):
+        self.plist = self.default_parameters()
+        if params is not None:
+            if isinstance(params, dict):
+                params = ParameterList.from_dict(params)
+            self.plist.update(params)
+
+    @classmethod
+    def default_parameters(cls) -> ParameterList:
+        return ParameterList(name=cls.__name__)

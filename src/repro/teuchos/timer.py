@@ -1,0 +1,99 @@
+"""Timers (Teuchos::Time / Teuchos::TimeMonitor).
+
+Benchmarks and the solver stack use these to report phase timings; the
+registry (``TimeMonitor.summarize``) mirrors the Trilinos global timer
+table.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+__all__ = ["Time", "TimeMonitor"]
+
+
+class Time:
+    """A named accumulating stopwatch."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.total = 0.0
+        self.calls = 0
+        self._start: Optional[float] = None
+
+    def start(self) -> "Time":
+        if self._start is not None:
+            raise RuntimeError(f"timer {self.name!r} already running")
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError(f"timer {self.name!r} not running")
+        elapsed = time.perf_counter() - self._start
+        self._start = None
+        self.total += elapsed
+        self.calls += 1
+        return elapsed
+
+    @property
+    def running(self) -> bool:
+        return self._start is not None
+
+    def reset(self) -> None:
+        self.total = 0.0
+        self.calls = 0
+        self._start = None
+
+    def __repr__(self):
+        return f"Time({self.name!r}, total={self.total:.6f}s, calls={self.calls})"
+
+
+class TimeMonitor:
+    """Context manager that times a block against a registry of named timers.
+
+    ::
+
+        with TimeMonitor("SpMV"):
+            y = A @ x
+        print(TimeMonitor.summarize())
+    """
+
+    _registry: Dict[str, Time] = {}
+
+    def __init__(self, name: str):
+        self.timer = self._registry.setdefault(name, Time(name))
+
+    def __enter__(self) -> Time:
+        return self.timer.start()
+
+    def __exit__(self, *exc) -> None:
+        self.timer.stop()
+
+    @classmethod
+    def get_timer(cls, name: str) -> Time:
+        return cls._registry.setdefault(name, Time(name))
+
+    @classmethod
+    def zero_out_timers(cls) -> None:
+        for timer in cls._registry.values():
+            timer.reset()
+
+    @classmethod
+    def clear(cls) -> None:
+        cls._registry.clear()
+
+    @classmethod
+    def summarize(cls) -> str:
+        if not cls._registry:
+            return "(no timers)"
+        width = max(len(n) for n in cls._registry)
+        lines = [f"{'Timer':<{width}}  {'Total (s)':>12}  {'Calls':>7}  "
+                 f"{'Mean (s)':>12}"]
+        for name in sorted(cls._registry):
+            t = cls._registry[name]
+            mean = t.total / t.calls if t.calls else 0.0
+            lines.append(f"{name:<{width}}  {t.total:>12.6f}  {t.calls:>7d}  "
+                         f"{mean:>12.6f}")
+        return "\n".join(lines)

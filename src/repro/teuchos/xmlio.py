@@ -1,0 +1,104 @@
+"""XML serialization of parameter lists (Teuchos XML I/O).
+
+The element format matches the Trilinos ``ParameterList`` XML schema:
+
+.. code-block:: xml
+
+    <ParameterList name="Solver">
+      <Parameter name="Max Iterations" type="int" value="100"/>
+      <ParameterList name="Preconditioner">
+        <Parameter name="Type" type="string" value="ILU"/>
+      </ParameterList>
+    </ParameterList>
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from .parameter_list import ParameterList
+
+__all__ = ["to_xml", "from_xml"]
+
+_TYPE_NAMES = {bool: "bool", int: "int", float: "double", str: "string"}
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def _parse_value(type_name: str, text: str):
+    if type_name == "bool":
+        return text.strip().lower() == "true"
+    if type_name == "int":
+        return int(text)
+    if type_name == "double":
+        return float(text)
+    if type_name == "string":
+        return text
+    if type_name == "Array(int)":
+        return [int(x) for x in text.strip("{} ").split(",") if x.strip()]
+    if type_name == "Array(double)":
+        return [float(x) for x in text.strip("{} ").split(",") if x.strip()]
+    raise ValueError(f"unsupported XML parameter type {type_name!r}")
+
+
+def _to_element(plist: ParameterList) -> ET.Element:
+    el = ET.Element("ParameterList", name=plist.name)
+    for key, value in plist.items():
+        if isinstance(value, ParameterList):
+            sub = _to_element(value)
+            sub.set("name", key)
+            el.append(sub)
+        else:
+            if isinstance(value, (list, tuple)):
+                if all(isinstance(v, int) for v in value):
+                    type_name = "Array(int)"
+                elif all(isinstance(v, (int, float)) for v in value):
+                    type_name = "Array(double)"
+                else:
+                    raise TypeError(f"cannot serialize array parameter "
+                                    f"{key!r} of mixed type")
+                text = "{" + ",".join(str(v) for v in value) + "}"
+            else:
+                try:
+                    type_name = _TYPE_NAMES[type(value)]
+                except KeyError:
+                    raise TypeError(
+                        f"cannot serialize parameter {key!r} of type "
+                        f"{type(value).__name__}") from None
+                text = _format_value(value)
+            ET.SubElement(el, "Parameter", name=key, type=type_name,
+                          value=text)
+    return el
+
+
+def to_xml(plist: ParameterList) -> str:
+    """Serialize a :class:`ParameterList` to a Trilinos-style XML string."""
+    el = _to_element(plist)
+    ET.indent(el)
+    return ET.tostring(el, encoding="unicode")
+
+
+def _from_element(el: ET.Element) -> ParameterList:
+    plist = ParameterList(name=el.get("name", "ANONYMOUS"))
+    for child in el:
+        if child.tag == "ParameterList":
+            sub = _from_element(child)
+            plist.set(child.get("name", sub.name), sub)
+        elif child.tag == "Parameter":
+            plist.set(child.get("name"),
+                      _parse_value(child.get("type"), child.get("value")))
+        else:
+            raise ValueError(f"unexpected XML element {child.tag!r}")
+    return plist
+
+
+def from_xml(text: str) -> ParameterList:
+    """Parse a Trilinos-style XML string into a :class:`ParameterList`."""
+    root = ET.fromstring(text)
+    if root.tag != "ParameterList":
+        raise ValueError("root element must be <ParameterList>")
+    return _from_element(root)

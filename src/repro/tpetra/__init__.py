@@ -1,0 +1,39 @@
+"""repro.tpetra -- second-generation distributed linear algebra.
+
+The Tpetra equivalent: maps describing data distribution, vectors and
+multivectors, redistribution plans (Import/Export), and row-distributed
+sparse matrices.  Scalar genericity (Tpetra's templates) is expressed with
+NumPy dtypes; ordinals are int64.
+
+Typical SPMD usage::
+
+    from repro import mpi, tpetra
+
+    def program(comm):
+        m = tpetra.Map.create_contiguous(1000, comm)
+        A = tpetra.CrsMatrix(m)
+        for gid in m.my_gids:
+            A.insert_global_values(gid, [gid], [2.0])
+            if gid > 0:
+                A.insert_global_values(gid, [gid - 1], [-1.0])
+            if gid < 999:
+                A.insert_global_values(gid, [gid + 1], [-1.0])
+        A.fillComplete()
+        x = tpetra.Vector(m).putScalar(1.0)
+        return (A @ x).norm2()
+
+    mpi.run_spmd(program, nranks=4)
+"""
+
+from .crsmatrix import CrsGraph, CrsMatrix
+from .import_export import CombineMode, Export, Import
+from .map import Map
+from .multivector import MultiVector, Vector
+from .operator import (ComposedOperator, IdentityOperator, LinearOperator,
+                       Operator, ScaledOperator)
+
+__all__ = [
+    "Map", "Vector", "MultiVector", "Import", "Export", "CombineMode",
+    "CrsMatrix", "CrsGraph", "Operator", "LinearOperator",
+    "IdentityOperator", "ScaledOperator", "ComposedOperator",
+]

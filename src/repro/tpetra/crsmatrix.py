@@ -1,0 +1,499 @@
+"""Distributed compressed-row sparse matrices (Tpetra::CrsMatrix).
+
+Rows are distributed by a row :class:`Map`; each rank stores its row block
+as a local ``scipy.sparse.csr_matrix`` whose column indices point into a
+*column map* (owned domain indices first, then remote indices).  SpMV is
+then one Import (halo exchange of the needed remote x entries) plus a local
+CSR multiply -- the standard distributed-memory kernel.
+
+Assembly supports nonlocal inserts: contributions to rows owned elsewhere
+are buffered and shipped to their owners at :meth:`fillComplete`, which is
+what makes finite-element assembly (paper use case III-F) a one-liner per
+element.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..mpi import MAX, SUM
+from .import_export import CombineMode, Import
+from .map import Map
+from .multivector import MultiVector, Vector
+from .operator import Operator
+
+__all__ = ["CrsMatrix", "CrsGraph"]
+
+
+class CrsMatrix(Operator):
+    """A row-distributed sparse matrix."""
+
+    def __init__(self, row_map: Map, dtype=np.float64):
+        self.row_map = row_map
+        self.dtype = np.dtype(dtype)
+        self._filled = False
+        # builder state: per local row, lists of (gids, values)
+        self._build_rows: List[List[Tuple[np.ndarray, np.ndarray]]] = \
+            [[] for _ in range(row_map.num_my_elements)]
+        self._nonlocal: Dict[int, Tuple[list, list, list]] = {}
+        # post-fill state
+        self.local_matrix: Optional[sp.csr_matrix] = None
+        self.col_map_gids: Optional[np.ndarray] = None
+        self.domain: Optional[Map] = None
+        self.range: Optional[Map] = None
+        self.importer: Optional[Import] = None
+
+    # ------------------------------------------------------------------
+    # assembly
+    # ------------------------------------------------------------------
+    def insert_global_values(self, global_row: int, cols, values) -> None:
+        """Add entries to one global row (duplicates are summed).
+
+        The row need not be owned by this rank; nonlocal contributions are
+        exchanged at :meth:`fillComplete`.
+        """
+        if self._filled:
+            raise RuntimeError("matrix is fill-complete; use "
+                               "replace_local_values to modify")
+        cols = np.atleast_1d(np.asarray(cols, dtype=np.int64))
+        values = np.broadcast_to(
+            np.asarray(values, dtype=self.dtype), cols.shape)
+        lrow = self.row_map.lid(int(global_row))
+        if lrow >= 0:
+            self._build_rows[lrow].append((cols, np.array(values)))
+        else:
+            rows, cs, vs = self._nonlocal.setdefault(
+                int(global_row), ([], [], []))
+            rows.append(int(global_row))
+            cs.append(cols)
+            vs.append(np.array(values))
+
+    sum_into_global_values = insert_global_values
+
+    def fillComplete(self, domain_map: Optional[Map] = None,
+                     range_map: Optional[Map] = None) -> "CrsMatrix":
+        """Finish assembly: ship nonlocal rows, build CSR + column map +
+        halo importer.  Collective."""
+        if self._filled:
+            raise RuntimeError("fillComplete called twice")
+        comm = self.row_map.comm
+        self.domain = domain_map if domain_map is not None else self.row_map
+        self.range = range_map if range_map is not None else self.row_map
+
+        # 1. ship nonlocal contributions to their owning ranks
+        if comm.size > 1:
+            out = [[] for _ in range(comm.size)]
+            # owner_rank is collective on arbitrary maps: every rank calls
+            # it, with an empty query list when it has nothing nonlocal.
+            grows = np.array(sorted(self._nonlocal), dtype=np.int64)
+            owners = self.row_map.owner_rank(grows)
+            for grow, owner in zip(grows, owners):
+                _rows, cs, vs = self._nonlocal[int(grow)]
+                out[int(owner)].append(
+                    (int(grow), np.concatenate(cs), np.concatenate(vs)))
+            incoming = comm.alltoall(out)
+            for batch in incoming:
+                for grow, cols, vals in batch:
+                    lrow = self.row_map.lid(grow)
+                    if lrow < 0:
+                        raise AssertionError("nonlocal row shipped to wrong "
+                                             "owner")
+                    self._build_rows[lrow].append((cols, vals))
+        elif self._nonlocal:
+            raise ValueError("nonlocal inserts with a single rank: row gid "
+                             "out of range")
+        self._nonlocal = {}
+
+        # 2. build the column map: owned domain gids first, remotes after
+        nloc = self.row_map.num_my_elements
+        all_cols = [c for row in self._build_rows for (c, _v) in row]
+        col_gids = np.unique(np.concatenate(all_cols)) if all_cols else \
+            np.empty(0, dtype=np.int64)
+        if len(col_gids) and (col_gids.min() < 0
+                              or col_gids.max() >= self.domain.num_global):
+            raise IndexError("column index out of domain range")
+        owned_mask = self.domain.lid(col_gids) >= 0 if len(col_gids) else \
+            np.empty(0, dtype=bool)
+        remote_gids = col_gids[~owned_mask]
+        owned_gids = self.domain.my_gids
+        self.col_map_gids = np.concatenate([owned_gids, remote_gids])
+        col_lid = {int(g): i for i, g in enumerate(self.col_map_gids)}
+
+        # 3. local CSR via COO assembly (duplicates summed)
+        rows_idx = []
+        cols_idx = []
+        vals = []
+        for lrow, row in enumerate(self._build_rows):
+            for cols, values in row:
+                rows_idx.append(np.full(len(cols), lrow, dtype=np.int64))
+                cols_idx.append(np.fromiter(
+                    (col_lid[int(c)] for c in cols), dtype=np.int64,
+                    count=len(cols)))
+                vals.append(values)
+        if rows_idx:
+            coo = sp.coo_matrix(
+                (np.concatenate(vals),
+                 (np.concatenate(rows_idx), np.concatenate(cols_idx))),
+                shape=(nloc, len(self.col_map_gids)), dtype=self.dtype)
+        else:
+            coo = sp.coo_matrix((nloc, len(self.col_map_gids)),
+                                dtype=self.dtype)
+        self.local_matrix = coo.tocsr()
+        self.local_matrix.sum_duplicates()
+        self._build_rows = []
+
+        # 4. halo importer: domain layout -> column-map layout
+        col_map = Map(self.domain.num_global, self.col_map_gids, comm,
+                      kind="arbitrary")
+        self.importer = Import(self.domain, col_map)
+        self._filled = True
+        return self
+
+    @property
+    def is_fill_complete(self) -> bool:
+        return self._filled
+
+    # ------------------------------------------------------------------
+    # Operator interface
+    # ------------------------------------------------------------------
+    def domain_map(self) -> Map:
+        return self.domain if self.domain is not None else self.row_map
+
+    def range_map(self) -> Map:
+        return self.range if self.range is not None else self.row_map
+
+    def _require_filled(self):
+        if not self._filled:
+            raise RuntimeError("call fillComplete() first")
+
+    def _import_columns(self, x_local: np.ndarray) -> np.ndarray:
+        """Halo exchange: build the column-map-ordered copy of x."""
+        ncols = len(self.col_map_gids)
+        nvec = x_local.shape[1]
+        x_col = np.zeros((ncols, nvec), dtype=x_local.dtype)
+        self.importer.apply(x_local, x_col, CombineMode.INSERT)
+        return x_col
+
+    def apply(self, x, y, trans: bool = False) -> None:
+        """y = A x (one Import + local CSR multiply); transpose uses the
+        reverse plan to push contributions back to owners."""
+        self._require_filled()
+        if trans:
+            # w (column-map layout) = A_local^T x_local ; then reverse-
+            # import (an export) sums overlapping contributions at owners.
+            w = self.local_matrix.T @ x.local
+            y.local[...] = 0
+            self.importer.apply_reverse(np.ascontiguousarray(w), y.local,
+                                        CombineMode.ADD)
+        else:
+            x_col = self._import_columns(x.local)
+            y.local[...] = self.local_matrix @ x_col
+
+    def __matmul__(self, x):
+        if isinstance(x, Vector):
+            y = Vector(self.range_map(),
+                       dtype=np.result_type(self.dtype, x.dtype))
+            self.apply(x, y)
+            return y
+        if isinstance(x, MultiVector):
+            y = MultiVector(self.range_map(), x.num_vectors,
+                            dtype=np.result_type(self.dtype, x.dtype))
+            self.apply(x, y)
+            return y
+        if isinstance(x, CrsMatrix):
+            return self.matmat(x)
+        return NotImplemented
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_my_rows(self) -> int:
+        return self.row_map.num_my_elements
+
+    @property
+    def num_global_rows(self) -> int:
+        return self.row_map.num_global
+
+    @property
+    def num_global_cols(self) -> int:
+        return self.domain_map().num_global
+
+    def num_global_nonzeros(self) -> int:
+        self._require_filled()
+        return int(self.row_map.comm.allreduce(self.local_matrix.nnz))
+
+    def global_row(self, global_row: int):
+        """(column gids, values) of one owned global row."""
+        self._require_filled()
+        lrow = self.row_map.lid(int(global_row))
+        if lrow < 0:
+            raise KeyError(f"row {global_row} not owned by rank "
+                           f"{self.row_map.comm.rank}")
+        sl = slice(self.local_matrix.indptr[lrow],
+                   self.local_matrix.indptr[lrow + 1])
+        return (self.col_map_gids[self.local_matrix.indices[sl]],
+                self.local_matrix.data[sl])
+
+    def diagonal(self) -> Vector:
+        """The matrix diagonal as a vector on the row map."""
+        self._require_filled()
+        d = Vector(self.row_map, dtype=self.dtype)
+        for lrow in range(self.num_my_rows):
+            grow = self.row_map.gid(lrow)
+            sl = slice(self.local_matrix.indptr[lrow],
+                       self.local_matrix.indptr[lrow + 1])
+            cols = self.col_map_gids[self.local_matrix.indices[sl]]
+            hit = np.nonzero(cols == grow)[0]
+            if len(hit):
+                d.local_view[lrow] = self.local_matrix.data[sl][hit[0]]
+        return d
+
+    def row_sums(self, absolute: bool = True) -> Vector:
+        self._require_filled()
+        m = abs(self.local_matrix) if absolute else self.local_matrix
+        out = Vector(self.row_map, dtype=self.dtype)
+        out.local_view[...] = np.asarray(m.sum(axis=1)).ravel()
+        return out
+
+    def norm_frobenius(self) -> float:
+        self._require_filled()
+        local = float((self.local_matrix.data ** 2).sum().real)
+        return float(np.sqrt(self.row_map.comm.allreduce(local)))
+
+    def norm_inf(self) -> float:
+        local = float(self.row_sums().local.max()) if self.num_my_rows \
+            else 0.0
+        return float(self.row_map.comm.allreduce(local, op=MAX))
+
+    # ------------------------------------------------------------------
+    # modification after fill
+    # ------------------------------------------------------------------
+    def scale(self, alpha: float) -> "CrsMatrix":
+        self._require_filled()
+        self.local_matrix = self.local_matrix * alpha
+        return self
+
+    def left_scale(self, d: Vector) -> "CrsMatrix":
+        """Row scaling: A <- diag(d) A, d on the row map."""
+        self._require_filled()
+        self.local_matrix = sp.diags(d.local_view) @ self.local_matrix
+        return self
+
+    def right_scale(self, d: Vector) -> "CrsMatrix":
+        """Column scaling: A <- A diag(d), d on the domain map."""
+        self._require_filled()
+        d_col = self._import_columns(d.local)[:, 0]
+        self.local_matrix = (self.local_matrix @ sp.diags(d_col)).tocsr()
+        return self
+
+    def replace_diagonal(self, d: Vector) -> "CrsMatrix":
+        self._require_filled()
+        lm = self.local_matrix.tolil()
+        for lrow in range(self.num_my_rows):
+            grow = self.row_map.gid(lrow)
+            lcol = np.nonzero(self.col_map_gids == grow)[0]
+            if len(lcol):
+                lm[lrow, int(lcol[0])] = d.local_view[lrow]
+        self.local_matrix = lm.tocsr()
+        return self
+
+    # ------------------------------------------------------------------
+    # distributed matrix algebra
+    # ------------------------------------------------------------------
+    def transpose(self) -> "CrsMatrix":
+        """Distributed transpose: entries shipped to the owners of their
+        column index, which becomes the new row index.  Collective."""
+        self._require_filled()
+        comm = self.row_map.comm
+        coo = self.local_matrix.tocoo()
+        row_gids = self.row_map.my_gids[coo.row]
+        col_gids = self.col_map_gids[coo.col]
+        new_row_map = self.domain
+        owners = new_row_map.owner_rank(col_gids)
+        out = []
+        for r in range(comm.size):
+            mask = owners == r
+            out.append((col_gids[mask], row_gids[mask], coo.data[mask]))
+        incoming = comm.alltoall(out)
+        at = CrsMatrix(new_row_map, dtype=self.dtype)
+        for rows, cols, vals in incoming:
+            for grow, gcol, v in zip(rows, cols, vals):
+                at.insert_global_values(int(grow), [int(gcol)], [v])
+        at.fillComplete(domain_map=self.range_map(),
+                        range_map=new_row_map)
+        return at
+
+    def add(self, other: "CrsMatrix", alpha: float = 1.0,
+            beta: float = 1.0) -> "CrsMatrix":
+        """C = alpha*this + beta*other (matching row maps).  Collective."""
+        self._require_filled()
+        other._require_filled()
+        if not self.row_map.locally_same_as(other.row_map):
+            raise ValueError("matrix add needs identical row maps")
+        out = CrsMatrix(self.row_map,
+                        dtype=np.result_type(self.dtype, other.dtype))
+        for m, scale in ((self, alpha), (other, beta)):
+            coo = m.local_matrix.tocoo()
+            for i, j, v in zip(coo.row, coo.col, coo.data):
+                out.insert_global_values(
+                    int(m.row_map.my_gids[int(i)]),
+                    [int(m.col_map_gids[int(j)])], [scale * v])
+        out.fillComplete(domain_map=self.domain_map(),
+                         range_map=self.range_map())
+        return out
+
+    def __add__(self, other):
+        if isinstance(other, CrsMatrix):
+            return self.add(other)
+        return NotImplemented
+
+    def __sub__(self, other):
+        if isinstance(other, CrsMatrix):
+            return self.add(other, 1.0, -1.0)
+        return NotImplemented
+
+    def matmat(self, other: "CrsMatrix") -> "CrsMatrix":
+        """C = A @ B for row-distributed B on A's domain map.  Each rank
+        imports the B-rows matching its A-columns, multiplies locally.
+        Collective."""
+        self._require_filled()
+        other._require_filled()
+        comm = self.row_map.comm
+        needed = self.col_map_gids
+        # fetch the needed rows of B (gid, cols, vals triplets)
+        owners = other.row_map.owner_rank(needed)
+        asks = []
+        for r in range(comm.size):
+            asks.append(needed[owners == r])
+        asked = comm.alltoall(asks)
+        replies = []
+        for gids in asked:
+            batch = []
+            for g in np.asarray(gids, dtype=np.int64):
+                cols, vals = other.global_row(int(g))
+                batch.append((int(g), cols, vals))
+            replies.append(batch)
+        got = comm.alltoall(replies)
+        # build a local sparse B block: rows ordered like self.col_map_gids
+        pos = {int(g): i for i, g in enumerate(needed)}
+        rows_idx, cols_idx, vals = [], [], []
+        for batch in got:
+            for g, cols, values in batch:
+                rows_idx.append(np.full(len(cols), pos[g], dtype=np.int64))
+                cols_idx.append(np.asarray(cols, dtype=np.int64))
+                vals.append(values)
+        nbcols = other.domain_map().num_global
+        if rows_idx:
+            b_block = sp.coo_matrix(
+                (np.concatenate(vals),
+                 (np.concatenate(rows_idx), np.concatenate(cols_idx))),
+                shape=(len(needed), nbcols)).tocsr()
+        else:
+            b_block = sp.csr_matrix((len(needed), nbcols))
+        c_local = (self.local_matrix @ b_block).tocoo()
+        c = CrsMatrix(self.row_map,
+                      dtype=np.result_type(self.dtype, other.dtype))
+        my_gids = self.row_map.my_gids
+        for i, j, v in zip(c_local.row, c_local.col, c_local.data):
+            c.insert_global_values(int(my_gids[i]), [int(j)], [v])
+        c.fillComplete(domain_map=other.domain_map(),
+                       range_map=self.range_map())
+        return c
+
+    # ------------------------------------------------------------------
+    # gather / conversion (testing and direct solvers)
+    # ------------------------------------------------------------------
+    def to_scipy_global(self, root: Optional[int] = 0):
+        """Gather the whole matrix as a scipy CSR on *root* (or on every
+        rank when root is None).  Collective."""
+        self._require_filled()
+        comm = self.row_map.comm
+        coo = self.local_matrix.tocoo()
+        triplet = (self.row_map.my_gids[coo.row],
+                   self.col_map_gids[coo.col], coo.data)
+        pieces = comm.allgather(triplet) if root is None else \
+            comm.gather(triplet, root=root)
+        if pieces is None:
+            return None
+        rows = np.concatenate([p[0] for p in pieces]) if pieces else []
+        cols = np.concatenate([p[1] for p in pieces]) if pieces else []
+        data = np.concatenate([p[2] for p in pieces]) if pieces else []
+        shape = (self.num_global_rows, self.num_global_cols)
+        return sp.coo_matrix((data, (rows, cols)), shape=shape).tocsr()
+
+    @classmethod
+    def from_scipy(cls, matrix, row_map: Map,
+                   domain_map: Optional[Map] = None) -> "CrsMatrix":
+        """Distribute a (rank-replicated) scipy sparse matrix by row map."""
+        matrix = sp.csr_matrix(matrix)
+        out = cls(row_map, dtype=matrix.dtype)
+        for gid in row_map.my_gids:
+            sl = slice(matrix.indptr[gid], matrix.indptr[gid + 1])
+            if sl.stop > sl.start:
+                out.insert_global_values(int(gid), matrix.indices[sl],
+                                         matrix.data[sl])
+        out.fillComplete(domain_map=domain_map)
+        return out
+
+    def __repr__(self):
+        state = "filled" if self._filled else "building"
+        return (f"CrsMatrix({self.num_global_rows}x{self.num_global_cols}, "
+                f"{state}, rank {self.row_map.comm.rank} holds "
+                f"{self.num_my_rows} rows)")
+
+
+class CrsGraph:
+    """Structure-only sparse pattern (Tpetra::CrsGraph).
+
+    Wraps the same machinery as :class:`CrsMatrix` with unit values; used
+    by coloring/partitioning and to preallocate matrices with a fixed
+    pattern.
+    """
+
+    def __init__(self, row_map: Map):
+        self.row_map = row_map
+        self._matrix = CrsMatrix(row_map, dtype=np.int8)
+
+    def insert_global_indices(self, global_row: int, cols) -> None:
+        self._matrix.insert_global_values(global_row, cols,
+                                          np.ones(len(np.atleast_1d(cols)),
+                                                  dtype=np.int8))
+
+    def fillComplete(self, domain_map: Optional[Map] = None,
+                     range_map: Optional[Map] = None) -> "CrsGraph":
+        self._matrix.fillComplete(domain_map, range_map)
+        return self
+
+    @property
+    def is_fill_complete(self) -> bool:
+        return self._matrix.is_fill_complete
+
+    def global_row_indices(self, global_row: int) -> np.ndarray:
+        cols, _vals = self._matrix.global_row(global_row)
+        return cols
+
+    def num_global_entries(self) -> int:
+        return self._matrix.num_global_nonzeros()
+
+    @property
+    def col_map_gids(self):
+        return self._matrix.col_map_gids
+
+    def matrix_with_values(self, dtype=np.float64) -> CrsMatrix:
+        """A zero-valued CrsMatrix sharing this pattern."""
+        out = CrsMatrix(self.row_map, dtype=dtype)
+        out.domain = self._matrix.domain
+        out.range = self._matrix.range
+        out.col_map_gids = self._matrix.col_map_gids
+        out.importer = self._matrix.importer
+        lm = self._matrix.local_matrix
+        out.local_matrix = sp.csr_matrix(
+            (np.zeros(lm.nnz, dtype=dtype), lm.indices.copy(),
+             lm.indptr.copy()), shape=lm.shape)
+        out._filled = True
+        out._build_rows = []
+        return out

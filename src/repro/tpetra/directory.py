@@ -1,0 +1,76 @@
+"""Distributed directory: owner lookup for arbitrary maps (Tpetra::Directory).
+
+For maps whose distribution has no closed form, ownership of gid *g* is
+registered with the "directory rank" ``g // ceil(N/p)``.  Owner queries then
+take two all-to-all exchanges (ask the directory ranks, receive answers),
+which is exactly the Tpetra scheme.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Directory"]
+
+
+class Directory:
+    """Owner/LID lookup service for one :class:`~repro.tpetra.map.Map`."""
+
+    def __init__(self, map_):
+        self.map = map_
+        comm = map_.comm
+        p = comm.size
+        self._block = max(1, -(-map_.num_global // p))  # ceil div
+        # Register my (gid, lid) pairs with their directory ranks.
+        my_gids = map_.my_gids
+        dir_ranks = np.minimum(my_gids // self._block, p - 1)
+        sendobjs = []
+        for r in range(p):
+            mask = dir_ranks == r
+            sendobjs.append((my_gids[mask],
+                             np.arange(len(my_gids), dtype=np.int64)[mask]))
+        received = comm.alltoall(sendobjs)
+        # Directory table for the gids this rank is responsible for.
+        n_dir = min(self._block, max(0, map_.num_global - comm.rank * self._block))
+        self._owner = np.full(max(n_dir, 0), -1, dtype=np.int64)
+        self._lid = np.full(max(n_dir, 0), -1, dtype=np.int64)
+        base = comm.rank * self._block
+        for src_rank, (gids, lids) in enumerate(received):
+            if len(gids):
+                idx = gids - base
+                self._owner[idx] = src_rank
+                self._lid[idx] = lids
+
+    def owners_and_lids(self, gids):
+        """For each queried gid: (owning rank, lid on that rank).
+
+        Collective: every rank must call with its own (possibly empty)
+        query list.
+        """
+        comm = self.map.comm
+        p = comm.size
+        gids = np.asarray(gids, dtype=np.int64)
+        dir_ranks = np.minimum(gids // self._block, p - 1)
+        queries = []
+        positions = []  # to scatter answers back into input order
+        for r in range(p):
+            mask = dir_ranks == r
+            queries.append(gids[mask])
+            positions.append(np.nonzero(mask)[0])
+        answers_in = comm.alltoall(queries)
+        base = comm.rank * self._block
+        answers_out = []
+        for asked in answers_in:
+            idx = asked - base
+            answers_out.append((self._owner[idx], self._lid[idx]))
+        replies = comm.alltoall(answers_out)
+        owners = np.full(len(gids), -1, dtype=np.int64)
+        lids = np.full(len(gids), -1, dtype=np.int64)
+        for r in range(p):
+            own, lid = replies[r]
+            owners[positions[r]] = own
+            lids[positions[r]] = lid
+        return owners, lids
+
+    def owners(self, gids):
+        return self.owners_and_lids(gids)[0]

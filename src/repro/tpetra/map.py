@@ -1,0 +1,199 @@
+"""Distribution maps: who owns which global indices (Tpetra::Map).
+
+A :class:`Map` is the global-to-local index translation at the heart of all
+distributed objects.  Tpetra templates these on ``LocalOrdinal`` /
+``GlobalOrdinal``; here ordinals are NumPy int64 throughout (the paper notes
+Python's int corresponds to C long, making that the natural choice), and
+genericity over Scalar lives in the Vector/Matrix classes instead.
+
+Supported distributions mirror what ODIN's creation routines can request:
+contiguous uniform blocks, user-specified block sizes (nonuniform),
+round-robin cyclic, and fully arbitrary global-index lists.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..mpi import Intracomm
+
+__all__ = ["Map"]
+
+
+class Map:
+    """Describes the distribution of ``num_global`` indices over a comm.
+
+    Each rank's instance stores the global indices it owns (``my_gids``).
+    For contiguous and cyclic maps, ownership questions are answered
+    analytically; arbitrary maps get a distributed directory on demand
+    (see :class:`repro.tpetra.directory.Directory`).
+    """
+
+    def __init__(self, num_global: int, my_gids: np.ndarray, comm: Intracomm,
+                 kind: str = "arbitrary",
+                 block_offsets: Optional[np.ndarray] = None):
+        self.num_global = int(num_global)
+        self.my_gids = np.asarray(my_gids, dtype=np.int64)
+        self.comm = comm
+        self.kind = kind
+        # For contiguous maps: offsets[r] .. offsets[r+1] are rank r's gids.
+        self.block_offsets = block_offsets
+        self._lid_of: Optional[dict] = None
+        self._directory = None
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def create_contiguous(cls, num_global: int, comm: Intracomm) -> "Map":
+        """Uniform contiguous block distribution (Tpetra's default)."""
+        p = comm.size
+        counts = np.full(p, num_global // p, dtype=np.int64)
+        counts[:num_global % p] += 1
+        offsets = np.zeros(p + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        lo, hi = offsets[comm.rank], offsets[comm.rank + 1]
+        return cls(num_global, np.arange(lo, hi, dtype=np.int64), comm,
+                   kind="contiguous", block_offsets=offsets)
+
+    @classmethod
+    def create_from_local_counts(cls, local_count: int,
+                                 comm: Intracomm) -> "Map":
+        """Contiguous distribution with per-rank block sizes (nonuniform)."""
+        counts = comm.allgather(int(local_count))
+        offsets = np.zeros(comm.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        lo, hi = offsets[comm.rank], offsets[comm.rank + 1]
+        return cls(int(offsets[-1]), np.arange(lo, hi, dtype=np.int64), comm,
+                   kind="contiguous", block_offsets=offsets)
+
+    @classmethod
+    def create_cyclic(cls, num_global: int, comm: Intracomm) -> "Map":
+        """Round-robin distribution: gid g lives on rank g % p."""
+        gids = np.arange(comm.rank, num_global, comm.size, dtype=np.int64)
+        return cls(num_global, gids, comm, kind="cyclic")
+
+    @classmethod
+    def create_from_gids(cls, my_gids: Sequence[int],
+                         comm: Intracomm) -> "Map":
+        """Arbitrary distribution from each rank's owned global indices.
+
+        The gid sets must partition ``0..num_global-1`` (checked).
+        """
+        my_gids = np.asarray(my_gids, dtype=np.int64)
+        total = comm.allreduce(len(my_gids))
+        max_gid = comm.allreduce(int(my_gids.max()) if len(my_gids) else -1,
+                                 op=_mpi_max())
+        num_global = max_gid + 1
+        if total != num_global:
+            raise ValueError(
+                f"gid lists do not partition the index space: {total} gids "
+                f"for {num_global} global indices")
+        return cls(num_global, my_gids, comm, kind="arbitrary")
+
+    # ------------------------------------------------------------------
+    # local queries
+    # ------------------------------------------------------------------
+    @property
+    def num_my_elements(self) -> int:
+        return len(self.my_gids)
+
+    @property
+    def min_my_gid(self) -> int:
+        return int(self.my_gids.min()) if len(self.my_gids) else -1
+
+    @property
+    def max_my_gid(self) -> int:
+        return int(self.my_gids.max()) if len(self.my_gids) else -1
+
+    def gid(self, lid: int) -> int:
+        """Global index of a local index."""
+        return int(self.my_gids[lid])
+
+    def lid(self, gid) -> np.ndarray:
+        """Local index/indices of global index/indices; -1 when not owned."""
+        scalar = np.isscalar(gid)
+        gid = np.atleast_1d(np.asarray(gid, dtype=np.int64))
+        if self.kind == "contiguous":
+            lo = self.block_offsets[self.comm.rank]
+            hi = self.block_offsets[self.comm.rank + 1]
+            out = np.where((gid >= lo) & (gid < hi), gid - lo, -1)
+        elif self.kind == "cyclic":
+            mine = (gid % self.comm.size) == self.comm.rank
+            out = np.where(mine, gid // self.comm.size, -1)
+        else:
+            if self._lid_of is None:
+                self._lid_of = {int(g): i for i, g in enumerate(self.my_gids)}
+            out = np.fromiter(
+                (self._lid_of.get(int(g), -1) for g in gid),
+                dtype=np.int64, count=len(gid))
+        return int(out[0]) if scalar else out
+
+    def owns(self, gid) -> np.ndarray:
+        out = self.lid(gid)
+        if np.isscalar(out):
+            return out >= 0
+        return out >= 0
+
+    # ------------------------------------------------------------------
+    # global queries
+    # ------------------------------------------------------------------
+    def owner_rank(self, gids) -> np.ndarray:
+        """Rank owning each global index (collective for arbitrary maps)."""
+        scalar = np.isscalar(gids)
+        gids = np.atleast_1d(np.asarray(gids, dtype=np.int64))
+        if np.any((gids < 0) | (gids >= self.num_global)):
+            raise IndexError("global index out of range")
+        if self.kind == "contiguous":
+            out = np.searchsorted(self.block_offsets, gids, side="right") - 1
+        elif self.kind == "cyclic":
+            out = gids % self.comm.size
+        else:
+            out = self.directory().owners(gids)
+        out = out.astype(np.int64)
+        return int(out[0]) if scalar else out
+
+    def directory(self):
+        if self._directory is None:
+            from .directory import Directory
+            self._directory = Directory(self)
+        return self._directory
+
+    # ------------------------------------------------------------------
+    # comparisons
+    # ------------------------------------------------------------------
+    def same_as(self, other: "Map") -> bool:
+        """True when both maps assign identical gids to this rank.
+
+        Collective: all ranks must agree for distributed objects built on
+        them to be interchangeable, so the local verdict is allreduced.
+        """
+        local = (self.num_global == other.num_global
+                 and len(self.my_gids) == len(other.my_gids)
+                 and bool(np.array_equal(self.my_gids, other.my_gids)))
+        return bool(self.comm.allreduce(local, op=_mpi_land()))
+
+    def locally_same_as(self, other: "Map") -> bool:
+        """Non-collective version of :meth:`same_as` for this rank only."""
+        return (self.num_global == other.num_global
+                and np.array_equal(self.my_gids, other.my_gids))
+
+    def is_one_to_one(self) -> bool:
+        """Maps constructed here always partition the space."""
+        return True
+
+    def __repr__(self):
+        return (f"Map(num_global={self.num_global}, kind={self.kind!r}, "
+                f"rank={self.comm.rank} owns {self.num_my_elements})")
+
+
+def _mpi_max():
+    from ..mpi import MAX
+    return MAX
+
+
+def _mpi_land():
+    from ..mpi import LAND
+    return LAND

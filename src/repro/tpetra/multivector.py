@@ -1,0 +1,365 @@
+"""Distributed vectors and multivectors (Tpetra::Vector / MultiVector).
+
+Design philosophy straight from the paper (section II): *"make it as much
+like NumPy as possible."*  Vectors support arithmetic operators, ufunc-style
+elementwise math, global advanced indexing with ``v[gids]``, and expose
+their local segment as a plain ndarray -- while the Tpetra method spellings
+(``norm2``, ``update``, ``putScalar``, ``dot``) remain available for users
+coming from Trilinos.
+
+The Scalar template parameter of Tpetra becomes the NumPy ``dtype``: float,
+complex, integer, or "potentially more exotic data types as well, just as
+NumPy does."
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..mpi import MAX, SUM
+from .import_export import CombineMode, Export, Import
+from .map import Map
+
+__all__ = ["MultiVector", "Vector"]
+
+Number = Union[int, float, complex]
+
+
+class MultiVector:
+    """``num_vectors`` distributed vectors sharing one :class:`Map`.
+
+    Local storage is ``(num_my_elements, num_vectors)`` C-ordered, so a
+    single column view is itself contiguous per element row.
+    """
+
+    def __init__(self, map_: Map, num_vectors: int = 1,
+                 dtype=np.float64, _local: Optional[np.ndarray] = None):
+        self.map = map_
+        self.num_vectors = int(num_vectors)
+        if _local is not None:
+            expected = (map_.num_my_elements, self.num_vectors)
+            if _local.shape != expected:
+                raise ValueError(f"local block shape {_local.shape} != "
+                                 f"{expected}")
+            self.local = np.ascontiguousarray(_local)
+        else:
+            self.local = np.zeros((map_.num_my_elements, self.num_vectors),
+                                  dtype=dtype)
+
+    # ------------------------------------------------------------------
+    # basics
+    # ------------------------------------------------------------------
+    @property
+    def dtype(self):
+        return self.local.dtype
+
+    @property
+    def comm(self):
+        return self.map.comm
+
+    @property
+    def global_length(self) -> int:
+        return self.map.num_global
+
+    @property
+    def local_length(self) -> int:
+        return self.map.num_my_elements
+
+    def copy(self) -> "MultiVector":
+        return type(self)._like(self, self.local.copy())
+
+    @classmethod
+    def _like(cls, other: "MultiVector", local: np.ndarray) -> "MultiVector":
+        out = cls.__new__(cls)
+        out.map = other.map
+        out.num_vectors = local.shape[1] if local.ndim == 2 else 1
+        out.local = np.ascontiguousarray(local.reshape(
+            other.map.num_my_elements, -1))
+        return out
+
+    def putScalar(self, alpha: Number) -> "MultiVector":
+        self.local[...] = alpha
+        return self
+
+    def randomize(self, seed: Optional[int] = None) -> "MultiVector":
+        """Fill with uniform(-1, 1), independently per rank.
+
+        With a seed, each rank derives ``seed + rank`` so the global vector
+        is deterministic for a fixed distribution.
+        """
+        rng = np.random.default_rng(
+            None if seed is None else seed + self.comm.rank)
+        self.local[...] = rng.uniform(-1.0, 1.0, size=self.local.shape)
+        return self
+
+    def vector(self, j: int) -> "Vector":
+        """Vector view of column *j* (shares storage)."""
+        return Vector._from_column(self, j)
+
+    # ------------------------------------------------------------------
+    # reductions (collective)
+    # ------------------------------------------------------------------
+    def dot(self, other: "MultiVector") -> np.ndarray:
+        """Per-column global dot products (conjugating self for complex)."""
+        local = np.einsum("ij,ij->j", np.conj(self.local), other.local)
+        out = np.zeros_like(local)
+        self.comm.Allreduce(local, out, op=SUM)
+        return out
+
+    def norm2(self) -> np.ndarray:
+        local = np.einsum("ij,ij->j", np.conj(self.local),
+                          self.local).real
+        out = np.zeros_like(local)
+        self.comm.Allreduce(local, out, op=SUM)
+        return np.sqrt(out)
+
+    def norm1(self) -> np.ndarray:
+        local = np.abs(self.local).sum(axis=0)
+        out = np.zeros_like(local)
+        self.comm.Allreduce(local, out, op=SUM)
+        return out
+
+    def normInf(self) -> np.ndarray:
+        local = np.abs(self.local).max(axis=0) if self.local_length else \
+            np.zeros(self.num_vectors)
+        out = np.zeros_like(local)
+        self.comm.Allreduce(local, out, op=MAX)
+        return out
+
+    def meanValue(self) -> np.ndarray:
+        local = self.local.sum(axis=0)
+        out = np.zeros_like(local)
+        self.comm.Allreduce(local, out, op=SUM)
+        return out / self.global_length
+
+    # ------------------------------------------------------------------
+    # BLAS-style updates (local, no communication)
+    # ------------------------------------------------------------------
+    def scale(self, alpha: Number) -> "MultiVector":
+        self.local *= alpha
+        return self
+
+    def update(self, alpha: Number, a: "MultiVector",
+               beta: Number) -> "MultiVector":
+        """this = alpha*a + beta*this (Tpetra update signature)."""
+        self.local *= beta
+        self.local += alpha * a.local
+        return self
+
+    def elementwise_multiply(self, scalar: Number, a: "MultiVector",
+                             b: "MultiVector", beta: Number = 0.0
+                             ) -> "MultiVector":
+        """this = beta*this + scalar * a .* b."""
+        self.local *= beta
+        self.local += scalar * a.local * b.local
+        return self
+
+    def abs(self) -> "MultiVector":
+        return type(self)._like(self, np.abs(self.local))
+
+    def reciprocal(self) -> "MultiVector":
+        return type(self)._like(self, 1.0 / self.local)
+
+    # ------------------------------------------------------------------
+    # NumPy-like operators
+    # ------------------------------------------------------------------
+    def _coerce(self, other):
+        if isinstance(other, MultiVector):
+            if not self.map.locally_same_as(other.map):
+                raise ValueError("operands have different maps; import one "
+                                 "onto the other's map first")
+            return other.local
+        return other
+
+    def __add__(self, other):
+        return type(self)._like(self, self.local + self._coerce(other))
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return type(self)._like(self, self.local - self._coerce(other))
+
+    def __rsub__(self, other):
+        return type(self)._like(self, self._coerce(other) - self.local)
+
+    def __mul__(self, other):
+        return type(self)._like(self, self.local * self._coerce(other))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        return type(self)._like(self, self.local / self._coerce(other))
+
+    def __rtruediv__(self, other):
+        return type(self)._like(self, self._coerce(other) / self.local)
+
+    def __pow__(self, exponent):
+        return type(self)._like(self, self.local ** exponent)
+
+    def __neg__(self):
+        return type(self)._like(self, -self.local)
+
+    def __iadd__(self, other):
+        self.local += self._coerce(other)
+        return self
+
+    def __isub__(self, other):
+        self.local -= self._coerce(other)
+        return self
+
+    def __imul__(self, other):
+        self.local *= self._coerce(other)
+        return self
+
+    def __itruediv__(self, other):
+        self.local /= self._coerce(other)
+        return self
+
+    # ------------------------------------------------------------------
+    # redistribution and gather
+    # ------------------------------------------------------------------
+    def import_from(self, source: "MultiVector", importer: Import,
+                    mode: CombineMode = CombineMode.INSERT) -> "MultiVector":
+        importer.apply(source.local, self.local, mode)
+        return self
+
+    def export_to(self, target: "MultiVector", exporter: Export,
+                  mode: CombineMode = CombineMode.ADD) -> "MultiVector":
+        exporter.apply(self.local, target.local, mode)
+        return target
+
+    def gather(self, root: int = 0) -> Optional[np.ndarray]:
+        """Assemble the full global array on *root* (None elsewhere).
+
+        Collective.  The result rows are ordered by global index.
+        """
+        pieces = self.comm.gather((self.map.my_gids, self.local), root=root)
+        if pieces is None:
+            return None
+        out = np.zeros((self.global_length, self.num_vectors),
+                       dtype=self.dtype)
+        for gids, block in pieces:
+            out[gids] = block
+        return out
+
+    def gather_all(self) -> np.ndarray:
+        """Assemble the full global array on every rank. Collective."""
+        pieces = self.comm.allgather((self.map.my_gids, self.local))
+        out = np.zeros((self.global_length, self.num_vectors),
+                       dtype=self.dtype)
+        for gids, block in pieces:
+            out[gids] = block
+        return out
+
+    def __array__(self, dtype=None, copy=None):
+        arr = self.gather_all()
+        if self.num_vectors == 1:
+            arr = arr[:, 0]
+        return arr.astype(dtype) if dtype is not None else arr
+
+    def __repr__(self):
+        return (f"{type(self).__name__}(global={self.global_length}, "
+                f"nvec={self.num_vectors}, dtype={self.dtype}, "
+                f"rank {self.comm.rank} holds {self.local_length})")
+
+
+class Vector(MultiVector):
+    """A single distributed vector: a MultiVector with one column, with
+    scalar-returning reductions and 1-D global indexing."""
+
+    def __init__(self, map_: Map, dtype=np.float64,
+                 _local: Optional[np.ndarray] = None):
+        if _local is not None and _local.ndim == 1:
+            _local = _local.reshape(-1, 1)
+        super().__init__(map_, 1, dtype=dtype, _local=_local)
+
+    @classmethod
+    def _from_column(cls, mv: MultiVector, j: int) -> "Vector":
+        out = cls.__new__(cls)
+        out.map = mv.map
+        out.num_vectors = 1
+        out.local = mv.local[:, j:j + 1]
+        return out
+
+    @classmethod
+    def _like(cls, other: "MultiVector", local: np.ndarray) -> "Vector":
+        if local.ndim == 2 and local.shape[1] != 1:
+            return MultiVector._like(other, local)
+        out = cls.__new__(cls)
+        out.map = other.map
+        out.num_vectors = 1
+        out.local = np.ascontiguousarray(local.reshape(-1, 1))
+        return out
+
+    @property
+    def local_view(self) -> np.ndarray:
+        """1-D view of this rank's segment (writable)."""
+        return self.local[:, 0]
+
+    @local_view.setter
+    def local_view(self, values) -> None:
+        # supports augmented assignment (v.local_view += ...); numpy
+        # self-assignment of the mutated view is safe.
+        self.local[:, 0] = values
+
+    def dot(self, other: "MultiVector"):
+        return complex(super().dot(other)[0]) if \
+            np.iscomplexobj(self.local) else float(super().dot(other)[0])
+
+    def norm2(self) -> float:
+        return float(super().norm2()[0])
+
+    def norm1(self) -> float:
+        return float(super().norm1()[0])
+
+    def normInf(self) -> float:
+        return float(super().normInf()[0])
+
+    def meanValue(self) -> float:
+        return float(super().meanValue()[0])
+
+    # -- global advanced indexing (the paper's "advanced indexing" claim) --
+    def __getitem__(self, gids):
+        """Global read access.  Collective when any index is remote.
+
+        ``v[7]`` or ``v[[1, 5, 9]]`` returns values regardless of where the
+        indices live, via an Import onto a temporary map.
+        """
+        scalar = np.isscalar(gids)
+        gids = np.atleast_1d(np.asarray(gids, dtype=np.int64))
+        lids = self.map.lid(gids)
+        # Fast path would be local-only, but remoteness is a global
+        # property, so this read is collective by contract.
+        owners_local = lids >= 0
+        all_local = self.comm.allreduce(bool(owners_local.all()),
+                                        op=_land())
+        if all_local:
+            values = self.local_view[np.maximum(lids, 0)]
+        else:
+            values = _import_values(self, gids)
+        return values[0] if scalar else values
+
+    def __setitem__(self, gids, values) -> None:
+        """Global write access: each rank writes the entries it owns."""
+        gids = np.atleast_1d(np.asarray(gids, dtype=np.int64))
+        values = np.broadcast_to(np.asarray(values, dtype=self.dtype),
+                                 gids.shape)
+        lids = self.map.lid(gids)
+        mask = lids >= 0
+        self.local_view[lids[mask]] = values[mask]
+
+
+def _import_values(vec: Vector, gids: np.ndarray) -> np.ndarray:
+    """Fetch arbitrary global entries of a distributed vector (collective)."""
+    overlap_map = Map(vec.map.num_global, gids, vec.comm, kind="arbitrary")
+    importer = Import(vec.map, overlap_map)
+    out = np.zeros((len(gids), 1), dtype=vec.dtype)
+    importer.apply(vec.local, out, CombineMode.INSERT)
+    return out[:, 0]
+
+
+def _land():
+    from ..mpi import LAND
+    return LAND

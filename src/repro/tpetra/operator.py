@@ -1,0 +1,126 @@
+"""Abstract operator interface (Tpetra::Operator).
+
+Anything that can apply itself to a vector -- matrices, preconditioners,
+AMG hierarchies, matrix-free user operators -- implements this protocol, so
+the Krylov solvers in :mod:`repro.solvers` compose them freely.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .map import Map
+from .multivector import Vector
+
+__all__ = ["Operator", "LinearOperator", "IdentityOperator",
+           "ScaledOperator", "ComposedOperator"]
+
+
+class Operator:
+    """Base class: a linear map between two distributed index spaces."""
+
+    def domain_map(self) -> Map:
+        raise NotImplementedError
+
+    def range_map(self) -> Map:
+        raise NotImplementedError
+
+    def apply(self, x: Vector, y: Vector, trans: bool = False) -> None:
+        """y = op(x) (or op^T(x) when *trans*)."""
+        raise NotImplementedError
+
+    # -- conveniences --------------------------------------------------
+    def __matmul__(self, x):
+        if isinstance(x, Vector):
+            y = Vector(self.range_map(), dtype=x.dtype)
+            self.apply(x, y)
+            return y
+        return NotImplemented
+
+    def matvec(self, x: Vector) -> Vector:
+        y = Vector(self.range_map(), dtype=x.dtype)
+        self.apply(x, y)
+        return y
+
+
+class LinearOperator(Operator):
+    """Matrix-free operator from a callable ``fn(x_vector) -> y_vector``."""
+
+    def __init__(self, domain: Map, range_: Map,
+                 fn: Callable[[Vector], Vector],
+                 fn_trans: Optional[Callable[[Vector], Vector]] = None):
+        self._domain = domain
+        self._range = range_
+        self._fn = fn
+        self._fn_trans = fn_trans
+
+    def domain_map(self) -> Map:
+        return self._domain
+
+    def range_map(self) -> Map:
+        return self._range
+
+    def apply(self, x: Vector, y: Vector, trans: bool = False) -> None:
+        if trans:
+            if self._fn_trans is None:
+                raise NotImplementedError("no transpose callable supplied")
+            result = self._fn_trans(x)
+        else:
+            result = self._fn(x)
+        y.local[...] = result.local
+
+
+class IdentityOperator(Operator):
+    def __init__(self, map_: Map):
+        self._map = map_
+
+    def domain_map(self) -> Map:
+        return self._map
+
+    def range_map(self) -> Map:
+        return self._map
+
+    def apply(self, x: Vector, y: Vector, trans: bool = False) -> None:
+        y.local[...] = x.local
+
+
+class ScaledOperator(Operator):
+    """alpha * op."""
+
+    def __init__(self, op: Operator, alpha: float):
+        self.op = op
+        self.alpha = alpha
+
+    def domain_map(self) -> Map:
+        return self.op.domain_map()
+
+    def range_map(self) -> Map:
+        return self.op.range_map()
+
+    def apply(self, x: Vector, y: Vector, trans: bool = False) -> None:
+        self.op.apply(x, y, trans=trans)
+        y.scale(self.alpha)
+
+
+class ComposedOperator(Operator):
+    """(a . b): apply b then a."""
+
+    def __init__(self, a: Operator, b: Operator):
+        self.a = a
+        self.b = b
+
+    def domain_map(self) -> Map:
+        return self.b.domain_map()
+
+    def range_map(self) -> Map:
+        return self.a.range_map()
+
+    def apply(self, x: Vector, y: Vector, trans: bool = False) -> None:
+        if trans:
+            tmp = Vector(self.a.domain_map(), dtype=x.dtype)
+            self.a.apply(x, tmp, trans=True)
+            self.b.apply(tmp, y, trans=True)
+        else:
+            tmp = Vector(self.b.range_map(), dtype=x.dtype)
+            self.b.apply(x, tmp)
+            self.a.apply(tmp, y)

@@ -1,0 +1,21 @@
+"""repro.triutils -- testing utilities and matrix I/O (TriUtils/EpetraExt).
+
+Per Table I: "Testing utilities", plus the EpetraExt extensions the paper
+lists ("I/O, sparse transposes, coloring, etc.").  Transposes live on
+:class:`~repro.tpetra.crsmatrix.CrsMatrix`; this module adds MatrixMarket
+read/write for distributed matrices and vectors, residual checking, and
+greedy distance-1 matrix coloring.
+"""
+
+from .coloring import greedy_coloring
+from .io import (read_matrix_market, read_vector_market, write_matrix_market,
+                 write_vector_market)
+from .ordering import (bandwidth, permute_matrix, rcm_map,
+                       reverse_cuthill_mckee)
+from .testing import residual_check, solution_error
+
+__all__ = ["read_matrix_market", "write_matrix_market",
+           "read_vector_market", "write_vector_market",
+           "residual_check", "solution_error", "greedy_coloring",
+           "reverse_cuthill_mckee", "rcm_map", "bandwidth",
+           "permute_matrix"]

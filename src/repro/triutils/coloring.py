@@ -1,0 +1,39 @@
+"""Greedy distance-1 matrix coloring (the EpetraExt coloring extension).
+
+Colors the symmetrized sparsity pattern so that no two adjacent rows share
+a color -- the classic prerequisite for compressed finite-difference
+Jacobian evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..tpetra import CrsMatrix, Vector
+
+__all__ = ["greedy_coloring"]
+
+
+def greedy_coloring(A: CrsMatrix) -> Vector:
+    """Color the global pattern; returns the color of each row as a
+    distributed integer Vector on the row map.  Collective.
+
+    Greedy first-fit over rows in natural order on the gathered pattern:
+    deterministic and within a small factor of optimal for the structured
+    matrices in the gallery.
+    """
+    pattern = A.to_scipy_global(root=None)
+    sym = (abs(pattern) + abs(pattern.T)).tocsr()
+    n = sym.shape[0]
+    colors = np.full(n, -1, dtype=np.int64)
+    for v in range(n):
+        nbrs = sym.indices[sym.indptr[v]:sym.indptr[v + 1]]
+        used = set(colors[u] for u in nbrs if colors[u] >= 0 and u != v)
+        c = 0
+        while c in used:
+            c += 1
+        colors[v] = c
+    out = Vector(A.row_map, dtype=np.float64)
+    out.local_view[...] = colors[A.row_map.my_gids]
+    return out

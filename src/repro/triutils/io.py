@@ -1,0 +1,66 @@
+"""MatrixMarket I/O for distributed matrices and vectors.
+
+Root-rank I/O: rank 0 reads/writes the file; data is scattered/gathered
+through the map.  The coordinate format matches scipy.io.mmread/mmwrite
+so files interoperate with the wider ecosystem.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.io as sio
+import scipy.sparse as sp
+
+from ..mpi import Intracomm
+from ..tpetra import CrsMatrix, Map, Vector
+
+__all__ = ["write_matrix_market", "read_matrix_market",
+           "write_vector_market", "read_vector_market"]
+
+
+def write_matrix_market(path: str, A: CrsMatrix) -> None:
+    """Gather a distributed matrix to rank 0 and write it.  Collective."""
+    A_global = A.to_scipy_global(root=0)
+    if A.row_map.comm.rank == 0:
+        sio.mmwrite(path, A_global)
+    A.row_map.comm.barrier()
+
+
+def read_matrix_market(path: str, comm: Intracomm,
+                       row_map: Optional[Map] = None) -> CrsMatrix:
+    """Read on rank 0, broadcast, distribute by *row_map*.  Collective."""
+    if comm.rank == 0:
+        M = sp.csr_matrix(sio.mmread(path))
+        shape = M.shape
+    else:
+        M, shape = None, None
+    shape = comm.bcast(shape, root=0)
+    M = comm.bcast(M, root=0)
+    if row_map is None:
+        row_map = Map.create_contiguous(shape[0], comm)
+    return CrsMatrix.from_scipy(M, row_map)
+
+
+def write_vector_market(path: str, v: Vector) -> None:
+    """Gather a distributed vector to rank 0 and write it.  Collective."""
+    arr = v.gather(root=0)
+    if v.comm.rank == 0:
+        sio.mmwrite(path, arr)
+    v.comm.barrier()
+
+
+def read_vector_market(path: str, comm: Intracomm,
+                       map_: Optional[Map] = None) -> Vector:
+    """Read a dense MatrixMarket vector and distribute it.  Collective."""
+    if comm.rank == 0:
+        arr = np.asarray(sio.mmread(path)).reshape(-1)
+    else:
+        arr = None
+    arr = comm.bcast(arr, root=0)
+    if map_ is None:
+        map_ = Map.create_contiguous(len(arr), comm)
+    v = Vector(map_, dtype=arr.dtype)
+    v.local_view[...] = arr[map_.my_gids]
+    return v

@@ -1,0 +1,27 @@
+"""Residual checkers and error measures for solver testing."""
+
+from __future__ import annotations
+
+from ..tpetra import Operator, Vector
+
+__all__ = ["residual_check", "solution_error"]
+
+
+def residual_check(op: Operator, x: Vector, b: Vector,
+                   tol: float = 1e-8) -> bool:
+    """True when ||b - Ax|| / ||b|| <= tol.  Collective."""
+    r = Vector(b.map, dtype=b.dtype)
+    op.apply(x, r)
+    r.update(1.0, b, -1.0)
+    bnorm = b.norm2() or 1.0
+    return r.norm2() / bnorm <= tol
+
+
+def solution_error(x: Vector, x_exact: Vector,
+                   relative: bool = True) -> float:
+    """||x - x_exact|| (optionally relative).  Collective."""
+    diff = x - x_exact
+    err = diff.norm2()
+    if relative:
+        err /= (x_exact.norm2() or 1.0)
+    return float(err)

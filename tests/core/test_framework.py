@@ -1,0 +1,98 @@
+"""Framework-glue tests: core.solve and the full pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import core, galeri, tpetra
+from repro.teuchos import ParameterList
+from tests.conftest import spmd
+
+
+class TestSolve:
+    @pytest.mark.parametrize("solver,prec", [
+        ("CG", "None"), ("CG", "Jacobi"), ("CG", "ILU"), ("CG", "ML"),
+        ("GMRES", "SGS"), ("BICGSTAB", "ILUT"), ("MINRES", "None"),
+        ("TFQMR", "None"), ("Direct", "None"), ("AMG", "None"),
+    ])
+    def test_every_combination_solves_poisson(self, solver, prec):
+        def body(comm):
+            A = galeri.laplace_2d(10, 10, comm)
+            x_true = tpetra.Vector(A.row_map)
+            x_true.randomize(seed=2)
+            b = A @ x_true
+            params = ParameterList("LS").set("Solver", solver) \
+                .set("Preconditioner", prec).set("Tolerance", 1e-9) \
+                .set("Max Iterations", 3000)
+            r = core.solve(A, b, params)
+            return r.converged, (r.x - x_true).norm2() / x_true.norm2()
+        conv, err = spmd(2)(body)[0]
+        assert conv and err < 1e-5, (solver, prec, err)
+
+    def test_defaults(self):
+        def body(comm):
+            A = galeri.laplace_1d(16, comm)
+            b = tpetra.Vector(A.row_map).putScalar(1.0)
+            return core.solve(A, b).converged
+        assert all(spmd(2)(body))
+
+    def test_direct_requires_matrix(self):
+        def body(comm):
+            m = tpetra.Map.create_contiguous(4, comm)
+            op = tpetra.IdentityOperator(m)
+            b = tpetra.Vector(m).putScalar(1.0)
+            core.solve(op, b, ParameterList().set("Solver", "Direct"))
+        with pytest.raises(TypeError):
+            spmd(1)(body)
+
+
+class TestPipeline:
+    def test_pure_python_callback(self):
+        def body(comm):
+            return core.newton_krylov_pipeline(comm, 64,
+                                               compile_callback=False)
+        report = spmd(2)(body)[0]
+        assert report.converged
+        assert not report.callback_compiled
+        assert report.callback_time > 0
+
+    def test_compiled_callback_same_answer(self, has_cc):
+        if not has_cc:
+            pytest.skip("no C compiler")
+
+        def body(comm):
+            plain = core.newton_krylov_pipeline(comm, 64,
+                                                compile_callback=False)
+            fast = core.newton_krylov_pipeline(comm, 64,
+                                               compile_callback=True)
+            return plain, fast
+        plain, fast = spmd(2)(body)[0]
+        assert plain.converged and fast.converged
+        assert fast.callback_compiled
+        assert plain.newton_iterations == fast.newton_iterations
+        assert plain.residual_norm == pytest.approx(fast.residual_norm,
+                                                    rel=1e-6, abs=1e-12)
+
+    def test_jfnk_mode(self):
+        def body(comm):
+            return core.newton_krylov_pipeline(comm, 32, jacobian="jfnk")
+        report = spmd(2)(body)[0]
+        assert report.converged
+
+    def test_custom_kernel(self):
+        def linear_kernel(out, u, lam):
+            for i in range(len(u)):
+                out[i] = lam * u[i]
+
+        def body(comm):
+            return core.newton_krylov_pipeline(
+                comm, 32, model_kernel=linear_kernel, lam=0.5,
+                jacobian="jfnk")
+        report = spmd(1)(body)[0]
+        # -u'' = 0.5u has only the trivial solution from x0=0
+        assert report.converged
+
+    def test_report_repr(self):
+        def body(comm):
+            return core.newton_krylov_pipeline(comm, 16)
+        report = spmd(1)(body)[0]
+        assert "Newton its" in repr(report)

@@ -1,0 +1,125 @@
+"""First-generation Epetra facade tests (C++-style spellings, fixed types)."""
+
+import numpy as np
+import pytest
+
+from repro import epetra, mpi
+from tests.conftest import spmd
+
+
+class TestComm:
+    def test_pid_and_nproc(self):
+        def body(comm):
+            pc = epetra.PyComm(comm)
+            return pc.MyPID(), pc.NumProc()
+        assert spmd(3)(body) == [(0, 3), (1, 3), (2, 3)]
+
+    def test_reductions(self):
+        def body(comm):
+            pc = epetra.PyComm(comm)
+            return pc.SumAll(pc.MyPID()), pc.MaxAll(pc.MyPID()), \
+                pc.MinAll(pc.MyPID())
+        assert spmd(3)(body)[0] == (3, 2, 0)
+
+    def test_broadcast(self):
+        def body(comm):
+            pc = epetra.PyComm(comm)
+            return pc.Broadcast("root data" if pc.MyPID() == 0 else None)
+        assert spmd(2)(body) == ["root data"] * 2
+
+
+class TestMap:
+    def test_cpp_style_queries(self):
+        def body(comm):
+            pc = epetra.PyComm(comm)
+            m = epetra.Map(10, 0, pc)
+            return (m.NumGlobalElements(), m.NumMyElements(),
+                    m.GID(0), m.MyGID(m.GID(0)),
+                    m.LID(m.GID(0)))
+        results = spmd(2)(body)
+        assert results[0] == (10, 5, 0, True, 0)
+        assert results[1] == (10, 5, 5, True, 0)
+
+    def test_int32_ordinals(self):
+        def body(comm):
+            pc = epetra.PyComm(comm)
+            m = epetra.Map(8, 0, pc)
+            return m.MyGlobalElements().dtype == np.int32
+        assert all(spmd(2)(body))
+
+    def test_index_base_one_unsupported(self):
+        def body(comm):
+            epetra.Map(8, 1, epetra.PyComm(comm))
+        with pytest.raises(NotImplementedError):
+            spmd(1)(body)
+
+
+class TestVector:
+    def test_norms_and_update(self):
+        def body(comm):
+            pc = epetra.PyComm(comm)
+            m = epetra.Map(6, 0, pc)
+            v = epetra.Vector(m)
+            v.PutScalar(2.0)
+            w = epetra.Vector(m)
+            w.PutScalar(1.0)
+            w.Update(1.0, v, 1.0)   # w = v + w = 3
+            return v.Norm2(), w.NormInf(), v.Dot(w), w.MeanValue()
+        n2, ninf, dot, mean = spmd(2)(body)[0]
+        assert n2 == pytest.approx(np.sqrt(6 * 4))
+        assert ninf == 3.0
+        assert dot == pytest.approx(6 * 6.0)
+        assert mean == 3.0
+
+    def test_local_bracket_access(self):
+        def body(comm):
+            pc = epetra.PyComm(comm)
+            m = epetra.Map(4, 0, pc)
+            v = epetra.Vector(m)
+            v[0] = 7.5
+            return v[0]
+        assert spmd(2)(body) == [7.5, 7.5]
+
+
+class TestCrsMatrix:
+    def test_assemble_and_multiply(self):
+        def body(comm):
+            pc = epetra.PyComm(comm)
+            m = epetra.Map(8, 0, pc)
+            A = epetra.CrsMatrix("Copy", m)
+            for gid in m.MyGlobalElements():
+                cols, vals = [int(gid)], [2.0]
+                if gid > 0:
+                    cols.append(int(gid) - 1)
+                    vals.append(-1.0)
+                A.InsertGlobalValues(int(gid), vals, cols)
+            assert A.FillComplete() == 0
+            x = epetra.Vector(m)
+            x.PutScalar(1.0)
+            y = epetra.Vector(m)
+            A.Multiply(False, x, y)
+            return y.tpetra_vector.gather_all()[:, 0].tolist()
+        got = spmd(2)(body)[0]
+        assert got == [2.0] + [1.0] * 7
+
+    def test_bad_copy_mode(self):
+        def body(comm):
+            m = epetra.Map(4, 0, epetra.PyComm(comm))
+            epetra.CrsMatrix("Magic", m)
+        with pytest.raises(ValueError):
+            spmd(1)(body)
+
+    def test_diag_and_norms(self):
+        def body(comm):
+            pc = epetra.PyComm(comm)
+            m = epetra.Map(5, 0, pc)
+            A = epetra.CrsMatrix("Copy", m)
+            for gid in m.MyGlobalElements():
+                A.InsertGlobalValues(int(gid), [3.0], [int(gid)])
+            A.FillComplete()
+            d = epetra.Vector(m)
+            A.ExtractDiagonalCopy(d)
+            return d.Norm1(), A.NormFrobenius(), A.NumGlobalNonzeros()
+        n1, fro, nnz = spmd(2)(body)[0]
+        assert n1 == 15.0 and nnz == 5
+        assert fro == pytest.approx(np.sqrt(5 * 9.0))

@@ -1,0 +1,153 @@
+"""Matrix/map gallery tests against serial stencil references."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import galeri, tpetra
+from tests.conftest import spmd
+
+
+def _serial_laplace_2d(nx, ny):
+    main = 4 * np.ones(nx * ny)
+    Ix = sp.identity(nx)
+    Iy = sp.identity(ny)
+    Tx = sp.diags([-1, 2, -1], [-1, 0, 1], shape=(nx, nx))
+    Ty = sp.diags([-1, 2, -1], [-1, 0, 1], shape=(ny, ny))
+    return (sp.kron(Iy, Tx) + sp.kron(Ty, Ix)).tocsr()
+
+
+class TestStencils:
+    def test_laplace_1d(self):
+        def body(comm):
+            A = galeri.laplace_1d(10, comm)
+            return A.to_scipy_global(root=None).toarray()
+        got = spmd(3)(body)[0]
+        ref = sp.diags([-1, 2, -1], [-1, 0, 1], shape=(10, 10)).toarray()
+        assert np.allclose(got, ref)
+
+    def test_laplace_2d(self):
+        def body(comm):
+            A = galeri.laplace_2d(5, 4, comm)
+            return A.to_scipy_global(root=None).toarray()
+        got = spmd(2)(body)[0]
+        assert np.allclose(got, _serial_laplace_2d(5, 4).toarray())
+
+    def test_laplace_3d_row_sums(self):
+        def body(comm):
+            A = galeri.laplace_3d(4, 4, 4, comm)
+            return A.num_global_nonzeros(), np.asarray(A.row_sums())
+        nnz, sums = spmd(2)(body)[0]
+        # interior rows: |6| + 6*|-1| = 12
+        assert sums.max() == 12.0
+        # corner rows: 6 + 3 = 9
+        assert sums.min() == 9.0
+        assert nnz == 64 + 2 * 3 * (3 * 16)  # diag + 3 axes of +-1 bonds
+
+    def test_tridiag_custom_values(self):
+        def body(comm):
+            A = galeri.tridiag(6, comm, a=5.0, b=2.0, c=-3.0)
+            return A.to_scipy_global(root=None).toarray()
+        got = spmd(2)(body)[0]
+        ref = sp.diags([-3, 5, 2], [-1, 0, 1], shape=(6, 6)).toarray()
+        assert np.allclose(got, ref)
+
+    def test_biharmonic_spd_and_pattern(self):
+        def body(comm):
+            A = galeri.biharmonic_1d(12, comm)
+            M = A.to_scipy_global(root=None).toarray()
+            return M
+        M = spmd(2)(body)[0]
+        assert np.allclose(M, M.T)
+        assert np.all(np.linalg.eigvalsh(M) > 0)
+        assert M[5, 3] == 1.0 and M[5, 4] == -4.0 and M[5, 5] == 6.0
+
+    def test_convection_diffusion_nonsymmetric(self):
+        def body(comm):
+            A = galeri.convection_diffusion_2d(6, 6, comm)
+            M = A.to_scipy_global(root=None).toarray()
+            return M
+        M = spmd(2)(body)[0]
+        assert not np.allclose(M, M.T)
+        # row sums of pure-stencil interior rows are >= 0 (M-matrix-ish)
+        assert np.all(np.diag(M) > 0)
+
+    def test_anisotropic_2d(self):
+        def body(comm):
+            A = galeri.anisotropic_2d(6, 6, comm, epsilon=0.01)
+            M = A.to_scipy_global(root=None).toarray()
+            return M
+        M = spmd(2)(body)[0]
+        assert np.allclose(M, M.T)
+        assert np.all(np.linalg.eigvalsh(M) > 0)
+        # strong x-coupling, weak y-coupling
+        assert M[7, 6] == -1.0 and M[7, 7 + 6] == -0.01
+
+    def test_random_spd_is_spd_and_rank_invariant(self):
+        def run(p):
+            def body(comm):
+                A = galeri.random_spd(20, comm, density=0.1, seed=3)
+                return A.to_scipy_global(root=None).toarray()
+            return spmd(p)(body)[0]
+        M1 = run(1)
+        M3 = run(3)
+        assert np.allclose(M1, M3)  # independent of rank count
+        assert np.allclose(M1, M1.T)
+        assert np.all(np.linalg.eigvalsh(M1) > 0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,params", [
+        ("Tridiag", {"n": 8}),
+        ("Laplace1D", {"n": 8}),
+        ("Laplace2D", {"nx": 4, "ny": 4}),
+        ("Laplace3D", {"nx": 3, "ny": 3, "nz": 3}),
+        ("Recirc2D", {"nx": 4, "ny": 4}),
+        ("Anisotropic2D", {"nx": 4, "ny": 4}),
+        ("Biharmonic1D", {"n": 8}),
+        ("RandomSPD", {"n": 8}),
+    ])
+    def test_create_matrix_names(self, name, params):
+        def body(comm):
+            A = galeri.create_matrix(name, comm, **params)
+            return A.is_fill_complete and A.num_global_rows > 0
+        assert all(spmd(2)(body))
+
+    def test_unknown_matrix(self):
+        def body(comm):
+            galeri.create_matrix("Hilbert", comm, n=4)
+        with pytest.raises(ValueError):
+            spmd(1)(body)
+
+    def test_custom_map_respected(self):
+        def body(comm):
+            m = tpetra.Map.create_cyclic(8, comm)
+            A = galeri.laplace_1d(8, comm, map_=m)
+            return A.row_map.kind
+        assert spmd(2)(body)[0] == "cyclic"
+
+    def test_map_size_mismatch(self):
+        def body(comm):
+            m = tpetra.Map.create_contiguous(5, comm)
+            galeri.laplace_1d(8, comm, map_=m)
+        with pytest.raises(ValueError):
+            spmd(1)(body)
+
+
+class TestMapGallery:
+    @pytest.mark.parametrize("kind,expected_kind", [
+        ("Linear", "contiguous"), ("Interlaced", "cyclic"),
+        ("Random", "arbitrary")])
+    def test_kinds(self, kind, expected_kind):
+        def body(comm):
+            m = galeri.create_map(kind, 12, comm)
+            return m.kind, m.num_my_elements
+        results = spmd(3)(body)
+        assert results[0][0] == expected_kind
+        assert sum(r[1] for r in results) == 12
+
+    def test_unknown_kind(self):
+        def body(comm):
+            galeri.create_map("Spiral", 8, comm)
+        with pytest.raises(ValueError):
+            spmd(1)(body)

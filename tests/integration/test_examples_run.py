@@ -1,0 +1,58 @@
+"""Smoke tests that the shipped example scripts actually run.
+
+The examples are the public face of the repository; each fast one is
+executed as a subprocess (fresh interpreter, like a user would) and must
+exit cleanly.  The slowest examples are covered by their corresponding
+benchmarks instead.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            os.pardir, os.pardir, "examples")
+
+FAST_EXAMPLES = [
+    "seamless_from_cpp.py",
+    "odin_local_functions.py",
+    "heat_equation.py",
+    "mapreduce_wordcount.py",
+    "solver_driver.py",
+]
+
+
+def _run(script: str, timeout: int = 240) -> str:
+    path = os.path.join(EXAMPLES_DIR, script)
+    assert os.path.exists(path), path
+    proc = subprocess.run([sys.executable, path], capture_output=True,
+                          text=True, timeout=timeout,
+                          cwd=os.path.dirname(EXAMPLES_DIR))
+    assert proc.returncode == 0, (
+        f"{script} failed:\n--- stdout ---\n{proc.stdout[-2000:]}\n"
+        f"--- stderr ---\n{proc.stderr[-2000:]}")
+    return proc.stdout
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_cleanly(script):
+    out = _run(script)
+    assert out.strip()  # produced some report
+
+
+def test_all_examples_exist_and_are_listed():
+    present = sorted(f for f in os.listdir(EXAMPLES_DIR)
+                     if f.endswith(".py"))
+    expected = {"quickstart.py", "finite_difference.py",
+                "odin_local_functions.py", "poisson_solvers.py",
+                "mapreduce_wordcount.py", "seamless_jit.py",
+                "seamless_from_cpp.py", "framework_pipeline.py",
+                "heat_equation.py", "solver_driver.py"}
+    assert expected.issubset(set(present))
+    # every example is mentioned in the README table
+    readme = open(os.path.join(EXAMPLES_DIR, os.pardir,
+                               "README.md"), encoding="utf-8").read()
+    missing = [f for f in expected if f not in readme]
+    assert not missing, f"examples not documented in README: {missing}"

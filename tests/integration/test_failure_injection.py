@@ -1,0 +1,99 @@
+"""Failure-injection tests: the runtime must fail loudly, not hang."""
+
+import numpy as np
+import pytest
+
+from repro import mpi, tpetra
+from repro import odin
+from repro.odin.context import OdinContext
+
+
+class TestMpiFailures:
+    def test_mismatched_collective_roots_detected(self):
+        """A rank waiting in a bcast nobody roots times out loudly."""
+        def body(comm):
+            if comm.rank == 0:
+                comm.bcast(None, root=1)   # rank 1 never broadcasts
+        with pytest.raises((mpi.DeadlockError, mpi.AbortError)):
+            mpi.run_spmd(body, 2, timeout=0.6)
+
+    def test_partial_collective_participation(self):
+        def body(comm):
+            if comm.rank != 1:
+                comm.allreduce(1)
+        with pytest.raises(mpi.DeadlockError):
+            mpi.run_spmd(body, 3, timeout=0.6)
+
+    def test_exception_during_collective_frees_peers_quickly(self):
+        import time
+
+        def body(comm):
+            if comm.rank == 0:
+                raise RuntimeError("injected")
+            comm.barrier()
+        start = time.monotonic()
+        with pytest.raises(RuntimeError, match="injected"):
+            mpi.run_spmd(body, 4, timeout=60)
+        # peers were woken by the abort, not by the 60 s timeout
+        assert time.monotonic() - start < 10
+
+    def test_send_to_self_works(self):
+        def body(comm):
+            comm.send("me", comm.rank)
+            return comm.recv(source=comm.rank)
+        assert mpi.run_spmd(body, 2) == ["me", "me"]
+
+
+class TestOdinFailures:
+    def test_unknown_array_id(self):
+        with OdinContext(2) as ctx:
+            with pytest.raises(KeyError):
+                ctx.gather(99999)
+
+    def test_worker_exception_surfaces_with_original_type(self):
+        with OdinContext(2) as ctx:
+            x = odin.ones(4, ctx=ctx)
+
+            @odin.local
+            def div_by_zero(block):
+                return block / np.zeros(0)[0]  # IndexError
+
+            with pytest.raises(IndexError):
+                div_by_zero(x)
+            # context survives
+            assert odin.ones(4, ctx=ctx).sum() == 4.0
+
+    def test_bad_load_shape(self, tmp_path):
+        with OdinContext(2) as ctx:
+            for w in range(2):
+                np.save(tmp_path / f"block_{w}.npy", np.zeros(3))
+            with pytest.raises(ValueError):
+                odin.load(str(tmp_path / "block_{rank}.npy"), 100,
+                          ctx=ctx)
+
+    def test_setitem_array_value_rejected(self):
+        with OdinContext(2) as ctx:
+            x = odin.zeros(8, ctx=ctx)
+            with pytest.raises(NotImplementedError):
+                x[2:4] = np.array([1.0, 2.0])
+
+
+class TestTpetraFailures:
+    def test_import_between_different_sizes(self):
+        def body(comm):
+            a = tpetra.Map.create_contiguous(8, comm)
+            b = tpetra.Map.create_contiguous(12, comm)
+            x = tpetra.Vector(a)
+            y = tpetra.Vector(b)
+            imp = tpetra.Import(a, b)   # gids 8..11 unresolvable
+            y.import_from(x, imp)
+        with pytest.raises(Exception):
+            mpi.run_spmd(body, 2, timeout=5)
+
+    def test_vector_wrong_map_operand(self):
+        def body(comm):
+            a = tpetra.Vector(tpetra.Map.create_contiguous(6, comm))
+            b = tpetra.Vector(tpetra.Map.create_cyclic(6, comm))
+            return a + b
+        with pytest.raises(ValueError):
+            mpi.run_spmd(body, 3)

@@ -1,0 +1,69 @@
+"""Cross-rank-count correctness sweeps (paper: the prototype is "tested on
+systems and clusters with small to mid-range number of nodes")."""
+
+import numpy as np
+import pytest
+
+from repro import galeri, mpi, solvers, tpetra
+from repro.odin.context import OdinContext
+from repro import odin
+
+SWEEP = [1, 2, 3, 4, 8]
+
+
+class TestTpetraSweep:
+    @pytest.mark.parametrize("p", SWEEP)
+    def test_spmv_rank_invariant(self, p):
+        def body(comm):
+            A = galeri.laplace_2d(8, 8, comm)
+            x = tpetra.Vector(A.row_map)
+            x.local_view[...] = np.sin(A.row_map.my_gids.astype(float))
+            return np.asarray(A @ x)
+        got = mpi.run_spmd(body, p)[0]
+        ref = mpi.run_spmd(body, 1)[0]
+        assert np.allclose(got, ref)
+
+    @pytest.mark.parametrize("p", SWEEP)
+    def test_cg_iterations_rank_invariant(self, p):
+        """Unpreconditioned CG does identical arithmetic at any p."""
+        def body(comm):
+            A = galeri.laplace_2d(8, 8, comm)
+            b = tpetra.Vector(A.row_map).putScalar(1.0)
+            r = solvers.cg(A, b, tol=1e-10, maxiter=500)
+            return r.converged, r.iterations
+        conv, its = mpi.run_spmd(body, p)[0]
+        _c1, its1 = mpi.run_spmd(body, 1)[0]
+        assert conv and its == its1
+
+    @pytest.mark.parametrize("p", SWEEP)
+    def test_transpose_rank_invariant(self, p):
+        def body(comm):
+            A = galeri.convection_diffusion_2d(5, 5, comm)
+            return A.transpose().to_scipy_global(root=None).toarray()
+        assert np.allclose(mpi.run_spmd(body, p)[0],
+                           mpi.run_spmd(body, 1)[0])
+
+
+class TestOdinSweep:
+    @pytest.mark.parametrize("w", SWEEP)
+    def test_expression_worker_invariant(self, w):
+        with OdinContext(w) as ctx:
+            x = odin.linspace(0, 1, 101, ctx=ctx)
+            y = odin.sin(x) * 2 + x ** 2
+            got = y.gather()
+        xs = np.linspace(0, 1, 101)
+        assert np.allclose(got, np.sin(xs) * 2 + xs ** 2)
+
+    @pytest.mark.parametrize("w", SWEEP)
+    def test_slicing_worker_invariant(self, w):
+        with OdinContext(w) as ctx:
+            x = odin.arange(83, ctx=ctx, dtype=np.float64)
+            got = (x[1:] - x[:-1]).gather()
+        assert np.allclose(got, 1.0)
+
+    @pytest.mark.parametrize("w", [1, 2, 4])
+    def test_reduction_worker_invariant(self, w):
+        data = np.random.default_rng(3).normal(size=137)
+        with OdinContext(w) as ctx:
+            s = odin.array(data, ctx=ctx).sum()
+        assert s == pytest.approx(data.sum())

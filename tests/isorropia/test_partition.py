@@ -1,0 +1,182 @@
+"""Partitioning algorithm tests."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import galeri, isorropia, tpetra
+from repro.isorropia import (edge_cut, graph_partition, imbalance,
+                             partition_1d, partition_quality, rcb_partition,
+                             repartition)
+from tests.conftest import spmd
+
+
+class TestPartition1D:
+    def test_uniform_weights_balanced(self):
+        parts = partition_1d(np.ones(12), 3)
+        assert np.bincount(parts).tolist() == [4, 4, 4]
+
+    def test_contiguity(self):
+        parts = partition_1d(np.random.default_rng(0).random(50), 5)
+        # contiguous: part ids are nondecreasing
+        assert np.all(np.diff(parts) >= 0)
+
+    def test_weighted_balance(self):
+        w = np.array([10.0, 1, 1, 1, 1, 1, 1, 1, 1, 1])
+        parts = partition_1d(w, 2)
+        sizes = np.zeros(2)
+        np.add.at(sizes, parts, w)
+        assert abs(sizes[0] - sizes[1]) <= 10.0
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            partition_1d(np.array([-1.0, 1.0]), 2)
+
+    def test_zero_total_weight(self):
+        parts = partition_1d(np.zeros(8), 4)
+        assert imbalance(parts, 4) == pytest.approx(1.0)
+
+    @given(n=st.integers(1, 100), p=st.integers(1, 8),
+           seed=st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_valid_part_ids(self, n, p, seed):
+        w = np.random.default_rng(seed).random(n)
+        parts = partition_1d(w, p)
+        assert parts.min() >= 0 and parts.max() < p
+
+
+class TestRCB:
+    def test_grid_quadrants(self):
+        xs, ys = np.meshgrid(np.arange(8), np.arange(8))
+        coords = np.stack([xs.ravel(), ys.ravel()], axis=1).astype(float)
+        parts = rcb_partition(coords, 4)
+        assert np.bincount(parts).tolist() == [16, 16, 16, 16]
+        # points in the same quadrant share a part
+        quadrant = (coords[:, 0] >= 4).astype(int) * 2 + \
+            (coords[:, 1] >= 4).astype(int)
+        for q in range(4):
+            assert len(set(parts[quadrant == q])) == 1
+
+    def test_nonpower_of_two(self):
+        coords = np.random.default_rng(1).random((90, 2))
+        parts = rcb_partition(coords, 3)
+        sizes = np.bincount(parts, minlength=3)
+        assert sizes.min() >= 25 and sizes.max() <= 35
+
+    def test_weighted_median(self):
+        coords = np.arange(10.0).reshape(-1, 1)
+        w = np.zeros(10)
+        w[0] = 100.0  # all weight at the left
+        parts = rcb_partition(coords, 2, weights=w)
+        assert parts[0] == 0
+        # the heavy point alone balances the left side
+        assert np.bincount(parts)[0] <= 2
+
+
+class TestGraphPartition:
+    def test_path_graph_cut_is_minimal_shape(self):
+        n = 32
+        A = sp.diags([np.ones(n - 1), np.ones(n - 1)], [-1, 1]).tocsr()
+        parts = graph_partition(A, 4)
+        q = partition_quality(A, parts, 4)
+        # a path split into 4 chunks can achieve cut 3
+        assert q["edge_cut"] <= 6
+        assert q["imbalance"] <= 1.3
+
+    def test_two_cliques_separated(self):
+        blocks = sp.block_diag([np.ones((6, 6)), np.ones((6, 6))])
+        blocks = sp.csr_matrix(blocks - sp.identity(12))
+        bridge = sp.lil_matrix((12, 12))
+        bridge[5, 6] = bridge[6, 5] = 1.0
+        A = sp.csr_matrix(blocks + bridge)
+        parts = graph_partition(A, 2)
+        assert len(set(parts[:6])) == 1
+        assert len(set(parts[6:])) == 1
+        assert parts[0] != parts[6]
+        assert edge_cut(A, parts) == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        A = sp.random(40, 40, density=0.1, random_state=3)
+        A = sp.csr_matrix(abs(A) + abs(A.T))
+        assert np.array_equal(graph_partition(A, 3, seed=5),
+                              graph_partition(A, 3, seed=5))
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ValueError):
+            graph_partition(sp.csr_matrix((3, 4)), 2)
+
+
+class TestMetrics:
+    def test_edge_cut_counts_each_edge_once(self):
+        A = sp.csr_matrix(np.array([[0, 1.0], [1.0, 0]]))
+        assert edge_cut(A, np.array([0, 1])) == 1.0
+        assert edge_cut(A, np.array([0, 0])) == 0.0
+
+    def test_imbalance_perfect(self):
+        assert imbalance(np.array([0, 0, 1, 1]), 2) == 1.0
+
+    def test_imbalance_skewed(self):
+        assert imbalance(np.array([0, 0, 0, 1]), 2) == 1.5
+
+
+class TestRepartition:
+    def test_graph_repartition_reduces_cut_of_bad_layout(self):
+        def body(comm):
+            # 2-D Laplacian initially distributed cyclically (bad locality)
+            m = tpetra.Map.create_cyclic(64, comm)
+            A = galeri.laplace_2d(8, 8, comm, map_=m)
+            new_map = repartition(A, method="graph")
+            # rebuild on the new map and compare off-rank column counts
+            B = galeri.laplace_2d(8, 8, comm, map_=new_map)
+
+            def offrank(M):
+                return M.importer.num_remote
+
+            return offrank(A), offrank(B)
+        results = spmd(4)(body)
+        total_before = sum(r[0] for r in results)
+        total_after = sum(r[1] for r in results)
+        assert total_after < total_before
+
+    def test_1d_repartition_balances_nnz(self):
+        def body(comm):
+            A = galeri.laplace_1d(30, comm)
+            new_map = repartition(A, method="1d")
+            counts = comm.allgather(new_map.num_my_elements)
+            return counts
+        counts = spmd(3)(body)[0]
+        assert sum(counts) == 30
+        assert max(counts) - min(counts) <= 2
+
+    def test_rcb_needs_coords(self):
+        def body(comm):
+            A = galeri.laplace_1d(8, comm)
+            repartition(A, method="rcb")
+        with pytest.raises(ValueError):
+            spmd(1)(body)
+
+    def test_rcb_with_coords(self):
+        def body(comm):
+            A = galeri.laplace_2d(6, 6, comm)
+            xs, ys = np.meshgrid(np.arange(6), np.arange(6))
+            coords = np.stack([xs.ravel(), ys.ravel()], axis=1).astype(
+                float)
+            new_map = repartition(A, method="rcb", coords=coords)
+            return new_map.num_my_elements
+        counts = spmd(4)(body)
+        assert sum(counts) == 36 and max(counts) == 9
+
+    def test_data_moves_correctly_after_repartition(self):
+        def body(comm):
+            A = galeri.laplace_1d(20, comm)
+            x = tpetra.Vector(A.row_map)
+            x.local_view[...] = A.row_map.my_gids.astype(float)
+            new_map = repartition(A, method="graph")
+            imp = tpetra.Import(A.row_map, new_map)
+            y = tpetra.Vector(new_map)
+            y.import_from(x, imp)
+            return bool(np.array_equal(y.local_view,
+                                       new_map.my_gids.astype(float)))
+        assert all(spmd(3)(body))

@@ -1,0 +1,105 @@
+"""Cartesian topology tests."""
+
+import pytest
+
+from repro import mpi
+from repro.mpi import CartComm, dims_create
+from tests.conftest import spmd
+
+
+class TestDimsCreate:
+    def test_balanced_2d(self):
+        assert sorted(dims_create(12, 2)) == [3, 4]
+
+    def test_three_dims(self):
+        dims = dims_create(8, 3)
+        assert sorted(dims) == [2, 2, 2]
+
+    def test_fixed_dimension_respected(self):
+        dims = dims_create(12, 2, dims=[3, 0])
+        assert dims == [3, 4]
+
+    def test_indivisible_raises(self):
+        with pytest.raises(ValueError):
+            dims_create(7, 2, dims=[3, 0])
+
+    def test_prime(self):
+        assert sorted(dims_create(7, 2)) == [1, 7]
+
+
+class TestCartComm:
+    def test_coords_roundtrip(self):
+        def body(comm):
+            cart = CartComm(comm, [2, 3])
+            coords = cart.coords
+            return cart.rank_of(coords) == cart.rank, coords
+        results = spmd(6)(body)
+        assert all(ok for ok, _c in results)
+        assert results[0][1] == (0, 0)
+        assert results[5][1] == (1, 2)
+
+    def test_row_major_ordering(self):
+        def body(comm):
+            cart = CartComm(comm, [2, 2])
+            return cart.coords_of(1), cart.coords_of(2)
+        assert spmd(4)(body)[0] == ((0, 1), (1, 0))
+
+    def test_wrong_size_raises(self):
+        def body(comm):
+            CartComm(comm, [2, 3])
+        with pytest.raises(ValueError):
+            mpi.run_spmd(body, 4)
+
+    def test_shift_interior_and_boundary(self):
+        def body(comm):
+            cart = CartComm(comm, [4], periods=[False])
+            return cart.Shift(0, 1)
+        results = spmd(4)(body)
+        assert results[0] == (None, 1)
+        assert results[1] == (0, 2)
+        assert results[3] == (2, None)
+
+    def test_shift_periodic(self):
+        def body(comm):
+            cart = CartComm(comm, [4], periods=[True])
+            return cart.Shift(0, 1)
+        results = spmd(4)(body)
+        assert results[0] == (3, 1)
+        assert results[3] == (2, 0)
+
+    def test_neighbor_exchange_ring(self):
+        def body(comm):
+            cart = CartComm(comm, [comm.size], periods=[True])
+            from_down, from_up = cart.neighbor_exchange(
+                0, send_up=f"up{cart.rank}", send_down=f"dn{cart.rank}")
+            return from_down, from_up
+        results = spmd(4)(body)
+        # from_down is the -1 neighbor's send_up
+        assert results[1] == ("up0", "dn2")
+        assert results[0] == ("up3", "dn1")
+
+    def test_neighbor_exchange_open_boundary(self):
+        def body(comm):
+            cart = CartComm(comm, [comm.size], periods=[False])
+            return cart.neighbor_exchange(0, send_up=cart.rank,
+                                          send_down=cart.rank)
+        results = spmd(3)(body)
+        assert results[0] == (None, 1)
+        assert results[2] == (1, None)
+
+    def test_2d_exchange_axes_do_not_cross(self):
+        def body(comm):
+            cart = CartComm(comm, [2, 2], periods=[True, True])
+            d0 = cart.neighbor_exchange(0, send_up=("ax0", cart.rank),
+                                        send_down=("ax0", cart.rank))
+            d1 = cart.neighbor_exchange(1, send_up=("ax1", cart.rank),
+                                        send_down=("ax1", cart.rank))
+            return d0[0][0], d1[0][0]
+        for tags in spmd(4)(body):
+            assert tags == ("ax0", "ax1")
+
+    def test_cart_still_a_comm(self):
+        def body(comm):
+            cart = CartComm(comm, [comm.size])
+            return cart.allreduce(1)
+        assert spmd(3)(body) == [3, 3, 3]

@@ -1,0 +1,95 @@
+"""Communicator construction: dup, split, groups, Create."""
+
+import pytest
+
+from repro import mpi
+from tests.conftest import spmd
+
+
+class TestDup:
+    def test_dup_isolates_traffic(self):
+        def body(comm):
+            dup = comm.dup()
+            # same op issued on both comms; tags/contexts must not mix
+            a = comm.allreduce(comm.rank)
+            b = dup.allreduce(comm.rank * 10)
+            return a, b
+        assert spmd(3)(body) == [(3, 30)] * 3
+
+    def test_dup_preserves_rank_size(self):
+        def body(comm):
+            dup = comm.dup()
+            return dup.rank == comm.rank and dup.size == comm.size
+        assert all(spmd(4)(body))
+
+
+class TestSplit:
+    def test_split_even_odd(self):
+        def body(comm):
+            sub = comm.split(color=comm.rank % 2, key=comm.rank)
+            return sub.size, sub.rank, sub.allreduce(comm.rank)
+        results = spmd(5)(body)
+        # evens: ranks 0,2,4 ; odds: 1,3
+        assert results[0] == (3, 0, 6)
+        assert results[1] == (2, 0, 4)
+        assert results[2] == (3, 1, 6)
+        assert results[4] == (3, 2, 6)
+
+    def test_split_key_reorders(self):
+        def body(comm):
+            sub = comm.split(color=0, key=-comm.rank)
+            return sub.rank
+        # descending key: world rank 3 becomes sub rank 0
+        assert spmd(4)(body) == [3, 2, 1, 0]
+
+    def test_negative_color_gets_none(self):
+        def body(comm):
+            sub = comm.split(color=0 if comm.rank == 0 else -1)
+            return sub is None
+        assert spmd(3)(body) == [False, True, True]
+
+    def test_nested_split(self):
+        def body(comm):
+            half = comm.split(comm.rank // 2)
+            quarter = half.split(half.rank % 2)
+            return quarter.size
+        assert spmd(4)(body) == [1, 1, 1, 1]
+
+
+class TestGroup:
+    def test_group_incl(self):
+        def body(comm):
+            group = comm.group.Incl([0, 2])
+            sub = comm.Create(group)
+            if sub is None:
+                return None
+            return sub.rank, sub.size
+        results = spmd(3)(body)
+        assert results == [(0, 2), None, (1, 2)]
+
+    def test_group_excl(self):
+        def body(comm):
+            group = comm.group.Excl([1])
+            sub = comm.Create(group)
+            return None if sub is None else sub.allreduce(1)
+        assert spmd(3)(body) == [2, None, 2]
+
+    def test_group_rank_of(self):
+        def body(comm):
+            g = comm.group
+            return [g.rank_of(wr) for wr in g.world_ranks()]
+        assert spmd(3)(body)[0] == [0, 1, 2]
+
+
+class TestWorldAccessors:
+    def test_world_rank_translation(self):
+        def body(comm):
+            sub = comm.split(color=0, key=-comm.rank)  # reversed
+            return sub.world_rank(0)
+        # sub rank 0 is the highest world rank
+        assert spmd(3)(body) == [2, 2, 2]
+
+    def test_repr(self):
+        def body(comm):
+            return repr(comm)
+        assert "Intracomm(rank=0" in spmd(2)(body)[0]

@@ -1,0 +1,34 @@
+"""Alpha-beta cost model tests."""
+
+import pytest
+
+from repro.mpi import COMMODITY_CLUSTER, ETHERNET, FAST_INTERCONNECT, CostModel
+
+
+class TestCostModel:
+    def test_latency_dominates_small_messages(self):
+        m = COMMODITY_CLUSTER
+        many_small = m.comm_time(n_messages=1000, n_bytes=1000)
+        one_big = m.comm_time(n_messages=1, n_bytes=1000)
+        assert many_small > one_big
+
+    def test_bandwidth_dominates_large_messages(self):
+        m = COMMODITY_CLUSTER
+        t = m.comm_time(n_messages=1, n_bytes=10**9)
+        assert t == pytest.approx(m.alpha + 10**9 / m.beta)
+        assert t > 0.1  # ~0.4s at 2.5 GB/s
+
+    def test_interconnect_ordering(self):
+        msgs, nbytes = 100, 10**7
+        assert FAST_INTERCONNECT.comm_time(msgs, nbytes) < \
+            COMMODITY_CLUSTER.comm_time(msgs, nbytes) < \
+            ETHERNET.comm_time(msgs, nbytes)
+
+    def test_total_time_includes_compute(self):
+        m = CostModel("test", alpha=1e-6, beta=1e9, flop_rate=1e9)
+        assert m.total_time(0, 0, 1e9) == pytest.approx(1.0)
+        assert m.total_time(1, 1e9, 1e9) == pytest.approx(2.0 + 1e-6)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            COMMODITY_CLUSTER.alpha = 0.0

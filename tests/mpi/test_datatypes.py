@@ -1,0 +1,64 @@
+"""Datatype handles and buffer-spec decoding."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import (DOUBLE, INT, Datatype, from_numpy_dtype)
+from repro.mpi.datatypes import decode_buffer_spec
+
+
+class TestDatatype:
+    def test_extent(self):
+        assert DOUBLE.extent == 8
+        assert INT.extent == 4
+
+    def test_equality_by_dtype(self):
+        assert from_numpy_dtype(np.float64) == DOUBLE
+        assert from_numpy_dtype(np.int32) == INT
+        assert DOUBLE != INT
+
+    def test_unknown_dtype_gets_adhoc_handle(self):
+        dt = from_numpy_dtype([("a", "i4"), ("b", "f8")])
+        assert isinstance(dt, Datatype)
+        assert dt.extent == 12
+
+    def test_hashable(self):
+        assert len({DOUBLE, from_numpy_dtype("f8")}) == 1
+
+
+class TestBufferSpec:
+    def test_bare_array(self):
+        arr = np.arange(6.0)
+        flat, count, dt = decode_buffer_spec(arr)
+        assert count == 6 and dt == DOUBLE
+        assert flat.base is arr or flat is arr
+
+    def test_pair_spec(self):
+        arr = np.arange(4, dtype="i")
+        flat, count, dt = decode_buffer_spec([arr, INT])
+        assert count == 4 and dt == INT
+
+    def test_triple_spec_limits_count(self):
+        arr = np.arange(10.0)
+        flat, count, dt = decode_buffer_spec([arr, 3, DOUBLE])
+        assert count == 3
+        assert flat.tolist() == [0.0, 1.0, 2.0]
+
+    def test_count_too_large(self):
+        with pytest.raises(ValueError):
+            decode_buffer_spec([np.zeros(2), 5, DOUBLE])
+
+    def test_bad_spec_length(self):
+        with pytest.raises(ValueError):
+            decode_buffer_spec([np.zeros(2), 1, DOUBLE, "extra"])
+
+    def test_2d_flattened(self):
+        arr = np.zeros((3, 4))
+        _flat, count, _dt = decode_buffer_spec(arr)
+        assert count == 12
+
+    def test_view_is_writable_into_original(self):
+        arr = np.zeros(5)
+        flat, _count, _dt = decode_buffer_spec(arr)
+        flat[0] = 9.0
+        assert arr[0] == 9.0

@@ -1,0 +1,225 @@
+"""Point-to-point communication tests (object and buffer paths)."""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from tests.conftest import spmd
+
+
+class TestObjectPath:
+    def test_send_recv_roundtrip(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send({"a": 7, "b": 3.14}, dest=1, tag=11)
+                return None
+            return comm.recv(source=0, tag=11)
+        assert spmd(2)(body)[1] == {"a": 7, "b": 3.14}
+
+    def test_any_source_any_tag(self):
+        def body(comm):
+            if comm.rank == 0:
+                got = [comm.recv() for _ in range(2)]
+                return sorted(got)
+            comm.send(comm.rank, 0, tag=comm.rank)
+            return None
+        assert spmd(3)(body)[0] == [1, 2]
+
+    def test_status_populated(self):
+        def body(comm):
+            if comm.rank == 1:
+                comm.send("payload", 0, tag=5)
+                return None
+            status = mpi.Status()
+            comm.recv(source=mpi.ANY_SOURCE, tag=mpi.ANY_TAG, status=status)
+            return status.Get_source(), status.Get_tag()
+        assert spmd(2)(body)[0] == (1, 5)
+
+    def test_non_overtaking_same_pair(self):
+        """Messages between a fixed (source, dest, tag) pair stay ordered."""
+        def body(comm):
+            if comm.rank == 0:
+                for i in range(50):
+                    comm.send(i, 1, tag=0)
+                return None
+            return [comm.recv(source=0, tag=0) for _ in range(50)]
+        assert spmd(2)(body)[1] == list(range(50))
+
+    def test_tag_selective_matching(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send("first", 1, tag=1)
+                comm.send("second", 1, tag=2)
+                return None
+            second = comm.recv(source=0, tag=2)  # out of arrival order
+            first = comm.recv(source=0, tag=1)
+            return first, second
+        assert spmd(2)(body)[1] == ("first", "second")
+
+    def test_sendrecv(self):
+        def body(comm):
+            partner = 1 - comm.rank
+            return comm.sendrecv(f"from {comm.rank}", dest=partner,
+                                 source=partner)
+        assert spmd(2)(body) == ["from 1", "from 0"]
+
+    def test_rank_out_of_range(self):
+        def body(comm):
+            comm.send(1, dest=5)
+        with pytest.raises(mpi.RankError):
+            mpi.run_spmd(body, 2)
+
+    def test_negative_tag_rejected(self):
+        def body(comm):
+            comm.send(1, dest=0, tag=-3)
+        with pytest.raises(mpi.TagError):
+            mpi.run_spmd(body, 2)
+
+
+class TestNonblocking:
+    def test_isend_irecv(self):
+        def body(comm):
+            if comm.rank == 0:
+                req = comm.isend([1, 2], 1)
+                req.wait()
+                return None
+            req = comm.irecv(source=0)
+            return req.wait()
+        assert spmd(2)(body)[1] == [1, 2]
+
+    def test_irecv_test_polls(self):
+        def body(comm):
+            if comm.rank == 1:
+                req = comm.irecv(source=0)
+                ok, _val = req.test()
+                first_poll = ok
+                comm.send("ready", 0)
+                value = req.wait()
+                return first_poll, value
+            comm.recv(source=1)   # wait until rank 1 polled once
+            comm.send("data", 1)
+            return None
+        first_poll, value = spmd(2)(body)[1]
+        assert first_poll is False
+        assert value == "data"
+
+    def test_waitall(self):
+        def body(comm):
+            if comm.rank == 0:
+                reqs = [comm.isend(i, 1, tag=i) for i in range(4)]
+                mpi.waitall(reqs)
+                return None
+            reqs = [comm.irecv(source=0, tag=i) for i in range(4)]
+            return mpi.waitall(reqs)
+        assert spmd(2)(body)[1] == [0, 1, 2, 3]
+
+
+class TestProbe:
+    def test_probe_returns_metadata_without_consuming(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send("x" * 10, 1, tag=9)
+                return None
+            st = comm.probe(source=0)
+            value = comm.recv(source=0, tag=st.Get_tag())
+            return st.Get_tag(), value
+        assert spmd(2)(body)[1] == (9, "x" * 10)
+
+    def test_iprobe_false_when_empty(self):
+        def body(comm):
+            return comm.iprobe(source=0 if comm.rank else 1)
+        assert spmd(2)(body) == [False, False]
+
+
+class TestBufferPath:
+    def test_send_recv_float64(self):
+        def body(comm):
+            if comm.rank == 0:
+                data = np.arange(100, dtype=np.float64)
+                comm.Send(data, dest=1, tag=13)
+                return None
+            data = np.empty(100, dtype=np.float64)
+            comm.Recv(data, source=0, tag=13)
+            return data.sum()
+        assert spmd(2)(body)[1] == pytest.approx(4950.0)
+
+    def test_explicit_datatype_spec(self):
+        def body(comm):
+            if comm.rank == 0:
+                data = np.arange(10, dtype="i")
+                comm.Send([data, mpi.INT], dest=1, tag=77)
+                return None
+            data = np.empty(10, dtype="i")
+            comm.Recv([data, mpi.INT], source=0, tag=77)
+            return data.tolist()
+        assert spmd(2)(body)[1] == list(range(10))
+
+    def test_truncation_error(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.Send(np.zeros(100), dest=1)
+            else:
+                small = np.zeros(10)
+                comm.Recv(small, source=0)
+        with pytest.raises(mpi.TruncationError):
+            mpi.run_spmd(body, 2)
+
+    def test_partial_fill_smaller_message(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.Send(np.ones(5), dest=1)
+                return None
+            buf = np.zeros(10)
+            comm.Recv(buf, source=0)
+            return buf.tolist()
+        assert spmd(2)(body)[1] == [1.0] * 5 + [0.0] * 5
+
+    def test_isend_irecv_buffers(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.Isend(np.full(4, 2.5), dest=1).wait()
+                return None
+            buf = np.zeros(4)
+            comm.Irecv(buf, source=0).wait()
+            return buf.tolist()
+        assert spmd(2)(body)[1] == [2.5] * 4
+
+    def test_sendrecv_buffers(self):
+        def body(comm):
+            partner = 1 - comm.rank
+            out = np.full(3, float(comm.rank))
+            buf = np.zeros(3)
+            comm.Sendrecv(out, dest=partner, recvbuf=buf, source=partner)
+            return buf[0]
+        assert spmd(2)(body) == [1.0, 0.0]
+
+    def test_status_count_elements(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.Send(np.zeros(25), dest=1)
+                return None
+            buf = np.zeros(25)
+            st = mpi.Status()
+            comm.Recv(buf, source=0, status=st)
+            return st.Get_count(mpi.DOUBLE)
+        assert spmd(2)(body)[1] == 25
+
+    def test_complex_dtype(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.Send(np.array([1 + 2j, 3 - 4j]), dest=1)
+                return None
+            buf = np.zeros(2, dtype=np.complex128)
+            comm.Recv(buf, source=0)
+            return buf.tolist()
+        assert spmd(2)(body)[1] == [1 + 2j, 3 - 4j]
+
+    def test_2d_array_flattened(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.Send(np.arange(6.0).reshape(2, 3), dest=1)
+                return None
+            buf = np.zeros((2, 3))
+            comm.Recv(buf, source=0)
+            return buf[1, 2]
+        assert spmd(2)(body)[1] == 5.0

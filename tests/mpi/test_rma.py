@@ -1,0 +1,121 @@
+"""One-sided communication (RMA) tests."""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from tests.conftest import spmd
+
+
+class TestWindow:
+    def test_put_neighbor(self):
+        def body(comm):
+            exposed = np.zeros(4)
+            win = mpi.Win.Create(exposed, comm)
+            win.Fence()
+            right = (comm.rank + 1) % comm.size
+            win.Put(np.full(4, float(comm.rank)), right)
+            win.Fence()
+            win.Free()
+            return exposed.tolist()
+        results = spmd(3)(body)
+        # rank r's window was written by its left neighbor
+        assert results[0] == [2.0] * 4
+        assert results[1] == [0.0] * 4
+        assert results[2] == [1.0] * 4
+
+    def test_get(self):
+        def body(comm):
+            exposed = np.full(3, float(comm.rank * 10))
+            win = mpi.Win.Create(exposed, comm)
+            win.Fence()
+            out = np.zeros(3)
+            win.Get(out, 0)
+            win.Fence()
+            win.Free()
+            return out.tolist()
+        assert spmd(3)(body) == [[0.0] * 3] * 3
+
+    def test_accumulate_sums_all_origins(self):
+        def body(comm):
+            exposed = np.zeros(2)
+            win = mpi.Win.Create(exposed, comm)
+            win.Fence()
+            win.Accumulate(np.array([1.0, float(comm.rank)]), 0)
+            win.Fence()
+            win.Free()
+            return exposed.tolist()
+        results = spmd(4)(body)
+        assert results[0] == [4.0, 0.0 + 1 + 2 + 3]
+
+    def test_offset_put(self):
+        def body(comm):
+            exposed = np.zeros(8)
+            win = mpi.Win.Create(exposed, comm)
+            win.Fence()
+            win.Put(np.ones(2) * (comm.rank + 1), 0,
+                    target_offset=2 * comm.rank)
+            win.Fence()
+            win.Free()
+            return exposed.tolist()
+        got = spmd(4)(body)[0]
+        assert got == [1, 1, 2, 2, 3, 3, 4, 4]
+
+    def test_passive_lock(self):
+        def body(comm):
+            exposed = np.zeros(1)
+            win = mpi.Win.Create(exposed, comm)
+            if comm.rank != 0:
+                win.Lock(0)
+                win.Accumulate(np.ones(1), 0)
+                win.Unlock(0)
+            comm.barrier()
+            win.Free()
+            return exposed[0]
+        results = spmd(4)(body)
+        assert results[0] == 3.0
+
+    def test_outside_epoch_rejected(self):
+        def body(comm):
+            exposed = np.zeros(1)
+            win = mpi.Win.Create(exposed, comm)
+            win.Put(np.ones(1), 0)
+        with pytest.raises(mpi.MPIError):
+            spmd(2)(body)
+
+    def test_overrun_rejected(self):
+        def body(comm):
+            win = mpi.Win.Create(np.zeros(2), comm)
+            win.Fence()
+            win.Put(np.ones(5), 0)
+        with pytest.raises(mpi.MPIError):
+            spmd(2)(body)
+
+    def test_traffic_counted_with_direction(self):
+        def body(comm):
+            win = mpi.Win.Create(np.zeros(10), comm)
+            win.Fence()
+            if comm.rank == 1:
+                win.Put(np.ones(10), 0)
+            win.Fence()
+            win.Free()
+            snap = comm.traffic_snapshot()
+            return dict(snap.by_peer)
+        peers = spmd(2)(body)
+        assert peers[1].get(0, 0) >= 80  # 10 float64 moved 1 -> 0
+
+    def test_two_windows_isolated(self):
+        def body(comm):
+            a = np.zeros(2)
+            b = np.zeros(2)
+            wa = mpi.Win.Create(a, comm)
+            wb = mpi.Win.Create(b, comm)
+            wa.Fence(); wb.Fence()
+            if comm.rank == 1:
+                wa.Put(np.ones(2), 0)
+                wb.Put(np.full(2, 7.0), 0)
+            wa.Fence(); wb.Fence()
+            wa.Free(); wb.Free()
+            return a.tolist(), b.tolist()
+        a0, b0 = spmd(2)(body)[0]
+        assert a0 == [1.0, 1.0] and b0 == [7.0, 7.0]

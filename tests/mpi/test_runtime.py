@@ -1,0 +1,132 @@
+"""Tests for the SPMD thread runtime."""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from tests.conftest import spmd
+
+
+class TestRunSpmd:
+    def test_returns_per_rank_results(self):
+        results = spmd(4)(lambda comm: comm.rank * 10)
+        assert results == [0, 10, 20, 30]
+
+    def test_single_rank(self):
+        assert spmd(1)(lambda comm: comm.size) == [1]
+
+    def test_many_ranks(self):
+        results = spmd(16)(lambda comm: comm.rank)
+        assert results == list(range(16))
+
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            mpi.run_spmd(lambda comm: None, 0)
+
+    def test_args_and_kwargs_forwarded(self):
+        def body(comm, a, b=0):
+            return a + b + comm.rank
+        results = mpi.run_spmd(body, 2, args=(5,), kwargs={"b": 7})
+        assert results == [12, 13]
+
+    def test_pass_comm_false_uses_get_comm_world(self):
+        def body():
+            return mpi.get_comm_world().rank
+        assert mpi.run_spmd(body, 3, pass_comm=False) == [0, 1, 2]
+
+    def test_exception_propagates_to_caller(self):
+        def body(comm):
+            if comm.rank == 1:
+                raise ValueError("boom on rank 1")
+            comm.barrier()
+        with pytest.raises(ValueError, match="boom on rank 1"):
+            mpi.run_spmd(body, 3)
+
+    def test_one_failing_rank_aborts_blocked_peers(self):
+        # rank 0 waits on a message that never comes; rank 1 dies.  The
+        # abort must wake rank 0 instead of waiting for the full timeout.
+        def body(comm):
+            if comm.rank == 0:
+                return comm.recv(source=1)
+            raise RuntimeError("dying before send")
+        with pytest.raises(RuntimeError, match="dying before send"):
+            mpi.run_spmd(body, 2, timeout=30)
+
+    def test_current_context_outside_region_raises(self):
+        with pytest.raises(mpi.MPIError):
+            mpi.current_context()
+
+
+class TestDeadlockDetection:
+    def test_recv_without_send_times_out(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.recv(source=1, tag=99)  # never sent
+            # rank 1 exits immediately -> join still works because rank 0
+            # raises DeadlockError
+        with pytest.raises(mpi.DeadlockError):
+            mpi.run_spmd(body, 2, timeout=0.5)
+
+    def test_mismatched_tag_times_out(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send("x", 1, tag=3)
+            else:
+                comm.recv(source=0, tag=4)
+        with pytest.raises(mpi.DeadlockError):
+            mpi.run_spmd(body, 2, timeout=0.5)
+
+    def test_default_timeout_setter(self):
+        old = mpi.default_timeout()
+        try:
+            mpi.set_default_timeout(42.0)
+            assert mpi.default_timeout() == 42.0
+        finally:
+            mpi.set_default_timeout(old)
+
+
+class TestCounters:
+    def test_send_recv_counted(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send([1, 2, 3], 1)
+            elif comm.rank == 1:
+                comm.recv(source=0)
+            snap = comm.traffic_snapshot()
+            return snap.sends, snap.recvs, snap.bytes_sent
+        results = spmd(2)(body)
+        assert results[0][0] == 1          # one send from rank 0
+        assert results[0][2] > 0
+        assert results[1][1] == 1          # one recv on rank 1
+
+    def test_snapshot_delta(self):
+        def body(comm):
+            before = comm.traffic_snapshot()
+            comm.allreduce(1)
+            after = comm.traffic_snapshot()
+            delta = after - before
+            return delta.sends >= 1
+        assert all(spmd(4)(body))
+
+    def test_by_peer_accounting(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(b"x" * 100, 1)
+                comm.send(b"y" * 50, 2)
+            elif comm.rank in (1, 2):
+                comm.recv(source=0)
+            comm.barrier()
+            return dict(comm.counters().snapshot().by_peer)
+        peers = spmd(3)(body)[0]
+        assert peers[1] > peers[2] > 0
+
+
+class TestAbort:
+    def test_comm_abort_raises_everywhere(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.Abort(7)
+            else:
+                comm.recv(source=0)  # woken by abort
+        with pytest.raises(mpi.AbortError):
+            mpi.run_spmd(body, 2, timeout=30)

@@ -1,0 +1,54 @@
+"""Distributed histogram/bincount tests."""
+
+import numpy as np
+import pytest
+
+from repro import odin
+
+
+class TestHistogram:
+    def test_matches_numpy(self, odin4):
+        xs = np.random.default_rng(0).normal(size=5000)
+        x = odin.array(xs)
+        counts, edges = odin.histogram(x, bins=25)
+        ref_c, ref_e = np.histogram(xs, bins=25,
+                                    range=(xs.min(), xs.max()))
+        assert np.array_equal(counts, ref_c)
+        assert np.allclose(edges, ref_e)
+
+    def test_explicit_range(self, odin4):
+        xs = np.linspace(-5, 5, 1000)
+        x = odin.array(xs)
+        counts, edges = odin.histogram(x, bins=10, range=(-2, 2))
+        ref_c, _ = np.histogram(xs, bins=10, range=(-2, 2))
+        assert np.array_equal(counts, ref_c)
+        assert edges[0] == -2 and edges[-1] == 2
+
+    def test_total_count_conserved(self, odin4):
+        xs = np.random.default_rng(1).normal(size=3000)
+        x = odin.array(xs)
+        counts, _ = odin.histogram(x, bins=7)
+        assert counts.sum() == 3000
+
+    def test_cyclic_distribution(self, odin4):
+        xs = np.random.default_rng(2).uniform(size=777)
+        x = odin.array(xs, dist="cyclic")
+        counts, _ = odin.histogram(x, bins=5, range=(0, 1))
+        ref_c, _ = np.histogram(xs, bins=5, range=(0, 1))
+        assert np.array_equal(counts, ref_c)
+
+
+class TestBincount:
+    def test_matches_numpy(self, odin4):
+        data = np.random.default_rng(3).integers(0, 20, size=4000)
+        d = odin.array(data)
+        assert np.array_equal(odin.bincount(d), np.bincount(data))
+
+    def test_minlength(self, odin4):
+        d = odin.array(np.zeros(10, dtype=np.int64))
+        got = odin.bincount(d, minlength=5)
+        assert got.tolist() == [10, 0, 0, 0, 0]
+
+    def test_float_rejected(self, odin4):
+        with pytest.raises(TypeError):
+            odin.bincount(odin.ones(5))

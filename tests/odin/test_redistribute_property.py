@@ -1,0 +1,80 @@
+"""Property-based redistribution invariants over random distribution pairs.
+
+For any pair of distributions (including grids), redistribute must
+preserve every element: gather(redistribute(x)) == gather(x), and a
+round trip restores the exact layout.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import odin
+from repro.odin.distribution import (BlockCyclicDistribution,
+                                     BlockDistribution, CyclicDistribution,
+                                     GridDistribution)
+
+W = 4  # matches the odin4 fixture
+
+
+def _dist_strategy(shape):
+    """Random distribution of a 2-D shape over W workers."""
+    single_axis = st.sampled_from([0, 1]).flatmap(
+        lambda ax: st.one_of(
+            st.just(BlockDistribution(shape, ax, W)),
+            st.just(CyclicDistribution(shape, ax, W)),
+            st.integers(1, 4).map(
+                lambda b: BlockCyclicDistribution(shape, ax, W,
+                                                  block_size=b)),
+        ))
+    grid = st.sampled_from([(2, 2), (4, 1), (1, 4)]).map(
+        lambda g: GridDistribution(shape, (0, 1), g))
+    return st.one_of(single_axis, grid)
+
+
+class TestRedistributeProperty:
+    @given(data=st.data(), rows=st.integers(2, 24),
+           cols=st.integers(2, 12), seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_any_pair_preserves_elements(self, odin4, data, rows, cols,
+                                         seed):
+        shape = (rows, cols)
+        src = data.draw(_dist_strategy(shape))
+        dst = data.draw(_dist_strategy(shape))
+        values = np.random.default_rng(seed).normal(size=shape)
+        x = odin.array(values, dist=src)
+        y = x.redistribute(dst)
+        assert np.allclose(y.gather(), values)
+        # round trip restores the original layout exactly
+        z = y.redistribute(src)
+        assert np.allclose(z.gather(), values)
+        assert z.dist.same_as(src)
+
+    @given(data=st.data(), n=st.integers(2, 100), seed=st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_1d_pairs(self, odin4, data, n, seed):
+        shape = (n,)
+        dists = st.one_of(
+            st.just(BlockDistribution(shape, 0, W)),
+            st.just(CyclicDistribution(shape, 0, W)),
+            st.integers(1, 5).map(
+                lambda b: BlockCyclicDistribution(shape, 0, W,
+                                                  block_size=b)))
+        src = data.draw(dists)
+        dst = data.draw(dists)
+        values = np.random.default_rng(seed).normal(size=n)
+        x = odin.array(values, dist=src)
+        assert np.allclose(x.redistribute(dst).gather(), values)
+
+    @given(rows=st.integers(4, 20), cols=st.integers(4, 20),
+           seed=st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_cost_model_zero_iff_same(self, odin4, rows, cols, seed):
+        shape = (rows, cols)
+        a = BlockDistribution(shape, 0, W)
+        b = CyclicDistribution(shape, 0, W)
+        assert odin.redistribution_cost(a, a) == 0
+        cost_ab = odin.redistribution_cost(a, b)
+        # moving and moving back costs the same volume
+        assert cost_ab == odin.redistribution_cost(b, a)

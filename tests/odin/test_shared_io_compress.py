@@ -1,0 +1,82 @@
+"""Shared-file MPI-IO for ODIN arrays and boolean-mask compression."""
+
+import numpy as np
+import pytest
+
+from repro import odin
+
+
+class TestSharedIO:
+    def test_roundtrip_1d(self, odin4, tmp_path):
+        xs = np.random.default_rng(0).normal(size=997)
+        x = odin.array(xs)
+        path = str(tmp_path / "x.bin")
+        odin.save_shared(x, path)
+        assert np.allclose(np.fromfile(path), xs)   # plain C-order dump
+        y = odin.load_shared(path, 997)
+        assert np.allclose(y.gather(), xs)
+
+    def test_roundtrip_2d(self, odin4, tmp_path):
+        data = np.random.default_rng(1).normal(size=(50, 7))
+        a = odin.array(data)
+        path = str(tmp_path / "m.bin")
+        odin.save_shared(a, path)
+        b = odin.load_shared(path, (50, 7))
+        assert np.allclose(b.gather(), data)
+
+    def test_interoperates_with_tofile(self, odin4, tmp_path):
+        data = np.arange(64.0)
+        path = str(tmp_path / "serial.bin")
+        data.tofile(path)
+        d = odin.load_shared(path, 64)
+        assert np.allclose(d.gather(), data)
+
+    def test_int_dtype(self, odin4, tmp_path):
+        data = np.arange(100, dtype=np.int64)
+        a = odin.array(data)
+        path = str(tmp_path / "i.bin")
+        odin.save_shared(a, path)
+        b = odin.load_shared(path, 100, dtype=np.int64)
+        assert np.array_equal(b.gather(), data)
+
+    def test_requires_axis0_block(self, odin4, tmp_path):
+        x = odin.arange(24, dist="cyclic")
+        with pytest.raises(ValueError, match="axis-0 block"):
+            odin.save_shared(x, str(tmp_path / "c.bin"))
+
+
+class TestCompress:
+    def test_matches_numpy_mask(self, odin4):
+        xs = np.random.default_rng(2).normal(size=500)
+        x = odin.array(xs)
+        kept = odin.compress(x > 0.5, x)
+        assert np.allclose(kept.gather(), xs[xs > 0.5])
+
+    def test_counts_follow_data(self, odin4):
+        xs = np.concatenate([np.ones(100), -np.ones(300)])
+        x = odin.array(xs)
+        kept = odin.compress(x > 0, x)
+        assert kept.shape == (100,)
+        # all survivors live on the first worker(s)
+        assert kept.dist.counts()[0] == 100
+
+    def test_empty_result(self, odin4):
+        x = odin.ones(40)
+        kept = odin.compress(x > 5, x)
+        assert kept.shape == (0,)
+
+    def test_mask_redistributed_if_needed(self, odin4):
+        xs = np.arange(60.0)
+        x = odin.array(xs, dist="block")
+        mask = odin.array((xs % 3 == 0), dist="cyclic")
+        kept = odin.compress(mask, x)
+        assert np.allclose(kept.gather(), xs[::3])
+
+    def test_2d_rejected(self, odin4):
+        x = odin.ones((4, 4))
+        with pytest.raises(ValueError):
+            odin.compress(x > 0, x)
+
+    def test_shape_mismatch(self, odin4):
+        with pytest.raises(ValueError):
+            odin.compress(odin.ones(5) > 0, odin.ones(6))

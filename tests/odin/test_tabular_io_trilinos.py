@@ -1,0 +1,139 @@
+"""Tabular Map-Reduce, distributed I/O, and the Trilinos bridge."""
+
+import numpy as np
+import pytest
+
+from repro import odin
+from repro.odin import tabular
+
+
+def _records(n=500, ncat=6, seed=0):
+    rng = np.random.default_rng(seed)
+    rec = np.zeros(n, dtype=[("k", "i8"), ("v", "f8")])
+    rec["k"] = rng.integers(0, ncat, n)
+    rec["v"] = rng.normal(size=n)
+    return rec
+
+
+class TestTabular:
+    def test_from_records_roundtrip(self, odin4):
+        rec = _records()
+        t = tabular.from_records(rec)
+        assert np.array_equal(t.gather(), rec)
+
+    def test_from_records_needs_structured(self, odin4):
+        with pytest.raises(TypeError):
+            tabular.from_records(np.zeros(5))
+
+    def test_map_records(self, odin4):
+        rec = _records()
+        t = tabular.from_records(rec)
+
+        def double(block):
+            out = block.copy()
+            out["v"] *= 2
+            return out
+
+        out = tabular.map_records(double, t).gather()
+        assert np.allclose(out["v"], rec["v"] * 2)
+
+    def test_filter_records(self, odin4):
+        rec = _records()
+        t = tabular.from_records(rec)
+        kept = tabular.filter_records(lambda b: b["v"] > 0, t)
+        assert kept.shape[0] == (rec["v"] > 0).sum()
+        assert np.all(kept.gather()["v"] > 0)
+
+    @pytest.mark.parametrize("op", ["sum", "count", "mean", "min", "max"])
+    def test_group_aggregate_matches_serial(self, odin4, op):
+        rec = _records()
+        t = tabular.from_records(rec)
+        out = tabular.group_aggregate(t, "k", "v", op=op)
+        got = {int(r["key"]): float(r["value"]) for r in out.gather()}
+        for k in np.unique(rec["k"]):
+            vals = rec["v"][rec["k"] == k]
+            ref = {"sum": vals.sum(), "count": len(vals),
+                   "mean": vals.mean(), "min": vals.min(),
+                   "max": vals.max()}[op]
+            assert got[int(k)] == pytest.approx(ref), (op, k)
+
+    def test_group_aggregate_string_keys(self, odin4):
+        rec = np.zeros(60, dtype=[("name", "U4"), ("x", "f8")])
+        rec["name"] = np.array(["ab", "cd", "ef"] * 20)
+        rec["x"] = 1.0
+        t = tabular.from_records(rec)
+        out = tabular.group_aggregate(t, "name", "x", op="sum")
+        got = {str(r["key"]): float(r["value"]) for r in out.gather()}
+        assert got == {"ab": 20.0, "cd": 20.0, "ef": 20.0}
+
+    def test_bad_field_names(self, odin4):
+        t = tabular.from_records(_records())
+        with pytest.raises(ValueError):
+            tabular.group_aggregate(t, "nope", "v")
+        with pytest.raises(ValueError):
+            tabular.group_aggregate(t, "k", "nope")
+
+
+class TestDistributedIO:
+    def test_save_load_roundtrip(self, odin4, tmp_path):
+        x = odin.random((60, 3), seed=4)
+        odin.save(x, str(tmp_path / "ds"))
+        y = odin.load_dataset(str(tmp_path / "ds"))
+        assert np.allclose(y.gather(), x.gather())
+        assert y.dist.same_as(x.dist)
+
+    def test_per_worker_files_exist(self, odin4, tmp_path):
+        x = odin.ones(16)
+        odin.save(x, str(tmp_path / "ds"))
+        for w in range(4):
+            assert (tmp_path / "ds" / f"block_{w}.npy").exists()
+        assert (tmp_path / "ds" / "manifest.json").exists()
+
+    def test_nonuniform_counts_roundtrip(self, odin4, tmp_path):
+        x = odin.arange(10, counts=[1, 2, 3, 4], dtype=np.float64)
+        odin.save(x, str(tmp_path / "ds"))
+        y = odin.load_dataset(str(tmp_path / "ds"))
+        assert y.dist.counts() == [1, 2, 3, 4]
+        assert np.allclose(y.gather(), np.arange(10.0))
+
+    def test_worker_count_mismatch_rejected(self, odin4, tmp_path):
+        from repro.odin.context import OdinContext
+        x = odin.ones(8)
+        odin.save(x, str(tmp_path / "ds"))
+        with OdinContext(2) as other:
+            with pytest.raises(ValueError):
+                odin.load_dataset(str(tmp_path / "ds"), ctx=other)
+
+
+class TestTrilinosBridge:
+    def test_solve_poisson_through_bridge(self, odin4):
+        b = odin.ones(15 * 15)
+        x, info = odin.trilinos.solve(
+            "Laplace2D", b, matrix_params={"nx": 15, "ny": 15},
+            solver="CG", preconditioner="Jacobi", tol=1e-10)
+        assert info["converged"]
+        resid = odin.trilinos.matvec("Laplace2D", x,
+                                     {"nx": 15, "ny": 15}) - b
+        assert float(abs(resid).max()) < 1e-7
+
+    def test_solver_and_prec_choices(self, odin4):
+        b = odin.ones(64)
+        for solver, prec in [("GMRES", "ILU"), ("BICGSTAB", "None")]:
+            _x, info = odin.trilinos.solve(
+                "Laplace1D", b, matrix_params={"n": 64},
+                solver=solver, preconditioner=prec, tol=1e-9)
+            assert info["converged"], (solver, prec)
+
+    def test_matvec_matches_serial_stencil(self, odin4):
+        n = 32
+        xs = np.sin(np.arange(n, dtype=float))
+        x = odin.array(xs)
+        y = odin.trilinos.matvec("Laplace1D", x, {"n": n})
+        import scipy.sparse as sp
+        ref = sp.diags([-1, 2, -1], [-1, 0, 1], shape=(n, n)) @ xs
+        assert np.allclose(y.gather(), ref)
+
+    def test_rejects_2d_rhs(self, odin4):
+        with pytest.raises(ValueError):
+            odin.trilinos.solve("Laplace1D", odin.ones((4, 4)),
+                                matrix_params={"n": 16})

@@ -1,0 +1,65 @@
+"""Tests for n-ary distributed ufuncs (where, clip)."""
+
+import numpy as np
+import pytest
+
+from repro import odin
+
+
+class TestWhere:
+    def test_matches_numpy(self, odin4):
+        xs = np.linspace(-2, 2, 121)
+        x = odin.array(xs)
+        got = odin.where(x > 0, x, -x).gather()
+        assert np.allclose(got, np.where(xs > 0, xs, -xs))
+
+    def test_scalar_branches(self, odin4):
+        xs = np.linspace(-1, 1, 60)
+        x = odin.array(xs)
+        got = odin.where(x >= 0, 1.0, -1.0).gather()
+        assert np.allclose(got, np.where(xs >= 0, 1.0, -1.0))
+
+    def test_mixed_distributions(self, odin4):
+        xs = np.arange(40.0)
+        a = odin.array(xs, dist="block")
+        b = odin.array(xs[::-1].copy(), dist="cyclic")
+        got = odin.where(a > b, a, b).gather()
+        assert np.allclose(got, np.maximum(xs, xs[::-1]))
+
+    def test_result_dtype_from_value_operands(self, odin4):
+        x = odin.arange(10)
+        out = odin.where(x > 5, 1.0, 0.0)
+        assert out.dtype == np.float64
+
+    def test_numpy_passthrough(self, odin4):
+        assert np.allclose(odin.where(np.array([True, False]),
+                                      np.array([1.0, 2.0]),
+                                      np.array([3.0, 4.0])), [1.0, 4.0])
+
+    def test_all_scalars_rejected(self, odin4):
+        with pytest.raises(TypeError):
+            odin.nary_ufunc("where", (True, 1.0, 2.0))
+
+
+class TestClip:
+    def test_matches_numpy(self, odin4):
+        xs = np.linspace(-3, 3, 77)
+        x = odin.array(xs)
+        got = odin.clip(x, -1.0, 1.5).gather()
+        assert np.allclose(got, np.clip(xs, -1.0, 1.5))
+
+    def test_on_2d(self, odin4):
+        data = np.random.default_rng(0).normal(size=(24, 5)) * 3
+        x = odin.array(data)
+        got = odin.clip(x, -1.0, 1.0).gather()
+        assert np.allclose(got, np.clip(data, -1.0, 1.0))
+
+    def test_shape_mismatch_rejected(self, odin4):
+        a = odin.ones(5)
+        b = odin.ones(6)
+        with pytest.raises(ValueError):
+            odin.where(a > 0, a, b)
+
+    def test_unknown_name_rejected(self, odin4):
+        with pytest.raises(ValueError):
+            odin.nary_ufunc("lerp", (odin.ones(3), 0.0, 1.0))

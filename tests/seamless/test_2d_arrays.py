@@ -1,0 +1,113 @@
+"""2-D array support in compiled kernels (NumPy-centric JIT)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.seamless import compiler_available, discover, float64_array2d, \
+    from_annotation, jit
+
+pytestmark = pytest.mark.skipif(not compiler_available(),
+                                reason="no C compiler on PATH")
+
+
+@jit
+def _matvec(A, x, out):
+    for i in range(A.shape[0]):
+        acc = 0.0
+        for j in range(A.shape[1]):
+            acc += A[i, j] * x[j]
+        out[i] = acc
+
+
+@jit
+def _trace(A):
+    t = 0.0
+    for i in range(len(A)):        # len(A) == A.shape[0], as in Python
+        t += A[i, i]
+    return t
+
+
+@jit
+def _jacobi_sweep(u, v):
+    for i in range(1, u.shape[0] - 1):
+        for j in range(1, u.shape[1] - 1):
+            v[i, j] = 0.25 * (u[i - 1, j] + u[i + 1, j]
+                              + u[i, j - 1] + u[i, j + 1])
+
+
+class Test2D:
+    def test_matvec(self):
+        A = np.random.default_rng(0).normal(size=(30, 17))
+        x = np.random.default_rng(1).normal(size=17)
+        out = np.zeros(30)
+        _matvec(A, x, out)
+        assert np.allclose(out, A @ x)
+        assert _matvec.signatures, _matvec.last_fallback_reason
+
+    def test_len_is_first_dimension(self):
+        S = np.diag(np.arange(1.0, 9.0))
+        assert _trace(S) == pytest.approx(np.arange(1.0, 9.0).sum())
+        assert _trace.signatures
+
+    def test_2d_write(self):
+        u = np.random.default_rng(2).normal(size=(12, 9))
+        v = np.zeros_like(u)
+        _jacobi_sweep(u, v)
+        ref = np.zeros_like(u)
+        ref[1:-1, 1:-1] = 0.25 * (u[:-2, 1:-1] + u[2:, 1:-1]
+                                  + u[1:-1, :-2] + u[1:-1, 2:])
+        assert np.allclose(v, ref)
+        assert _jacobi_sweep.signatures
+
+    @given(rows=st.integers(1, 12), cols=st.integers(1, 12),
+           seed=st.integers(0, 99))
+    @settings(max_examples=20, deadline=None)
+    def test_matvec_property(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        A = rng.normal(size=(rows, cols))
+        x = rng.normal(size=cols)
+        out = np.zeros(rows)
+        _matvec(A, x, out)
+        assert np.allclose(out, A @ x)
+
+    def test_discovery_and_annotations(self):
+        assert discover(np.zeros((2, 3))) == float64_array2d
+        assert from_annotation("float64[,]") == float64_array2d
+
+    def test_int_2d(self):
+        @jit
+        def sum2d(M):
+            s = 0
+            for i in range(M.shape[0]):
+                for j in range(M.shape[1]):
+                    s += M[i, j]
+            return s
+
+        M = np.arange(24, dtype=np.int64).reshape(4, 6)
+        assert sum2d(M) == 276
+        assert sum2d.signatures
+
+    def test_wrong_index_arity_falls_back(self):
+        @jit(nopython=True)
+        def bad(M):
+            return M[0]        # 2-D array with one index
+
+        from repro.seamless import UnsupportedError
+        with pytest.raises(UnsupportedError):
+            bad(np.zeros((2, 2)))
+
+    def test_3d_rejected(self):
+        @jit(nopython=True)
+        def threed(M):
+            return M[0, 0]
+
+        from repro.seamless import UnsupportedError
+        with pytest.raises(UnsupportedError):
+            threed(np.zeros((2, 2, 2)))
+
+    def test_noncontiguous_input_copied(self):
+        A = np.random.default_rng(3).normal(size=(20, 20))
+        view = A[::2, ::2]   # non-contiguous
+        assert _trace(view) == pytest.approx(np.trace(view))

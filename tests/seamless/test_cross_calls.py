@@ -1,0 +1,101 @@
+"""Cross-function compilation: @jit functions calling other functions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.seamless import UnsupportedError, compiler_available, jit
+
+pytestmark = pytest.mark.skipif(not compiler_available(),
+                                reason="no C compiler on PATH")
+
+
+def _plain_helper(x, y):
+    return math.sqrt(x * x + y * y)
+
+
+@jit
+def _jit_helper(t):
+    return 3.0 * t * t - 2.0 * t + 1.0
+
+
+@jit
+def _combined(xs):
+    acc = 0.0
+    for i in range(len(xs)):
+        acc += _plain_helper(xs[i], 2.0) + _jit_helper(xs[i])
+    return acc
+
+
+def _outer(v):
+    return _inner(v) + 1.0
+
+
+def _inner(v):
+    return v * 2.0
+
+
+@jit
+def _uses_nested(x):
+    return _outer(x) * _outer(x + 1.0)
+
+
+def _recursive(n):
+    return 1 if n <= 1 else n * _recursive(n - 1)
+
+
+@jit
+def _uses_recursive(n):
+    return _recursive(n)
+
+
+class TestCrossCalls:
+    def test_plain_and_jit_helpers_compile_into_unit(self):
+        data = np.random.default_rng(0).random(5000)
+        got = _combined(data)
+        ref = float(sum(_plain_helper(v, 2.0) + (3 * v * v - 2 * v + 1)
+                        for v in data))
+        assert got == pytest.approx(ref, rel=1e-10)
+        assert _combined.signatures  # actually compiled, no fallback
+        src = _combined.inspect_c_source()
+        assert "__u__plain_helper" in src
+        assert "__u__jit_helper" in src
+        assert src.count("static double __u_") >= 2
+
+    def test_nested_helpers_hoisted(self):
+        assert _uses_nested(3.0) == pytest.approx(7.0 * 9.0)
+        assert _uses_nested.signatures
+        src = _uses_nested.inspect_c_source()
+        assert "__u__inner" in src and "__u__outer" in src
+
+    def test_helper_type_specialization(self):
+        """The same helper compiles per caller argument types."""
+        @jit
+        def int_path(n):
+            return _jit_helper(float(n))
+
+        assert int_path(2) == pytest.approx(3 * 4 - 4 + 1.0)
+
+    def test_recursion_falls_back_to_python(self):
+        assert _uses_recursive(5) == 120
+        assert _uses_recursive.last_fallback_reason is not None
+
+    def test_unknown_name_falls_back(self):
+        @jit
+        def calls_missing(x):
+            return totally_undefined_function(x)  # noqa: F821
+
+        with pytest.raises(NameError):
+            calls_missing(1.0)  # Python fallback raises the Python error
+
+    def test_helper_changing_result_type(self):
+        def as_int(x):
+            return int(x)
+
+        @jit
+        def floor_sum(a, b):
+            return as_int(a) + as_int(b)
+
+        got = floor_sum(2.9, 3.9)
+        assert got == 5 and isinstance(got, int)

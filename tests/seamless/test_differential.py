@@ -1,0 +1,155 @@
+"""Differential testing: compiled code vs CPython on random programs.
+
+Hypothesis builds small random numeric expressions/programs; each is
+executed both by the CPython interpreter and by the Seamless C backend,
+and the results must agree to rounding.  This is the strongest correctness
+statement available for a compiler: no hand-picked cases, only the
+semantics contract.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.seamless import FLOAT64, INT64, compiler_available, infer, \
+    source_to_ir
+from repro.seamless.backend_c import compile_typed
+
+pytestmark = pytest.mark.skipif(not compiler_available(),
+                                reason="no C compiler on PATH")
+
+# -- expression generator -------------------------------------------------
+# Expressions over variables a, b (float64) and c (int64), closed under
+# operations that cannot divide by zero or leave the real domain:
+# denominators are (|expr| + 1), sqrt/log arguments are (|expr| + 0.5).
+
+_LEAVES = st.sampled_from(["a", "b", "(a + b)", "float(c)", "1.5", "2.0",
+                           "0.25", "3.0"])
+
+
+def _expr(depth: int):
+    if depth == 0:
+        return _LEAVES
+    sub = _expr(depth - 1)
+    return st.one_of(
+        _LEAVES,
+        st.tuples(st.sampled_from(["+", "-", "*"]), sub, sub).map(
+            lambda t: f"({t[1]} {t[0]} {t[2]})"),
+        st.tuples(sub, sub).map(
+            lambda t: f"({t[0]} / (abs({t[1]}) + 1.0))"),
+        sub.map(lambda e: f"sqrt(abs({e}) + 0.5)"),
+        sub.map(lambda e: f"sin({e})"),
+        sub.map(lambda e: f"(-{e})"),
+        st.tuples(sub, sub).map(lambda t: f"min({t[0]}, {t[1]})"),
+        st.tuples(sub, sub).map(lambda t: f"max({t[0]}, {t[1]})"),
+        st.tuples(sub, sub, sub).map(
+            lambda t: f"({t[0]} if {t[1]} < {t[2]} else {t[0]} * 0.5)"),
+    )
+
+
+_NAMESPACE = {"sqrt": math.sqrt, "sin": math.sin, "abs": abs,
+              "min": min, "max": max, "float": float}
+
+
+def _compile_expr(expr: str):
+    src = f"def f(a, b, c):\n    return {expr}\n"
+    tf = infer(source_to_ir(src), [FLOAT64, FLOAT64, INT64])
+    return compile_typed(tf), src
+
+
+class TestExpressionEquivalence:
+    @given(expr=_expr(3), a=st.floats(-10, 10), b=st.floats(-10, 10),
+           c=st.integers(-5, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_cpython(self, expr, a, b, c):
+        kernel, src = _compile_expr(expr)
+        py = eval(  # noqa: S307 - test oracle
+            compile(expr, "<expr>", "eval"),
+            {**_NAMESPACE, "a": a, "b": b, "c": c})
+        got = kernel(a, b, c)
+        assert got == pytest.approx(py, rel=1e-12, abs=1e-12)
+
+
+class TestIntegerProgramEquivalence:
+    """Random loop programs over int64, compared statement-for-statement."""
+
+    @given(coeffs=st.lists(st.integers(-3, 3), min_size=2, max_size=5),
+           n=st.integers(0, 30), m=st.integers(1, 7))
+    @settings(max_examples=40, deadline=None)
+    def test_loop_accumulator(self, coeffs, n, m):
+        body_terms = " + ".join(
+            f"{k} * (i % {m + j})" for j, k in enumerate(coeffs))
+        src = (f"def f(n):\n"
+               f"    acc = 0\n"
+               f"    for i in range(n):\n"
+               f"        acc += {body_terms}\n"
+               f"    return acc\n")
+        tf = infer(source_to_ir(src), [INT64])
+        kernel = compile_typed(tf)
+        scope = {}
+        exec(src, {}, scope)  # noqa: S102 - test oracle
+        assert kernel(n) == scope["f"](n)
+
+    @given(seed=st.integers(0, 2**20), steps=st.integers(1, 60))
+    @settings(max_examples=30, deadline=None)
+    def test_lcg_state_machine(self, seed, steps):
+        """A linear congruential generator: integer wraparound-free path
+        (the modulus keeps values bounded), branches, and while loops."""
+        src = ("def f(seed, steps):\n"
+               "    x = seed % 2147483647\n"
+               "    k = 0\n"
+               "    while k < steps:\n"
+               "        x = (x * 48271 + 11) % 2147483647\n"
+               "        if x % 2 == 0:\n"
+               "            x = x + 1\n"
+               "        k += 1\n"
+               "    return x\n")
+        tf = infer(source_to_ir(src), [INT64, INT64])
+        kernel = compile_typed(tf)
+        scope = {}
+        exec(src, {}, scope)  # noqa: S102
+        assert kernel(seed, steps) == scope["f"](seed, steps)
+
+
+class TestArrayProgramEquivalence:
+    @given(data=st.lists(st.floats(-100, 100), min_size=1, max_size=30),
+           threshold=st.floats(-50, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_conditional_accumulation(self, data, threshold):
+        src = ("def f(xs, t):\n"
+               "    above = 0.0\n"
+               "    below = 0.0\n"
+               "    for i in range(len(xs)):\n"
+               "        if xs[i] > t:\n"
+               "            above += xs[i]\n"
+               "        else:\n"
+               "            below += xs[i]\n"
+               "    return above - below\n")
+        from repro.seamless import float64_array
+        tf = infer(source_to_ir(src), [float64_array, FLOAT64])
+        kernel = compile_typed(tf)
+        scope = {}
+        exec(src, {}, scope)  # noqa: S102
+        arr = np.array(data)
+        assert kernel(arr, threshold) == pytest.approx(
+            scope["f"](arr, threshold), rel=1e-12, abs=1e-9)
+
+    @given(data=st.lists(st.floats(0.1, 10), min_size=2, max_size=25))
+    @settings(max_examples=25, deadline=None)
+    def test_inplace_stencil(self, data):
+        src = ("def f(xs):\n"
+               "    for i in range(1, len(xs) - 1):\n"
+               "        xs[i] = 0.5 * (xs[i - 1] + xs[i + 1])\n")
+        from repro.seamless import float64_array
+        tf = infer(source_to_ir(src), [float64_array])
+        kernel = compile_typed(tf)
+        scope = {}
+        exec(src, {}, scope)  # noqa: S102
+        a = np.array(data)
+        b = np.array(data)
+        kernel(a)
+        scope["f"](b)
+        assert np.allclose(a, b)

@@ -1,0 +1,176 @@
+"""Tests for the extended Seamless subset: break/continue, ternaries,
+named constants, and the @elementwise NumPy-JIT decorator."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.seamless import (FLOAT64, INT64, compiler_available, elementwise,
+                            infer, jit, source_to_ir)
+from repro.seamless.backend_c import compile_typed
+
+pytestmark = pytest.mark.skipif(not compiler_available(),
+                                reason="no C compiler on PATH")
+
+
+def _kernel(src, arg_types, name=None):
+    return compile_typed(infer(source_to_ir(src, name), arg_types))
+
+
+class TestControlFlow:
+    def test_break(self):
+        k = _kernel('''
+def f(n):
+    acc = 0
+    for i in range(n):
+        if i == 5:
+            break
+        acc += i
+    return acc
+''', [INT64])
+        assert k(100) == 0 + 1 + 2 + 3 + 4
+
+    def test_continue(self):
+        k = _kernel('''
+def f(n):
+    acc = 0
+    for i in range(n):
+        if i % 2 == 0:
+            continue
+        acc += i
+    return acc
+''', [INT64])
+        assert k(10) == 1 + 3 + 5 + 7 + 9
+
+    def test_break_in_while(self):
+        k = _kernel('''
+def f(n):
+    i = 0
+    while True:
+        i += 1
+        if i >= n:
+            break
+    return i
+''', [INT64])
+        assert k(42) == 42
+
+    def test_continue_preserves_for_step(self):
+        """continue must still advance the loop variable (C for-header)."""
+        k = _kernel('''
+def f(n):
+    count = 0
+    for i in range(0, n, 3):
+        if i == 6:
+            continue
+        count += 1
+    return count
+''', [INT64])
+        # range(0, 20, 3) = 0,3,6,9,12,15,18 -> skip 6 -> 6
+        assert k(20) == 6
+
+
+class TestTernary:
+    @given(x=st.floats(-100, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_python(self, x):
+        k = _kernel("def f(x):\n    return x if x > 0 else -x\n",
+                    [FLOAT64])
+        assert k(x) == (x if x > 0 else -x)
+
+    def test_nested_ternary(self):
+        k = _kernel(
+            "def f(x, lo, hi):\n"
+            "    return lo if x < lo else (hi if x > hi else x)\n",
+            [FLOAT64, FLOAT64, FLOAT64])
+        assert k(-1.0, 0.0, 1.0) == 0.0
+        assert k(0.3, 0.0, 1.0) == 0.3
+        assert k(9.0, 0.0, 1.0) == 1.0
+
+    def test_mixed_types_promote(self):
+        k = _kernel("def f(x):\n    return 1 if x > 0 else 0.5\n",
+                    [FLOAT64])
+        assert k(2.0) == 1.0 and k(-2.0) == 0.5
+
+
+class TestNamedConstants:
+    def test_math_pi_e_tau(self):
+        k = _kernel(
+            "def f(r):\n    return math.pi * r + math.e - math.tau / 2\n",
+            [FLOAT64])
+        assert k(1.0) == pytest.approx(math.pi + math.e - math.tau / 2)
+
+    def test_np_spelling(self):
+        k = _kernel("def f(x):\n    return np.pi * x\n", [FLOAT64])
+        assert k(2.0) == pytest.approx(2 * math.pi)
+
+    def test_infinity(self):
+        k = _kernel(
+            "def f(x):\n    return math.inf if x > 0 else x\n", [FLOAT64])
+        assert k(1.0) == math.inf
+
+
+@elementwise
+def _damped(x, k):
+    return math.exp(-k * x) * math.sin(x)
+
+
+@elementwise
+def _relu(x):
+    return x if x > 0 else 0.0
+
+
+class TestElementwise:
+    def test_matches_numpy(self):
+        xs = np.linspace(0, 10, 5000)
+        got = _damped(xs, 0.25)
+        assert np.allclose(got, np.exp(-0.25 * xs) * np.sin(xs))
+        assert _damped.compiled
+
+    def test_scalar_broadcast(self):
+        xs = np.arange(-3.0, 4.0)
+        assert np.allclose(_relu(xs), np.maximum(xs, 0.0))
+
+    def test_2d_arrays(self):
+        xs = np.linspace(0, 1, 24).reshape(4, 6)
+        got = _damped(xs, 1.0)
+        assert got.shape == (4, 6)
+        assert np.allclose(got, np.exp(-xs) * np.sin(xs))
+
+    def test_array_array_broadcast(self):
+        x = np.linspace(0, 1, 12)
+        k = np.full(12, 2.0)
+        assert np.allclose(_damped(x, k), np.exp(-2 * x) * np.sin(x))
+
+    def test_all_scalars_pass_through(self):
+        assert _relu(-3.0) == 0.0
+        assert _relu(5.0) == 5.0
+
+    def test_dtype_coercion(self):
+        xs = np.arange(5, dtype=np.int32)
+        out = _relu(xs)
+        assert out.dtype == np.float64
+        assert np.allclose(out, xs)
+
+    @given(data=st.lists(st.floats(-10, 10), min_size=1, max_size=40),
+           k=st.floats(0.0, 2.0))
+    @settings(max_examples=20, deadline=None)
+    def test_property_vs_scalar_python(self, data, k):
+        xs = np.array(data)
+        got = _damped(xs, k)
+        ref = np.array([math.exp(-k * v) * math.sin(v) for v in data])
+        assert np.allclose(got, ref)
+
+    def test_wrong_arity(self):
+        with pytest.raises(TypeError):
+            _damped(np.ones(3))
+
+    def test_unsupported_body_falls_back(self):
+        @elementwise
+        def weird(x):
+            return {"no": x}  # not compilable, not vectorizable
+
+        # scalar call goes straight through to the Python function
+        assert weird(1.0) == {"no": 1.0}

@@ -1,0 +1,284 @@
+"""CModule, static compilation, C++ export, elementwise, and CLI tests."""
+
+import ctypes
+import math
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.seamless import (CModule, HeaderParseError, build_module,
+                            compile_and_run_cpp, compile_elementwise,
+                            compiler_available, elementwise_c_source,
+                            export_cpp, parse_header)
+from repro.seamless.cheader import ctype_of
+
+pytestmark = pytest.mark.skipif(not compiler_available(),
+                                reason="no C compiler on PATH")
+
+
+class TestCHeaderParsing:
+    def test_math_h_discovers_common_functions(self):
+        decls = parse_header("math.h")
+        for name in ("atan2", "sqrt", "pow", "hypot", "floor"):
+            assert name in decls, name
+        assert decls["atan2"].restype is ctypes.c_double
+        assert decls["atan2"].argtypes == [ctypes.c_double,
+                                           ctypes.c_double]
+
+    def test_string_h(self):
+        decls = parse_header("string.h")
+        assert "strlen" in decls
+
+    def test_missing_header(self):
+        with pytest.raises(HeaderParseError):
+            parse_header("no_such_header_xyz.h")
+
+    def test_ctype_of_spellings(self):
+        assert ctype_of("double") is ctypes.c_double
+        assert ctype_of("const double") is ctypes.c_double
+        assert ctype_of("unsigned long") is ctypes.c_ulong
+        assert ctype_of("double *") == ctypes.POINTER(ctypes.c_double)
+        assert ctype_of("char *") is ctypes.c_char_p
+        assert ctype_of("void *") is ctypes.c_void_p
+        assert ctype_of("struct foo") is False
+        assert ctype_of("double **") is False
+
+
+class TestCModule:
+    def test_paper_example_verbatim(self):
+        class cmath(CModule):
+            Header = "math.h"
+
+        libm = cmath("m")
+        assert libm.atan2(1.0, 2.0) == pytest.approx(math.atan2(1.0, 2.0))
+
+    def test_many_functions_work(self):
+        class cmath(CModule):
+            Header = "math.h"
+
+        libm = cmath("m")
+        assert libm.hypot(3.0, 4.0) == 5.0
+        assert libm.pow(2.0, 8.0) == 256.0
+        assert libm.floor(2.7) == 2.0
+
+    def test_function_listing_and_dir(self):
+        class cmath(CModule):
+            Header = "math.h"
+
+        libm = cmath("m")
+        assert len(libm.functions()) > 100
+        assert "sqrt" in dir(libm)
+
+    def test_unknown_function(self):
+        class cmath(CModule):
+            Header = "math.h"
+
+        libm = cmath("m")
+        with pytest.raises(AttributeError):
+            libm.definitely_not_a_libm_function()
+
+    def test_missing_header_attr(self):
+        class bad(CModule):
+            pass
+
+        with pytest.raises(TypeError):
+            bad("m")
+
+    def test_missing_library(self):
+        class cmath(CModule):
+            Header = "math.h"
+
+        with pytest.raises(OSError):
+            cmath("no_such_library_xyz")
+
+    def test_libc_strlen(self):
+        class cstring(CModule):
+            Header = "string.h"
+
+        libc = cstring("c")
+        assert libc.strlen(b"hello") == 5
+
+
+KERNELS = '''
+def ksum(it):
+    res = 0.0
+    for i in range(len(it)):
+        res += it[i]
+    return res
+
+
+def kdot(x, y):
+    s = 0.0
+    for i in range(len(x)):
+        s += x[i] * y[i]
+    return s
+
+
+def annotated(x: "float64[]"):
+    m = 0.0
+    for i in range(len(x)):
+        m = max(m, x[i])
+    return m
+'''
+
+
+class TestStaticCompilation:
+    def test_build_module_and_import(self, tmp_path):
+        src_path = tmp_path / "kern.py"
+        src_path.write_text(KERNELS)
+        wrapper = build_module(str(src_path),
+                               {"ksum": ["float64[]"],
+                                "kdot": ["float64[]", "float64[]"]})
+        assert os.path.exists(wrapper)
+        sys.path.insert(0, str(tmp_path))
+        try:
+            import kern_seamless as ks
+            a = np.arange(50.0)
+            assert ks.ksum(a) == pytest.approx(a.sum())
+            assert ks.kdot(a, a) == pytest.approx((a * a).sum())
+        finally:
+            sys.path.remove(str(tmp_path))
+            sys.modules.pop("kern_seamless", None)
+
+    def test_annotations_used_when_no_types(self, tmp_path):
+        src_path = tmp_path / "ann.py"
+        src_path.write_text(KERNELS)
+        wrapper = build_module(str(src_path), {"annotated": []})
+        sys.path.insert(0, str(tmp_path))
+        try:
+            import ann_seamless as mod
+            assert mod.annotated(np.array([1.0, 9.0, 3.0])) == 9.0
+        finally:
+            sys.path.remove(str(tmp_path))
+            sys.modules.pop("ann_seamless", None)
+
+    def test_c_source_artifact_written(self, tmp_path):
+        src_path = tmp_path / "k2.py"
+        src_path.write_text(KERNELS)
+        build_module(str(src_path), {"ksum": ["float64[]"]})
+        c_file = tmp_path / "k2_lib.c"
+        assert c_file.exists()
+        assert "k2_ksum" in c_file.read_text()
+
+
+class TestCppExport:
+    def test_paper_listing_end_to_end(self, tmp_path):
+        exports = export_cpp(KERNELS, {"ksum": ["float64[]"]},
+                             str(tmp_path), name="seamless_export")
+        cpp = r'''
+#include <cstdio>
+#include "seamless_export.hpp"
+int main() {
+    int arr[100];
+    for (int i = 0; i < 100; ++i) arr[i] = i;
+    std::vector<double> darr(100);
+    for (int i = 0; i < 100; ++i) darr[i] = 0.5 * i;
+    printf("%.1f %.2f\n", seamless::numpy::ksum(arr),
+           seamless::numpy::ksum(darr));
+    return 0;
+}
+'''
+        out = compile_and_run_cpp(cpp, exports, str(tmp_path / "build"))
+        assert out.split() == ["4950.0", "2475.00"]
+
+    def test_custom_namespace(self, tmp_path):
+        exports = export_cpp(KERNELS, {"ksum": ["float64[]"]},
+                             str(tmp_path), name="algos", namespace="algos")
+        header = open(exports["header"]).read()
+        assert "namespace algos" in header
+
+    def test_bad_cpp_reports_compiler_error(self, tmp_path):
+        exports = export_cpp(KERNELS, {"ksum": ["float64[]"]},
+                             str(tmp_path), name="x")
+        with pytest.raises(RuntimeError, match="compilation failed"):
+            compile_and_run_cpp("int main() { syntax error }", exports,
+                                str(tmp_path / "b"))
+
+
+class TestElementwise:
+    def test_source_generation(self):
+        src = elementwise_c_source(
+            (("load", 0), ("unary", "sqrt")), 1)
+        assert "sqrt" in src and "for (int64_t i" in src
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            elementwise_c_source((("unary", "fft"), ("load", 0)), 1)
+
+    def test_kernel_matches_numpy(self):
+        prog = (("load", 0), ("const", 2.0), ("binary", "multiply"),
+                ("load", 1), ("binary", "add"), ("unary", "tanh"))
+        k = compile_elementwise(prog, 2)
+        a = np.random.default_rng(3).random(256)
+        b = np.random.default_rng(4).random(256)
+        out = np.empty(256)
+        k(out, a, b)
+        assert np.allclose(out, np.tanh(a * 2 + b))
+
+    def test_all_mapped_ops(self):
+        from repro.seamless.elementwise import _BINARY_C, _UNARY_C
+        rng = np.random.default_rng(5)
+        # keep inputs inside every op's domain (asin/acos need |x| <= 1)
+        a = rng.uniform(0.1, 0.9, size=64)
+        b = rng.uniform(0.1, 0.9, size=64)
+        for name in _UNARY_C:
+            if name in ("abs",):
+                continue
+            k = compile_elementwise((("load", 0), ("unary", name)), 1)
+            out = np.empty(64)
+            k(out, a)
+            ref = getattr(np, name if name != "reciprocal" else
+                          "reciprocal")(a) if hasattr(np, name) else None
+            if ref is not None:
+                assert np.allclose(out, ref), name
+        for name in _BINARY_C:
+            if name == "true_divide":
+                continue
+            k = compile_elementwise(
+                (("load", 0), ("load", 1), ("binary", name)), 2)
+            out = np.empty(64)
+            k(out, a, b)
+            if hasattr(np, name):
+                assert np.allclose(out, getattr(np, name)(a, b)), name
+
+
+class TestCLI:
+    def test_inspect_command(self, tmp_path):
+        src_path = tmp_path / "k.py"
+        src_path.write_text(KERNELS)
+        from repro.seamless.cli import main
+        import io
+        from contextlib import redirect_stdout
+        buf = io.StringIO()
+        with redirect_stdout(buf):
+            rc = main(["inspect", str(src_path), "-f", "ksum:float64[]"])
+        assert rc == 0
+        assert "double" in buf.getvalue()
+
+    def test_build_command(self, tmp_path):
+        src_path = tmp_path / "k.py"
+        src_path.write_text(KERNELS)
+        from repro.seamless.cli import main
+        rc = main(["build", str(src_path), "-f", "ksum:float64[]",
+                   "-o", str(tmp_path)])
+        assert rc == 0
+        assert (tmp_path / "k_seamless.py").exists()
+
+    def test_export_cpp_command(self, tmp_path):
+        src_path = tmp_path / "k.py"
+        src_path.write_text(KERNELS)
+        from repro.seamless.cli import main
+        rc = main(["export-cpp", str(src_path), "-f", "ksum:float64[]",
+                   "-o", str(tmp_path / "out")])
+        assert rc == 0
+        assert (tmp_path / "out" / "seamless_export.hpp").exists()
+
+    def test_no_functions_errors(self, tmp_path):
+        src_path = tmp_path / "k.py"
+        src_path.write_text(KERNELS)
+        from repro.seamless.cli import main
+        with pytest.raises(SystemExit):
+            main(["build", str(src_path)])

@@ -1,0 +1,197 @@
+"""Frontend, type inference, and type-system tests (compiler-independent)."""
+
+import numpy as np
+import pytest
+
+from repro.seamless import (ArrayType, BOOL, FLOAT64, INT64,
+                            UnsupportedError, discover, float64_array,
+                            from_annotation, infer, int64_array, promote,
+                            source_to_ir)
+from repro.seamless import ir
+
+
+class TestTypes:
+    def test_discover_scalars(self):
+        assert discover(True) == BOOL
+        assert discover(3) == INT64
+        assert discover(2.5) == FLOAT64
+        assert discover(np.float32(1.0)) == FLOAT64
+
+    def test_discover_arrays(self):
+        assert discover(np.zeros(3)) == float64_array
+        assert discover(np.zeros(3, dtype=np.int32)) == int64_array
+
+    def test_discover_lists(self):
+        assert discover([1, 2, 3]) == int64_array
+        assert discover([1.0, 2]) == float64_array
+
+    def test_discover_2d_and_rejects_3d(self):
+        from repro.seamless import float64_array2d
+        assert discover(np.zeros((2, 2))) == float64_array2d
+        with pytest.raises(TypeError):
+            discover(np.zeros((2, 2, 2)))
+
+    def test_discover_rejects_objects(self):
+        with pytest.raises(TypeError):
+            discover({"a": 1})
+
+    def test_promotion(self):
+        assert promote(BOOL, INT64) == INT64
+        assert promote(INT64, FLOAT64) == FLOAT64
+        with pytest.raises(TypeError):
+            promote(float64_array, FLOAT64)
+
+    def test_annotations(self):
+        assert from_annotation("float64[]") == float64_array
+        assert from_annotation(int) == INT64
+        assert from_annotation(np.float64) == FLOAT64
+        assert from_annotation(None) is None
+        with pytest.raises(TypeError):
+            from_annotation("quaternion")
+
+    def test_array_type_identity(self):
+        assert ArrayType(FLOAT64) == float64_array
+        assert float64_array != FLOAT64
+
+
+SUM_SRC = '''
+def total(it):
+    res = 0.0
+    for i in range(len(it)):
+        res += it[i]
+    return res
+'''
+
+
+class TestFrontend:
+    def test_sum_structure(self):
+        fir = source_to_ir(SUM_SRC)
+        assert fir.name == "total"
+        assert fir.arg_names == ["it"]
+        kinds = [type(s).__name__ for s in fir.body]
+        assert kinds == ["Assign", "For", "Return"]
+        loop = fir.body[1]
+        assert isinstance(loop.stop, ir.LenOf)
+
+    def test_while_if(self):
+        fir = source_to_ir('''
+def collatz(n):
+    steps = 0
+    while n != 1:
+        if n % 2 == 0:
+            n = n // 2
+        else:
+            n = 3 * n + 1
+        steps += 1
+    return steps
+''')
+        assert isinstance(fir.body[1], ir.While)
+        assert isinstance(fir.body[1].body[0], ir.If)
+
+    def test_chained_comparison_desugars(self):
+        fir = source_to_ir("def f(x):\n    return 0 < x < 10\n")
+        ret = fir.body[0]
+        assert isinstance(ret.value, ir.BoolOp)
+        assert len(ret.value.values) == 2
+
+    def test_docstring_dropped(self):
+        fir = source_to_ir('def f(x):\n    "doc"\n    return x\n')
+        assert isinstance(fir.body[-1], ir.Return)
+
+    def test_math_attribute_calls(self):
+        fir = source_to_ir(
+            "def f(x):\n    return math.sqrt(x) + np.exp(x)\n")
+        ret = fir.body[0].value
+        assert ret.left.func == "sqrt" and ret.right.func == "exp"
+
+    @pytest.mark.parametrize("src", [
+        "def f(x):\n    y = [1, 2]\n    return 0\n",      # list literal
+        "def f(x):\n    return x.mean()\n",                # method call
+        "def f(*args):\n    return 0\n",                   # varargs
+        "def f(x=1):\n    return x\n",                     # defaults
+        "def f(x):\n    import os\n    return 0\n",        # import
+        "def f(x):\n    return {'a': x}\n",                # dict
+        "def f(x):\n    for i in x:\n        pass\n",      # non-range loop
+    ])
+    def test_unsupported_constructs(self, src):
+        with pytest.raises(UnsupportedError):
+            source_to_ir(src)
+
+
+class TestInference:
+    def test_sum_float_accumulator(self):
+        tf = infer(source_to_ir(SUM_SRC), [float64_array])
+        assert tf.env["res"] == FLOAT64
+        assert tf.env["i"] == INT64
+        assert tf.return_type == FLOAT64
+
+    def test_int_accumulator_promoted_by_float_elements(self):
+        tf = infer(source_to_ir('''
+def total(it):
+    res = 0
+    for i in range(len(it)):
+        res += it[i]
+    return res
+'''), [float64_array])
+        assert tf.env["res"] == FLOAT64
+
+    def test_int_stays_int(self):
+        tf = infer(source_to_ir('''
+def total(it):
+    res = 0
+    for i in range(len(it)):
+        res += it[i]
+    return res
+'''), [int64_array])
+        assert tf.env["res"] == INT64
+        assert tf.return_type == INT64
+
+    def test_division_always_float(self):
+        tf = infer(source_to_ir("def f(a, b):\n    return a / b\n"),
+                   [INT64, INT64])
+        assert tf.return_type == FLOAT64
+
+    def test_floordiv_int(self):
+        tf = infer(source_to_ir("def f(a, b):\n    return a // b\n"),
+                   [INT64, INT64])
+        assert tf.return_type == INT64
+
+    def test_comparison_is_bool(self):
+        tf = infer(source_to_ir("def f(a):\n    return a > 0\n"),
+                   [FLOAT64])
+        assert tf.return_type == BOOL
+
+    def test_math_call_is_float(self):
+        tf = infer(source_to_ir("def f(a):\n    return sqrt(a)\n"),
+                   [INT64])
+        assert tf.return_type == FLOAT64
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(UnsupportedError):
+            infer(source_to_ir("def f(a):\n    return a + mystery\n"),
+                  [INT64])
+
+    def test_whole_array_op_rejected(self):
+        with pytest.raises(UnsupportedError):
+            infer(source_to_ir("def f(a, b):\n    return a + b\n"),
+                  [float64_array, float64_array])
+
+    def test_returning_array_rejected(self):
+        with pytest.raises(UnsupportedError):
+            infer(source_to_ir("def f(a):\n    return a\n"),
+                  [float64_array])
+
+    def test_wrong_arity(self):
+        with pytest.raises(TypeError):
+            infer(source_to_ir("def f(a):\n    return a\n"),
+                  [INT64, INT64])
+
+    def test_void_return(self):
+        tf = infer(source_to_ir(
+            "def f(a):\n    a[0] = 1.0\n"), [float64_array])
+        assert tf.return_type.name == "void"
+
+    def test_subscript_element_type(self):
+        tf = infer(source_to_ir("def f(a):\n    return a[0]\n"),
+                   [int64_array])
+        assert tf.return_type == INT64

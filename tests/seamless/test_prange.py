@@ -1,0 +1,103 @@
+"""prange / OpenMP parallel loop tests.
+
+On a single-CPU host the parallel code paths produce identical results to
+serial ones; the tests verify correctness of the OpenMP lowering
+(reductions, private temporaries) rather than speedup.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.seamless import compiler_available, jit, prange
+
+pytestmark = pytest.mark.skipif(not compiler_available(),
+                                reason="no C compiler on PATH")
+
+
+@jit
+def _psum(xs):
+    acc = 0.0
+    for i in prange(len(xs)):
+        acc += xs[i]
+    return acc
+
+
+@jit
+def _pprod_count(xs, t):
+    prod = 1.0
+    count = 0
+    for i in prange(len(xs)):
+        prod *= 1.0 + xs[i] * 1e-6
+        if xs[i] > t:
+            count += 1
+    return prod + count
+
+
+@jit
+def _pmap(xs, out, a):
+    for i in prange(len(xs)):
+        tmp = xs[i] * a
+        out[i] = tmp * tmp
+
+
+class TestPrange:
+    def test_sum_reduction(self):
+        data = np.random.default_rng(0).random(100_000)
+        assert _psum(data) == pytest.approx(float(data.sum()), rel=1e-9)
+        assert _psum.signatures
+        src = _psum.inspect_c_source()
+        assert "#pragma omp parallel for" in src
+        assert "reduction(+:acc)" in src
+
+    def test_multiple_reductions(self):
+        data = np.random.default_rng(1).random(5_000)
+        got = _pprod_count(data, 0.5)
+        ref = float(np.prod(1.0 + data * 1e-6) + (data > 0.5).sum())
+        assert got == pytest.approx(ref, rel=1e-9)
+        src = _pprod_count.inspect_c_source()
+        assert "reduction(*:prod)" in src and "reduction(+:count)" in src
+
+    def test_private_temporaries(self):
+        data = np.random.default_rng(2).random(10_000)
+        out = np.zeros_like(data)
+        _pmap(data, out, 3.0)
+        assert np.allclose(out, (data * 3.0) ** 2)
+        assert "private(tmp)" in _pmap.inspect_c_source()
+
+    def test_nested_serial_inside_parallel(self):
+        @jit
+        def rowsums(M, out):
+            for i in prange(M.shape[0]):
+                s = 0.0
+                for j in range(M.shape[1]):
+                    s += M[i, j]
+                out[i] = s
+
+        M = np.random.default_rng(3).random((50, 20))
+        out = np.zeros(50)
+        rowsums(M, out)
+        assert np.allclose(out, M.sum(axis=1))
+        src = rowsums.inspect_c_source()
+        assert "private(j, s)" in src
+
+    def test_prange_is_range_in_fallback(self):
+        # prange must behave as plain range when interpreted
+        assert list(prange(4)) == [0, 1, 2, 3]
+
+    @given(data=st.lists(st.floats(-100, 100), min_size=1, max_size=60))
+    @settings(max_examples=20, deadline=None)
+    def test_reduction_matches_serial(self, data):
+        arr = np.array(data)
+        assert _psum(arr) == pytest.approx(float(arr.sum()), rel=1e-9,
+                                           abs=1e-9)
+
+    def test_prange_outside_loop_rejected(self):
+        @jit(nopython=True)
+        def bad(n):
+            return prange(n)
+
+        from repro.seamless import UnsupportedError
+        with pytest.raises(UnsupportedError):
+            bad(3)

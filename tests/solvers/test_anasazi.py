@@ -1,0 +1,134 @@
+"""Eigensolver tests against analytic spectra."""
+
+import numpy as np
+import pytest
+
+from repro import galeri, solvers, tpetra
+from tests.conftest import spmd
+
+
+def _laplace_1d_eigs(n):
+    """Exact eigenvalues of the [-1, 2, -1] stencil."""
+    return np.array([2 - 2 * np.cos(np.pi * k / (n + 1))
+                     for k in range(1, n + 1)])
+
+
+class TestPowerMethod:
+    def test_dominant_eigenvalue(self):
+        n = 30
+        exact = _laplace_1d_eigs(n).max()
+
+        def body(comm):
+            A = galeri.laplace_1d(n, comm)
+            r = solvers.power_method(A, tol=1e-12, maxiter=8000)
+            return r.converged, float(r.eigenvalues[0])
+        conv, lam = spmd(3)(body)[0]
+        assert conv and lam == pytest.approx(exact, rel=1e-4)
+
+    def test_eigenvector_residual(self):
+        def body(comm):
+            A = galeri.laplace_1d(20, comm)
+            r = solvers.power_method(A, tol=1e-12, maxiter=8000)
+            v = r.eigenvectors[0]
+            av = tpetra.Vector(A.row_map)
+            A.apply(v, av)
+            av.update(-float(r.eigenvalues[0]), v, 1.0)
+            return av.norm2()
+        assert spmd(2)(body)[0] < 1e-4
+
+
+class TestInverseIteration:
+    def test_smallest_eigenvalue(self):
+        n = 25
+        exact = _laplace_1d_eigs(n).min()
+
+        def body(comm):
+            A = galeri.laplace_1d(n, comm)
+            r = solvers.inverse_iteration(A, shift=0.0, tol=1e-12)
+            return r.converged, float(r.eigenvalues[0])
+        conv, lam = spmd(2)(body)[0]
+        assert conv and lam == pytest.approx(exact, rel=1e-8)
+
+    def test_interior_eigenvalue_with_shift(self):
+        n = 20
+        eigs = _laplace_1d_eigs(n)
+        target = eigs[len(eigs) // 2]
+
+        def body(comm):
+            A = galeri.laplace_1d(n, comm)
+            r = solvers.inverse_iteration(A, shift=float(target) + 1e-3,
+                                          tol=1e-12)
+            return float(r.eigenvalues[0])
+        lam = spmd(2)(body)[0]
+        assert lam == pytest.approx(target, rel=1e-6)
+
+
+class TestLanczos:
+    def test_extreme_eigenvalues_1d(self):
+        """1-D Laplacian spectrum is simple: Lanczos nails both ends."""
+        n = 40
+        eigs = _laplace_1d_eigs(n)
+
+        def body(comm):
+            A = galeri.laplace_1d(n, comm)
+            lo = solvers.lanczos(A, nev=3, which="SM", tol=1e-9,
+                                 max_krylov=n)
+            hi = solvers.lanczos(A, nev=2, which="LM", tol=1e-9,
+                                 max_krylov=n)
+            return lo.eigenvalues, hi.eigenvalues
+        low, high = spmd(3)(body)[0]
+        assert np.allclose(low, np.sort(eigs)[:3], rtol=1e-6)
+        assert np.allclose(np.sort(high), np.sort(eigs)[-2:], rtol=1e-6)
+
+    def test_ritz_vector_residuals(self):
+        def body(comm):
+            A = galeri.laplace_1d(30, comm)
+            r = solvers.lanczos(A, nev=2, which="SM", tol=1e-10,
+                                max_krylov=30)
+            out = []
+            for lam, v in zip(r.eigenvalues, r.eigenvectors):
+                av = tpetra.Vector(A.row_map)
+                A.apply(v, av)
+                av.update(-float(lam), v, 1.0)
+                out.append(av.norm2())
+            return max(out)
+        assert spmd(2)(body)[0] < 1e-7
+
+
+class TestLOBPCG:
+    def test_smallest_with_preconditioner(self):
+        nx = ny = 10
+        exact = sorted(4 - 2 * np.cos(np.pi * i / (nx + 1))
+                       - 2 * np.cos(np.pi * j / (ny + 1))
+                       for i in range(1, nx + 1)
+                       for j in range(1, ny + 1))[:3]
+
+        def body(comm):
+            A = galeri.laplace_2d(nx, ny, comm)
+            r = solvers.lobpcg(A, nev=3, prec=solvers.ILU0(A), tol=1e-7,
+                               maxiter=300)
+            return r.converged, r.eigenvalues
+        conv, lams = spmd(2)(body)[0]
+        assert conv
+        assert np.allclose(lams, exact, rtol=1e-4)
+
+    def test_handles_degenerate_pairs(self):
+        """The 2-D square Laplacian has multiplicity-2 eigenvalues; block
+        methods must resolve both copies (single-vector Lanczos cannot)."""
+        def body(comm):
+            A = galeri.laplace_2d(8, 8, comm)
+            r = solvers.lobpcg(A, nev=3, prec=solvers.ILU0(A), tol=1e-6,
+                               maxiter=400)
+            return r.eigenvalues
+        lams = spmd(2)(body)[0]
+        # eigenvalues 2 and 3 are a degenerate pair
+        assert lams[1] == pytest.approx(lams[2], rel=1e-4)
+
+    def test_unpreconditioned(self):
+        def body(comm):
+            A = galeri.laplace_1d(16, comm)
+            r = solvers.lobpcg(A, nev=2, tol=1e-6, maxiter=500)
+            return r.converged, r.eigenvalues
+        conv, lams = spmd(2)(body)[0]
+        exact = np.sort(_laplace_1d_eigs(16))[:2]
+        assert conv and np.allclose(lams, exact, rtol=1e-4)

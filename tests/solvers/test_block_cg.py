@@ -1,0 +1,83 @@
+"""Pseudo-block CG (multi-RHS) tests."""
+
+import numpy as np
+import pytest
+
+from repro import galeri, solvers, tpetra
+from tests.conftest import spmd
+
+
+def _problem(comm, nvec=3, nx=10, ny=10, seed=1):
+    A = galeri.laplace_2d(nx, ny, comm)
+    Xt = tpetra.MultiVector(A.row_map, nvec)
+    Xt.randomize(seed=seed)
+    return A, A @ Xt, Xt
+
+
+class TestBlockCG:
+    def test_all_columns_converge(self):
+        def body(comm):
+            A, B, Xt = _problem(comm, nvec=4)
+            r = solvers.block_cg(A, B, tol=1e-10, maxiter=1000)
+            err = np.abs(r.x.gather_all() - Xt.gather_all()).max()
+            return bool(r.converged.all()), r.iterations, float(err)
+        for conv, _its, err in spmd(3)(body):
+            assert conv and err < 1e-7
+
+    def test_matches_column_by_column_cg(self):
+        """The pseudo-block recurrences equal independent CG runs."""
+        def body(comm):
+            A, B, _Xt = _problem(comm, nvec=2, seed=5)
+            blk = solvers.block_cg(A, B, tol=1e-9, maxiter=500)
+            singles = []
+            for j in range(2):
+                b_j = B.vector(j).copy()
+                singles.append(solvers.cg(A, b_j, tol=1e-9, maxiter=500))
+            diffs = [np.abs(np.asarray(blk.x.vector(j).copy()) -
+                            np.asarray(singles[j].x)).max()
+                     for j in range(2)]
+            return max(diffs)
+        assert spmd(2)(body)[0] < 1e-6
+
+    def test_preconditioned(self):
+        def body(comm):
+            A, B, _Xt = _problem(comm, nvec=3)
+            plain = solvers.block_cg(A, B, tol=1e-10, maxiter=1000)
+            prec = solvers.block_cg(A, B, prec=solvers.MLPreconditioner(A),
+                                    tol=1e-10, maxiter=1000)
+            return plain.iterations, prec.iterations, \
+                bool(prec.converged.all())
+        plain_its, prec_its, conv = spmd(2)(body)[0]
+        assert conv and prec_its < plain_its
+
+    def test_heterogeneous_difficulty_freezes_converged_columns(self):
+        """An already-solved column must not destabilize the others."""
+        def body(comm):
+            A, B, Xt = _problem(comm, nvec=3)
+            # make column 0 trivially solved: B[:,0] = 0
+            B.local[:, 0] = 0.0
+            r = solvers.block_cg(A, B, tol=1e-10, maxiter=1000)
+            x0_norm = float(r.x.vector(0).copy().norm2())
+            err = np.abs(r.x.gather_all()[:, 1:]
+                         - Xt.gather_all()[:, 1:]).max()
+            return bool(r.converged.all()), x0_norm, float(err)
+        conv, x0, err = spmd(2)(body)[0]
+        assert conv and x0 == 0.0 and err < 1e-7
+
+    def test_maxiter_reports_per_column(self):
+        def body(comm):
+            A, B, _Xt = _problem(comm, nvec=2)
+            r = solvers.block_cg(A, B, tol=1e-14, maxiter=2)
+            return r.converged.tolist(), r.residual_norms.shape
+        conv, shape = spmd(2)(body)[0]
+        assert conv == [False, False] and shape == (2,)
+
+    def test_zero_rhs_block(self):
+        def body(comm):
+            A = galeri.laplace_1d(12, comm)
+            B = tpetra.MultiVector(A.row_map, 2)
+            r = solvers.block_cg(A, B, tol=1e-10)
+            return bool(r.converged.all()), float(np.abs(
+                r.x.gather_all()).max())
+        conv, xmax = spmd(2)(body)[0]
+        assert conv and xmax == 0.0

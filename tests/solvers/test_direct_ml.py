@@ -1,0 +1,141 @@
+"""Direct solver (Amesos) and AMG (ML) tests."""
+
+import numpy as np
+import pytest
+
+from repro import galeri, solvers, tpetra
+from repro.teuchos import ParameterList
+from tests.conftest import spmd
+
+
+class TestDirect:
+    @pytest.mark.parametrize("name", ["KLU", "SuperLU", "UMFPACK",
+                                      "LAPACK"])
+    def test_exact_solve(self, name):
+        def body(comm):
+            A = galeri.laplace_2d(8, 8, comm)
+            x_true = tpetra.Vector(A.row_map)
+            x_true.randomize(seed=5)
+            b = A @ x_true
+            solver = solvers.create_solver(name, A)
+            x = solver.solve(b)
+            return (x - x_true).norm2() / x_true.norm2()
+        for err in spmd(3)(body):
+            assert err < 1e-12
+
+    def test_factor_once_solve_many(self):
+        def body(comm):
+            A = galeri.laplace_1d(20, comm)
+            solver = solvers.SparseLU(A).numeric_factorization()
+            errs = []
+            for seed in (1, 2, 3):
+                xt = tpetra.Vector(A.row_map)
+                xt.randomize(seed=seed)
+                b = A @ xt
+                errs.append((solver.solve(b) - xt).norm2())
+            return max(errs)
+        assert spmd(2)(body)[0] < 1e-12
+
+    def test_unknown_name(self):
+        def body(comm):
+            A = galeri.laplace_1d(4, comm)
+            solvers.create_solver("PARDISO", A)
+        with pytest.raises(ValueError):
+            spmd(1)(body)
+
+    def test_nonsquare_rejected(self):
+        def body(comm):
+            m = tpetra.Map.create_contiguous(4, comm)
+            dom = tpetra.Map.create_contiguous(6, comm)
+            A = tpetra.CrsMatrix(m)
+            for gid in m.my_gids:
+                A.insert_global_values(gid, [gid], [1.0])
+            A.fillComplete(domain_map=dom)
+            solvers.SparseLU(A)
+        with pytest.raises(ValueError):
+            spmd(1)(body)
+
+    def test_usable_as_operator(self):
+        """A direct solver is an exact preconditioner: CG in 1 iteration."""
+        def body(comm):
+            A = galeri.laplace_2d(6, 6, comm)
+            b = tpetra.Vector(A.row_map).putScalar(1.0)
+            prec = solvers.SparseLU(A).numeric_factorization()
+            r = solvers.cg(A, b, prec=prec, tol=1e-12, maxiter=10)
+            return r.converged, r.iterations
+        conv, its = spmd(2)(body)[0]
+        assert conv and its <= 2
+
+
+class TestML:
+    def test_hierarchy_structure(self):
+        def body(comm):
+            A = galeri.laplace_2d(24, 24, comm)
+            ml = solvers.MLPreconditioner(A)
+            sizes = [lvl.A.num_global_rows for lvl in ml.levels]
+            return ml.num_levels, sizes, ml.operator_complexity()
+        levels, sizes, complexity = spmd(3)(body)[0]
+        assert levels >= 2
+        assert sizes == sorted(sizes, reverse=True)  # strictly coarsening
+        assert sizes[-1] <= 50
+        assert 1.0 < complexity < 3.0
+
+    def test_amg_preconditioned_cg_iteration_count(self):
+        """AMG-CG should converge in O(10) iterations, grid-independent-ish."""
+        def body(comm):
+            counts = []
+            for n in (12, 24):
+                A = galeri.laplace_2d(n, n, comm)
+                b = tpetra.Vector(A.row_map).putScalar(1.0)
+                ml = solvers.MLPreconditioner(A)
+                r = solvers.cg(A, b, prec=ml, tol=1e-10, maxiter=100)
+                counts.append((r.converged, r.iterations))
+            return counts
+        counts = spmd(2)(body)[0]
+        assert all(conv for conv, _ in counts)
+        assert all(its <= 25 for _conv, its in counts)
+        # near grid-independence: iteration growth is mild
+        assert counts[1][1] <= counts[0][1] + 10
+
+    def test_standalone_solver(self):
+        def body(comm):
+            A = galeri.laplace_2d(16, 16, comm)
+            x_true = tpetra.Vector(A.row_map)
+            x_true.randomize(seed=9)
+            b = A @ x_true
+            ml = solvers.MLPreconditioner(A)
+            r = ml.solve(b, tol=1e-9, maxiter=60)
+            return r.converged, (r.x - x_true).norm2() / x_true.norm2()
+        conv, err = spmd(2)(body)[0]
+        assert conv and err < 1e-6
+
+    def test_jacobi_smoother_option(self):
+        def body(comm):
+            A = galeri.laplace_2d(12, 12, comm)
+            params = ParameterList("ML").set("smoother: type", "jacobi") \
+                                        .set("smoother: sweeps", 2)
+            ml = solvers.MLPreconditioner(A, params)
+            b = tpetra.Vector(A.row_map).putScalar(1.0)
+            r = solvers.cg(A, b, prec=ml, tol=1e-9, maxiter=100)
+            return r.converged
+        assert all(spmd(2)(body))
+
+    def test_unsmoothed_aggregation(self):
+        def body(comm):
+            A = galeri.laplace_2d(12, 12, comm)
+            params = ParameterList("ML").set("prolongator: smooth", False)
+            ml = solvers.MLPreconditioner(A, params)
+            b = tpetra.Vector(A.row_map).putScalar(1.0)
+            r = solvers.cg(A, b, prec=ml, tol=1e-9, maxiter=200)
+            return r.converged
+        assert all(spmd(2)(body))
+
+    def test_1d_problem(self):
+        def body(comm):
+            A = galeri.laplace_1d(200, comm)
+            ml = solvers.MLPreconditioner(A)
+            b = tpetra.Vector(A.row_map).putScalar(1.0)
+            r = solvers.cg(A, b, prec=ml, tol=1e-10, maxiter=60)
+            return r.converged, r.iterations, ml.num_levels
+        conv, its, levels = spmd(2)(body)[0]
+        assert conv and its <= 20 and levels >= 2

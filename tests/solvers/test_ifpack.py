@@ -1,0 +1,184 @@
+"""Preconditioner tests: correctness and effectiveness."""
+
+import numpy as np
+import pytest
+
+from repro import galeri, solvers, tpetra
+from repro.teuchos import ParameterList
+from tests.conftest import spmd
+
+
+def _poisson(comm, nx=14, ny=14):
+    A = galeri.laplace_2d(nx, ny, comm)
+    x_true = tpetra.Vector(A.row_map)
+    x_true.randomize(seed=1)
+    return A, A @ x_true, x_true
+
+
+def _iters_with(prec_factory, nranks=2):
+    def body(comm):
+        A, b, _x = _poisson(comm)
+        prec = prec_factory(A)
+        r = solvers.cg(A, b, prec=prec, tol=1e-10, maxiter=2000)
+        return r.converged, r.iterations
+    return spmd(nranks)(body)[0]
+
+
+class TestEffectiveness:
+    def test_baseline_unpreconditioned(self):
+        conv, base = _iters_with(lambda A: None)
+        assert conv
+        # every real preconditioner should beat or match this
+        assert base > 20
+
+    @pytest.mark.parametrize("factory,name", [
+        (lambda A: solvers.SymmetricGaussSeidel(A), "sgs"),
+        (lambda A: solvers.ILU0(A), "ilu0"),
+        (lambda A: solvers.ILUT(A), "ilut"),
+        (lambda A: solvers.AdditiveSchwarz(A, overlap=1), "ras"),
+        (lambda A: solvers.Chebyshev(A, degree=3), "cheby"),
+    ])
+    def test_reduces_iterations(self, factory, name):
+        _conv0, base = _iters_with(lambda A: None)
+        conv, its = _iters_with(factory)
+        assert conv, name
+        assert its < base, f"{name}: {its} !< {base}"
+
+    def test_schwarz_overlap_helps_symmetric_variant(self):
+        _c0, none_overlap = _iters_with(
+            lambda A: solvers.AdditiveSchwarz(A, overlap=0, variant="as"))
+        _c1, with_overlap = _iters_with(
+            lambda A: solvers.AdditiveSchwarz(A, overlap=2, variant="as"))
+        assert with_overlap <= none_overlap
+
+    def test_ras_is_for_nonsymmetric_solvers(self):
+        """RAS works fine under GMRES (its natural pairing)."""
+        def body(comm):
+            A, b, _x = _poisson(comm)
+            prec = solvers.AdditiveSchwarz(A, overlap=1, variant="ras")
+            r = solvers.gmres(A, b, prec=prec, tol=1e-10, maxiter=500)
+            return r.converged, r.iterations
+        conv, its = spmd(2)(body)[0]
+        assert conv and its < 60
+
+    def test_bad_variant(self):
+        def body(comm):
+            A, _b, _x = _poisson(comm, nx=4, ny=4)
+            solvers.AdditiveSchwarz(A, variant="multiplicative")
+        with pytest.raises(ValueError):
+            spmd(1)(body)
+
+
+class TestApplication:
+    def test_jacobi_is_diagonal_scaling(self):
+        def body(comm):
+            A, _b, _x = _poisson(comm, nx=6, ny=6)
+            prec = solvers.Jacobi(A)
+            r = tpetra.Vector(A.row_map).putScalar(4.0)
+            z = tpetra.Vector(A.row_map)
+            prec.apply(r, z)
+            return np.asarray(z)
+        got = spmd(2)(body)[0]
+        assert np.allclose(got, 1.0)  # diag of laplace_2d is 4
+
+    def test_jacobi_multiple_sweeps_converge_toward_solve(self):
+        def body(comm):
+            A, b, x_true = _poisson(comm, nx=5, ny=5)
+            one = solvers.Jacobi(A, sweeps=1, damping=0.8)
+            many = solvers.Jacobi(A, sweeps=40, damping=0.8)
+            z1 = tpetra.Vector(A.row_map)
+            zm = tpetra.Vector(A.row_map)
+            one.apply(b, z1)
+            many.apply(b, zm)
+            e1 = (z1 - x_true).norm2()
+            em = (zm - x_true).norm2()
+            return em < e1
+        assert all(spmd(2)(body))
+
+    def test_gauss_seidel_forward_vs_backward(self):
+        def body(comm):
+            A, b, _x = _poisson(comm, nx=6, ny=6)
+            fwd = solvers.GaussSeidel(A)
+            bwd = solvers.GaussSeidel(A, backward=True)
+            zf = tpetra.Vector(A.row_map)
+            zb = tpetra.Vector(A.row_map)
+            fwd.apply(b, zf)
+            bwd.apply(b, zb)
+            # different sweep directions give different (finite) results
+            return np.isfinite(zf.local).all(), \
+                not np.allclose(zf.local, zb.local)
+        finite, different = spmd(1)(body)[0]
+        assert finite and different
+
+    def test_sor_omega_validation(self):
+        def body(comm):
+            A, _b, _x = _poisson(comm, nx=4, ny=4)
+            solvers.SOR(A, omega=2.5)
+        with pytest.raises(ValueError):
+            spmd(1)(body)
+
+    def test_zero_diagonal_rejected(self):
+        def body(comm):
+            m = tpetra.Map.create_contiguous(4, comm)
+            A = tpetra.CrsMatrix(m)
+            for gid in m.my_gids:
+                A.insert_global_values(gid, [(int(gid) + 1) % 4], [1.0])
+            A.fillComplete()
+            solvers.Jacobi(A)
+        with pytest.raises(ZeroDivisionError):
+            spmd(1)(body)
+
+    def test_unfilled_matrix_rejected(self):
+        def body(comm):
+            m = tpetra.Map.create_contiguous(4, comm)
+            solvers.Jacobi(tpetra.CrsMatrix(m))
+        with pytest.raises(ValueError):
+            spmd(1)(body)
+
+    def test_ilu0_exact_on_triangular(self):
+        """ILU(0) of a lower-triangular matrix is exact."""
+        def body(comm):
+            m = tpetra.Map.create_contiguous(8, comm)
+            A = tpetra.CrsMatrix(m)
+            for gid in m.my_gids:
+                A.insert_global_values(gid, [gid], [2.0])
+                if gid > 0:
+                    A.insert_global_values(gid, [gid - 1], [1.0])
+            A.fillComplete()
+            x_true = tpetra.Vector(m)
+            x_true.randomize(seed=2)
+            b = A @ x_true
+            # serial only: the factorization is processor-local
+            prec = solvers.ILU0(A)
+            z = tpetra.Vector(m)
+            prec.apply(b, z)
+            return (z - x_true).norm2()
+        assert spmd(1)(body)[0] < 1e-12
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["Jacobi", "Gauss-Seidel", "SGS",
+                                      "SOR", "Chebyshev", "ILU", "ILUT",
+                                      "Schwarz"])
+    def test_create_by_name(self, name):
+        def body(comm):
+            A, b, _x = _poisson(comm, nx=8, ny=8)
+            prec = solvers.create_preconditioner(name, A)
+            r = solvers.gmres(A, b, prec=prec, tol=1e-8, maxiter=2000)
+            return r.converged
+        assert all(spmd(2)(body))
+
+    def test_params_passed_through(self):
+        def body(comm):
+            A, _b, _x = _poisson(comm, nx=6, ny=6)
+            params = ParameterList().set("Sweeps", 3)
+            prec = solvers.create_preconditioner("Jacobi", A, params)
+            return prec.sweeps
+        assert spmd(1)(body)[0] == 3
+
+    def test_unknown_name(self):
+        def body(comm):
+            A, _b, _x = _poisson(comm, nx=4, ny=4)
+            solvers.create_preconditioner("Quantum", A)
+        with pytest.raises(ValueError):
+            spmd(1)(body)

@@ -1,0 +1,188 @@
+"""Krylov solver tests on gallery problems."""
+
+import numpy as np
+import pytest
+
+from repro import galeri, solvers, tpetra
+from repro.teuchos import ParameterList
+from tests.conftest import spmd
+
+
+def _problem(comm, nx=12, ny=12, symmetric=True, seed=0):
+    if symmetric:
+        A = galeri.laplace_2d(nx, ny, comm)
+    else:
+        A = galeri.convection_diffusion_2d(nx, ny, comm)
+    x_true = tpetra.Vector(A.row_map)
+    x_true.randomize(seed=seed)
+    b = A @ x_true
+    return A, b, x_true
+
+
+class TestCG:
+    def test_converges_on_spd(self):
+        def body(comm):
+            A, b, x_true = _problem(comm)
+            r = solvers.cg(A, b, tol=1e-10, maxiter=1000)
+            return r.converged, (r.x - x_true).norm2() / x_true.norm2()
+        for conv, err in spmd(3)(body):
+            assert conv and err < 1e-7
+
+    def test_zero_rhs_converges_immediately(self):
+        def body(comm):
+            A, _b, _x = _problem(comm)
+            zero = tpetra.Vector(A.row_map)
+            r = solvers.cg(A, zero, tol=1e-10)
+            return r.iterations, r.x.norm2()
+        its, norm = spmd(2)(body)[0]
+        assert its == 0 and norm == 0.0
+
+    def test_history_monotone_tail(self):
+        def body(comm):
+            A, b, _x = _problem(comm)
+            r = solvers.cg(A, b, tol=1e-12, maxiter=500)
+            return r.history
+        hist = spmd(2)(body)[0]
+        assert hist[-1] < hist[0] * 1e-10
+
+    def test_initial_guess_respected(self):
+        def body(comm):
+            A, b, x_true = _problem(comm)
+            x0 = x_true.copy()
+            r = solvers.cg(A, b, x=x0, tol=1e-10)
+            return r.iterations
+        assert spmd(2)(body)[0] == 0
+
+    def test_maxiter_reported_not_converged(self):
+        def body(comm):
+            A, b, _x = _problem(comm, nx=20, ny=20)
+            r = solvers.cg(A, b, tol=1e-14, maxiter=3)
+            return r.converged, r.iterations, r.message
+        conv, its, msg = spmd(2)(body)[0]
+        assert not conv and its == 3 and "maximum" in msg
+
+
+class TestGMRES:
+    def test_nonsymmetric(self):
+        def body(comm):
+            A, b, x_true = _problem(comm, symmetric=False)
+            r = solvers.gmres(A, b, tol=1e-10, maxiter=2000, restart=40)
+            return r.converged, (r.x - x_true).norm2() / x_true.norm2()
+        for conv, err in spmd(3)(body):
+            assert conv and err < 1e-6
+
+    def test_restart_effect(self):
+        """Small restart converges but needs more iterations."""
+        def body(comm):
+            A, b, _x = _problem(comm, nx=14, ny=14)
+            short = solvers.gmres(A, b, tol=1e-8, restart=5, maxiter=5000)
+            full = solvers.gmres(A, b, tol=1e-8, restart=200, maxiter=5000)
+            return short.converged, full.converged, \
+                short.iterations >= full.iterations
+        conv_s, conv_f, more = spmd(2)(body)[0]
+        assert conv_s and conv_f and more
+
+    def test_flexible_with_iterative_preconditioner(self):
+        """FGMRES tolerates a nonlinear (iterative) preconditioner."""
+        def body(comm):
+            A, b, x_true = _problem(comm)
+            inner = solvers.SymmetricGaussSeidel(A, sweeps=2)
+            r = solvers.gmres(A, b, prec=inner, tol=1e-10, flexible=True,
+                              maxiter=500)
+            return r.converged, (r.x - x_true).norm2() / x_true.norm2()
+        conv, err = spmd(2)(body)[0]
+        assert conv and err < 1e-7
+
+    def test_right_preconditioning_true_residual(self):
+        def body(comm):
+            A, b, _x = _problem(comm)
+            r = solvers.gmres(A, b, prec=solvers.Jacobi(A), tol=1e-9)
+            resid = tpetra.Vector(b.map)
+            A.apply(r.x, resid)
+            resid.update(1.0, b, -1.0)
+            return resid.norm2() / b.norm2() <= 1e-8
+        assert all(spmd(2)(body))
+
+
+class TestBiCGStab:
+    def test_nonsymmetric(self):
+        def body(comm):
+            A, b, x_true = _problem(comm, symmetric=False)
+            r = solvers.bicgstab(A, b, prec=solvers.ILU0(A), tol=1e-10,
+                                 maxiter=2000)
+            return r.converged, (r.x - x_true).norm2() / x_true.norm2()
+        for conv, err in spmd(2)(body):
+            assert conv and err < 1e-6
+
+
+class TestMINRES:
+    def test_indefinite_symmetric(self):
+        """MINRES handles a shifted (indefinite) Laplacian."""
+        def body(comm):
+            n = 12
+            A0 = galeri.laplace_1d(n, comm)
+            # shift by -1.0: some eigenvalues become negative
+            A = tpetra.CrsMatrix(A0.row_map)
+            for gid in A0.row_map.my_gids:
+                cols, vals = A0.global_row(int(gid))
+                A.insert_global_values(int(gid), cols, vals)
+                A.insert_global_values(int(gid), [int(gid)], [-1.0])
+            A.fillComplete()
+            x_true = tpetra.Vector(A.row_map)
+            x_true.randomize(seed=4)
+            b = A @ x_true
+            r = solvers.minres(A, b, tol=1e-10, maxiter=500)
+            return r.converged, (r.x - x_true).norm2() / x_true.norm2()
+        conv, err = spmd(2)(body)[0]
+        assert conv and err < 1e-6
+
+
+class TestTFQMR:
+    def test_nonsymmetric(self):
+        def body(comm):
+            A, b, x_true = _problem(comm, symmetric=False, seed=3)
+            r = solvers.tfqmr(A, b, tol=1e-10, maxiter=3000)
+            return r.converged, (r.x - x_true).norm2() / x_true.norm2()
+        conv, err = spmd(2)(body)[0]
+        assert conv and err < 1e-5
+
+    def test_preconditioned(self):
+        def body(comm):
+            A, b, x_true = _problem(comm, symmetric=False, seed=3)
+            r = solvers.tfqmr(A, b, prec=solvers.ILU0(A), tol=1e-10,
+                              maxiter=3000)
+            return r.converged, (r.x - x_true).norm2() / x_true.norm2()
+        conv, err = spmd(2)(body)[0]
+        assert conv and err < 1e-5
+
+
+class TestAztecOO:
+    def test_parameter_driven(self):
+        def body(comm):
+            A, b, x_true = _problem(comm)
+            params = ParameterList("AztecOO")
+            params.set("Solver", "CG")
+            params.set("Tolerance", 1e-10)
+            params.set("Max Iterations", 500)
+            mgr = solvers.AztecOO(A, prec=solvers.Jacobi(A), params=params)
+            r = mgr.iterate(b)
+            return r.converged
+        assert all(spmd(2)(body))
+
+    def test_unknown_solver_name(self):
+        def body(comm):
+            A, b, _x = _problem(comm, nx=4, ny=4)
+            params = ParameterList().set("Solver", "WARPDRIVE")
+            solvers.AztecOO(A, params=params).iterate(b)
+        with pytest.raises(ValueError):
+            spmd(1)(body)
+
+    @pytest.mark.parametrize("name", ["CG", "GMRES", "BICGSTAB", "TFQMR",
+                                      "MINRES"])
+    def test_every_method_available(self, name):
+        def body(comm):
+            A, b, _x = _problem(comm, nx=8, ny=8)
+            params = ParameterList().set("Solver", name) \
+                .set("Tolerance", 1e-8).set("Max Iterations", 3000)
+            return solvers.AztecOO(A, params=params).iterate(b).converged
+        assert all(spmd(2)(body))

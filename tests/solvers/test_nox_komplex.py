@@ -1,0 +1,225 @@
+"""Nonlinear solver (NOX) and complex-system (Komplex) tests."""
+
+import numpy as np
+import pytest
+
+from repro import galeri, solvers, tpetra
+from repro.teuchos import ParameterList
+from tests.conftest import spmd
+
+
+def _scalarized(n, comm):
+    """Map + helper for an n-dim nonlinear system."""
+    return tpetra.Map.create_contiguous(n, comm)
+
+
+class TestNewton:
+    def test_quadratic_system_jfnk(self):
+        """Solve x_i^2 = i + 1 by Jacobian-free Newton-Krylov."""
+        def body(comm):
+            m = _scalarized(8, comm)
+            targets = m.my_gids + 1.0
+
+            def residual(x):
+                r = tpetra.Vector(m)
+                r.local_view[...] = x.local_view ** 2 - targets
+                return r
+
+            x0 = tpetra.Vector(m).putScalar(2.0)
+            result = solvers.NewtonSolver(residual).solve(x0)
+            return result.converged, \
+                np.abs(result.x.local_view -
+                       np.sqrt(targets)).max()
+        for conv, err in spmd(3)(body):
+            assert conv and err < 1e-7
+
+    def test_analytic_jacobian_path(self):
+        def body(comm):
+            m = _scalarized(6, comm)
+
+            def residual(x):
+                r = tpetra.Vector(m)
+                r.local_view[...] = x.local_view ** 3 - 8.0
+                return r
+
+            def jacobian(x):
+                J = tpetra.CrsMatrix(m)
+                for lid, gid in enumerate(m.my_gids):
+                    J.insert_global_values(
+                        int(gid), [int(gid)],
+                        [3.0 * x.local_view[lid] ** 2])
+                J.fillComplete()
+                return J
+
+            x0 = tpetra.Vector(m).putScalar(1.0)
+            result = solvers.NewtonSolver(residual,
+                                          jacobian=jacobian).solve(x0)
+            return result.converged, \
+                np.abs(result.x.local_view - 2.0).max()
+        conv, err = spmd(2)(body)[0]
+        assert conv and err < 1e-8
+
+    def test_quadratic_convergence_rate(self):
+        """Newton's history should contract superlinearly near the root."""
+        def body(comm):
+            m = _scalarized(4, comm)
+
+            def residual(x):
+                r = tpetra.Vector(m)
+                r.local_view[...] = x.local_view ** 2 - 4.0
+                return r
+
+            params = ParameterList().set("Line Search", "Full Step") \
+                .set("Nonlinear Tolerance", 1e-13) \
+                .set("Forcing Term", "Constant") \
+                .set("Linear Tolerance", 1e-12)
+            x0 = tpetra.Vector(m).putScalar(3.0)
+            result = solvers.NewtonSolver(residual, params=params) \
+                .solve(x0)
+            return result.history
+        hist = spmd(1)(body)[0]
+        # ratio of successive residuals shrinks (superlinear)
+        ratios = [hist[i + 1] / hist[i] for i in range(len(hist) - 2)]
+        assert ratios == sorted(ratios, reverse=True)
+
+    @pytest.mark.parametrize("ls", ["Full Step", "Backtrack", "Quadratic"])
+    def test_line_searches(self, ls):
+        def body(comm):
+            m = _scalarized(5, comm)
+
+            def residual(x):
+                r = tpetra.Vector(m)
+                r.local_view[...] = np.tanh(x.local_view) - 0.5
+                return r
+
+            params = ParameterList().set("Line Search", ls)
+            result = solvers.NewtonSolver(residual, params=params).solve(
+                tpetra.Vector(m))
+            return result.converged
+        assert all(spmd(2)(body))
+
+    def test_bratu_1d(self):
+        """The classic Bratu problem via the galeri Laplacian."""
+        def body(comm):
+            n = 32
+            A = galeri.laplace_1d(n, comm)
+            h = 1.0 / (n + 1)
+            lam = 1.0
+
+            def residual(u):
+                r = A @ u
+                r.local_view[...] -= h ** 2 * lam * np.exp(u.local_view)
+                return r
+
+            result = solvers.NewtonSolver(residual).solve(
+                tpetra.Vector(A.row_map))
+            # Bratu solution is positive, symmetric, maximal at center
+            xs = result.x.gather_all()[:, 0]
+            return result.converged, float(xs.min()), \
+                bool(np.allclose(xs, xs[::-1], atol=1e-6))
+        conv, min_u, symmetric = spmd(2)(body)[0]
+        assert conv and min_u > 0 and symmetric
+
+    def test_nonconvergence_reported(self):
+        def body(comm):
+            m = _scalarized(3, comm)
+
+            def residual(x):
+                r = tpetra.Vector(m)
+                r.local_view[...] = x.local_view ** 2 + 1.0  # no real root
+                return r
+
+            params = ParameterList().set("Max Nonlinear Iterations", 5)
+            result = solvers.NewtonSolver(residual, params=params).solve(
+                tpetra.Vector(m))
+            return result.converged
+        assert spmd(1)(body) == [False]
+
+
+class TestJacobianFreeOperator:
+    def test_matches_analytic_jacobian(self):
+        def body(comm):
+            m = _scalarized(10, comm)
+            x = tpetra.Vector(m)
+            x.local_view[...] = m.my_gids * 0.1
+
+            def residual(u):
+                r = tpetra.Vector(m)
+                r.local_view[...] = u.local_view ** 2
+                return r
+
+            J = solvers.JacobianFreeOperator(residual, x, residual(x))
+            v = tpetra.Vector(m).putScalar(1.0)
+            jv = tpetra.Vector(m)
+            J.apply(v, jv)
+            analytic = 2.0 * x.local_view
+            return np.abs(jv.local_view - analytic).max()
+        assert spmd(2)(body)[0] < 1e-5
+
+    def test_zero_direction(self):
+        def body(comm):
+            m = _scalarized(4, comm)
+            x = tpetra.Vector(m).putScalar(1.0)
+
+            def residual(u):
+                return u.copy()
+
+            J = solvers.JacobianFreeOperator(residual, x, residual(x))
+            z = tpetra.Vector(m)
+            out = tpetra.Vector(m).putScalar(9.0)
+            J.apply(z, out)
+            return out.norm2()
+        assert spmd(1)(body)[0] == 0.0
+
+
+class TestKomplex:
+    @pytest.mark.parametrize("interleaved", [False, True])
+    def test_complex_solve_roundtrip(self, interleaved):
+        def body(comm):
+            n = 20
+            m = tpetra.Map.create_contiguous(n, comm)
+            Ac = tpetra.CrsMatrix(m, dtype=np.complex128)
+            for gid in m.my_gids:
+                Ac.insert_global_values(gid, [gid], [5.0 + 1.0j])
+                if gid > 0:
+                    Ac.insert_global_values(gid, [gid - 1], [-1.0 + 0.3j])
+                if gid < n - 1:
+                    Ac.insert_global_values(gid, [gid + 1], [-1.0 - 0.3j])
+            Ac.fillComplete()
+            x_true = tpetra.Vector(m, dtype=np.complex128)
+            x_true.local_view[...] = np.exp(1j * m.my_gids.astype(float))
+            b = Ac @ x_true
+            K, rhs = solvers.komplex_system(Ac, b,
+                                            interleaved=interleaved)
+            lin = solvers.gmres(K, rhs, tol=1e-12, maxiter=4000,
+                                restart=80)
+            x = solvers.split_komplex_solution(lin.x, m,
+                                               interleaved=interleaved)
+            return lin.converged, (x - x_true).norm2()
+        conv, err = spmd(3)(body)[0]
+        assert conv and err < 1e-8
+
+    def test_real_matrix_rejected(self):
+        def body(comm):
+            m = tpetra.Map.create_contiguous(4, comm)
+            A = tpetra.CrsMatrix(m)
+            for gid in m.my_gids:
+                A.insert_global_values(gid, [gid], [1.0])
+            A.fillComplete()
+            solvers.komplex_system(A, tpetra.Vector(m))
+        with pytest.raises(TypeError):
+            spmd(1)(body)
+
+    def test_equivalent_system_structure(self):
+        """K1 form doubles the dimension and keeps realness."""
+        def body(comm):
+            m = tpetra.Map.create_contiguous(6, comm)
+            Ac = tpetra.CrsMatrix(m, dtype=np.complex128)
+            for gid in m.my_gids:
+                Ac.insert_global_values(gid, [gid], [2.0 + 1.0j])
+            Ac.fillComplete()
+            b = tpetra.Vector(m, dtype=np.complex128).putScalar(1 + 0j)
+            K, rhs = solvers.komplex_system(Ac, b)
+            return K.num_global_rows, K.dtype.kind, rhs.global_length
+        rows, kind, blen = spmd(2)(body)[0]
+        assert rows == 12 and kind == "f" and blen == 12

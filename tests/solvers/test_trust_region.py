@@ -1,0 +1,95 @@
+"""Trust-region (dogleg) nonlinear solver tests."""
+
+import numpy as np
+import pytest
+
+from repro import solvers, tpetra
+from repro.teuchos import ParameterList
+from tests.conftest import spmd
+
+
+def _atan_problem(comm, n=8, x0_val=3.0):
+    m = tpetra.Map.create_contiguous(n, comm)
+
+    def residual(x):
+        r = tpetra.Vector(m)
+        r.local_view[...] = np.arctan(x.local_view)
+        return r
+
+    def jacobian(x):
+        J = tpetra.CrsMatrix(m)
+        for lid, gid in enumerate(m.my_gids):
+            J.insert_global_values(int(gid), [int(gid)],
+                                   [1.0 / (1.0 + x.local_view[lid] ** 2)])
+        J.fillComplete()
+        return J
+
+    x0 = tpetra.Vector(m).putScalar(x0_val)
+    return residual, jacobian, x0
+
+
+class TestTrustRegion:
+    def test_converges_where_full_newton_diverges(self):
+        def body(comm):
+            residual, jacobian, x0 = _atan_problem(comm)
+            full = solvers.NewtonSolver(
+                residual, jacobian=jacobian,
+                params=ParameterList().set("Line Search", "Full Step")
+                .set("Max Nonlinear Iterations", 15)).solve(x0)
+            tr = solvers.NewtonSolver(
+                residual, jacobian=jacobian,
+                params=ParameterList().set("Strategy",
+                                           "Trust Region")).solve(x0)
+            return full.converged, tr.converged, tr.residual_norm
+        with np.errstate(over="ignore"):
+            full_conv, tr_conv, tr_res = spmd(2)(body)[0]
+        assert not full_conv
+        assert tr_conv and tr_res < 1e-8
+
+    def test_easy_problem_fast(self):
+        def body(comm):
+            m = tpetra.Map.create_contiguous(6, comm)
+
+            def residual(x):
+                r = tpetra.Vector(m)
+                r.local_view[...] = x.local_view ** 2 - 9.0
+                return r
+
+            def jacobian(x):
+                J = tpetra.CrsMatrix(m)
+                for lid, gid in enumerate(m.my_gids):
+                    J.insert_global_values(int(gid), [int(gid)],
+                                           [2.0 * x.local_view[lid]])
+                J.fillComplete()
+                return J
+
+            tr = solvers.NewtonSolver(
+                residual, jacobian=jacobian,
+                params=ParameterList().set("Strategy", "Trust Region")
+            ).solve(tpetra.Vector(m).putScalar(5.0))
+            return tr.converged, tr.iterations, \
+                float(np.abs(tr.x.local_view - 3.0).max())
+        conv, its, err = spmd(2)(body)[0]
+        assert conv and its < 15 and err < 1e-6
+
+    def test_requires_analytic_jacobian(self):
+        def body(comm):
+            residual, _jac, x0 = _atan_problem(comm)
+            solvers.NewtonSolver(
+                residual,
+                params=ParameterList().set("Strategy", "Trust Region")
+            ).solve(x0)
+        with pytest.raises(ValueError, match="jacobian"):
+            spmd(1)(body)
+
+    def test_history_monotone(self):
+        def body(comm):
+            residual, jacobian, x0 = _atan_problem(comm, x0_val=2.0)
+            tr = solvers.NewtonSolver(
+                residual, jacobian=jacobian,
+                params=ParameterList().set("Strategy",
+                                           "Trust Region")).solve(x0)
+            return tr.history
+        hist = spmd(1)(body)[0]
+        # accepted steps only: ||F|| never increases
+        assert all(b <= a * (1 + 1e-12) for a, b in zip(hist, hist[1:]))

@@ -1,0 +1,84 @@
+"""CommandLineProcessor tests."""
+
+import pytest
+
+from repro.teuchos import CommandLineError, CommandLineProcessor
+
+
+def _clp():
+    clp = CommandLineProcessor(doc="test driver")
+    clp.set_option("n", 64, "grid size")
+    clp.set_option("tol", 1e-8, "tolerance")
+    clp.set_option("solver", "CG", "method")
+    clp.set_option("verbose", False, "chatty output")
+    return clp
+
+
+class TestParsing:
+    def test_defaults(self):
+        params = _clp().parse([])
+        assert params.get("n") == 64
+        assert params.get("tol") == 1e-8
+        assert params.get("solver") == "CG"
+        assert params.get("verbose") is False
+
+    def test_equals_spelling(self):
+        params = _clp().parse(["--n=128", "--tol=1e-10", "--solver=GMRES"])
+        assert params.get("n") == 128
+        assert params.get("tol") == 1e-10
+        assert params.get("solver") == "GMRES"
+
+    def test_space_spelling(self):
+        params = _clp().parse(["--n", "32", "--solver", "AMG"])
+        assert params.get("n") == 32 and params.get("solver") == "AMG"
+
+    def test_bool_flags(self):
+        assert _clp().parse(["--verbose"]).get("verbose") is True
+        assert _clp().parse(["--no-verbose"]).get("verbose") is False
+        assert _clp().parse(["--verbose=true"]).get("verbose") is True
+        assert _clp().parse(["--verbose=0"]).get("verbose") is False
+
+    def test_type_preserved(self):
+        params = _clp().parse(["--tol", "0.5"])
+        assert isinstance(params.get("tol"), float)
+        assert isinstance(_clp().parse(["--n=7"]).get("n"), int)
+
+
+class TestErrors:
+    def test_unknown_option(self):
+        with pytest.raises(CommandLineError):
+            _clp().parse(["--bogus=1"])
+
+    def test_bad_value(self):
+        with pytest.raises(CommandLineError):
+            _clp().parse(["--n=notanint"])
+
+    def test_missing_value(self):
+        with pytest.raises(CommandLineError):
+            _clp().parse(["--n"])
+
+    def test_positional_rejected(self):
+        with pytest.raises(CommandLineError):
+            _clp().parse(["stray"])
+
+    def test_lenient_mode(self):
+        clp = CommandLineProcessor(throw_exceptions=False)
+        clp.set_option("x", 1, "")
+        params = clp.parse(["--bogus", "--x=5"])
+        assert params.get("x") == 5
+
+    def test_bad_default_type(self):
+        with pytest.raises(TypeError):
+            CommandLineProcessor().set_option("bad", [1, 2], "")
+
+
+class TestHelp:
+    def test_help_text_lists_options(self):
+        text = _clp().help_text()
+        assert "--n=<int>" in text and "--verbose / --no-verbose" in text
+        assert "grid size" in text and "default: 64" in text
+
+    def test_help_flag_exits(self, capsys):
+        with pytest.raises(SystemExit):
+            _clp().parse(["--help"])
+        assert "Options:" in capsys.readouterr().out

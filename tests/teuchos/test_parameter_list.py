@@ -1,0 +1,139 @@
+"""ParameterList behavior tests."""
+
+import pytest
+
+from repro.teuchos import ParameterList, ParameterListAcceptor
+
+
+class TestBasics:
+    def test_set_get(self):
+        p = ParameterList("Solver")
+        p.set("Max Iterations", 100)
+        assert p.get("Max Iterations") == 100
+
+    def test_kwargs_constructor(self):
+        p = ParameterList("X", tol=1e-8, iters=10)
+        assert p["tol"] == 1e-8 and p["iters"] == 10
+
+    def test_get_inserts_default(self):
+        p = ParameterList()
+        assert p.get("Tolerance", 1e-6) == 1e-6
+        assert "Tolerance" in p
+        # later gets agree even with another default
+        assert p.get("Tolerance", 999.0) == 1e-6
+
+    def test_get_missing_without_default_raises(self):
+        with pytest.raises(KeyError):
+            ParameterList().get("nope")
+
+    def test_chaining(self):
+        p = ParameterList().set("a", 1).set("b", 2)
+        assert p["a"] == 1 and p["b"] == 2
+
+    def test_dict_protocol(self):
+        p = ParameterList()
+        p["x"] = 5
+        assert "x" in p and len(p) == 1 and list(p) == ["x"]
+        p.remove("x")
+        assert "x" not in p
+
+    def test_non_string_key_rejected(self):
+        with pytest.raises(TypeError):
+            ParameterList().set(3, "x")
+
+
+class TestSublists:
+    def test_sublist_autocreates(self):
+        p = ParameterList("Top")
+        sub = p.sublist("Preconditioner")
+        sub.set("Type", "ILU")
+        assert p.sublist("Preconditioner")["Type"] == "ILU"
+        assert p.isSublist("Preconditioner")
+
+    def test_scalar_is_not_sublist(self):
+        p = ParameterList().set("x", 3)
+        assert not p.isSublist("x")
+        with pytest.raises(TypeError):
+            p.sublist("x")
+
+    def test_nested_to_dict(self):
+        p = ParameterList("T")
+        p.sublist("A").set("k", 1)
+        assert p.to_dict() == {"A": {"k": 1}}
+
+    def test_from_dict_roundtrip(self):
+        d = {"a": 1, "sub": {"b": 2.5, "deeper": {"c": "x"}}}
+        p = ParameterList.from_dict(d)
+        assert p.to_dict() == d
+
+
+class TestHygiene:
+    def test_unused_tracking(self):
+        p = ParameterList()
+        p.set("used", 1)
+        p.set("unused", 2)
+        p.sublist("sub").set("nested unused", 3)
+        _ = p.get("used")
+        unused = p.unused()
+        assert "unused" in unused
+        assert "sub.nested unused" in unused
+        assert "used" not in unused
+
+    def test_validator_on_set(self):
+        p = ParameterList()
+        p.set("omega", 1.0, validator=lambda v: 0 < v < 2)
+        with pytest.raises(ValueError):
+            p.set("omega", 5.0)
+
+    def test_validator_rejects_initial(self):
+        with pytest.raises(ValueError):
+            ParameterList().set("n", -1, validator=lambda v: v >= 0)
+
+    def test_update_merges_recursively(self):
+        base = ParameterList.from_dict({"a": 1, "sub": {"x": 1}})
+        other = ParameterList.from_dict({"b": 2, "sub": {"y": 2}})
+        base.update(other)
+        assert base.to_dict() == {"a": 1, "b": 2, "sub": {"x": 1, "y": 2}}
+
+    def test_update_no_override(self):
+        base = ParameterList.from_dict({"a": 1})
+        base.update(ParameterList.from_dict({"a": 99, "b": 2}),
+                    override=False)
+        assert base["a"] == 1 and base["b"] == 2
+
+    def test_copy_is_deep(self):
+        p = ParameterList.from_dict({"sub": {"x": 1}})
+        q = p.copy()
+        q.sublist("sub")["x"] = 2
+        assert p.sublist("sub")["x"] == 1
+
+    def test_equality(self):
+        assert ParameterList.from_dict({"a": 1}) == \
+            ParameterList.from_dict({"a": 1})
+        assert ParameterList.from_dict({"a": 1}) != \
+            ParameterList.from_dict({"a": 2})
+
+    def test_pretty_marks_unused(self):
+        p = ParameterList("P").set("k", 1)
+        assert "[unused]" in p.pretty()
+        _ = p["k"]
+        assert "[unused]" not in p.pretty()
+
+
+class TestAcceptor:
+    def test_defaults_plus_overrides(self):
+        class Thing(ParameterListAcceptor):
+            @classmethod
+            def default_parameters(cls):
+                return ParameterList("Thing").set("n", 10).set("tol", 1e-3)
+
+        t = Thing(ParameterList("user").set("n", 99))
+        assert t.plist.get("n") == 99
+        assert t.plist.get("tol") == 1e-3
+
+    def test_accepts_plain_dict(self):
+        class Thing(ParameterListAcceptor):
+            pass
+
+        t = Thing({"alpha": 0.5})
+        assert t.plist.get("alpha") == 0.5

@@ -1,0 +1,73 @@
+"""Timer and TimeMonitor tests."""
+
+import time
+
+import pytest
+
+from repro.teuchos import Time, TimeMonitor
+
+
+class TestTime:
+    def test_accumulates(self):
+        t = Time("work")
+        for _ in range(3):
+            t.start()
+            time.sleep(0.002)
+            t.stop()
+        assert t.calls == 3
+        assert t.total >= 0.006
+
+    def test_double_start_raises(self):
+        t = Time("x").start()
+        with pytest.raises(RuntimeError):
+            t.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Time("x").stop()
+
+    def test_reset(self):
+        t = Time("x")
+        t.start(); t.stop()
+        t.reset()
+        assert t.total == 0.0 and t.calls == 0 and not t.running
+
+
+class TestTimeMonitor:
+    def setup_method(self):
+        TimeMonitor.clear()
+
+    def test_context_manager_registers(self):
+        with TimeMonitor("phase A"):
+            time.sleep(0.001)
+        timer = TimeMonitor.get_timer("phase A")
+        assert timer.calls == 1 and timer.total > 0
+
+    def test_same_name_accumulates(self):
+        for _ in range(4):
+            with TimeMonitor("loop"):
+                pass
+        assert TimeMonitor.get_timer("loop").calls == 4
+
+    def test_summarize_contains_rows(self):
+        with TimeMonitor("alpha"):
+            pass
+        with TimeMonitor("beta"):
+            pass
+        text = TimeMonitor.summarize()
+        assert "alpha" in text and "beta" in text and "Calls" in text
+
+    def test_summarize_empty(self):
+        assert TimeMonitor.summarize() == "(no timers)"
+
+    def test_zero_out(self):
+        with TimeMonitor("z"):
+            pass
+        TimeMonitor.zero_out_timers()
+        assert TimeMonitor.get_timer("z").calls == 0
+
+    def test_exception_still_stops_timer(self):
+        with pytest.raises(ValueError):
+            with TimeMonitor("err"):
+                raise ValueError("inside")
+        assert not TimeMonitor.get_timer("err").running

@@ -1,0 +1,60 @@
+"""XML serialization tests."""
+
+import pytest
+
+from repro.teuchos import ParameterList, from_xml, to_xml
+
+
+class TestRoundtrip:
+    def test_scalars(self):
+        p = ParameterList("Solver")
+        p.set("Max Iterations", 100)
+        p.set("Tolerance", 1e-8)
+        p.set("Method", "GMRES")
+        p.set("Verbose", True)
+        assert from_xml(to_xml(p)) == p
+
+    def test_nested(self):
+        p = ParameterList("Top")
+        p.sublist("ML").set("max levels", 10)
+        p.sublist("ML").sublist("smoother").set("type", "sgs")
+        q = from_xml(to_xml(p))
+        assert q.sublist("ML").sublist("smoother")["type"] == "sgs"
+
+    def test_arrays(self):
+        p = ParameterList("P")
+        p.set("ints", [1, 2, 3])
+        p.set("doubles", [1.5, 2.5])
+        q = from_xml(to_xml(p))
+        assert q["ints"] == [1, 2, 3]
+        assert q["doubles"] == [1.5, 2.5]
+
+    def test_bool_formatting(self):
+        xml = to_xml(ParameterList("P").set("flag", False))
+        assert 'value="false"' in xml
+        assert from_xml(xml)["flag"] is False
+
+    def test_trilinos_schema_shape(self):
+        xml = to_xml(ParameterList("S").set("n", 3))
+        assert '<ParameterList name="S">' in xml
+        assert '<Parameter name="n" type="int" value="3"' in xml
+
+
+class TestErrors:
+    def test_unserializable_type(self):
+        with pytest.raises(TypeError):
+            to_xml(ParameterList().set("obj", object()))
+
+    def test_mixed_array(self):
+        with pytest.raises(TypeError):
+            to_xml(ParameterList().set("mixed", [1, "a"]))
+
+    def test_bad_root(self):
+        with pytest.raises(ValueError):
+            from_xml("<NotAList/>")
+
+    def test_unknown_param_type(self):
+        with pytest.raises(ValueError):
+            from_xml('<ParameterList name="x">'
+                     '<Parameter name="p" type="quaternion" value="1"/>'
+                     '</ParameterList>')

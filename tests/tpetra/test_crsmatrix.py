@@ -1,0 +1,304 @@
+"""CrsMatrix tests: SpMV vs scipy, assembly, transpose, matmat."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import tpetra
+from tests.conftest import spmd
+
+
+def _random_csr(n, density, seed):
+    rng = np.random.default_rng(seed)
+    nnz = max(1, int(density * n * n))
+    rows = rng.integers(0, n, nnz)
+    cols = rng.integers(0, n, nnz)
+    vals = rng.normal(size=nnz)
+    return sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+
+
+class TestAssembly:
+    def test_local_insert_and_spmv(self):
+        def body(comm):
+            n = 10
+            m = tpetra.Map.create_contiguous(n, comm)
+            A = tpetra.CrsMatrix(m)
+            for gid in m.my_gids:
+                A.insert_global_values(gid, [gid], [2.0])
+                if gid + 1 < n:
+                    A.insert_global_values(gid, [gid + 1], [1.0])
+            A.fillComplete()
+            x = tpetra.Vector(m).putScalar(1.0)
+            return np.asarray(A @ x)
+        got = spmd(3)(body)[0]
+        expected = np.full(10, 3.0)
+        expected[-1] = 2.0
+        assert np.allclose(got, expected)
+
+    def test_duplicate_entries_summed(self):
+        def body(comm):
+            m = tpetra.Map.create_contiguous(4, comm)
+            A = tpetra.CrsMatrix(m)
+            for gid in m.my_gids:
+                A.insert_global_values(gid, [gid], [1.5])
+                A.insert_global_values(gid, [gid], [0.5])
+            A.fillComplete()
+            return np.asarray(A.diagonal())
+        assert np.allclose(spmd(2)(body)[0], 2.0)
+
+    def test_nonlocal_insert_shipped_at_fill(self):
+        """FE-style assembly: rank 0 inserts into every row."""
+        def body(comm):
+            n = 3 * comm.size
+            m = tpetra.Map.create_contiguous(n, comm)
+            A = tpetra.CrsMatrix(m)
+            if comm.rank == 0:
+                for g in range(n):
+                    A.insert_global_values(g, [g], [float(g + 1)])
+            A.fillComplete()
+            return np.asarray(A.diagonal())
+        got = spmd(3)(body)[0]
+        assert np.allclose(got, np.arange(1.0, 10.0))
+
+    def test_fill_twice_raises(self):
+        def body(comm):
+            m = tpetra.Map.create_contiguous(4, comm)
+            A = tpetra.CrsMatrix(m)
+            A.fillComplete()
+            A.fillComplete()
+        with pytest.raises(RuntimeError):
+            spmd(2)(body)
+
+    def test_use_before_fill_raises(self):
+        def body(comm):
+            m = tpetra.Map.create_contiguous(4, comm)
+            A = tpetra.CrsMatrix(m)
+            A.diagonal()
+        with pytest.raises(RuntimeError):
+            spmd(2)(body)
+
+    def test_column_out_of_range(self):
+        def body(comm):
+            m = tpetra.Map.create_contiguous(4, comm)
+            A = tpetra.CrsMatrix(m)
+            if comm.rank == 0:
+                A.insert_global_values(0, [99], [1.0])
+            A.fillComplete()
+        with pytest.raises(IndexError):
+            spmd(1)(body)
+
+
+class TestSpMV:
+    @given(n=st.integers(2, 40), p=st.integers(1, 4),
+           seed=st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_matches_scipy(self, n, p, seed):
+        M = _random_csr(n, 0.2, seed)
+        x_ref = np.random.default_rng(seed + 1).normal(size=n)
+
+        def body(comm):
+            m = tpetra.Map.create_contiguous(n, comm)
+            A = tpetra.CrsMatrix.from_scipy(M, m)
+            x = tpetra.Vector(m)
+            x.local_view[...] = x_ref[m.my_gids]
+            return np.asarray(A @ x)
+        for got in spmd(p)(body):
+            assert np.allclose(got, M @ x_ref)
+
+    def test_transpose_apply(self):
+        M = _random_csr(15, 0.3, 7)
+        x_ref = np.random.default_rng(8).normal(size=15)
+
+        def body(comm):
+            m = tpetra.Map.create_contiguous(15, comm)
+            A = tpetra.CrsMatrix.from_scipy(M, m)
+            x = tpetra.Vector(m)
+            x.local_view[...] = x_ref[m.my_gids]
+            y = tpetra.Vector(m)
+            A.apply(x, y, trans=True)
+            return np.asarray(y)
+        for got in spmd(3)(body):
+            assert np.allclose(got, M.T @ x_ref)
+
+    def test_multivector_apply(self):
+        M = _random_csr(12, 0.3, 9)
+
+        def body(comm):
+            m = tpetra.Map.create_contiguous(12, comm)
+            A = tpetra.CrsMatrix.from_scipy(M, m)
+            X = tpetra.MultiVector(m, 2)
+            X.local[...] = np.stack([m.my_gids, m.my_gids ** 2],
+                                    axis=1).astype(float)
+            Y = A @ X
+            return Y.gather_all()
+        got = spmd(2)(body)[0]
+        base = np.arange(12.0)
+        ref = np.stack([M @ base, M @ base ** 2], axis=1)
+        assert np.allclose(got, ref)
+
+    def test_cyclic_row_map(self):
+        M = _random_csr(14, 0.25, 11)
+        x_ref = np.arange(14.0)
+
+        def body(comm):
+            m = tpetra.Map.create_cyclic(14, comm)
+            A = tpetra.CrsMatrix.from_scipy(M, m)
+            x = tpetra.Vector(m)
+            x.local_view[...] = x_ref[m.my_gids]
+            return np.asarray(A @ x)
+        for got in spmd(3)(body):
+            assert np.allclose(got, M @ x_ref)
+
+
+class TestMatrixAlgebra:
+    def test_transpose_matches_scipy(self):
+        M = _random_csr(12, 0.3, 3)
+
+        def body(comm):
+            m = tpetra.Map.create_contiguous(12, comm)
+            A = tpetra.CrsMatrix.from_scipy(M, m)
+            At = A.transpose()
+            return At.to_scipy_global(root=None).toarray()
+        got = spmd(3)(body)[0]
+        assert np.allclose(got, M.T.toarray())
+
+    def test_matmat_matches_scipy(self):
+        A_ref = _random_csr(10, 0.3, 4)
+        B_ref = _random_csr(10, 0.3, 5)
+
+        def body(comm):
+            m = tpetra.Map.create_contiguous(10, comm)
+            A = tpetra.CrsMatrix.from_scipy(A_ref, m)
+            B = tpetra.CrsMatrix.from_scipy(B_ref, m)
+            C = A.matmat(B)
+            return C.to_scipy_global(root=None).toarray()
+        got = spmd(3)(body)[0]
+        assert np.allclose(got, (A_ref @ B_ref).toarray())
+
+    def test_matmul_operator_chains(self):
+        M = sp.identity(6, format="csr") * 2
+
+        def body(comm):
+            m = tpetra.Map.create_contiguous(6, comm)
+            A = tpetra.CrsMatrix.from_scipy(M, m)
+            C = A @ A
+            return C.to_scipy_global(root=None).toarray()
+        assert np.allclose(spmd(2)(body)[0], np.eye(6) * 4)
+
+
+class TestInspection:
+    def test_norms(self):
+        M = _random_csr(9, 0.4, 6)
+
+        def body(comm):
+            m = tpetra.Map.create_contiguous(9, comm)
+            A = tpetra.CrsMatrix.from_scipy(M, m)
+            return A.norm_frobenius(), A.norm_inf(), \
+                A.num_global_nonzeros()
+        fro, inf, nnz = spmd(3)(body)[0]
+        assert fro == pytest.approx(np.sqrt((M.data ** 2).sum()))
+        assert inf == pytest.approx(np.abs(M.toarray()).sum(axis=1).max())
+        assert nnz == M.nnz
+
+    def test_diagonal_and_row_sums(self):
+        M = _random_csr(8, 0.5, 2)
+        M.setdiag(np.arange(1.0, 9.0))
+
+        def body(comm):
+            m = tpetra.Map.create_contiguous(8, comm)
+            A = tpetra.CrsMatrix.from_scipy(M, m)
+            return np.asarray(A.diagonal()), np.asarray(A.row_sums())
+        diag, rsum = spmd(2)(body)[0]
+        assert np.allclose(diag, np.arange(1.0, 9.0))
+        assert np.allclose(rsum, np.abs(M.toarray()).sum(axis=1))
+
+    def test_global_row(self):
+        def body(comm):
+            m = tpetra.Map.create_contiguous(4, comm)
+            A = tpetra.CrsMatrix(m)
+            for gid in m.my_gids:
+                A.insert_global_values(gid, [0, gid], [5.0, 1.0])
+            A.fillComplete()
+            cols, vals = A.global_row(int(m.my_gids[0]))
+            return sorted(zip(cols.tolist(), vals.tolist()))
+        got = spmd(2)(body)[1]   # rank 1 owns rows 2..3
+        assert got == [(0, 5.0), (2, 1.0)]
+
+
+class TestScaling:
+    def test_left_right_scale(self):
+        M = _random_csr(8, 0.4, 13)
+
+        def body(comm):
+            m = tpetra.Map.create_contiguous(8, comm)
+            A = tpetra.CrsMatrix.from_scipy(M, m)
+            d = tpetra.Vector(m)
+            d.local_view[...] = m.my_gids + 1.0
+            A.left_scale(d)
+            A.right_scale(d)
+            return A.to_scipy_global(root=None).toarray()
+        got = spmd(2)(body)[0]
+        D = np.diag(np.arange(1.0, 9.0))
+        assert np.allclose(got, D @ M.toarray() @ D)
+
+    def test_scale_scalar(self):
+        def body(comm):
+            m = tpetra.Map.create_contiguous(4, comm)
+            A = tpetra.CrsMatrix.from_scipy(sp.identity(4).tocsr(), m)
+            A.scale(7.0)
+            return np.asarray(A.diagonal())
+        assert np.allclose(spmd(2)(body)[0], 7.0)
+
+
+class TestCrsGraph:
+    def test_pattern_and_matrix_with_values(self):
+        def body(comm):
+            m = tpetra.Map.create_contiguous(6, comm)
+            g = tpetra.CrsGraph(m)
+            for gid in m.my_gids:
+                g.insert_global_indices(gid, [gid])
+                if gid > 0:
+                    g.insert_global_indices(gid, [gid - 1])
+            g.fillComplete()
+            A = g.matrix_with_values()
+            return g.num_global_entries(), A.num_global_nonzeros(), \
+                float(A.norm_frobenius())
+        entries, nnz, fro = spmd(3)(body)[0]
+        assert entries == 11 and nnz == 11 and fro == 0.0
+
+
+class TestMatrixAdd:
+    def test_add_matches_scipy(self):
+        A_ref = _random_csr(10, 0.3, 21)
+        B_ref = _random_csr(10, 0.3, 22)
+
+        def body(comm):
+            m = tpetra.Map.create_contiguous(10, comm)
+            A = tpetra.CrsMatrix.from_scipy(A_ref, m)
+            B = tpetra.CrsMatrix.from_scipy(B_ref, m)
+            C = A.add(B, 2.0, -0.5)
+            return C.to_scipy_global(root=None).toarray()
+        got = spmd(3)(body)[0]
+        assert np.allclose(got, (2 * A_ref - 0.5 * B_ref).toarray())
+
+    def test_operator_sugar(self):
+        M = _random_csr(8, 0.4, 23)
+
+        def body(comm):
+            m = tpetra.Map.create_contiguous(8, comm)
+            A = tpetra.CrsMatrix.from_scipy(M, m)
+            Z = (A + A) - A
+            return (Z.to_scipy_global(root=None) - M).nnz
+        assert spmd(2)(body)[0] == 0
+
+    def test_mismatched_row_maps_rejected(self):
+        def body(comm):
+            a = tpetra.CrsMatrix.from_scipy(
+                sp.identity(6).tocsr(), tpetra.Map.create_contiguous(6, comm))
+            b = tpetra.CrsMatrix.from_scipy(
+                sp.identity(6).tocsr(), tpetra.Map.create_cyclic(6, comm))
+            a.add(b)
+        with pytest.raises(ValueError):
+            spmd(2)(body)

@@ -1,0 +1,159 @@
+"""Import/Export redistribution plan tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import tpetra
+from repro.tpetra import CombineMode
+from tests.conftest import spmd
+
+
+def _filled_vector(m, base=0.0):
+    v = tpetra.Vector(m)
+    v.local_view[...] = m.my_gids.astype(float) + base
+    return v
+
+
+class TestImport:
+    def test_block_to_cyclic(self):
+        def body(comm):
+            n = 12
+            src = tpetra.Map.create_contiguous(n, comm)
+            tgt = tpetra.Map.create_cyclic(n, comm)
+            imp = tpetra.Import(src, tgt)
+            x = _filled_vector(src)
+            y = tpetra.Vector(tgt)
+            y.import_from(x, imp)
+            return bool(np.array_equal(y.local_view,
+                                       tgt.my_gids.astype(float)))
+        assert all(spmd(3)(body))
+
+    def test_identity_import_no_messages(self):
+        def body(comm):
+            m = tpetra.Map.create_contiguous(9, comm)
+            imp = tpetra.Import(m, m)
+            return imp.plan.num_messages, imp.num_remote
+        assert spmd(3)(body) == [(0, 0)] * 3
+
+    def test_overlapping_target(self):
+        """Import onto a one-deep halo (ghosted) map."""
+        def body(comm):
+            n = 4 * comm.size
+            src = tpetra.Map.create_contiguous(n, comm)
+            lo, hi = src.min_my_gid, src.max_my_gid
+            ghosted = list(range(lo, hi + 1))
+            if lo > 0:
+                ghosted.append(lo - 1)
+            if hi < n - 1:
+                ghosted.append(hi + 1)
+            tgt = tpetra.Map(n, np.array(ghosted), comm, kind="arbitrary")
+            imp = tpetra.Import(src, tgt)
+            x = _filled_vector(src)
+            y = tpetra.Vector(tgt)
+            y.import_from(x, imp)
+            return bool(np.array_equal(
+                y.local_view, np.array(ghosted, dtype=float)))
+        assert all(spmd(4)(body))
+
+    def test_reverse_import_adds(self):
+        """Reverse of a ghost import sums ghost contributions to owners."""
+        def body(comm):
+            n = 3 * comm.size
+            src = tpetra.Map.create_contiguous(n, comm)
+            lo, hi = src.min_my_gid, src.max_my_gid
+            ghosted = list(range(lo, hi + 1))
+            if hi < n - 1:
+                ghosted.append(hi + 1)
+            tgt = tpetra.Map(n, np.array(ghosted), comm, kind="arbitrary")
+            imp = tpetra.Import(src, tgt)
+            ghost_vals = np.ones((len(ghosted), 1))
+            own = tpetra.Vector(src)
+            imp.apply_reverse(ghost_vals, own.local, CombineMode.ADD)
+            return own.local_view.tolist()
+        results = spmd(3)(body)
+        flat = [v for r in results for v in r]
+        # every owned entry got 1 from itself; first entries of ranks > 0
+        # also got 1 from the left neighbor's ghost
+        n = len(flat)
+        expected = [1.0] * n
+        for r in range(1, 3):
+            expected[r * 3] = 2.0
+        assert flat == expected
+
+
+class TestExport:
+    def test_export_add_assembles(self):
+        """Overlapping source contributions sum at the owners."""
+        def body(comm):
+            n = comm.size + 1
+            # every rank contributes to gids r and r+1 (overlapping, so
+            # built with the raw Map constructor: not one-to-one)
+            src = tpetra.Map(n, np.array([comm.rank, comm.rank + 1]),
+                             comm, kind="arbitrary")
+            tgt = tpetra.Map.create_contiguous(n, comm)
+            exp = tpetra.Export(src, tgt)
+            contrib = np.ones((2, 1))
+            out = tpetra.Vector(tgt)
+            exp.apply(contrib, out.local, CombineMode.ADD)
+            return out.local_view.tolist()
+        results = spmd(3)(body)
+        flat = [v for r in results for v in r]
+        # gid 0 and gid n-1 get one contribution, interior gids two
+        assert flat == [1.0, 2.0, 2.0, 1.0]
+
+    def test_combine_modes(self):
+        def body(comm):
+            n = 2 * comm.size
+            src = tpetra.Map.create_contiguous(n, comm)
+            tgt = tpetra.Map.create_cyclic(n, comm)
+            imp = tpetra.Import(src, tgt)
+            x = _filled_vector(src)
+            y = tpetra.Vector(tgt)
+            y.putScalar(100.0)
+            y.import_from(x, imp, mode=CombineMode.ADD)
+            added = y.local_view.copy()
+            y.putScalar(-1000.0)
+            y.import_from(x, imp, mode=CombineMode.ABSMAX)
+            absmax = y.local_view.copy()
+            return added.tolist(), absmax.tolist()
+        added, absmax = spmd(2)(body)[0]
+        # ADD on top of 100
+        assert added == [100.0, 102.0]      # rank 0 cyclic owns gids 0, 2
+        assert absmax == [-1000.0, -1000.0]  # |..| of -1000 beats values
+
+    def test_import_multivector(self):
+        def body(comm):
+            n = 8
+            src = tpetra.Map.create_contiguous(n, comm)
+            tgt = tpetra.Map.create_cyclic(n, comm)
+            mv = tpetra.MultiVector(src, 3)
+            mv.local[...] = src.my_gids[:, None] * np.array([1, 10, 100])
+            out = tpetra.MultiVector(tgt, 3)
+            out.import_from(mv, tpetra.Import(src, tgt))
+            expected = tgt.my_gids[:, None] * np.array([1, 10, 100])
+            return bool(np.array_equal(out.local, expected))
+        assert all(spmd(4)(body))
+
+
+class TestRoundtripProperty:
+    @given(n=st.integers(2, 60), p=st.integers(1, 4),
+           seed=st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_there_and_back(self, n, p, seed):
+        """block -> random arbitrary -> block restores the vector."""
+        rng = np.random.default_rng(seed)
+        owner = rng.integers(0, p, size=n)
+
+        def body(comm):
+            src = tpetra.Map.create_contiguous(n, comm)
+            mid_gids = np.nonzero(owner == comm.rank)[0]
+            mid = tpetra.Map(n, mid_gids, comm, kind="arbitrary")
+            x = _filled_vector(src)
+            y = tpetra.Vector(mid)
+            y.import_from(x, tpetra.Import(src, mid))
+            z = tpetra.Vector(src)
+            z.import_from(y, tpetra.Import(mid, src))
+            return bool(np.array_equal(z.local_view, x.local_view))
+        assert all(spmd(p)(body))

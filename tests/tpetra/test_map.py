@@ -1,0 +1,149 @@
+"""Map distribution tests, including property-based partition checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import tpetra
+from tests.conftest import spmd
+
+
+class TestContiguous:
+    def test_partition_sizes(self):
+        def body(comm):
+            m = tpetra.Map.create_contiguous(10, comm)
+            return m.num_my_elements
+        assert spmd(3)(body) == [4, 3, 3]
+
+    def test_gid_lid_roundtrip(self):
+        def body(comm):
+            m = tpetra.Map.create_contiguous(20, comm)
+            return all(m.lid(m.gid(l)) == l
+                       for l in range(m.num_my_elements))
+        assert all(spmd(4)(body))
+
+    def test_lid_of_remote_is_minus_one(self):
+        def body(comm):
+            m = tpetra.Map.create_contiguous(10, comm)
+            other = (m.max_my_gid + 1) % 10
+            return int(m.lid(other))
+        results = spmd(2)(body)
+        assert all(r == -1 for r in results)
+
+    def test_owner_rank_analytic(self):
+        def body(comm):
+            m = tpetra.Map.create_contiguous(12, comm)
+            return m.owner_rank(np.arange(12)).tolist()
+        results = spmd(3)(body)
+        assert results[0] == [0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]
+
+    def test_vectorized_lid(self):
+        def body(comm):
+            m = tpetra.Map.create_contiguous(8, comm)
+            lids = m.lid(np.arange(8))
+            return (lids >= 0).sum()
+        assert spmd(4)(body) == [2, 2, 2, 2]
+
+
+class TestCyclic:
+    def test_ownership(self):
+        def body(comm):
+            m = tpetra.Map.create_cyclic(10, comm)
+            return m.my_gids.tolist()
+        results = spmd(3)(body)
+        assert results[0] == [0, 3, 6, 9]
+        assert results[1] == [1, 4, 7]
+        assert results[2] == [2, 5, 8]
+
+    def test_owner_rank(self):
+        def body(comm):
+            m = tpetra.Map.create_cyclic(9, comm)
+            return m.owner_rank(np.arange(9)).tolist()
+        assert spmd(3)(body)[0] == [0, 1, 2] * 3
+
+
+class TestArbitrary:
+    def test_from_gids_and_directory(self):
+        def body(comm):
+            # reversed block assignment
+            n = 12
+            per = n // comm.size
+            lo = (comm.size - 1 - comm.rank) * per
+            m = tpetra.Map.create_from_gids(
+                np.arange(lo, lo + per), comm)
+            owners = m.owner_rank(np.arange(n))
+            return owners.tolist()
+        results = spmd(3)(body)
+        assert results[0] == [2] * 4 + [1] * 4 + [0] * 4
+
+    def test_bad_partition_rejected(self):
+        def body(comm):
+            # every rank claims gid 0: overlap
+            tpetra.Map.create_from_gids([0], comm)
+        with pytest.raises(ValueError):
+            spmd(3)(body)
+
+    def test_directory_lids(self):
+        def body(comm):
+            m = tpetra.Map.create_from_gids(
+                np.array([comm.rank * 2 + 1, comm.rank * 2]), comm)
+            owners, lids = m.directory().owners_and_lids(
+                np.arange(2 * comm.size))
+            return owners.tolist(), lids.tolist()
+        owners, lids = spmd(3)(body)[0]
+        assert owners == [0, 0, 1, 1, 2, 2]
+        assert lids == [1, 0, 1, 0, 1, 0]   # gids stored in swapped order
+
+
+class TestLocalCounts:
+    def test_nonuniform(self):
+        def body(comm):
+            m = tpetra.Map.create_from_local_counts(comm.rank + 1, comm)
+            return m.num_global, m.my_gids.tolist()
+        results = spmd(3)(body)
+        assert results[0] == (6, [0])
+        assert results[1] == (6, [1, 2])
+        assert results[2] == (6, [3, 4, 5])
+
+
+class TestComparison:
+    def test_same_as(self):
+        def body(comm):
+            a = tpetra.Map.create_contiguous(10, comm)
+            b = tpetra.Map.create_contiguous(10, comm)
+            c = tpetra.Map.create_cyclic(10, comm)
+            return a.same_as(b), a.same_as(c)
+        assert spmd(3)(body) == [(True, False)] * 3
+
+    def test_same_as_is_global_verdict(self):
+        def body(comm):
+            # identical on rank 0, different elsewhere
+            gids = np.arange(comm.rank * 2, comm.rank * 2 + 2)
+            a = tpetra.Map.create_from_gids(gids, comm)
+            swapped = gids if comm.rank == 0 else gids[::-1]
+            b = tpetra.Map.create_from_gids(swapped, comm)
+            return a.same_as(b)
+        assert spmd(3)(body) == [False] * 3
+
+
+class TestProperties:
+    @given(n=st.integers(1, 200), p=st.integers(1, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_contiguous_partitions_exactly(self, n, p):
+        def body(comm):
+            m = tpetra.Map.create_contiguous(n, comm)
+            return m.my_gids
+        pieces = spmd(p)(body)
+        union = np.sort(np.concatenate(pieces))
+        assert np.array_equal(union, np.arange(n))
+
+    @given(n=st.integers(1, 100), p=st.integers(1, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_cyclic_partitions_exactly(self, n, p):
+        def body(comm):
+            m = tpetra.Map.create_cyclic(n, comm)
+            return m.my_gids
+        pieces = spmd(p)(body)
+        union = np.sort(np.concatenate(pieces))
+        assert np.array_equal(union, np.arange(n))

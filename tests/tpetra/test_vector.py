@@ -1,0 +1,209 @@
+"""Vector / MultiVector tests: reductions vs NumPy, operators, indexing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import tpetra
+from tests.conftest import spmd
+
+
+def _ramp(m):
+    v = tpetra.Vector(m)
+    v.local_view[...] = m.my_gids.astype(float)
+    return v
+
+
+class TestNorms:
+    def test_norms_match_numpy(self):
+        def body(comm):
+            m = tpetra.Map.create_contiguous(50, comm)
+            v = _ramp(m)
+            return v.norm1(), v.norm2(), v.normInf(), v.meanValue()
+        ref = np.arange(50.0)
+        for n1, n2, ninf, mean in spmd(4)(body):
+            assert n1 == pytest.approx(np.abs(ref).sum())
+            assert n2 == pytest.approx(np.linalg.norm(ref))
+            assert ninf == pytest.approx(49.0)
+            assert mean == pytest.approx(ref.mean())
+
+    def test_dot(self):
+        def body(comm):
+            m = tpetra.Map.create_contiguous(30, comm)
+            v = _ramp(m)
+            w = tpetra.Vector(m).putScalar(2.0)
+            return v.dot(w)
+        ref = 2 * np.arange(30.0).sum()
+        assert spmd(3)(body) == [pytest.approx(ref)] * 3
+
+    def test_complex_dot_conjugates(self):
+        def body(comm):
+            m = tpetra.Map.create_contiguous(10, comm)
+            v = tpetra.Vector(m, dtype=np.complex128)
+            v.local_view[...] = 1j * (m.my_gids + 1)
+            return v.dot(v)
+        ref = sum(abs(1j * (k + 1)) ** 2 for k in range(10))
+        got = spmd(2)(body)[0]
+        assert got == pytest.approx(ref)
+
+    @given(n=st.integers(1, 80), p=st.integers(1, 4),
+           seed=st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_norm2_property(self, n, p, seed):
+        data = np.random.default_rng(seed).normal(size=n)
+
+        def body(comm):
+            m = tpetra.Map.create_contiguous(n, comm)
+            v = tpetra.Vector(m)
+            v.local_view[...] = data[m.my_gids]
+            return v.norm2()
+        for got in spmd(p)(body):
+            assert got == pytest.approx(np.linalg.norm(data))
+
+
+class TestBlasOps:
+    def test_update_axpby(self):
+        def body(comm):
+            m = tpetra.Map.create_contiguous(12, comm)
+            x = _ramp(m)
+            y = tpetra.Vector(m).putScalar(1.0)
+            y.update(2.0, x, -1.0)   # y = 2x - y
+            return np.asarray(y).tolist()
+        ref = (2 * np.arange(12.0) - 1).tolist()
+        assert spmd(3)(body)[0] == ref
+
+    def test_scale_abs_reciprocal(self):
+        def body(comm):
+            m = tpetra.Map.create_contiguous(6, comm)
+            v = tpetra.Vector(m)
+            v.local_view[...] = -(m.my_gids + 1.0)
+            v.scale(2.0)
+            a = v.abs()
+            r = a.reciprocal()
+            return np.asarray(a).tolist(), np.asarray(r).tolist()
+        a, r = spmd(2)(body)[0]
+        assert a == [2.0 * k for k in range(1, 7)]
+        assert r == [1 / (2.0 * k) for k in range(1, 7)]
+
+    def test_elementwise_multiply(self):
+        def body(comm):
+            m = tpetra.Map.create_contiguous(8, comm)
+            x = _ramp(m)
+            out = tpetra.Vector(m)
+            out.elementwise_multiply(3.0, x, x)
+            return np.asarray(out).tolist()
+        assert spmd(2)(body)[0] == [3.0 * k * k for k in range(8)]
+
+
+class TestOperators:
+    def test_numpy_like_arithmetic(self):
+        def body(comm):
+            m = tpetra.Map.create_contiguous(10, comm)
+            x = _ramp(m)
+            y = (2 * x + 1 - x / 2) ** 2
+            return np.asarray(y)
+        got = spmd(3)(body)[0]
+        ref = (2 * np.arange(10.0) + 1 - np.arange(10.0) / 2) ** 2
+        assert np.allclose(got, ref)
+
+    def test_inplace_ops(self):
+        def body(comm):
+            m = tpetra.Map.create_contiguous(5, comm)
+            x = _ramp(m)
+            x += 1
+            x *= 2
+            x -= 1
+            x /= 2
+            return np.asarray(x)
+        assert np.allclose(spmd(1)(body)[0],
+                           ((np.arange(5.0) + 1) * 2 - 1) / 2)
+
+    def test_neg(self):
+        def body(comm):
+            m = tpetra.Map.create_contiguous(4, comm)
+            return np.asarray(-_ramp(m))
+        assert np.allclose(spmd(2)(body)[0], -np.arange(4.0))
+
+    def test_mismatched_maps_rejected(self):
+        def body(comm):
+            a = _ramp(tpetra.Map.create_contiguous(8, comm))
+            b = _ramp(tpetra.Map.create_cyclic(8, comm))
+            return a + b
+        with pytest.raises(ValueError):
+            spmd(2)(body)
+
+
+class TestGlobalIndexing:
+    def test_getitem_local_and_remote(self):
+        def body(comm):
+            m = tpetra.Map.create_contiguous(16, comm)
+            v = _ramp(m)
+            return float(v[0]), float(v[15]), v[[3, 9, 12]].tolist()
+        for first, last, multi in spmd(4)(body):
+            assert (first, last) == (0.0, 15.0)
+            assert multi == [3.0, 9.0, 12.0]
+
+    def test_setitem_owned_entries(self):
+        def body(comm):
+            m = tpetra.Map.create_contiguous(8, comm)
+            v = tpetra.Vector(m)
+            v[np.arange(8)] = np.arange(8.0) * 3
+            return np.asarray(v)
+        assert np.allclose(spmd(4)(body)[0], np.arange(8.0) * 3)
+
+
+class TestGather:
+    def test_gather_root_only(self):
+        def body(comm):
+            m = tpetra.Map.create_cyclic(9, comm)
+            v = _ramp(m)
+            out = v.gather(root=0)
+            return None if out is None else out[:, 0].tolist()
+        results = spmd(3)(body)
+        assert results[0] == list(np.arange(9.0))
+        assert results[1] is None
+
+    def test_asarray_any_distribution(self):
+        def body(comm):
+            m = tpetra.Map.create_cyclic(7, comm)
+            return np.asarray(_ramp(m))
+        for arr in spmd(3)(body):
+            assert np.allclose(arr, np.arange(7.0))
+
+
+class TestMultiVector:
+    def test_column_views_share_storage(self):
+        def body(comm):
+            m = tpetra.Map.create_contiguous(6, comm)
+            mv = tpetra.MultiVector(m, 2)
+            col = mv.vector(1)
+            col.putScalar(5.0)
+            return mv.local[:, 1].tolist(), mv.local[:, 0].tolist()
+        ones, zeros = spmd(2)(body)[0]
+        assert set(ones) == {5.0} and set(zeros) == {0.0}
+
+    def test_columnwise_reductions(self):
+        def body(comm):
+            m = tpetra.Map.create_contiguous(10, comm)
+            mv = tpetra.MultiVector(m, 3)
+            mv.local[...] = m.my_gids[:, None] * np.array([1.0, 2.0, 3.0])
+            return mv.norm2()
+        base = np.linalg.norm(np.arange(10.0))
+        got = spmd(2)(body)[0]
+        assert np.allclose(got, base * np.array([1, 2, 3]))
+
+    def test_randomize_deterministic_per_distribution(self):
+        def body(comm):
+            m = tpetra.Map.create_contiguous(12, comm)
+            a = tpetra.Vector(m).randomize(seed=3)
+            b = tpetra.Vector(m).randomize(seed=3)
+            return np.array_equal(a.local, b.local)
+        assert all(spmd(3)(body))
+
+    def test_shape_validation(self):
+        def body(comm):
+            m = tpetra.Map.create_contiguous(6, comm)
+            tpetra.MultiVector(m, 2, _local=np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            spmd(2)(body)
