@@ -11,7 +11,10 @@ import numpy as np
 from repro import galeri, mpi, solvers, tpetra
 from repro.teuchos import ParameterList
 
-from .common import Section, table
+try:
+    from .common import Section, main, table
+except ImportError:  # executed as a script, not as a package module
+    from common import Section, main, table
 
 NRANKS = 2
 NX = NY = 28
@@ -100,4 +103,4 @@ def test_overlap_monotone(benchmark):
 
 
 if __name__ == "__main__":
-    print(generate_report())
+    main(generate_report)

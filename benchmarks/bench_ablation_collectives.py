@@ -15,7 +15,10 @@ import numpy as np
 from repro import mpi
 from repro.mpi import COMMODITY_CLUSTER
 
-from .common import Section, table
+try:
+    from .common import Section, main, table
+except ImportError:  # executed as a script, not as a package module
+    from common import Section, main, table
 
 P = 16
 
@@ -111,4 +114,4 @@ def test_tree_bcast_bounds_root_fanout(benchmark):
 
 
 if __name__ == "__main__":
-    print(generate_report())
+    main(generate_report)

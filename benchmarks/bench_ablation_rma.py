@@ -12,7 +12,10 @@ import numpy as np
 from repro import mpi, tpetra
 from repro.mpi import COMMODITY_CLUSTER
 
-from .common import Section, table
+try:
+    from .common import Section, main, table
+except ImportError:  # executed as a script, not as a package module
+    from common import Section, main, table
 
 P = 8
 NLOCAL = 5_000
@@ -126,4 +129,4 @@ def test_all_mechanisms_same_payload_order(benchmark):
 
 
 if __name__ == "__main__":
-    print(generate_report())
+    main(generate_report)

@@ -14,7 +14,10 @@ import numpy as np
 from repro import galeri, mpi, solvers, tpetra
 from repro.mpi import COMMODITY_CLUSTER
 
-from .common import Section, table
+try:
+    from .common import Section, main, table
+except ImportError:  # executed as a script, not as a package module
+    from common import Section, main, table
 
 NRANKS = 2
 NX = NY = 20
@@ -88,4 +91,4 @@ def test_block_messages_flat_in_nrhs(benchmark):
 
 
 if __name__ == "__main__":
-    print(generate_report())
+    main(generate_report)

@@ -14,7 +14,10 @@ import numpy as np
 from repro.seamless import (compile_and_run_cpp, compiler_available,
                             export_cpp)
 
-from .common import Section, table
+try:
+    from .common import Section, main, table
+except ImportError:  # executed as a script, not as a package module
+    from common import Section, main, table
 
 ALGORITHM = '''
 def sum(it):
@@ -98,4 +101,4 @@ def test_cpp_export_runs(benchmark):
 
 
 if __name__ == "__main__":
-    print(generate_report())
+    main(generate_report)

@@ -12,9 +12,13 @@ import numpy as np
 from repro import odin
 from repro.odin.context import OdinContext
 
-from .common import Section, table
+try:
+    from .common import Section, main, table
+except ImportError:  # executed as a script, not as a package module
+    from common import Section, main, table
 
 N = 200_000
+N_SOLVE = 512
 WORKERS = 4
 
 
@@ -46,6 +50,17 @@ def _measure():
 
         _s = x.sum()
         snap("global sum reduction")
+
+        # ODIN -> PyTrilinos bridge: CG on a Galeri Laplacian, iterating
+        # on the workers.  Exercises every layer at once (control ops,
+        # worker-side solver iterations, MPI collectives), which is also
+        # what makes this benchmark the reference trace producer.
+        b = odin.ones(N_SOLVE, ctx=ctx)
+        _xs, _info = odin.trilinos.solve("Laplace1D", b,
+                                         matrix_params={"n": N_SOLVE},
+                                         solver="CG", tol=1e-8,
+                                         maxiter=2 * N_SOLVE)
+        snap(f"CG solve Laplace1D({N_SOLVE:,})")
     return rows
 
 
@@ -76,4 +91,4 @@ def test_control_plane_stays_small(benchmark):
 
 
 if __name__ == "__main__":
-    print(generate_report())
+    main(generate_report)

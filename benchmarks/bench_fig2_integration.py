@@ -13,7 +13,10 @@ from repro import mpi, odin, tpetra, galeri, solvers
 from repro.odin.context import OdinContext
 from repro.seamless import compiler_available, jit
 
-from .common import Section, table
+try:
+    from .common import Section, main, table
+except ImportError:  # executed as a script, not as a package module
+    from common import Section, main, table
 
 
 def _standalone_odin():
@@ -105,4 +108,4 @@ def test_fig2_all_edges_run(benchmark):
 
 
 if __name__ == "__main__":
-    print(generate_report())
+    main(generate_report)

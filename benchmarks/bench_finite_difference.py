@@ -14,7 +14,10 @@ from repro import odin
 from repro.mpi import COMMODITY_CLUSTER
 from repro.odin.context import OdinContext
 
-from .common import Section, table
+try:
+    from .common import Section, main, table
+except ImportError:  # executed as a script, not as a package module
+    from common import Section, main, table
 
 WORKERS = 4
 SIZES = [10_000, 100_000, 1_000_000]
@@ -88,4 +91,4 @@ def test_fd_expression(benchmark):
 
 
 if __name__ == "__main__":
-    print(generate_report())
+    main(generate_report)

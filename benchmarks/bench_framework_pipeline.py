@@ -10,7 +10,10 @@ import numpy as np
 
 from repro import core, mpi
 
-from .common import Section, table
+try:
+    from .common import Section, main, table
+except ImportError:  # executed as a script, not as a package module
+    from common import Section, main, table
 
 NRANKS = 2
 SIZES = [10_000, 50_000, 200_000]
@@ -66,4 +69,4 @@ def test_pipeline_compiled(benchmark):
 
 
 if __name__ == "__main__":
-    print(generate_report())
+    main(generate_report)

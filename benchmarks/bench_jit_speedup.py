@@ -12,7 +12,10 @@ import numpy as np
 
 from repro.seamless import compiler_available, jit
 
-from .common import Section, table
+try:
+    from .common import Section, main, table
+except ImportError:  # executed as a script, not as a package module
+    from common import Section, main, table
 
 N = 1_000_000
 
@@ -126,4 +129,4 @@ def test_pure_python_sum_baseline(benchmark):
 
 
 if __name__ == "__main__":
-    print(generate_report())
+    main(generate_report)

@@ -15,7 +15,10 @@ from repro import odin
 from repro.odin.context import OdinContext
 from repro.seamless import compiler_available
 
-from .common import Section, table
+try:
+    from .common import Section, main, table
+except ImportError:  # executed as a script, not as a package module
+    from common import Section, main, table
 
 N = 2_000_000
 W = 4
@@ -103,4 +106,4 @@ def test_fused_native(benchmark):
 
 
 if __name__ == "__main__":
-    print(generate_report())
+    main(generate_report)

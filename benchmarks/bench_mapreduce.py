@@ -13,7 +13,10 @@ from repro import odin
 from repro.odin import tabular
 from repro.odin.context import OdinContext
 
-from .common import Section, table
+try:
+    from .common import Section, main, table
+except ImportError:  # executed as a script, not as a package module
+    from common import Section, main, table
 
 N = 300_000
 NCAT = 16
@@ -104,4 +107,4 @@ def test_group_aggregate(benchmark):
 
 
 if __name__ == "__main__":
-    print(generate_report())
+    main(generate_report)

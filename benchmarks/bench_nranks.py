@@ -11,7 +11,10 @@ import numpy as np
 from repro import galeri, mpi, tpetra
 from repro.mpi import COMMODITY_CLUSTER, ETHERNET
 
-from .common import Section, table
+try:
+    from .common import Section, main, table
+except ImportError:  # executed as a script, not as a package module
+    from common import Section, main, table
 
 NX = NY = 64
 RANKS = [1, 2, 4, 8, 16, 32]
@@ -85,4 +88,4 @@ def test_spmv_correct_across_ranks(benchmark):
 
 
 if __name__ == "__main__":
-    print(generate_report())
+    main(generate_report)

@@ -14,7 +14,10 @@ from repro.odin.context import OdinContext
 from repro.odin.distribution import (BlockCyclicDistribution,
                                      BlockDistribution, CyclicDistribution)
 
-from .common import Section, table
+try:
+    from .common import Section, main, table
+except ImportError:  # executed as a script, not as a package module
+    from common import Section, main, table
 
 N = 60_000
 W = 4
@@ -86,4 +89,4 @@ def test_auto_strategy_is_optimal(benchmark):
 
 
 if __name__ == "__main__":
-    print(generate_report())
+    main(generate_report)

@@ -10,7 +10,10 @@ import numpy as np
 
 from repro import galeri, mpi, solvers, tpetra
 
-from .common import Section, table
+try:
+    from .common import Section, main, table
+except ImportError:  # executed as a script, not as a package module
+    from common import Section, main, table
 
 NRANKS = 3
 NX = NY = 24
@@ -77,4 +80,4 @@ def test_gmres_ilu_convdiff(benchmark):
 
 
 if __name__ == "__main__":
-    print(generate_report())
+    main(generate_report)

@@ -12,7 +12,10 @@ import numpy as np
 
 from repro import galeri, mpi, solvers, tpetra
 
-from .common import Section, table
+try:
+    from .common import Section, main, table
+except ImportError:  # executed as a script, not as a package module
+    from common import Section, main, table
 
 NRANKS = 4
 GRIDS = [(16, 16), (32, 32)]
@@ -108,4 +111,4 @@ def test_plain_cg_32x32(benchmark):
 
 
 if __name__ == "__main__":
-    print(generate_report())
+    main(generate_report)

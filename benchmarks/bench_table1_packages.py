@@ -11,7 +11,10 @@ from repro import epetra, galeri, isorropia, mpi, solvers, teuchos, tpetra, \
     triutils
 from repro.teuchos import ParameterList
 
-from .common import Section, table
+try:
+    from .common import Section, main, table
+except ImportError:  # executed as a script, not as a package module
+    from common import Section, main, table
 
 
 def _smoke(comm):
@@ -119,4 +122,4 @@ def test_table1_smoke_all_packages(benchmark):
 
 
 if __name__ == "__main__":
-    print(generate_report())
+    main(generate_report)

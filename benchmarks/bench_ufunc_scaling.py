@@ -14,7 +14,10 @@ from repro import odin
 from repro.mpi import COMMODITY_CLUSTER
 from repro.odin.context import OdinContext
 
-from .common import Section, table
+try:
+    from .common import Section, main, table
+except ImportError:  # executed as a script, not as a package module
+    from common import Section, main, table
 
 N = 1_000_000
 WORKER_COUNTS = [1, 2, 4, 8, 16]
@@ -79,4 +82,4 @@ def test_scaling_traffic_is_flat(benchmark):
 
 
 if __name__ == "__main__":
-    print(generate_report())
+    main(generate_report)

@@ -11,7 +11,10 @@ import numpy as np
 from repro import galeri, mpi, tpetra
 from repro.mpi import COMMODITY_CLUSTER
 
-from .common import Section, table
+try:
+    from .common import Section, main, table
+except ImportError:  # executed as a script, not as a package module
+    from common import Section, main, table
 
 ROWS_PER_RANK = 2048        # fixed local work
 RANKS = [1, 2, 4, 8, 16]
@@ -78,4 +81,4 @@ def test_weak_scaling_per_rank_traffic_constant(benchmark):
 
 
 if __name__ == "__main__":
-    print(generate_report())
+    main(generate_report)

@@ -10,9 +10,9 @@ timings with pytest-benchmark.
 from __future__ import annotations
 
 import io
-from typing import Iterable, List, Sequence
+from typing import Callable, Iterable, List, Sequence
 
-__all__ = ["table", "Section"]
+__all__ = ["table", "Section", "main"]
 
 
 def table(headers: Sequence[str], rows: Iterable[Sequence], title: str = "",
@@ -33,6 +33,34 @@ def table(headers: Sequence[str], rows: Iterable[Sequence], title: str = "",
         out.write("".join(c.ljust(w)
                           for c, w in zip(row, widths)).rstrip() + "\n")
     return out.getvalue()
+
+
+def main(generate_report: Callable[[], str]) -> None:
+    """CLI entry point shared by every bench module's ``__main__`` block.
+
+    ``--trace OUT.json`` switches on :mod:`repro.trace` for the run and
+    writes a Chrome ``trace_event`` file (load it in ``chrome://tracing``
+    or https://ui.perfetto.dev).  Setting ``REPRO_TRACE=1`` in the
+    environment enables tracing too; ``--trace`` is how the events get
+    onto disk either way.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Run this benchmark and print its report.")
+    parser.add_argument(
+        "--trace", metavar="OUT.json", default=None,
+        help="enable repro.trace and write a Chrome trace_event JSON "
+             "file of the run")
+    args = parser.parse_args()
+    if args.trace:
+        from repro import trace
+        trace.enable()
+    print(generate_report())
+    if args.trace:
+        from repro.trace import write_chrome_trace
+        nevents = write_chrome_trace(args.trace)
+        print(f"[trace] wrote {nevents} events to {args.trace}")
 
 
 class Section:

@@ -17,6 +17,7 @@ from typing import Any, List, Optional, Sequence
 
 import numpy as np
 
+from ..trace import TRACER as _TR
 from . import ops as _ops
 from .datatypes import decode_buffer_spec
 from .errors import RankError, TagError, TruncationError
@@ -25,6 +26,30 @@ from .runtime import RankContext
 from .status import ANY_SOURCE, ANY_TAG, Status
 
 __all__ = ["Group", "Intracomm"]
+
+
+def _traced_collective(algorithm: str):
+    """Wrap a collective so each call records one span tagged with the
+    algorithm it implements.  Disabled cost: one predicate (plus the
+    wrapper call frame) per invocation -- negligible next to pickling
+    and condition-variable waits."""
+    def deco(fn):
+        name = fn.__name__
+
+        def wrapper(self, *args, **kwargs):
+            if not _TR.enabled:
+                return fn(self, *args, **kwargs)
+            t0 = _TR.now()
+            out = fn(self, *args, **kwargs)
+            _TR.complete("mpi.coll", name, t0, rank=self._ctx.rank,
+                         algorithm=algorithm, size=self._size)
+            return out
+
+        wrapper.__name__ = name
+        wrapper.__qualname__ = fn.__qualname__
+        wrapper.__doc__ = fn.__doc__
+        return wrapper
+    return deco
 
 
 class Group:
@@ -68,8 +93,12 @@ class Intracomm:
                  ctx_id: Any = ("world",)):
         self._ctx = ctx
         self._world_ranks = list(world_ranks)
+        # world rank -> comm rank, built once: message-source translation
+        # must not pay an O(size) list scan per received message
+        self._rank_of_world = {wr: r for r, wr
+                               in enumerate(self._world_ranks)}
         self._ctx_id = ctx_id
-        self._rank = self._world_ranks.index(ctx.rank)
+        self._rank = self._rank_of_world[ctx.rank]
         self._size = len(self._world_ranks)
         self._coll_seq = 0   # per-collective tag stream; SPMD-consistent
         self._child_seq = 0  # id stream for derived communicators
@@ -155,7 +184,7 @@ class Intracomm:
                      else self._world_ranks[source])
         msg = self._ctx.recv_message(self._p2p_ctx(), src_world, tag)
         if status is not None:
-            status.source = self._world_ranks.index(msg.src)
+            status.source = self._rank_of_world[msg.src]
             status.tag = msg.tag
             status.count_bytes = msg.nbytes
         return pickle.loads(msg.payload)
@@ -173,7 +202,7 @@ class Intracomm:
         def complete(status):
             msg = self._ctx.recv_message(self._p2p_ctx(), src_world, tag)
             if status is not None:
-                status.source = self._world_ranks.index(msg.src)
+                status.source = self._rank_of_world[msg.src]
                 status.tag = msg.tag
                 status.count_bytes = msg.nbytes
             return pickle.loads(msg.payload)
@@ -184,7 +213,7 @@ class Intracomm:
             if msg is None:
                 return False, None
             if status is not None:
-                status.source = self._world_ranks.index(msg.src)
+                status.source = self._rank_of_world[msg.src]
                 status.tag = msg.tag
                 status.count_bytes = msg.nbytes
             return True, pickle.loads(msg.payload)
@@ -208,7 +237,7 @@ class Intracomm:
         msg = mb.retrieve(self._p2p_ctx(), src_world, tag,
                           self._ctx.world.timeout, remove=False)
         st = status if status is not None else Status()
-        st.source = self._world_ranks.index(msg.src)
+        st.source = self._rank_of_world[msg.src]
         st.tag = msg.tag
         st.count_bytes = msg.nbytes
         return st
@@ -224,7 +253,7 @@ class Intracomm:
         if msg is None:
             return False
         if status is not None:
-            status.source = self._world_ranks.index(msg.src)
+            status.source = self._rank_of_world[msg.src]
             status.tag = msg.tag
             status.count_bytes = msg.nbytes
         return True
@@ -255,7 +284,7 @@ class Intracomm:
         n = incoming.nbytes // dt.extent
         flat[:n] = incoming.view(dt.np_dtype)[:n]
         if status is not None:
-            status.source = self._world_ranks.index(msg.src)
+            status.source = self._rank_of_world[msg.src]
             status.tag = msg.tag
             status.count_bytes = msg.nbytes
 
@@ -291,6 +320,7 @@ class Intracomm:
     # ------------------------------------------------------------------
     # collectives: object (pickle) path
     # ------------------------------------------------------------------
+    @_traced_collective("dissemination")
     def barrier(self) -> None:
         """Dissemination barrier: ceil(log2 p) rounds of pairwise signals."""
         ctx_id, tag = self._next_coll()
@@ -310,6 +340,7 @@ class Intracomm:
 
     Barrier = barrier
 
+    @_traced_collective("binomial-tree")
     def bcast(self, obj: Any = None, root: int = 0) -> Any:
         """Binomial-tree broadcast of a Python object."""
         self._check_rank(root)
@@ -330,6 +361,7 @@ class Intracomm:
                                       tag, obj)
         return obj
 
+    @_traced_collective("linear-root")
     def scatter(self, sendobj: Optional[Sequence] = None,
                 root: int = 0) -> Any:
         self._check_rank(root)
@@ -347,6 +379,7 @@ class Intracomm:
         msg = self._ctx.recv_message(ctx_id, self._world_ranks[root], tag)
         return pickle.loads(msg.payload)
 
+    @_traced_collective("linear-root")
     def gather(self, sendobj: Any, root: int = 0) -> Optional[List[Any]]:
         self._check_rank(root)
         ctx_id, tag = self._next_coll()
@@ -362,6 +395,7 @@ class Intracomm:
         self._ctx.send_object(self._world_ranks[root], ctx_id, tag, sendobj)
         return None
 
+    @_traced_collective("ring")
     def allgather(self, sendobj: Any) -> List[Any]:
         """Ring allgather: p-1 steps, each forwarding one block."""
         ctx_id, tag = self._next_coll()
@@ -382,6 +416,7 @@ class Intracomm:
             out[cur_idx] = cur
         return out
 
+    @_traced_collective("pairwise-exchange")
     def alltoall(self, sendobjs: Sequence[Any]) -> List[Any]:
         """Pairwise-exchange alltoall."""
         if len(sendobjs) != self._size:
@@ -399,6 +434,7 @@ class Intracomm:
             out[src] = pickle.loads(msg.payload)
         return out
 
+    @_traced_collective("binomial-tree")
     def reduce(self, sendobj: Any, op: _ops.Op = _ops.SUM,
                root: int = 0) -> Any:
         """Binomial-tree reduction (rank-ordered fold if non-commutative)."""
@@ -431,10 +467,12 @@ class Intracomm:
             mask <<= 1
         return acc if self._rank == root else None
 
+    @_traced_collective("reduce+bcast")
     def allreduce(self, sendobj: Any, op: _ops.Op = _ops.SUM) -> Any:
         result = self.reduce(sendobj, op=op, root=0)
         return self.bcast(result, root=0)
 
+    @_traced_collective("linear-chain")
     def scan(self, sendobj: Any, op: _ops.Op = _ops.SUM) -> Any:
         """Inclusive prefix reduction along rank order (linear chain)."""
         ctx_id, tag = self._next_coll()
@@ -448,6 +486,7 @@ class Intracomm:
                                   ctx_id, tag, acc)
         return acc
 
+    @_traced_collective("linear-chain")
     def exscan(self, sendobj: Any, op: _ops.Op = _ops.SUM) -> Any:
         """Exclusive prefix reduction; rank 0 receives ``None``."""
         ctx_id, tag = self._next_coll()
@@ -465,6 +504,7 @@ class Intracomm:
     # ------------------------------------------------------------------
     # collectives: buffer path
     # ------------------------------------------------------------------
+    @_traced_collective("binomial-tree")
     def Bcast(self, buf, root: int = 0) -> None:
         self._check_rank(root)
         ctx_id, tag = self._next_coll()
@@ -484,6 +524,7 @@ class Intracomm:
                 self._ctx.send_buffer(self._world_ranks[dest], ctx_id, tag,
                                       flat[:count])
 
+    @_traced_collective("linear-root")
     def Scatter(self, sendbuf, recvbuf, root: int = 0) -> None:
         """Scatter equal contiguous blocks of *sendbuf* from the root."""
         self._check_rank(root)
@@ -492,6 +533,7 @@ class Intracomm:
         displs = [rcount * r for r in range(self._size)]
         self.Scatterv(sendbuf, counts, displs, recvbuf, root=root)
 
+    @_traced_collective("linear-root")
     def Scatterv(self, sendbuf, counts, displs, recvbuf,
                  root: int = 0) -> None:
         self._check_rank(root)
@@ -513,12 +555,14 @@ class Intracomm:
                 raise TruncationError("Scatterv recv buffer too small")
             rflat[:incoming.size] = incoming
 
+    @_traced_collective("linear-root")
     def Gather(self, sendbuf, recvbuf, root: int = 0) -> None:
         sflat, scount, _sdt = decode_buffer_spec(sendbuf)
         counts = [scount] * self._size
         displs = [scount * r for r in range(self._size)]
         self.Gatherv(sendbuf, recvbuf, counts, displs, root=root)
 
+    @_traced_collective("linear-root")
     def Gatherv(self, sendbuf, recvbuf, counts, displs,
                 root: int = 0) -> None:
         self._check_rank(root)
@@ -540,12 +584,14 @@ class Intracomm:
             self._ctx.send_buffer(self._world_ranks[root], ctx_id, tag,
                                   sflat[:scount])
 
+    @_traced_collective("ring")
     def Allgather(self, sendbuf, recvbuf) -> None:
         sflat, scount, _dt = decode_buffer_spec(sendbuf)
         counts = [scount] * self._size
         displs = [scount * r for r in range(self._size)]
         self.Allgatherv(sendbuf, recvbuf, counts, displs)
 
+    @_traced_collective("ring")
     def Allgatherv(self, sendbuf, recvbuf, counts, displs) -> None:
         """Ring allgather over buffers."""
         ctx_id, tag = self._next_coll()
@@ -569,6 +615,7 @@ class Intracomm:
             incoming = np.asarray(msg.payload).view(rdt.np_dtype)
             rflat[displs[cur_idx]:displs[cur_idx] + incoming.size] = incoming
 
+    @_traced_collective("pairwise-exchange")
     def Alltoall(self, sendbuf, recvbuf) -> None:
         ctx_id, tag = self._next_coll()
         p = self._size
@@ -589,6 +636,7 @@ class Intracomm:
             incoming = np.asarray(msg.payload).view(rdt.np_dtype)
             rflat[src * rblk:src * rblk + incoming.size] = incoming
 
+    @_traced_collective("binomial-tree")
     def Reduce(self, sendbuf, recvbuf, op: _ops.Op = _ops.SUM,
                root: int = 0) -> None:
         self._check_rank(root)
@@ -618,10 +666,12 @@ class Intracomm:
             rflat, _rc, rdt = decode_buffer_spec(recvbuf)
             rflat[:acc.size] = acc.view(rdt.np_dtype)
 
+    @_traced_collective("reduce+bcast")
     def Allreduce(self, sendbuf, recvbuf, op: _ops.Op = _ops.SUM) -> None:
         self.Reduce(sendbuf, recvbuf, op=op, root=0)
         self.Bcast(recvbuf, root=0)
 
+    @_traced_collective("alltoall+fold")
     def reduce_scatter(self, sendobjs: Sequence[Any],
                        op: _ops.Op = _ops.SUM) -> Any:
         """Reduce comm.size contributions elementwise, scatter the results:
@@ -634,6 +684,7 @@ class Intracomm:
             acc = op(acc, part)
         return acc
 
+    @_traced_collective("linear-chain")
     def Scan(self, sendbuf, recvbuf, op: _ops.Op = _ops.SUM) -> None:
         """Inclusive prefix reduction over buffers (linear chain)."""
         ctx_id, tag = self._next_coll()
@@ -650,6 +701,7 @@ class Intracomm:
         rflat, _rc, rdt = decode_buffer_spec(recvbuf)
         rflat[:acc.size] = acc.view(rdt.np_dtype)
 
+    @_traced_collective("linear-chain")
     def Exscan(self, sendbuf, recvbuf, op: _ops.Op = _ops.SUM) -> None:
         """Exclusive prefix reduction over buffers; rank 0's recvbuf is
         left untouched (MPI leaves it undefined)."""

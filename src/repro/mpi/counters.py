@@ -3,7 +3,9 @@
 Every message that passes through the runtime is counted here, so
 higher layers (ODIN's communication-strategy chooser, the Fig.-1 control
 plane experiment, the alpha-beta scaling model) work from *measured*
-traffic rather than estimates.
+traffic rather than estimates.  Both directions are attributed per peer:
+``by_peer`` maps destination world rank to bytes sent, ``by_peer_recv``
+maps source world rank to bytes received.
 """
 
 from __future__ import annotations
@@ -17,26 +19,33 @@ __all__ = ["CommCounters", "CounterSnapshot"]
 class CounterSnapshot:
     """Immutable copy of one rank's counters at a point in time."""
 
-    __slots__ = ("sends", "recvs", "bytes_sent", "bytes_recvd", "by_peer")
+    __slots__ = ("sends", "recvs", "bytes_sent", "bytes_recvd", "by_peer",
+                 "by_peer_recv")
 
-    def __init__(self, sends, recvs, bytes_sent, bytes_recvd, by_peer):
+    def __init__(self, sends, recvs, bytes_sent, bytes_recvd, by_peer,
+                 by_peer_recv=()):
         self.sends = sends
         self.recvs = recvs
         self.bytes_sent = bytes_sent
         self.bytes_recvd = bytes_recvd
         self.by_peer = dict(by_peer)
+        self.by_peer_recv = dict(by_peer_recv)
 
     def __sub__(self, other):
         """Traffic delta between two snapshots (self - other)."""
         by_peer = defaultdict(int, self.by_peer)
         for peer, nbytes in other.by_peer.items():
             by_peer[peer] -= nbytes
+        by_peer_recv = defaultdict(int, self.by_peer_recv)
+        for peer, nbytes in other.by_peer_recv.items():
+            by_peer_recv[peer] -= nbytes
         return CounterSnapshot(
             self.sends - other.sends,
             self.recvs - other.recvs,
             self.bytes_sent - other.bytes_sent,
             self.bytes_recvd - other.bytes_recvd,
             {p: b for p, b in by_peer.items() if b},
+            {p: b for p, b in by_peer_recv.items() if b},
         )
 
     def __repr__(self):
@@ -55,6 +64,8 @@ class CommCounters:
         self.bytes_recvd = 0
         # dest rank (world numbering) -> bytes sent to that peer
         self.by_peer = defaultdict(int)
+        # source rank (world numbering) -> bytes received from that peer
+        self.by_peer_recv = defaultdict(int)
 
     def record_send(self, dest_world_rank: int, nbytes: int) -> None:
         with self._lock:
@@ -62,18 +73,21 @@ class CommCounters:
             self.bytes_sent += nbytes
             self.by_peer[dest_world_rank] += nbytes
 
-    def record_recv(self, nbytes: int) -> None:
+    def record_recv(self, src_world_rank: int, nbytes: int) -> None:
         with self._lock:
             self.recvs += 1
             self.bytes_recvd += nbytes
+            self.by_peer_recv[src_world_rank] += nbytes
 
     def snapshot(self) -> CounterSnapshot:
         with self._lock:
             return CounterSnapshot(self.sends, self.recvs, self.bytes_sent,
-                                   self.bytes_recvd, self.by_peer)
+                                   self.bytes_recvd, self.by_peer,
+                                   self.by_peer_recv)
 
     def reset(self) -> None:
         with self._lock:
             self.sends = self.recvs = 0
             self.bytes_sent = self.bytes_recvd = 0
             self.by_peer.clear()
+            self.by_peer_recv.clear()

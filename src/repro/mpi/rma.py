@@ -23,6 +23,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..trace import TRACER as _TR
 from . import ops as _ops
 from .comm import Intracomm
 from .errors import MPIError, RankError
@@ -101,6 +102,7 @@ class Win:
             target_offset: int = 0) -> None:
         """Write *origin* into the target window at element offset."""
         self._check_epoch()
+        t0 = _TR.now() if _TR.enabled else 0.0
         data = np.ascontiguousarray(origin)
         buf, lock = self._target_entry(target_rank)
         flat = buf.reshape(-1)
@@ -112,11 +114,16 @@ class Win:
                 data.reshape(-1).astype(buf.dtype, copy=False)
         self.comm.counters().record_send(
             self.comm.world_rank(target_rank), data.nbytes)
+        if _TR.enabled:
+            _TR.complete("mpi.rma", "Put", t0, rank=self.comm.context.rank,
+                         target=self.comm.world_rank(target_rank),
+                         nbytes=data.nbytes)
 
     def Get(self, origin: np.ndarray, target_rank: int,
             target_offset: int = 0) -> None:
         """Read from the target window into *origin*."""
         self._check_epoch()
+        t0 = _TR.now() if _TR.enabled else 0.0
         buf, lock = self._target_entry(target_rank)
         flat = buf.reshape(-1)
         out = origin.reshape(-1)
@@ -128,9 +135,13 @@ class Win:
                 origin.dtype, copy=False)
         # data flowed target -> origin
         world = self.comm.context.world
-        world.counters[self.comm.world_rank(target_rank)].record_send(
+        target_world = self.comm.world_rank(target_rank)
+        world.counters[target_world].record_send(
             self.comm.context.rank, out.nbytes)
-        self.comm.counters().record_recv(out.nbytes)
+        self.comm.counters().record_recv(target_world, out.nbytes)
+        if _TR.enabled:
+            _TR.complete("mpi.rma", "Get", t0, rank=self.comm.context.rank,
+                         target=target_world, nbytes=out.nbytes)
 
     def Accumulate(self, origin: np.ndarray, target_rank: int,
                    target_offset: int = 0,
@@ -138,6 +149,7 @@ class Win:
         """Combine *origin* into the target window with *op* (atomically
         with respect to other accumulates on the same target)."""
         self._check_epoch()
+        t0 = _TR.now() if _TR.enabled else 0.0
         data = np.ascontiguousarray(origin)
         buf, lock = self._target_entry(target_rank)
         flat = buf.reshape(-1)
@@ -149,6 +161,11 @@ class Win:
             flat[sl] = op.np_func(flat[sl], data.reshape(-1))
         self.comm.counters().record_send(
             self.comm.world_rank(target_rank), data.nbytes)
+        if _TR.enabled:
+            _TR.complete("mpi.rma", "Accumulate", t0,
+                         rank=self.comm.context.rank,
+                         target=self.comm.world_rank(target_rank),
+                         nbytes=data.nbytes)
 
     def Free(self) -> None:
         """Collective teardown."""

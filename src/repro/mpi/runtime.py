@@ -28,6 +28,7 @@ from typing import Any, Callable, List, Optional, Sequence
 
 import numpy as np
 
+from ..trace import TRACER as _TR
 from .counters import CommCounters
 from .errors import AbortError, DeadlockError, MPIError
 from .status import ANY_SOURCE, ANY_TAG, Status
@@ -195,11 +196,27 @@ class RankContext:
 
     # -- low-level typed transport (used by Comm) ---------------------------
     def send_buffer(self, dest: int, ctx_id, tag, flat: np.ndarray) -> None:
+        if _TR.enabled:
+            t0 = _TR.now()
+            payload = np.ascontiguousarray(flat).copy()
+            self.world.deliver(self.rank, dest, ctx_id, tag, "buffer",
+                               payload, payload.nbytes)
+            _TR.complete("mpi.p2p", "send", t0, rank=self.rank, dest=dest,
+                         nbytes=payload.nbytes, kind="buffer")
+            return
         payload = np.ascontiguousarray(flat).copy()
         self.world.deliver(self.rank, dest, ctx_id, tag, "buffer",
                            payload, payload.nbytes)
 
     def send_object(self, dest: int, ctx_id, tag, obj: Any) -> None:
+        if _TR.enabled:
+            t0 = _TR.now()
+            blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+            self.world.deliver(self.rank, dest, ctx_id, tag, "pickle",
+                               blob, len(blob))
+            _TR.complete("mpi.p2p", "send", t0, rank=self.rank, dest=dest,
+                         nbytes=len(blob), kind="pickle")
+            return
         blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
         self.world.deliver(self.rank, dest, ctx_id, tag, "pickle",
                            blob, len(blob))
@@ -207,25 +224,40 @@ class RankContext:
     def recv_message(self, ctx_id, source, tag,
                      timeout: Optional[float] = None) -> Message:
         timeout = self.world.timeout if timeout is None else timeout
+        if _TR.enabled:
+            # the span covers the blocked wait: recv time in the trace is
+            # time spent *waiting* for the matching message
+            t0 = _TR.now()
+            msg = self.world.mailboxes[self.rank].retrieve(
+                ctx_id, source, tag, timeout)
+            self.world.counters[self.rank].record_recv(msg.src, msg.nbytes)
+            _TR.complete("mpi.p2p", "recv", t0, rank=self.rank,
+                         source=msg.src, nbytes=msg.nbytes)
+            return msg
         msg = self.world.mailboxes[self.rank].retrieve(
             ctx_id, source, tag, timeout)
-        self.world.counters[self.rank].record_recv(msg.nbytes)
+        self.world.counters[self.rank].record_recv(msg.src, msg.nbytes)
         return msg
 
     def poll_message(self, ctx_id, source, tag,
                      remove: bool = False) -> Optional[Message]:
         msg = self.world.mailboxes[self.rank].poll(ctx_id, source, tag, remove)
         if msg is not None and remove:
-            self.world.counters[self.rank].record_recv(msg.nbytes)
+            self.world.counters[self.rank].record_recv(msg.src, msg.nbytes)
+            if _TR.enabled:
+                _TR.instant("mpi.p2p", "recv.poll", rank=self.rank,
+                            source=msg.src, nbytes=msg.nbytes)
         return msg
 
     def bind(self) -> None:
         """Bind this context to the calling thread."""
         _tls.ctx = self
+        _TR.set_thread_rank(self.rank)
 
     def unbind(self) -> None:
         if getattr(_tls, "ctx", None) is self:
             _tls.ctx = None
+            _TR.set_thread_rank(None)
 
 
 def run_spmd(fn: Callable[..., Any], nranks: int, args: Sequence = (),

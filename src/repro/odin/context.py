@@ -22,6 +22,7 @@ import numpy as np
 
 from ..mpi.comm import Intracomm
 from ..mpi.runtime import RankContext, World
+from ..trace import TRACER as _TR
 from .distribution import Distribution
 from . import opcodes
 from .worker import WorkerState, execute_op
@@ -131,6 +132,13 @@ class OdinContext:
     # ------------------------------------------------------------------
     def _issue(self, *op) -> List[Any]:
         """Broadcast one op and collect per-worker results (driver)."""
+        if _TR.enabled:
+            with _TR.span("odin.control", str(op[0]), rank="driver",
+                          nworkers=self.nworkers):
+                return self._issue_impl(*op)
+        return self._issue_impl(*op)
+
+    def _issue_impl(self, *op) -> List[Any]:
         with self._lock:
             if not self._alive:
                 raise RuntimeError("ODIN context has been shut down")
@@ -174,6 +182,15 @@ class OdinContext:
                 array: np.ndarray) -> None:
         """Ship real data from the driver (data plane, not control)."""
         array = np.asarray(array)
+        if _TR.enabled:
+            # global -> local transition: real data leaves the driver
+            with _TR.span("odin.control", "scatter", rank="driver",
+                          nbytes=int(array.nbytes)):
+                return self._scatter_impl(array_id, dist, array)
+        return self._scatter_impl(array_id, dist, array)
+
+    def _scatter_impl(self, array_id: int, dist: Distribution,
+                      array: np.ndarray) -> None:
         blocks = []
         for w in range(self.nworkers):
             blocks.append(np.ascontiguousarray(
@@ -199,6 +216,13 @@ class OdinContext:
 
     def gather(self, array_id: int) -> np.ndarray:
         """Assemble the full array on the driver."""
+        if _TR.enabled:
+            # local -> global transition: blocks reassemble on the driver
+            with _TR.span("odin.control", "gather.assemble", rank="driver"):
+                return self._gather_impl(array_id)
+        return self._gather_impl(array_id)
+
+    def _gather_impl(self, array_id: int) -> np.ndarray:
         pieces = self._issue(opcodes.GATHER, array_id)
         dist, blocks = pieces[0][0], [p[1] for p in pieces]
         out = np.empty(dist.global_shape, dtype=blocks[0].dtype)

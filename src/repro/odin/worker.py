@@ -14,6 +14,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..mpi.comm import Intracomm
+from ..trace import TRACER as _TR
 from . import opcodes
 from .distribution import (ArbitraryDistribution, BlockDistribution,
                            Distribution)
@@ -175,6 +176,16 @@ def _redistribute_block(state: WorkerState, local: np.ndarray,
     """
     if _is_multi_axis(src, dst):
         return _redistribute_general(state, local, src, dst)
+    if _TR.enabled:
+        with _TR.span("odin.worker", "redistribute.exchange",
+                      worker=state.index, kind="single-axis"):
+            return _redistribute_block_impl(state, local, src, dst)
+    return _redistribute_block_impl(state, local, src, dst)
+
+
+def _redistribute_block_impl(state: WorkerState, local: np.ndarray,
+                             src: Distribution,
+                             dst: Distribution) -> np.ndarray:
     comm = state.comm
     P = comm.size
     w = state.index
@@ -253,6 +264,16 @@ def _place_tile(out: np.ndarray, piece: np.ndarray, dist: Distribution,
 def _redistribute_general(state: WorkerState, local: np.ndarray,
                           src: Distribution,
                           dst: Distribution) -> np.ndarray:
+    if _TR.enabled:
+        with _TR.span("odin.worker", "redistribute.exchange",
+                      worker=state.index, kind="general"):
+            return _redistribute_general_impl(state, local, src, dst)
+    return _redistribute_general_impl(state, local, src, dst)
+
+
+def _redistribute_general_impl(state: WorkerState, local: np.ndarray,
+                               src: Distribution,
+                               dst: Distribution) -> np.ndarray:
     comm = state.comm
     P = comm.size
     w = state.index
@@ -354,9 +375,16 @@ def _eval_program(state: WorkerState, program, blocks: List[np.ndarray],
             from .fusion import compiled_kernel
             kernel = compiled_kernel(tuple(program), len(blocks))
             if kernel is not None:
+                if _TR.enabled:
+                    t0 = _TR.now()
+                    out = kernel(blocks)
+                    _TR.complete("odin.worker", "fused.kernel", t0,
+                                 ops=len(program), engine="seamless")
+                    return out
                 return kernel(blocks)
         except Exception:
             pass  # fall back to the stack machine
+    t0 = _TR.now() if _TR.enabled else 0.0
     stack: List[np.ndarray] = []
     for inst in program:
         tag = inst[0]
@@ -374,7 +402,11 @@ def _eval_program(state: WorkerState, program, blocks: List[np.ndarray],
             raise ValueError(f"bad instruction {inst!r}")
     if len(stack) != 1:
         raise ValueError("malformed fusion program")
-    return np.asarray(stack[0])
+    out = np.asarray(stack[0])
+    if _TR.enabled:
+        _TR.complete("odin.worker", "fused.stack", t0,
+                     ops=len(program), engine="numpy")
+    return out
 
 
 def _key_hash(keys: np.ndarray) -> np.ndarray:
@@ -396,6 +428,14 @@ def _key_hash(keys: np.ndarray) -> np.ndarray:
 # dispatch
 # ----------------------------------------------------------------------
 def execute_op(state: WorkerState, op: tuple) -> Any:
+    """Execute one control op; each op becomes one ``odin.worker`` span."""
+    if _TR.enabled:
+        with _TR.span("odin.worker", str(op[0]), worker=state.index):
+            return _execute_op_impl(state, op)
+    return _execute_op_impl(state, op)
+
+
+def _execute_op_impl(state: WorkerState, op: tuple) -> Any:
     code = op[0]
 
     if code == opcodes.CREATE:

@@ -20,9 +20,15 @@ import numpy as np
 
 from ..teuchos import ParameterList
 from ..tpetra import Operator, Vector
+from ..trace import TRACER as _TR
 
 __all__ = ["SolverResult", "cg", "gmres", "bicgstab", "minres", "tfqmr",
            "block_cg", "BlockSolverResult", "AztecOO"]
+
+
+def _iter_done(name: str, t0: float, k: int, rel: float) -> None:
+    """Record one solver iteration as a span carrying its residual norm."""
+    _TR.complete("solver.krylov", name, t0, k=int(k), resid=float(rel))
 
 
 @dataclass
@@ -72,6 +78,7 @@ def cg(op: Operator, b: Vector, x: Optional[Vector] = None,
         return SolverResult(x, True, 0, history[-1], history)
     ap = Vector(op.range_map(), dtype=b.dtype)
     for k in range(1, maxiter + 1):
+        t0 = _TR.now() if _TR.enabled else 0.0
         op.apply(p, ap)
         pap = p.dot(ap)
         if pap == 0:
@@ -82,6 +89,8 @@ def cg(op: Operator, b: Vector, x: Optional[Vector] = None,
         r.update(-alpha, ap, 1.0)
         rel = r.norm2() / bnorm
         history.append(rel)
+        if _TR.enabled:
+            _iter_done("cg.iter", t0, k, rel)
         if rel <= tol:
             return SolverResult(x, True, k, rel, history)
         z = _apply_prec(prec, r)
@@ -130,6 +139,7 @@ def gmres(op: Operator, b: Vector, x: Optional[Vector] = None,
         sn = np.zeros(m)
         k_done = 0
         for j in range(m):
+            t0 = _TR.now() if _TR.enabled else 0.0
             z = _apply_prec(prec, V[j])
             if flexible:
                 Z.append(z.copy())
@@ -160,6 +170,8 @@ def gmres(op: Operator, b: Vector, x: Optional[Vector] = None,
             k_done = j + 1
             rel = abs(g[j + 1]) / bnorm
             history.append(rel)
+            if _TR.enabled:
+                _iter_done("gmres.iter", t0, total_iters, rel)
             if rel <= tol or breakdown or H[j, j] == 0:
                 break
         # solve the small triangular system and update x
@@ -201,6 +213,7 @@ def bicgstab(op: Operator, b: Vector, x: Optional[Vector] = None,
     if history[-1] <= tol:
         return SolverResult(x, True, 0, history[-1], history)
     for k in range(1, maxiter + 1):
+        t0 = _TR.now() if _TR.enabled else 0.0
         rho_new = r0.dot(r)
         if rho_new == 0:
             return SolverResult(x, False, k, history[-1], history,
@@ -221,6 +234,8 @@ def bicgstab(op: Operator, b: Vector, x: Optional[Vector] = None,
         if s.norm2() / bnorm <= tol:
             x.update(alpha, phat, 1.0)
             history.append(s.norm2() / bnorm)
+            if _TR.enabled:
+                _iter_done("bicgstab.iter", t0, k, history[-1])
             return SolverResult(x, True, k, history[-1], history)
         shat = _apply_prec(prec, s)
         t = Vector(b.map, dtype=b.dtype)
@@ -233,6 +248,8 @@ def bicgstab(op: Operator, b: Vector, x: Optional[Vector] = None,
         r.update(-omega, t, 1.0)
         rel = r.norm2() / bnorm
         history.append(rel)
+        if _TR.enabled:
+            _iter_done("bicgstab.iter", t0, k, rel)
         if rel <= tol:
             return SolverResult(x, True, k, rel, history)
         if omega == 0:
@@ -261,6 +278,7 @@ def minres(op: Operator, b: Vector, x: Optional[Vector] = None,
     sigma, sigma_prev = 0.0, 0.0
     beta_prev = 0.0
     for k in range(1, maxiter + 1):
+        t0 = _TR.now() if _TR.enabled else 0.0
         av = Vector(b.map, dtype=b.dtype)
         op.apply(v, av)
         alpha = v.dot(av)
@@ -284,11 +302,15 @@ def minres(op: Operator, b: Vector, x: Optional[Vector] = None,
         v_prev = v
         if beta_new <= 1e-300:
             history.append(abs(eta) / bnorm)
+            if _TR.enabled:
+                _iter_done("minres.iter", t0, k, history[-1])
             return SolverResult(x, True, k, history[-1], history)
         v = av * (1.0 / beta_new)
         beta_prev, beta = beta, beta_new
         rel = abs(eta) / bnorm
         history.append(rel)
+        if _TR.enabled:
+            _iter_done("minres.iter", t0, k, rel)
         if rel <= tol:
             return SolverResult(x, True, k, rel, history)
     return SolverResult(x, False, maxiter, history[-1], history,
@@ -334,6 +356,7 @@ def tfqmr(op: Operator, b: Vector, x: Optional[Vector] = None,
     rho = r0.dot(r)
     alpha = 0.0
     for m in range(2 * maxiter):
+        t0 = _TR.now() if _TR.enabled else 0.0
         even = (m % 2 == 0)
         if even:
             sigma = r0.dot(v)
@@ -356,6 +379,8 @@ def tfqmr(op: Operator, b: Vector, x: Optional[Vector] = None,
         x.update(eta, d, 1.0)
         rel = tau * np.sqrt(m + 2.0) / bnorm
         history.append(rel)
+        if _TR.enabled:
+            _iter_done("tfqmr.iter", t0, (m + 2) // 2, rel)
         if rel <= tol:
             rtrue = _residual(op, x, b).norm2() / bnorm
             history[-1] = rtrue
@@ -436,6 +461,7 @@ def block_cg(op: Operator, B: "MultiVector", X: Optional["MultiVector"] = None,
     for k in range(1, maxiter + 1):
         if not active.any():
             break
+        t0 = _TR.now() if _TR.enabled else 0.0
         AP = apply_block(op, P)
         pap = np.einsum("ij,ij->j", np.conj(P.local), AP.local).real
         out = np.zeros_like(pap)
@@ -449,6 +475,8 @@ def block_cg(op: Operator, B: "MultiVector", X: Optional["MultiVector"] = None,
         newly_done = active & (resid <= tol)
         active = active & ~newly_done
         history_its = k
+        if _TR.enabled:
+            _iter_done("block_cg.iter", t0, k, float(resid.max()))
         if not active.any():
             break
         Z = apply_block(prec, R) if prec is not None else R.copy()
@@ -495,4 +523,9 @@ class AztecOO:
             kwargs["flexible"] = bool(self.params.get("Flexible", False))
         if name != "MINRES":
             kwargs["prec"] = self.prec
+        if _TR.enabled:
+            with _TR.span("solver.krylov", "aztecoo.iterate",
+                          method=name, tol=tol):
+                return method(self.op, b, x=x, tol=tol, maxiter=maxiter,
+                              **kwargs)
         return method(self.op, b, x=x, tol=tol, maxiter=maxiter, **kwargs)

@@ -27,7 +27,12 @@ import numpy as np
 
 from ..teuchos import ParameterList
 from ..tpetra import LinearOperator, Operator, Vector
+from ..trace import TRACER as _TR
 from .krylov import gmres
+
+# trial residual norms at or above this are rejected before they are
+# squared (model merit functions use ||F||^2; sqrt(float64 max) ~ 1.3e154)
+_HUGE_FNORM = 1e150
 
 __all__ = ["NonlinearResult", "JacobianFreeOperator", "NewtonSolver"]
 
@@ -121,12 +126,16 @@ class NewtonSolver:
         x = x0.copy()
         fx = self.residual(x)
         fnorm = fx.norm2()
+        if not np.isfinite(fnorm):
+            return NonlinearResult(x, False, 0, fnorm, [fnorm], 0,
+                                   "non-finite initial residual")
         f0 = fnorm or 1.0
         history = [fnorm]
         lin_total = 0
         fnorm_old = fnorm
         eta_old = eta
         for k in range(1, maxiter + 1):
+            t0 = _TR.now() if _TR.enabled else 0.0
             if fnorm <= tol * f0 or fnorm <= tol:
                 return NonlinearResult(x, True, k - 1, fnorm, history,
                                        lin_total)
@@ -155,11 +164,17 @@ class NewtonSolver:
             if lam == 0.0:
                 return NonlinearResult(x, False, k, fnorm, history,
                                        lin_total, "line search failed")
+            if not np.isfinite(fnorm_new):
+                return NonlinearResult(x, False, k, fnorm, history,
+                                       lin_total, "non-finite residual")
             x.update(lam, dx, 1.0)
             fx = fx_new
             fnorm_old, fnorm = fnorm, fnorm_new
             eta_old = eta
             history.append(fnorm)
+            if _TR.enabled:
+                _TR.complete("solver.nox", "newton.iter", t0, k=k,
+                             fnorm=float(fnorm), lam=float(lam))
         converged = fnorm <= tol * f0 or fnorm <= tol
         return NonlinearResult(x, converged, maxiter, fnorm, history,
                                lin_total,
@@ -191,6 +206,7 @@ class NewtonSolver:
         history = [fnorm]
         lin_total = 0
         for k in range(1, maxiter + 1):
+            t0 = _TR.now() if _TR.enabled else 0.0
             if fnorm <= tol * f0 or fnorm <= tol:
                 return NonlinearResult(x, True, k - 1, fnorm, history,
                                        lin_total)
@@ -216,6 +232,13 @@ class NewtonSolver:
                 xt.update(1.0, s, 1.0)
                 ft = self.residual(xt)
                 fn = ft.norm2()
+                if not np.isfinite(fn) or fn >= _HUGE_FNORM:
+                    # trial step left the basin (overflow/NaN residual):
+                    # reject without squaring it and shrink the radius
+                    delta *= 0.5
+                    if delta < 1e-14:
+                        break
+                    continue
                 # predicted reduction from the linear model
                 js = Vector(fx.map, dtype=x.dtype)
                 J.apply(s, js)
@@ -242,6 +265,9 @@ class NewtonSolver:
             fx = ft
             fnorm = fn
             history.append(fnorm)
+            if _TR.enabled:
+                _TR.complete("solver.nox", "newton.iter", t0, k=k,
+                             fnorm=float(fnorm), strategy="trust-region")
         converged = fnorm <= tol * f0 or fnorm <= tol
         return NonlinearResult(x, converged, maxiter, fnorm, history,
                                lin_total,
@@ -294,6 +320,11 @@ class NewtonSolver:
             xt.update(lam, dx, 1.0)
             ft = self.residual(xt)
             fn = ft.norm2()
+            if not np.isfinite(fn) or fn >= _HUGE_FNORM:
+                # non-finite (or about-to-overflow) trial residual: the
+                # step is far too long; halve and retry
+                lam *= 0.5
+                continue
             if fn <= (1.0 - alpha * lam) * fnorm:
                 return lam, ft, fn
             if kind.startswith("quad"):

@@ -14,23 +14,37 @@ __all__ = ["Time", "TimeMonitor"]
 
 
 class Time:
-    """A named accumulating stopwatch."""
+    """A named accumulating stopwatch.
+
+    Starts nest: a ``start()`` while already running increments a depth
+    counter instead of raising, and only the outermost ``stop()``
+    accumulates elapsed time, so re-entrant phases (recursive solvers,
+    nested trace spans over the same timer) are counted once.  The timer
+    is also a context manager::
+
+        with timer:
+            work()
+    """
 
     def __init__(self, name: str):
         self.name = name
         self.total = 0.0
         self.calls = 0
         self._start: Optional[float] = None
+        self._depth = 0
 
     def start(self) -> "Time":
-        if self._start is not None:
-            raise RuntimeError(f"timer {self.name!r} already running")
-        self._start = time.perf_counter()
+        if self._depth == 0:
+            self._start = time.perf_counter()
+        self._depth += 1
         return self
 
     def stop(self) -> float:
-        if self._start is None:
+        if self._depth == 0:
             raise RuntimeError(f"timer {self.name!r} not running")
+        self._depth -= 1
+        if self._depth > 0:
+            return 0.0
         elapsed = time.perf_counter() - self._start
         self._start = None
         self.total += elapsed
@@ -39,12 +53,24 @@ class Time:
 
     @property
     def running(self) -> bool:
-        return self._start is not None
+        return self._depth > 0
+
+    @property
+    def depth(self) -> int:
+        """Current nesting depth (0 when stopped)."""
+        return self._depth
 
     def reset(self) -> None:
         self.total = 0.0
         self.calls = 0
         self._start = None
+        self._depth = 0
+
+    def __enter__(self) -> "Time":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
 
     def __repr__(self):
         return f"Time({self.name!r}, total={self.total:.6f}s, calls={self.calls})"

@@ -1,0 +1,167 @@
+"""Trace exporters: Chrome ``trace_event`` JSON, text summary, traffic.
+
+Three consumers of one event stream:
+
+- :func:`write_chrome_trace` -- a JSON file loadable in
+  ``chrome://tracing`` or https://ui.perfetto.dev, one timeline row per
+  rank.
+- :func:`summary` -- a per-rank plain-text table of span totals, merged
+  with the global ``TimeMonitor`` registry so tracer spans and legacy
+  named timers land in one report.
+- :func:`traffic_report` -- per-rank message/byte counters (send *and*
+  receive side, per peer) from :class:`~repro.mpi.counters
+  .CounterSnapshot`, correlated with the traced communication time when
+  a tracer is supplied.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..teuchos.timer import TimeMonitor
+from .tracer import TRACER, RankLabel, Tracer
+
+__all__ = ["chrome_trace_events", "write_chrome_trace", "summary",
+           "traffic_report"]
+
+
+def _rank_sort_key(rank: RankLabel):
+    # integer ranks first (in order), then named lanes (driver, main, ...)
+    if isinstance(rank, int):
+        return (0, rank, "")
+    return (1, 0, str(rank))
+
+
+def _tid_table(events) -> Dict[RankLabel, int]:
+    ranks = sorted({ev[3] for ev in events}, key=_rank_sort_key)
+    return {rank: tid for tid, rank in enumerate(ranks)}
+
+
+def chrome_trace_events(tracer: Optional[Tracer] = None) -> List[dict]:
+    """The event stream in Chrome ``trace_event`` dict form.
+
+    Spans become complete ("X") events and instants "i" events; one
+    metadata event per rank names its timeline row.  Timestamps are
+    microseconds since the tracer epoch.
+    """
+    tracer = tracer if tracer is not None else TRACER
+    events = tracer.events()
+    tids = _tid_table(events)
+    out: List[dict] = []
+    for rank, tid in tids.items():
+        label = f"rank {rank}" if isinstance(rank, int) else str(rank)
+        out.append({"ph": "M", "name": "thread_name", "pid": 0,
+                    "tid": tid, "args": {"name": label}})
+        out.append({"ph": "M", "name": "thread_sort_index", "pid": 0,
+                    "tid": tid, "args": {"sort_index": tid}})
+    for ph, cat, name, rank, ts, dur, args in events:
+        ev = {"ph": ph, "cat": cat, "name": name, "pid": 0,
+              "tid": tids[rank], "ts": round(ts * 1e6, 3)}
+        if ph == "X":
+            ev["dur"] = round(dur * 1e6, 3)
+        elif ph == "i":
+            ev["s"] = "t"
+        if args:
+            ev["args"] = args
+        out.append(ev)
+    return out
+
+
+def write_chrome_trace(path_or_file, tracer: Optional[Tracer] = None,
+                       ) -> int:
+    """Write the Chrome trace JSON; returns the number of trace events.
+
+    Load the file via ``chrome://tracing`` "Load" or drop it onto
+    https://ui.perfetto.dev.
+    """
+    tracer = tracer if tracer is not None else TRACER
+    payload = {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.trace"},
+    }
+    if hasattr(path_or_file, "write"):
+        json.dump(payload, path_or_file)
+    else:
+        with open(path_or_file, "w") as fh:
+            json.dump(payload, fh)
+    return len(payload["traceEvents"])
+
+
+def summary(tracer: Optional[Tracer] = None,
+            merge_time_monitor: bool = True) -> str:
+    """Per-rank span totals as text, merged with ``TimeMonitor``.
+
+    One block per rank, one row per ``category:name``, sorted by total
+    time; followed (when *merge_time_monitor*) by the global
+    ``TimeMonitor.summarize()`` table so explicitly named phase timers
+    appear alongside traced spans.
+    """
+    tracer = tracer if tracer is not None else TRACER
+    timers = tracer.span_timers()
+    out = io.StringIO()
+    if not timers:
+        out.write("(no trace spans recorded)\n")
+    else:
+        by_rank: Dict[RankLabel, list] = {}
+        for (rank, key), timer in timers.items():
+            by_rank.setdefault(rank, []).append((key, timer))
+        width = max(len(key) for (_r, key) in timers) + 2
+        for rank in sorted(by_rank, key=_rank_sort_key):
+            label = f"rank {rank}" if isinstance(rank, int) else str(rank)
+            out.write(f"-- {label} --\n")
+            out.write(f"{'span':<{width}}{'total (s)':>12}{'calls':>8}"
+                      f"{'mean (s)':>12}\n")
+            rows = sorted(by_rank[rank], key=lambda kv: -kv[1].total)
+            for key, timer in rows:
+                mean = timer.total / timer.calls if timer.calls else 0.0
+                out.write(f"{key:<{width}}{timer.total:>12.6f}"
+                          f"{timer.calls:>8d}{mean:>12.6f}\n")
+            out.write("\n")
+    if merge_time_monitor:
+        out.write("-- TimeMonitor --\n")
+        out.write(TimeMonitor.summarize() + "\n")
+    return out.getvalue()
+
+
+def traffic_report(snapshots: Union[Sequence, "object"],
+                   tracer: Optional[Tracer] = None) -> str:
+    """Per-rank traffic table from counter snapshots.
+
+    *snapshots* is a sequence of :class:`~repro.mpi.counters
+    .CounterSnapshot` indexed by world rank, or a
+    :class:`~repro.mpi.runtime.World` (whose live counters are
+    snapshotted).  Per-peer sent **and** received bytes are listed; when
+    a tracer with recorded spans is given, each rank's traced
+    communication time (``mpi.*`` span categories) is appended so bytes
+    correlate with time.
+    """
+    if hasattr(snapshots, "counters"):  # a World
+        snapshots = [c.snapshot() for c in snapshots.counters]
+    comm_time: Dict[RankLabel, float] = {}
+    if tracer is not None:
+        for (rank, key), timer in tracer.span_timers().items():
+            if key.startswith("mpi."):
+                comm_time[rank] = comm_time.get(rank, 0.0) + timer.total
+    out = io.StringIO()
+    header = (f"{'rank':>4}  {'sends':>7}  {'recvs':>7}  "
+              f"{'bytes sent':>12}  {'bytes recvd':>12}")
+    if comm_time:
+        header += f"  {'comm time (s)':>14}"
+    out.write(header + "\n")
+    out.write("-" * len(header) + "\n")
+    for rank, snap in enumerate(snapshots):
+        line = (f"{rank:>4}  {snap.sends:>7}  {snap.recvs:>7}  "
+                f"{snap.bytes_sent:>12}  {snap.bytes_recvd:>12}")
+        if comm_time:
+            line += f"  {comm_time.get(rank, 0.0):>14.6f}"
+        out.write(line + "\n")
+        sent = getattr(snap, "by_peer", {}) or {}
+        recvd = getattr(snap, "by_peer_recv", {}) or {}
+        peers = sorted(set(sent) | set(recvd))
+        for peer in peers:
+            out.write(f"      -> {peer}: {sent.get(peer, 0):>12} B"
+                      f"    <- {peer}: {recvd.get(peer, 0):>12} B\n")
+    return out.getvalue()

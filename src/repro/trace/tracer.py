@@ -1,0 +1,297 @@
+"""Structured per-rank event tracing.
+
+One process-wide :class:`Tracer` collects *span* (duration) and *instant*
+events from every layer of the stack -- the MPI substrate, ODIN workers,
+the driver control plane, and the solver stack.  Design constraints:
+
+- **Disabled cost is one predicate per event site.**  Instrumented code
+  holds a reference to the singleton and guards each site with
+  ``if _TR.enabled:``; nothing else runs when tracing is off.
+- **No locks on the hot path.**  Each thread appends to its own buffer
+  (registered once, under a lock, on first use); export walks all
+  buffers and groups events by rank.
+- **Per-rank attribution.**  :meth:`RankContext.bind()
+  <repro.mpi.runtime.RankContext.bind>` publishes the world rank of the
+  calling thread via :meth:`Tracer.set_thread_rank`, so events emitted
+  anywhere down the call stack land in the right rank's timeline.
+  Unbound threads (e.g. the ODIN driver's user thread) fall back to a
+  thread-name label, and every emit API accepts an explicit ``rank=``.
+
+Span durations also accumulate into per-rank
+:class:`~repro.teuchos.timer.Time` objects (via their context-manager
+API), which is what the text :func:`~repro.trace.export.summary`
+exporter renders and merges with ``TimeMonitor.summarize()``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..teuchos.timer import Time
+
+__all__ = ["Tracer", "TRACER", "get_tracer", "enabled", "enable",
+           "disable", "set_enabled", "clear", "span", "instant",
+           "set_thread_rank"]
+
+RankLabel = Union[int, str]
+
+# Event tuples: (phase, category, name, rank, ts, dur, args)
+#   phase "X" = complete (span) event, "i" = instant event
+#   ts/dur are seconds relative to the tracer epoch; args a dict or None
+Event = Tuple[str, str, str, RankLabel, float, float, Optional[dict]]
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_TRACE", "").strip().lower() in (
+        "1", "true", "yes", "on")
+
+
+class _Buffer:
+    """One thread's private event list and span-timer registry."""
+
+    __slots__ = ("events", "timers")
+
+    def __init__(self):
+        self.events: List[Event] = []
+        # (rank, "cat:name") -> accumulating Time
+        self.timers: Dict[Tuple[RankLabel, str], Time] = {}
+
+
+class _Span:
+    """Context manager recording one complete ("X") event."""
+
+    __slots__ = ("_tracer", "_cat", "_name", "_args", "_rank", "_t0",
+                 "_timer", "_buf")
+
+    def __init__(self, tracer: "Tracer", cat: str, name: str,
+                 rank: Optional[RankLabel], args: Optional[dict]):
+        self._tracer = tracer
+        self._cat = cat
+        self._name = name
+        self._args = args
+        self._rank = rank
+
+    def __enter__(self) -> "_Span":
+        tr = self._tracer
+        if self._rank is None:
+            self._rank = tr.thread_rank()
+        self._buf = tr._thread_buffer()
+        key = (self._rank, self._cat + ":" + self._name)
+        timer = self._buf.timers.get(key)
+        if timer is None:
+            timer = self._buf.timers[key] = Time(key[1])
+        self._timer = timer
+        timer.start()
+        self._t0 = time.perf_counter() - tr._epoch
+        return self
+
+    def __exit__(self, *exc) -> None:
+        tr = self._tracer
+        ts = time.perf_counter() - tr._epoch
+        self._timer.stop()
+        self._buf.events.append(
+            ("X", self._cat, self._name, self._rank, self._t0,
+             ts - self._t0, self._args))
+
+    def add_args(self, **kwargs) -> "_Span":
+        """Attach/extend event args from inside the span body."""
+        if self._args is None:
+            self._args = {}
+        self._args.update(kwargs)
+        return self
+
+
+class _NullSpan:
+    """Shared no-op stand-in returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def add_args(self, **kwargs):
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Process-wide trace collector with per-thread (per-rank) buffers."""
+
+    def __init__(self, enabled: Optional[bool] = None):
+        self.enabled: bool = _env_enabled() if enabled is None \
+            else bool(enabled)
+        self._epoch = time.perf_counter()
+        self._lock = threading.Lock()
+        self._buffers: List[_Buffer] = []
+        self._tls = threading.local()
+
+    # ------------------------------------------------------------------
+    # rank binding
+    # ------------------------------------------------------------------
+    def set_thread_rank(self, rank: Optional[RankLabel]) -> None:
+        """Publish the world rank of the calling thread (or ``None`` to
+        clear it).  Called by ``RankContext.bind()/unbind()``."""
+        self._tls.rank = rank
+
+    def thread_rank(self) -> RankLabel:
+        rank = getattr(self._tls, "rank", None)
+        if rank is not None:
+            return rank
+        name = threading.current_thread().name
+        return "main" if name == "MainThread" else name
+
+    # ------------------------------------------------------------------
+    # buffers
+    # ------------------------------------------------------------------
+    def _thread_buffer(self) -> _Buffer:
+        buf = getattr(self._tls, "buf", None)
+        if buf is None:
+            buf = _Buffer()
+            self._tls.buf = buf
+            with self._lock:
+                self._buffers.append(buf)
+        return buf
+
+    # ------------------------------------------------------------------
+    # emit API
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        """Timestamp (seconds since the tracer epoch) for begin/complete
+        pairs on hot paths."""
+        return time.perf_counter() - self._epoch
+
+    def span(self, cat: str, name: str, rank: Optional[RankLabel] = None,
+             **args):
+        """A context manager recording a complete event around its body.
+
+        Returns a shared no-op when tracing is disabled, so
+        ``with tracer.span(...)`` stays safe either way; hot paths should
+        still guard the call with ``if tracer.enabled:``.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        return _Span(self, cat, name, rank, args or None)
+
+    def complete(self, cat: str, name: str, t0: float,
+                 rank: Optional[RankLabel] = None, **args) -> None:
+        """Record a complete event that started at ``t0 = tracer.now()``.
+
+        The begin/complete pair is the cheapest span form: the disabled
+        path is exactly one predicate at each end.
+        """
+        ts = time.perf_counter() - self._epoch
+        if rank is None:
+            rank = self.thread_rank()
+        buf = self._thread_buffer()
+        dur = ts - t0
+        buf.events.append(("X", cat, name, rank, t0, dur, args or None))
+        key = (rank, cat + ":" + name)
+        timer = buf.timers.get(key)
+        if timer is None:
+            timer = buf.timers[key] = Time(key[1])
+        timer.total += dur
+        timer.calls += 1
+
+    def instant(self, cat: str, name: str,
+                rank: Optional[RankLabel] = None, **args) -> None:
+        """Record a zero-duration marker event."""
+        ts = time.perf_counter() - self._epoch
+        if rank is None:
+            rank = self.thread_rank()
+        self._thread_buffer().events.append(
+            ("i", cat, name, rank, ts, 0.0, args or None))
+
+    # ------------------------------------------------------------------
+    # control / introspection
+    # ------------------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        """Drop all recorded events and span timers (keeps the epoch)."""
+        with self._lock:
+            for buf in self._buffers:
+                buf.events.clear()
+                buf.timers.clear()
+
+    def events(self) -> List[Event]:
+        """Snapshot of all events so far, in timestamp order."""
+        with self._lock:
+            merged: List[Event] = []
+            for buf in self._buffers:
+                merged.extend(buf.events)
+        merged.sort(key=lambda ev: ev[4])
+        return merged
+
+    def span_timers(self) -> Dict[Tuple[RankLabel, str], Time]:
+        """Aggregated per-(rank, category:name) span timers."""
+        out: Dict[Tuple[RankLabel, str], Time] = {}
+        with self._lock:
+            buffers = list(self._buffers)
+        for buf in buffers:
+            for key, timer in list(buf.timers.items()):
+                acc = out.get(key)
+                if acc is None:
+                    acc = out[key] = Time(timer.name)
+                acc.total += timer.total
+                acc.calls += timer.calls
+        return out
+
+    def __repr__(self):
+        n = sum(len(b.events) for b in self._buffers)
+        state = "enabled" if self.enabled else "disabled"
+        return f"Tracer({state}, {n} events, {len(self._buffers)} buffers)"
+
+
+# The process-wide singleton every instrumentation site references.
+TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    return TRACER
+
+
+def enabled() -> bool:
+    """Is tracing currently on? (``REPRO_TRACE=1`` or :func:`enable`.)"""
+    return TRACER.enabled
+
+
+def enable() -> None:
+    TRACER.enable()
+
+
+def disable() -> None:
+    TRACER.disable()
+
+
+def set_enabled(flag: bool) -> None:
+    TRACER.enabled = bool(flag)
+
+
+def clear() -> None:
+    TRACER.clear()
+
+
+def span(cat: str, name: str, rank: Optional[RankLabel] = None, **args):
+    return TRACER.span(cat, name, rank=rank, **args)
+
+
+def instant(cat: str, name: str, rank: Optional[RankLabel] = None,
+            **args) -> None:
+    if TRACER.enabled:
+        TRACER.instant(cat, name, rank=rank, **args)
+
+
+def set_thread_rank(rank: Optional[RankLabel]) -> None:
+    TRACER.set_thread_rank(rank)

@@ -120,6 +120,46 @@ class TestCounters:
         peers = spmd(3)(body)[0]
         assert peers[1] > peers[2] > 0
 
+    def test_by_peer_recv_accounting(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(b"x" * 100, 1)
+                comm.send(b"y" * 50, 2)
+            elif comm.rank in (1, 2):
+                comm.recv(source=0)
+            comm.barrier()
+            snap = comm.counters().snapshot()
+            return dict(snap.by_peer_recv), snap.bytes_recvd
+        results = spmd(3)(body)
+        recv1, total1 = results[1]
+        recv2, total2 = results[2]
+        # receive side attributes the source peer, mirroring by_peer
+        assert recv1[0] > recv2[0] > 0
+        assert sum(recv1.values()) == total1
+        assert sum(recv2.values()) == total2
+
+    def test_snapshot_delta_diffs_peer_maps(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(b"a" * 10, 1)
+            elif comm.rank == 1:
+                comm.recv(source=0)
+            comm.barrier()
+            before = comm.traffic_snapshot()
+            if comm.rank == 0:
+                comm.send(b"b" * 30, 1)
+            elif comm.rank == 1:
+                comm.recv(source=0)
+            comm.barrier()
+            delta = comm.traffic_snapshot() - before
+            return dict(delta.by_peer), dict(delta.by_peer_recv)
+        results = spmd(2)(body)
+        sent0, _ = results[0]
+        _, recv1 = results[1]
+        # only the second round's bytes appear in the delta
+        assert sent0[1] >= 30
+        assert recv1[0] >= 30
+
 
 class TestAbort:
     def test_comm_abort_raises_everywhere(self):

@@ -19,8 +19,13 @@ def _atan_problem(comm, n=8, x0_val=3.0):
     def jacobian(x):
         J = tpetra.CrsMatrix(m)
         for lid, gid in enumerate(m.my_gids):
+            # divergent full-step iterates overflow float64 when squared;
+            # clipping keeps J'(x) = 1/(1+x^2) well defined (it is ~0
+            # there anyway) without tripping overflow warnings in the
+            # rank threads, where the caller's np.errstate cannot reach
+            xi = float(np.clip(x.local_view[lid], -1e150, 1e150))
             J.insert_global_values(int(gid), [int(gid)],
-                                   [1.0 / (1.0 + x.local_view[lid] ** 2)])
+                                   [1.0 / (1.0 + xi * xi)])
         J.fillComplete()
         return J
 
@@ -41,8 +46,7 @@ class TestTrustRegion:
                 params=ParameterList().set("Strategy",
                                            "Trust Region")).solve(x0)
             return full.converged, tr.converged, tr.residual_norm
-        with np.errstate(over="ignore"):
-            full_conv, tr_conv, tr_res = spmd(2)(body)[0]
+        full_conv, tr_conv, tr_res = spmd(2)(body)[0]
         assert not full_conv
         assert tr_conv and tr_res < 1e-8
 

@@ -17,14 +17,35 @@ class TestTime:
         assert t.calls == 3
         assert t.total >= 0.006
 
-    def test_double_start_raises(self):
-        t = Time("x").start()
-        with pytest.raises(RuntimeError):
-            t.start()
+    def test_nested_starts_count_outer_elapsed_once(self):
+        t = Time("x")
+        t.start()                      # depth 1
+        time.sleep(0.002)
+        t.start()                      # depth 2 (re-entrant)
+        assert t.depth == 2 and t.running
+        assert t.stop() == 0.0         # inner stop accumulates nothing
+        assert t.calls == 0 and t.running
+        elapsed = t.stop()             # outer stop records the whole span
+        assert elapsed >= 0.002
+        assert t.calls == 1 and t.total == elapsed and not t.running
 
     def test_stop_without_start_raises(self):
         with pytest.raises(RuntimeError):
             Time("x").stop()
+
+    def test_unbalanced_stop_raises(self):
+        t = Time("x")
+        t.start(); t.stop()
+        with pytest.raises(RuntimeError):
+            t.stop()
+
+    def test_context_manager(self):
+        t = Time("cm")
+        with t:
+            time.sleep(0.001)
+            with t:                    # nested with: same timer, no raise
+                pass
+        assert t.calls == 1 and t.total >= 0.001 and not t.running
 
     def test_reset(self):
         t = Time("x")

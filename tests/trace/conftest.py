@@ -1,0 +1,19 @@
+"""Fixtures for the tracing tests.
+
+The tracer is a process-wide singleton; every test that turns it on must
+leave it off and empty so the rest of the suite keeps its zero-overhead
+disabled path (and its event-free state).
+"""
+
+import pytest
+
+from repro.trace import TRACER
+
+
+@pytest.fixture
+def tracer():
+    TRACER.clear()
+    TRACER.enable()
+    yield TRACER
+    TRACER.disable()
+    TRACER.clear()
