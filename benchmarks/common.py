@@ -38,11 +38,22 @@ def table(headers: Sequence[str], rows: Iterable[Sequence], title: str = "",
 def main(generate_report: Callable[[], str]) -> None:
     """CLI entry point shared by every bench module's ``__main__`` block.
 
-    ``--trace OUT.json`` switches on :mod:`repro.trace` for the run and
-    writes a Chrome ``trace_event`` file (load it in ``chrome://tracing``
-    or https://ui.perfetto.dev).  Setting ``REPRO_TRACE=1`` in the
-    environment enables tracing too; ``--trace`` is how the events get
-    onto disk either way.
+    Observability flags:
+
+    ``--trace OUT.json``
+        switch on :mod:`repro.trace` for the run and write a Chrome
+        ``trace_event`` file (load it in ``chrome://tracing`` or
+        https://ui.perfetto.dev).
+    ``--metrics OUT.json``
+        switch on :mod:`repro.metrics` and write the registry (plus the
+        ``TimeMonitor`` table) as JSON.
+    ``--analyze``
+        switch on tracing and print the post-mortem analysis (load
+        imbalance, wait states, critical path, communication matrix)
+        after the report.
+
+    ``REPRO_TRACE=1`` / ``REPRO_METRICS=1`` in the environment enable
+    collection too; the flags are how the data gets onto disk either way.
     """
     import argparse
 
@@ -52,15 +63,35 @@ def main(generate_report: Callable[[], str]) -> None:
         "--trace", metavar="OUT.json", default=None,
         help="enable repro.trace and write a Chrome trace_event JSON "
              "file of the run")
+    parser.add_argument(
+        "--metrics", metavar="OUT.json", default=None,
+        help="enable repro.metrics and write the metric registry (and "
+             "TimeMonitor table) as JSON")
+    parser.add_argument(
+        "--analyze", action="store_true",
+        help="enable repro.trace and print the post-mortem analysis "
+             "(imbalance, wait states, critical path, comm matrix)")
     args = parser.parse_args()
-    if args.trace:
+    if args.trace or args.analyze:
         from repro import trace
         trace.enable()
+    if args.metrics:
+        from repro import metrics
+        metrics.enable()
     print(generate_report())
     if args.trace:
         from repro.trace import write_chrome_trace
         nevents = write_chrome_trace(args.trace)
         print(f"[trace] wrote {nevents} events to {args.trace}")
+    if args.metrics:
+        from repro import metrics
+        with open(args.metrics, "w") as fh:
+            fh.write(metrics.to_json(indent=2))
+        print(f"[metrics] wrote {len(metrics.get_registry())} metric(s) "
+              f"to {args.metrics}")
+    if args.analyze:
+        from repro.trace import analyze
+        print(analyze.report())
 
 
 class Section:

@@ -6,7 +6,8 @@ PyTrilinos, ODIN, and Seamless" (SC 2012, PyHPC workshop).
 The package is organized as the paper's three pillars plus their substrates:
 
 - :mod:`repro.mpi`       -- message-passing substrate (MPI-like, thread SPMD)
-- :mod:`repro.trace`     -- per-rank event tracing & metrics (REPRO_TRACE=1)
+- :mod:`repro.trace`     -- per-rank event tracing & analysis (REPRO_TRACE=1)
+- :mod:`repro.metrics`   -- counters/gauges/histograms (REPRO_METRICS=1)
 - :mod:`repro.teuchos`   -- general tools (parameter lists, timers)
 - :mod:`repro.tpetra`    -- distributed linear algebra (maps, vectors, CRS matrices)
 - :mod:`repro.epetra`    -- first-generation fixed-dtype facade over tpetra
@@ -24,6 +25,7 @@ __version__ = "1.0.0"
 __all__ = [
     "mpi",
     "trace",
+    "metrics",
     "teuchos",
     "tpetra",
     "epetra",

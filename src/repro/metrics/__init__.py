@@ -1,0 +1,106 @@
+"""Process-wide metrics (``repro.metrics``).
+
+The counting half of the observability system (its sibling,
+:mod:`repro.trace`, records *when*; this package records *how much*):
+counters, gauges, and log-bucketed histograms, labelled per rank /
+kernel / algorithm, with text, JSON, and Prometheus exposition.
+
+Instrumented across the stack when enabled:
+
+- ``seamless.jit.*``      -- compile time, cache hits/misses, per-kernel calls
+- ``seamless.elementwise.*`` / ``seamless.vectorize.*`` -- dispatch counts
+- ``tpetra.plan.*``       -- import/export plan builds, remote-LID
+  resolution, pack/unpack bytes
+- ``mpi.coll.*``          -- calls and bytes per collective algorithm
+- ``mpi.rma.*``           -- one-sided bytes by operation
+- ``odin.worker.*``       -- per-opcode latency histograms
+- ``solver.*``            -- iteration counts, final residuals
+
+Enable with ``REPRO_METRICS=1`` or :func:`repro.metrics.enable`; any
+benchmark accepts ``--metrics out.json``.  Disabled cost is one
+attribute-load-plus-branch per site, exactly like ``repro.trace``.
+"""
+
+from .hist import Histogram
+from .registry import Counter, Gauge, MetricsRegistry
+from . import report as _report_mod
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "REGISTRY",
+    "get_registry", "enabled", "enable", "disable", "set_enabled",
+    "clear", "counter", "gauge", "histogram", "inc", "set_gauge",
+    "observe", "report", "to_json", "exposition",
+]
+
+# The process-wide singleton every instrumentation site references.
+REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return REGISTRY
+
+
+def enabled() -> bool:
+    """Are metrics on? (``REPRO_METRICS=1`` or :func:`enable`.)"""
+    return REGISTRY.enabled
+
+
+def enable() -> None:
+    REGISTRY.enable()
+
+
+def disable() -> None:
+    REGISTRY.disable()
+
+
+def set_enabled(flag: bool) -> None:
+    REGISTRY.enabled = bool(flag)
+
+
+def clear() -> None:
+    REGISTRY.clear()
+
+
+def counter(name: str, **labels) -> Counter:
+    return REGISTRY.counter(name, **labels)
+
+
+def gauge(name: str, **labels) -> Gauge:
+    return REGISTRY.gauge(name, **labels)
+
+
+def histogram(name: str, base: float = 2.0, **labels) -> Histogram:
+    return REGISTRY.histogram(name, base=base, **labels)
+
+
+def inc(name: str, amount=1, **labels) -> None:
+    if REGISTRY.enabled:
+        REGISTRY.inc(name, amount, **labels)
+
+
+def set_gauge(name: str, value: float, **labels) -> None:
+    if REGISTRY.enabled:
+        REGISTRY.set_gauge(name, value, **labels)
+
+
+def observe(name: str, value: float, **labels) -> None:
+    if REGISTRY.enabled:
+        REGISTRY.observe(name, value, **labels)
+
+
+def report(registry: MetricsRegistry = None) -> str:
+    return _report_mod.report(registry if registry is not None
+                              else REGISTRY)
+
+
+def to_json(registry: MetricsRegistry = None, include_timers: bool = True,
+            indent=None) -> str:
+    return _report_mod.to_json(registry if registry is not None
+                               else REGISTRY,
+                               include_timers=include_timers,
+                               indent=indent)
+
+
+def exposition(registry: MetricsRegistry = None) -> str:
+    return _report_mod.exposition(registry if registry is not None
+                                  else REGISTRY)

@@ -1,0 +1,185 @@
+"""The process-wide metrics registry: counters, gauges, histograms.
+
+Mirrors :mod:`repro.trace`'s design contract: instrumented sites hold a
+reference to the singleton registry and guard every emission with
+``if _MX.enabled:``, so the disabled path costs a single
+attribute-load-plus-branch.  When enabled, metric handles are resolved
+by ``(name, sorted labels)`` key -- a dict probe -- and each metric
+updates under its own small lock, so unrelated hot paths never contend.
+
+Labels attribute samples to ranks, kernels, algorithms, etc.::
+
+    _MX.counter("seamless.jit.cache_hits", fn="saxpy").inc()
+    _MX.histogram("odin.worker.op_seconds", op="UFUNC", worker=2).observe(dt)
+
+Per-rank labelling is a convention, not a mechanism: any site that knows
+its rank passes ``rank=<world rank>`` and reports group by it.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, List, Optional, Tuple, Union
+
+from .hist import Histogram
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+LabelItems = Tuple[Tuple[str, object], ...]
+MetricKey = Tuple[str, LabelItems]
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_METRICS", "").strip().lower() in (
+        "1", "true", "yes", "on")
+
+
+def _label_items(labels: dict) -> LabelItems:
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count (events, bytes, iterations)."""
+
+    __slots__ = ("name", "labels", "value", "_lock")
+
+    def __init__(self, name: str, labels: LabelItems = ()):
+        self.name = name
+        self.labels = tuple(labels)
+        self.value: Union[int, float] = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "name": self.name,
+                "labels": dict(self.labels), "value": self.value}
+
+    def __repr__(self):
+        return f"Counter({self.name!r}, {dict(self.labels)}, {self.value})"
+
+
+class Gauge:
+    """A value that can move both ways (queue depth, residual norm)."""
+
+    __slots__ = ("name", "labels", "value", "_lock")
+
+    def __init__(self, name: str, labels: LabelItems = ()):
+        self.name = name
+        self.labels = tuple(labels)
+        self.value: float = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value -= amount
+
+    def to_dict(self) -> dict:
+        return {"type": "gauge", "name": self.name,
+                "labels": dict(self.labels), "value": self.value}
+
+    def __repr__(self):
+        return f"Gauge({self.name!r}, {dict(self.labels)}, {self.value})"
+
+
+class MetricsRegistry:
+    """Process-wide, label-aware registry of named metrics.
+
+    One instance (:data:`repro.metrics.REGISTRY`) backs the whole
+    process; tests may build private registries.  Metric identity is
+    ``(name, labels)``: the same name with different labels is a family
+    of independent series, exactly Prometheus's model.
+    """
+
+    def __init__(self, enabled: Optional[bool] = None):
+        self.enabled: bool = _env_enabled() if enabled is None \
+            else bool(enabled)
+        self._lock = threading.Lock()
+        self._metrics: Dict[MetricKey, object] = {}
+
+    # ------------------------------------------------------------------
+    # handle resolution
+    # ------------------------------------------------------------------
+    def _resolve(self, name: str, labels: dict, cls, **ctor):
+        key = (name, _label_items(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(key)
+                if metric is None:
+                    metric = cls(name, labels=key[1], **ctor)
+                    self._metrics[key] = metric
+        if not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} {dict(labels)!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}")
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._resolve(name, labels, Counter)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._resolve(name, labels, Gauge)
+
+    def histogram(self, name: str, base: float = 2.0,
+                  **labels) -> Histogram:
+        return self._resolve(name, labels, Histogram, base=base)
+
+    # ------------------------------------------------------------------
+    # one-shot emission helpers (resolve + update)
+    # ------------------------------------------------------------------
+    def inc(self, name: str, amount: Union[int, float] = 1,
+            **labels) -> None:
+        self.counter(name, **labels).inc(amount)
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        self.gauge(name, **labels).set(value)
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        self.histogram(name, **labels).observe(value)
+
+    # ------------------------------------------------------------------
+    # control / introspection
+    # ------------------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        """Drop every registered metric (keeps the enabled flag)."""
+        with self._lock:
+            self._metrics.clear()
+
+    def metrics(self) -> List[object]:
+        """Snapshot list of live metric objects, sorted by (name, labels)."""
+        with self._lock:
+            out = list(self._metrics.items())
+        out.sort(key=lambda kv: (kv[0][0], [(k, str(v))
+                                            for k, v in kv[0][1]]))
+        return [metric for _key, metric in out]
+
+    def get(self, name: str, **labels):
+        """The metric registered under (name, labels), or None."""
+        return self._metrics.get((name, _label_items(labels)))
+
+    def __len__(self):
+        return len(self._metrics)
+
+    def __repr__(self):
+        state = "enabled" if self.enabled else "disabled"
+        return f"MetricsRegistry({state}, {len(self._metrics)} metrics)"

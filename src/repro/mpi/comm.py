@@ -17,6 +17,7 @@ from typing import Any, List, Optional, Sequence
 
 import numpy as np
 
+from ..metrics import REGISTRY as _MX
 from ..trace import TRACER as _TR
 from . import ops as _ops
 from .datatypes import decode_buffer_spec
@@ -30,19 +31,32 @@ __all__ = ["Group", "Intracomm"]
 
 def _traced_collective(algorithm: str):
     """Wrap a collective so each call records one span tagged with the
-    algorithm it implements.  Disabled cost: one predicate (plus the
-    wrapper call frame) per invocation -- negligible next to pickling
-    and condition-variable waits."""
+    algorithm it implements, and (when metrics are on) counts calls and
+    this rank's sent bytes per algorithm.  Disabled cost: two predicates
+    (plus the wrapper call frame) per invocation -- negligible next to
+    pickling and condition-variable waits."""
     def deco(fn):
         name = fn.__name__
 
         def wrapper(self, *args, **kwargs):
-            if not _TR.enabled:
+            tr, mx = _TR.enabled, _MX.enabled
+            if not (tr or mx):
                 return fn(self, *args, **kwargs)
-            t0 = _TR.now()
+            if mx:
+                # plain attribute read: exactness not worth a lock here
+                b0 = self._ctx.world.counters[self._ctx.rank].bytes_sent
+            t0 = _TR.now() if tr else 0.0
             out = fn(self, *args, **kwargs)
-            _TR.complete("mpi.coll", name, t0, rank=self._ctx.rank,
-                         algorithm=algorithm, size=self._size)
+            if tr:
+                _TR.complete("mpi.coll", name, t0, rank=self._ctx.rank,
+                             algorithm=algorithm, size=self._size)
+            if mx:
+                sent = (self._ctx.world.counters[self._ctx.rank].bytes_sent
+                        - b0)
+                _MX.inc("mpi.coll.calls", op=name, algorithm=algorithm)
+                if sent > 0:
+                    _MX.inc("mpi.coll.bytes_sent", sent, op=name,
+                            algorithm=algorithm)
             return out
 
         wrapper.__name__ = name

@@ -12,6 +12,9 @@ from __future__ import annotations
 
 import threading
 from collections import defaultdict
+from typing import Sequence
+
+import numpy as np
 
 __all__ = ["CommCounters", "CounterSnapshot"]
 
@@ -47,6 +50,33 @@ class CounterSnapshot:
             {p: b for p, b in by_peer.items() if b},
             {p: b for p, b in by_peer_recv.items() if b},
         )
+
+    @staticmethod
+    def matrix(snapshots: Sequence["CounterSnapshot"],
+               nranks: int = None) -> np.ndarray:
+        """Dense rank-by-rank bytes array from per-rank snapshots.
+
+        ``matrix[i, j]`` is the bytes rank *i* sent to rank *j*,
+        reconciled from both sides of the wire: the sender's ``by_peer``
+        and the receiver's ``by_peer_recv`` (elementwise max, so
+        one-sided transfers counted on a single end still appear).
+        This is the single aggregation point behind both
+        :func:`repro.trace.export.traffic_report` and the analyzer's
+        communication-matrix report.
+        """
+        peers = [p for snap in snapshots
+                 for p in (*snap.by_peer, *snap.by_peer_recv)]
+        n = max(len(snapshots), 1 + max(peers, default=-1)) \
+            if nranks is None else nranks
+        mat = np.zeros((n, n), dtype=np.int64)
+        for i, snap in enumerate(snapshots):
+            for peer, nbytes in snap.by_peer.items():
+                if peer < n:
+                    mat[i, peer] = max(mat[i, peer], nbytes)
+            for peer, nbytes in snap.by_peer_recv.items():
+                if peer < n:
+                    mat[peer, i] = max(mat[peer, i], nbytes)
+        return mat
 
     def __repr__(self):
         return (f"CounterSnapshot(sends={self.sends}, recvs={self.recvs}, "

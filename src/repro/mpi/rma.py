@@ -23,6 +23,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..metrics import REGISTRY as _MX
 from ..trace import TRACER as _TR
 from . import ops as _ops
 from .comm import Intracomm
@@ -118,6 +119,8 @@ class Win:
             _TR.complete("mpi.rma", "Put", t0, rank=self.comm.context.rank,
                          target=self.comm.world_rank(target_rank),
                          nbytes=data.nbytes)
+        if _MX.enabled:
+            _MX.inc("mpi.rma.bytes", data.nbytes, op="Put")
 
     def Get(self, origin: np.ndarray, target_rank: int,
             target_offset: int = 0) -> None:
@@ -142,6 +145,8 @@ class Win:
         if _TR.enabled:
             _TR.complete("mpi.rma", "Get", t0, rank=self.comm.context.rank,
                          target=target_world, nbytes=out.nbytes)
+        if _MX.enabled:
+            _MX.inc("mpi.rma.bytes", out.nbytes, op="Get")
 
     def Accumulate(self, origin: np.ndarray, target_rank: int,
                    target_offset: int = 0,
@@ -166,6 +171,8 @@ class Win:
                          rank=self.comm.context.rank,
                          target=self.comm.world_rank(target_rank),
                          nbytes=data.nbytes)
+        if _MX.enabled:
+            _MX.inc("mpi.rma.bytes", data.nbytes, op="Accumulate")
 
     def Free(self) -> None:
         """Collective teardown."""

@@ -72,15 +72,19 @@ class Message:
     size used for instrumentation.
     """
 
-    __slots__ = ("ctx_id", "src", "tag", "kind", "payload", "nbytes")
+    __slots__ = ("ctx_id", "src", "tag", "kind", "payload", "nbytes",
+                 "seq")
 
-    def __init__(self, ctx_id, src, tag, kind, payload, nbytes):
+    def __init__(self, ctx_id, src, tag, kind, payload, nbytes, seq=0):
         self.ctx_id = ctx_id
         self.src = src
         self.tag = tag
         self.kind = kind
         self.payload = payload
         self.nbytes = nbytes
+        # per-(src, dest) delivery sequence number: the key that lets the
+        # trace analyzer pair a recv event with the send that fed it
+        self.seq = seq
 
     def matches(self, ctx_id, source, tag) -> bool:
         return (self.ctx_id == ctx_id
@@ -153,6 +157,9 @@ class World:
         self.timeout = _DEFAULT_TIMEOUT if timeout is None else float(timeout)
         self.mailboxes = [_Mailbox(self) for _ in range(nranks)]
         self.counters = [CommCounters() for _ in range(nranks)]
+        # (src, dest) -> messages delivered so far; each key is written
+        # only by the src rank's thread, so no lock is needed
+        self._pair_seq = {}
         self._abort_lock = threading.Lock()
         self._abort: Optional[AbortError] = None
 
@@ -174,11 +181,19 @@ class World:
 
     # -- transport ----------------------------------------------------------
     def deliver(self, src: int, dest: int, ctx_id, tag, kind, payload,
-                nbytes) -> None:
-        """Deposit a message into *dest*'s mailbox and count the traffic."""
+                nbytes) -> int:
+        """Deposit a message into *dest*'s mailbox and count the traffic.
+
+        Returns the message's per-(src, dest) sequence number, which the
+        sender's trace event shares with the receiver's so post-mortem
+        analysis can match the two ends of every transfer.
+        """
+        seq = self._pair_seq.get((src, dest), 0) + 1
+        self._pair_seq[(src, dest)] = seq
         self.counters[src].record_send(dest, nbytes)
         self.mailboxes[dest].deposit(
-            Message(ctx_id, src, tag, kind, payload, nbytes))
+            Message(ctx_id, src, tag, kind, payload, nbytes, seq))
+        return seq
 
     def total_traffic(self):
         """Aggregate (messages, bytes) over all ranks' send counters."""
@@ -199,10 +214,10 @@ class RankContext:
         if _TR.enabled:
             t0 = _TR.now()
             payload = np.ascontiguousarray(flat).copy()
-            self.world.deliver(self.rank, dest, ctx_id, tag, "buffer",
-                               payload, payload.nbytes)
+            seq = self.world.deliver(self.rank, dest, ctx_id, tag, "buffer",
+                                     payload, payload.nbytes)
             _TR.complete("mpi.p2p", "send", t0, rank=self.rank, dest=dest,
-                         nbytes=payload.nbytes, kind="buffer")
+                         nbytes=payload.nbytes, kind="buffer", seq=seq)
             return
         payload = np.ascontiguousarray(flat).copy()
         self.world.deliver(self.rank, dest, ctx_id, tag, "buffer",
@@ -212,10 +227,10 @@ class RankContext:
         if _TR.enabled:
             t0 = _TR.now()
             blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-            self.world.deliver(self.rank, dest, ctx_id, tag, "pickle",
-                               blob, len(blob))
+            seq = self.world.deliver(self.rank, dest, ctx_id, tag, "pickle",
+                                     blob, len(blob))
             _TR.complete("mpi.p2p", "send", t0, rank=self.rank, dest=dest,
-                         nbytes=len(blob), kind="pickle")
+                         nbytes=len(blob), kind="pickle", seq=seq)
             return
         blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
         self.world.deliver(self.rank, dest, ctx_id, tag, "pickle",
@@ -232,7 +247,7 @@ class RankContext:
                 ctx_id, source, tag, timeout)
             self.world.counters[self.rank].record_recv(msg.src, msg.nbytes)
             _TR.complete("mpi.p2p", "recv", t0, rank=self.rank,
-                         source=msg.src, nbytes=msg.nbytes)
+                         source=msg.src, nbytes=msg.nbytes, seq=msg.seq)
             return msg
         msg = self.world.mailboxes[self.rank].retrieve(
             ctx_id, source, tag, timeout)
@@ -246,7 +261,7 @@ class RankContext:
             self.world.counters[self.rank].record_recv(msg.src, msg.nbytes)
             if _TR.enabled:
                 _TR.instant("mpi.p2p", "recv.poll", rank=self.rank,
-                            source=msg.src, nbytes=msg.nbytes)
+                            source=msg.src, nbytes=msg.nbytes, seq=msg.seq)
         return msg
 
     def bind(self) -> None:

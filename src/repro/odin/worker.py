@@ -8,11 +8,13 @@ data (Fig. 1's "worker nodes can communicate directly with each other").
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..metrics import REGISTRY as _MX
 from ..mpi.comm import Intracomm
 from ..trace import TRACER as _TR
 from . import opcodes
@@ -428,11 +430,20 @@ def _key_hash(keys: np.ndarray) -> np.ndarray:
 # dispatch
 # ----------------------------------------------------------------------
 def execute_op(state: WorkerState, op: tuple) -> Any:
-    """Execute one control op; each op becomes one ``odin.worker`` span."""
+    """Execute one control op; each op becomes one ``odin.worker`` span
+    and (with metrics on) one per-opcode latency observation."""
+    if not (_TR.enabled or _MX.enabled):
+        return _execute_op_impl(state, op)
+    t0 = time.perf_counter()
     if _TR.enabled:
         with _TR.span("odin.worker", str(op[0]), worker=state.index):
-            return _execute_op_impl(state, op)
-    return _execute_op_impl(state, op)
+            out = _execute_op_impl(state, op)
+    else:
+        out = _execute_op_impl(state, op)
+    if _MX.enabled:
+        _MX.observe("odin.worker.op_seconds", time.perf_counter() - t0,
+                    op=str(op[0]), worker=state.index)
+    return out
 
 
 def _execute_op_impl(state: WorkerState, op: tuple) -> Any:

@@ -91,10 +91,14 @@ def compile_c_source(source: str, tag: str = "kernel") -> ctypes.CDLL:
     """Compile a C translation unit to a shared object and load it."""
     if not compiler_available():
         raise RuntimeError("no C compiler available")
+    from ..metrics import REGISTRY as _MX  # local: backend is a leaf module
     digest = hashlib.sha256(source.encode()).hexdigest()[:20]
     base = os.path.join(_cache_dir(), f"{tag}_{digest}")
     so_path = base + ".so"
     with _cc_lock:
+        if _MX.enabled:
+            _MX.inc("seamless.cc.disk_cache",
+                    result="hit" if os.path.exists(so_path) else "miss")
         if not os.path.exists(so_path):
             c_path = base + ".c"
             with open(c_path, "w", encoding="utf-8") as fh:

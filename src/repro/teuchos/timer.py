@@ -111,6 +111,24 @@ class TimeMonitor:
         cls._registry.clear()
 
     @classmethod
+    def to_dict(cls) -> Dict[str, Dict[str, float]]:
+        """The timer table as plain data (mergeable into metrics JSON).
+
+        One entry per registered timer: ``{"total": s, "calls": n,
+        "mean": s}`` -- the same numbers :meth:`summarize` renders, so
+        consumers never re-parse the text table.
+        """
+        out: Dict[str, Dict[str, float]] = {}
+        for name in sorted(cls._registry):
+            t = cls._registry[name]
+            out[name] = {
+                "total": t.total,
+                "calls": t.calls,
+                "mean": t.total / t.calls if t.calls else 0.0,
+            }
+        return out
+
+    @classmethod
     def summarize(cls) -> str:
         if not cls._registry:
             return "(no timers)"

@@ -18,6 +18,7 @@ from typing import List, Tuple
 
 import numpy as np
 
+from ..metrics import REGISTRY as _MX
 from .map import Map
 
 __all__ = ["CombineMode", "Import", "Export"]
@@ -68,14 +69,24 @@ class _Plan:
         ``src_local`` / ``tgt_local`` may be 1-D (Vector) or 2-D
         (MultiVector, rows = local elements).
         """
+        mx = _MX.enabled
         for dest, lids in self.send_plan:
-            comm.send(np.ascontiguousarray(src_local[lids]), dest, tag=tag)
+            packed = np.ascontiguousarray(src_local[lids])
+            if mx:
+                _MX.inc("tpetra.plan.pack_bytes", packed.nbytes,
+                        rank=comm.rank)
+            comm.send(packed, dest, tag=tag)
         if len(self.permute_src):
             _combine(tgt_local, self.permute_tgt, src_local[self.permute_src],
                      mode)
         for src, lids in self.recv_plan:
             values = comm.recv(src, tag=tag)
+            if mx:
+                _MX.inc("tpetra.plan.unpack_bytes",
+                        np.asarray(values).nbytes, rank=comm.rank)
             _combine(tgt_local, lids, values, mode)
+        if mx:
+            _MX.inc("tpetra.plan.executions", rank=comm.rank)
 
     def reversed(self) -> "_Plan":
         """The transpose plan (Import -> reverse Export and vice versa)."""
@@ -130,6 +141,10 @@ def _build_import_plan(source: Map, target: Map) -> _Plan:
             if np.any(lids < 0):
                 raise AssertionError("asked for gids this rank does not own")
             send_plan.append((r, lids))
+    if _MX.enabled:
+        _MX.inc("tpetra.plan.builds", rank=comm.rank, kind="import")
+        _MX.inc("tpetra.plan.remote_lids_resolved", len(remote_gids),
+                rank=comm.rank, kind="import")
     return _Plan(send_plan, recv_plan, permute_src, permute_tgt)
 
 
@@ -162,6 +177,10 @@ def _build_export_plan(source: Map, target: Map) -> _Plan:
                 raise AssertionError("received contribution for a gid this "
                                      "rank does not own")
             recv_plan.append((r, lids))
+    if _MX.enabled:
+        _MX.inc("tpetra.plan.builds", rank=comm.rank, kind="export")
+        _MX.inc("tpetra.plan.remote_lids_resolved", len(remote_gids),
+                rank=comm.rank, kind="export")
     return _Plan(send_plan, recv_plan, permute_src, permute_tgt)
 
 

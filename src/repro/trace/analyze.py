@@ -1,0 +1,401 @@
+"""Post-mortem trace analysis: where did the time actually go?
+
+Takes the event stream :meth:`Tracer.events` recorded and answers the
+questions per-span totals cannot:
+
+- :func:`load_imbalance` -- per span category: max vs. mean time across
+  ranks and the resulting imbalance factor (1.0 = perfectly balanced;
+  the classic ``max/mean`` metric, so ``(factor-1)`` is the fraction of
+  the slowest rank's time the other ranks spend idle at the next sync).
+- :func:`wait_states` -- Scalasca-style wait-state detection.
+  *Late sender*: a receive that blocked before its matching send
+  finished; the wait is the overlap of the receive span with the
+  interval before the message's arrival.  *Collective wait*: time
+  between a rank entering a collective and the last rank's arrival
+  (wait-at-barrier / time-to-last-arrival), clipped to the rank's own
+  span.
+- :func:`critical_path` -- a backward walk from the last event to the
+  start through send/recv edges (matched by the per-pair ``seq``
+  stamped on both trace events) and collective straggler edges: the
+  chain of activity that bounded the run's wall-clock, with a top-N
+  contributor table.
+- :func:`communication_matrix` -- dense rank-by-rank bytes/messages
+  matrices rebuilt from traced ``mpi.p2p`` sends and ``mpi.rma`` ops
+  (cross-checkable against ``mpi.counters``), rendered as aligned text
+  by :func:`format_matrix`.
+
+:func:`report` stitches all four into the ``--analyze`` text report.
+
+All functions accept raw tracer event tuples
+``(ph, cat, name, rank, ts, dur, args)``; only ``"X"`` (span) events
+participate, and rank labels may be ints (world ranks) or strings
+(``driver``, thread names).
+"""
+
+from __future__ import annotations
+
+import io
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .tracer import TRACER, Event, RankLabel
+
+__all__ = ["load_imbalance", "wait_states", "critical_path",
+           "communication_matrix", "format_matrix", "report"]
+
+_EPS = 1e-9
+
+
+def _spans(events: Sequence[Event]) -> List[Event]:
+    return [ev for ev in events if ev[0] == "X"]
+
+
+def _key(ev: Event) -> str:
+    return f"{ev[1]}:{ev[2]}"
+
+
+# ----------------------------------------------------------------------
+# load imbalance
+# ----------------------------------------------------------------------
+def load_imbalance(events: Sequence[Event],
+                   by: str = "category") -> Dict[str, dict]:
+    """Per-rank time statistics per span category (or ``by="name"`` for
+    ``category:name`` granularity).
+
+    Returns ``{key: {"per_rank": {rank: seconds}, "max": s, "mean": s,
+    "imbalance": max/mean, "max_rank": rank}}`` over integer-rank span
+    events only (named lanes like ``driver`` are a different population
+    and would poison the statistics).
+    """
+    totals: Dict[str, Dict[int, float]] = defaultdict(
+        lambda: defaultdict(float))
+    for ev in _spans(events):
+        if not isinstance(ev[3], int):
+            continue
+        key = ev[1] if by == "category" else _key(ev)
+        totals[key][ev[3]] += ev[5]
+    out: Dict[str, dict] = {}
+    for key, per_rank in sorted(totals.items()):
+        times = list(per_rank.values())
+        mx = max(times)
+        mean = sum(times) / len(times)
+        max_rank = max(per_rank, key=lambda r: per_rank[r])
+        out[key] = {
+            "per_rank": dict(sorted(per_rank.items())),
+            "max": mx,
+            "mean": mean,
+            "imbalance": mx / mean if mean > 0 else 1.0,
+            "max_rank": max_rank,
+        }
+    return out
+
+
+# ----------------------------------------------------------------------
+# send/recv and collective matching
+# ----------------------------------------------------------------------
+def _match_p2p(spans: Sequence[Event]) -> List[Tuple[Event, Event]]:
+    """(send, recv) event pairs matched by (src, dest, seq)."""
+    sends: Dict[Tuple[int, int, int], Event] = {}
+    pairs: List[Tuple[Event, Event]] = []
+    for ev in spans:
+        if ev[1] == "mpi.p2p" and ev[2] == "send" and ev[6]:
+            args = ev[6]
+            if "dest" in args and "seq" in args:
+                sends[(ev[3], args["dest"], args["seq"])] = ev
+    for ev in spans:
+        if ev[1] == "mpi.p2p" and ev[2] == "recv" and ev[6]:
+            args = ev[6]
+            send = sends.get((args.get("source"), ev[3], args.get("seq")))
+            if send is not None:
+                pairs.append((send, ev))
+    return pairs
+
+
+def _collective_instances(spans: Sequence[Event]) \
+        -> List[List[Event]]:
+    """Group ``mpi.coll`` spans into per-call instances.
+
+    SPMD ordering guarantee: the k-th occurrence of a given collective
+    name on each rank belongs to the same call, so instance identity is
+    ``(name, occurrence index)``.  Only instances joined by more than
+    one rank are returned.
+    """
+    counters: Dict[Tuple[RankLabel, str], int] = defaultdict(int)
+    instances: Dict[Tuple[str, int], List[Event]] = defaultdict(list)
+    for ev in sorted(spans, key=lambda e: e[4]):
+        if ev[1] != "mpi.coll":
+            continue
+        k = counters[(ev[3], ev[2])]
+        counters[(ev[3], ev[2])] = k + 1
+        instances[(ev[2], k)].append(ev)
+    return [group for group in instances.values() if len(group) > 1]
+
+
+# ----------------------------------------------------------------------
+# wait states
+# ----------------------------------------------------------------------
+def wait_states(events: Sequence[Event]) -> Dict[str, dict]:
+    """Detected wait-state time, by category and rank.
+
+    Returns ``{"late_sender": {...}, "collective": {...}}``, each with
+    ``total`` seconds, ``count`` of waits observed, and a ``per_rank``
+    breakdown of who did the waiting.
+    """
+    spans = _spans(events)
+    late = {"total": 0.0, "count": 0,
+            "per_rank": defaultdict(float)}
+    for send, recv in _match_p2p(spans):
+        arrival = send[4] + send[5]  # eager send: deposited by span end
+        wait = min(max(0.0, arrival - recv[4]), recv[5])
+        if wait > 0.0:
+            late["total"] += wait
+            late["count"] += 1
+            late["per_rank"][recv[3]] += wait
+    coll = {"total": 0.0, "count": 0,
+            "per_rank": defaultdict(float)}
+    for group in _collective_instances(spans):
+        last_enter = max(ev[4] for ev in group)
+        for ev in group:
+            wait = min(max(0.0, last_enter - ev[4]), ev[5])
+            if wait > 0.0:
+                coll["total"] += wait
+                coll["count"] += 1
+                coll["per_rank"][ev[3]] += wait
+    for d in (late, coll):
+        d["per_rank"] = dict(sorted(d["per_rank"].items(),
+                                    key=lambda kv: str(kv[0])))
+    return {"late_sender": late, "collective": coll}
+
+
+# ----------------------------------------------------------------------
+# critical path
+# ----------------------------------------------------------------------
+def critical_path(events: Sequence[Event], top_n: int = 10,
+                  max_steps: int = 100_000) -> dict:
+    """Backward walk from the latest event through communication edges.
+
+    Starting from the globally last-ending span, repeatedly step to
+    whatever bounded the current activity:
+
+    1. a ``recv`` span jumps to its matched ``send`` on the sending rank
+       (the receiver could not proceed earlier than the sender);
+    2. a collective span jumps to the last-arriving rank's span of the
+       same instance (the straggler bounded everyone);
+    3. otherwise, step backward on the same rank to the latest span that
+       ended before this one began.
+
+    The walk ends at the trace start (or at an untraced gap).  Returns
+    ``{"segments": [(rank, "cat:name", start, dur), ... latest first],
+    "total": seconds spanned, "contributors": [("cat:name", seconds,
+    count), ...]}`` with contributors ranked by their time on the path.
+    """
+    spans = _spans(events)
+    if not spans:
+        return {"segments": [], "total": 0.0, "contributors": []}
+
+    by_rank: Dict[RankLabel, List[Event]] = defaultdict(list)
+    for ev in spans:
+        by_rank[ev[3]].append(ev)
+    for lst in by_rank.values():
+        lst.sort(key=lambda e: (e[4] + e[5], e[4]))  # by end time
+    ends: Dict[RankLabel, List[float]] = {
+        rank: [e[4] + e[5] for e in lst] for rank, lst in by_rank.items()}
+
+    send_of: Dict[Tuple[int, int, int], Event] = {}
+    for ev in spans:
+        if ev[1] == "mpi.p2p" and ev[2] == "send" and ev[6] \
+                and "seq" in ev[6]:
+            send_of[(ev[3], ev[6]["dest"], ev[6]["seq"])] = ev
+    instance_of: Dict[int, List[Event]] = {}
+    for group in _collective_instances(spans):
+        for ev in group:
+            instance_of[id(ev)] = group
+
+    import bisect
+
+    def prev_on_rank(ev: Event) -> Optional[Event]:
+        lst = by_rank[ev[3]]
+        i = bisect.bisect_right(ends[ev[3]], ev[4] + _EPS) - 1
+        while i >= 0:
+            cand = lst[i]
+            if cand is not ev:
+                return cand
+            i -= 1
+        return None
+
+    cur = max(spans, key=lambda e: e[4] + e[5])
+    path: List[Event] = []
+    visited = set()
+    steps = 0
+    while cur is not None and steps < max_steps:
+        if id(cur) in visited:
+            break
+        visited.add(id(cur))
+        path.append(cur)
+        steps += 1
+        nxt: Optional[Event] = None
+        args = cur[6] or {}
+        if cur[1] == "mpi.p2p" and cur[2] == "recv" and "seq" in args:
+            send = send_of.get((args.get("source"), cur[3], args["seq"]))
+            if send is not None and send[3] != cur[3] \
+                    and id(send) not in visited:
+                nxt = send
+        elif cur[1] == "mpi.coll":
+            group = instance_of.get(id(cur))
+            if group is not None:
+                straggler = max(group, key=lambda e: e[4])
+                if straggler is not cur and id(straggler) not in visited:
+                    nxt = straggler
+        if nxt is None:
+            nxt = prev_on_rank(cur)
+        cur = nxt
+
+    total = (path[0][4] + path[0][5]) - path[-1][4]
+    contrib: Dict[str, List[float]] = defaultdict(lambda: [0.0, 0])
+    for ev in path:
+        entry = contrib[_key(ev)]
+        entry[0] += ev[5]
+        entry[1] += 1
+    contributors = sorted(
+        ((key, t, int(n)) for key, (t, n) in contrib.items()),
+        key=lambda kv: -kv[1])[:top_n]
+    segments = [(ev[3], _key(ev), ev[4], ev[5]) for ev in path]
+    return {"segments": segments, "total": total,
+            "contributors": contributors}
+
+
+# ----------------------------------------------------------------------
+# communication matrix
+# ----------------------------------------------------------------------
+def communication_matrix(events: Sequence[Event],
+                         nranks: Optional[int] = None
+                         ) -> Tuple[np.ndarray, np.ndarray]:
+    """(bytes, messages) rank-by-rank matrices from traced transfers.
+
+    Row = sender (origin for RMA Put/Accumulate, target for Get), column
+    = receiver.  Built purely from the event stream, so it works
+    post-mortem on a loaded trace; for live worlds,
+    :meth:`repro.mpi.counters.CounterSnapshot.matrix` gives the
+    counter-side view the trace numbers must agree with.
+    """
+    flows: Dict[Tuple[int, int], List[int]] = defaultdict(
+        lambda: [0, 0])
+    for ev in _spans(events):
+        args = ev[6] or {}
+        nbytes = args.get("nbytes")
+        if nbytes is None:
+            continue
+        if ev[1] == "mpi.p2p" and ev[2] == "send":
+            edge = (ev[3], args.get("dest"))
+        elif ev[1] == "mpi.rma" and ev[2] in ("Put", "Accumulate"):
+            edge = (ev[3], args.get("target"))
+        elif ev[1] == "mpi.rma" and ev[2] == "Get":
+            edge = (args.get("target"), ev[3])
+        else:
+            continue
+        if not (isinstance(edge[0], int) and isinstance(edge[1], int)):
+            continue
+        flows[edge][0] += nbytes
+        flows[edge][1] += 1
+    n = nranks if nranks is not None else \
+        1 + max((max(e) for e in flows), default=-1)
+    n = max(n, 0)
+    bytes_mat = np.zeros((n, n), dtype=np.int64)
+    msgs_mat = np.zeros((n, n), dtype=np.int64)
+    for (src, dst), (b, m) in flows.items():
+        if src < n and dst < n:
+            bytes_mat[src, dst] = b
+            msgs_mat[src, dst] = m
+    return bytes_mat, msgs_mat
+
+
+def format_matrix(mat: np.ndarray, title: str = "bytes") -> str:
+    """A dense rank-by-rank matrix as an aligned text table."""
+    n = mat.shape[0]
+    if n == 0:
+        return f"(no {title} traffic recorded)\n"
+    cells = [[str(int(v)) for v in row] for row in mat]
+    width = max(6, max(len(c) for row in cells for c in row) + 2,
+                len(str(n - 1)) + 3)
+    out = io.StringIO()
+    out.write(f"{title} sent, row = source rank, column = destination "
+              f"rank\n")
+    out.write(" " * 6 + "".join(f"{j:>{width}}" for j in range(n)) + "\n")
+    for i, row in enumerate(cells):
+        out.write(f"{i:>5} " + "".join(f"{c:>{width}}" for c in row)
+                  + "\n")
+    return out.getvalue()
+
+
+# ----------------------------------------------------------------------
+# the full report
+# ----------------------------------------------------------------------
+def report(events: Optional[Sequence[Event]] = None, top_n: int = 10
+           ) -> str:
+    """The ``--analyze`` report: imbalance, wait states, critical path,
+    communication matrix -- one text document."""
+    if events is None:
+        events = TRACER.events()
+    spans = _spans(events)
+    out = io.StringIO()
+    out.write("== trace analysis ==\n\n")
+    if not spans:
+        out.write("(no span events recorded -- enable repro.trace)\n")
+        return out.getvalue()
+    t0 = min(ev[4] for ev in spans)
+    t1 = max(ev[4] + ev[5] for ev in spans)
+    out.write(f"wall clock covered by spans: {t1 - t0:.6f} s\n\n")
+
+    out.write("-- per-rank load imbalance (by span category) --\n")
+    imb = load_imbalance(events)
+    if imb:
+        width = max(len(k) for k in imb) + 2
+        out.write(f"{'category':<{width}}{'max (s)':>12}{'mean (s)':>12}"
+                  f"{'imbalance':>11}{'slowest':>9}\n")
+        for key, stats in imb.items():
+            out.write(f"{key:<{width}}{stats['max']:>12.6f}"
+                      f"{stats['mean']:>12.6f}"
+                      f"{stats['imbalance']:>10.2f}x"
+                      f"{stats['max_rank']:>9}\n")
+    else:
+        out.write("(no integer-rank spans)\n")
+    out.write("\n")
+
+    out.write("-- wait states --\n")
+    waits = wait_states(events)
+    for kind, label in (("late_sender", "late sender (p2p)"),
+                        ("collective", "collective (time to last "
+                                       "arrival)")):
+        st = waits[kind]
+        out.write(f"{label}: {st['total']:.6f} s across {st['count']} "
+                  f"wait(s)\n")
+        if st["per_rank"]:
+            ranked = sorted(st["per_rank"].items(),
+                            key=lambda kv: -kv[1])[:top_n]
+            for rank, t in ranked:
+                out.write(f"    rank {rank}: {t:.6f} s\n")
+    out.write("\n")
+
+    out.write("-- critical path --\n")
+    cp = critical_path(events, top_n=top_n)
+    out.write(f"path: {len(cp['segments'])} segment(s) spanning "
+              f"{cp['total']:.6f} s "
+              f"({100.0 * cp['total'] / max(t1 - t0, 1e-12):.1f}% of "
+              f"wall clock)\n")
+    if cp["contributors"]:
+        width = max(len(k) for k, _t, _n in cp["contributors"]) + 2
+        out.write(f"top contributors on the path:\n")
+        out.write(f"    {'span':<{width}}{'time (s)':>12}{'count':>8}\n")
+        for key, t, n in cp["contributors"]:
+            out.write(f"    {key:<{width}}{t:>12.6f}{n:>8d}\n")
+    out.write("\n")
+
+    out.write("-- communication matrix --\n")
+    bytes_mat, msgs_mat = communication_matrix(events)
+    out.write(format_matrix(bytes_mat, "bytes"))
+    if bytes_mat.size:
+        out.write(f"total traced: {int(bytes_mat.sum())} bytes in "
+                  f"{int(msgs_mat.sum())} message(s)\n")
+    return out.getvalue()

@@ -56,7 +56,13 @@ def chrome_trace_events(tracer: Optional[Tracer] = None) -> List[dict]:
                     "tid": tid, "args": {"name": label}})
         out.append({"ph": "M", "name": "thread_sort_index", "pid": 0,
                     "tid": tid, "args": {"sort_index": tid}})
-    for ph, cat, name, rank, ts, dur, args in events:
+    # Perfetto reconstructs span nesting from stream order within each
+    # lane: sort per tid by timestamp, with the *longer* span first at
+    # equal timestamps so an enclosing span precedes the child it starts
+    # simultaneously with.
+    ordered = sorted(events,
+                     key=lambda e: (tids[e[3]], e[4], -e[5]))
+    for ph, cat, name, rank, ts, dur, args in ordered:
         ev = {"ph": ph, "cat": cat, "name": name, "pid": 0,
               "tid": tids[rank], "ts": round(ts * 1e6, 3)}
         if ph == "X":
@@ -138,8 +144,11 @@ def traffic_report(snapshots: Union[Sequence, "object"],
     communication time (``mpi.*`` span categories) is appended so bytes
     correlate with time.
     """
+    from ..mpi.counters import CounterSnapshot  # local: avoid cycle
+
     if hasattr(snapshots, "counters"):  # a World
         snapshots = [c.snapshot() for c in snapshots.counters]
+    snapshots = list(snapshots)
     comm_time: Dict[RankLabel, float] = {}
     if tracer is not None:
         for (rank, key), timer in tracer.span_timers().items():
@@ -164,4 +173,9 @@ def traffic_report(snapshots: Union[Sequence, "object"],
         for peer in peers:
             out.write(f"      -> {peer}: {sent.get(peer, 0):>12} B"
                       f"    <- {peer}: {recvd.get(peer, 0):>12} B\n")
+    mat = CounterSnapshot.matrix(snapshots)
+    if mat.size and mat.any():
+        from .analyze import format_matrix  # local: avoid cycle
+        out.write("\n")
+        out.write(format_matrix(mat, "bytes"))
     return out.getvalue()

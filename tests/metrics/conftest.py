@@ -1,0 +1,19 @@
+"""Fixtures for the metrics tests.
+
+Like the tracer, the registry is a process-wide singleton; tests that
+enable it must leave it disabled and empty so the rest of the suite
+keeps the zero-overhead path.
+"""
+
+import pytest
+
+from repro.metrics import REGISTRY
+
+
+@pytest.fixture
+def registry():
+    REGISTRY.clear()
+    REGISTRY.enable()
+    yield REGISTRY
+    REGISTRY.disable()
+    REGISTRY.clear()

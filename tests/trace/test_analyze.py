@@ -1,0 +1,263 @@
+"""Analyzer tests on hand-built event streams with known answers,
+plus integration checks against real traced SPMD runs."""
+
+import numpy as np
+import pytest
+
+from repro.trace import analyze
+from tests.conftest import spmd
+
+
+def X(cat, name, rank, ts, dur, **args):
+    return ("X", cat, name, rank, ts, dur, args or None)
+
+
+# ----------------------------------------------------------------------
+# load imbalance
+# ----------------------------------------------------------------------
+def test_load_imbalance_max_mean_factor():
+    events = [
+        X("compute", "work", 0, 0.0, 3.0),
+        X("compute", "work", 1, 0.0, 1.0),
+        X("compute", "work", 2, 0.0, 1.0),
+        X("compute", "work", 3, 0.0, 1.0),
+        X("compute", "work", "driver", 0.0, 99.0),  # named lane: excluded
+    ]
+    imb = analyze.load_imbalance(events)
+    stats = imb["compute"]
+    assert stats["max"] == pytest.approx(3.0)
+    assert stats["mean"] == pytest.approx(1.5)
+    assert stats["imbalance"] == pytest.approx(2.0)
+    assert stats["max_rank"] == 0
+    assert stats["per_rank"] == {0: 3.0, 1: 1.0, 2: 1.0, 3: 1.0}
+
+
+def test_load_imbalance_by_name_granularity():
+    events = [
+        X("mpi.coll", "bcast", 0, 0.0, 1.0),
+        X("mpi.coll", "gather", 0, 1.0, 2.0),
+        X("mpi.coll", "bcast", 1, 0.0, 3.0),
+    ]
+    imb = analyze.load_imbalance(events, by="name")
+    assert set(imb) == {"mpi.coll:bcast", "mpi.coll:gather"}
+    assert imb["mpi.coll:bcast"]["imbalance"] == pytest.approx(1.5)
+
+
+# ----------------------------------------------------------------------
+# wait states
+# ----------------------------------------------------------------------
+def test_late_sender_pair():
+    # receiver blocks at 0.2; the matching send only completes at 1.5
+    events = [
+        X("mpi.p2p", "send", 0, 1.0, 0.5, dest=1, nbytes=100, seq=1),
+        X("mpi.p2p", "recv", 1, 0.2, 1.4, source=0, nbytes=100, seq=1),
+    ]
+    waits = analyze.wait_states(events)
+    late = waits["late_sender"]
+    assert late["count"] == 1
+    assert late["total"] == pytest.approx(1.3)  # 1.5 - 0.2
+    assert late["per_rank"] == {1: pytest.approx(1.3)}
+    assert waits["collective"]["count"] == 0
+
+
+def test_early_sender_is_not_a_wait():
+    events = [
+        X("mpi.p2p", "send", 0, 0.0, 0.1, dest=1, nbytes=8, seq=1),
+        X("mpi.p2p", "recv", 1, 5.0, 0.01, source=0, nbytes=8, seq=1),
+    ]
+    waits = analyze.wait_states(events)
+    assert waits["late_sender"]["count"] == 0
+    assert waits["late_sender"]["total"] == 0.0
+
+
+def test_unmatched_seq_ignored():
+    events = [
+        X("mpi.p2p", "recv", 1, 0.0, 2.0, source=0, nbytes=8, seq=9),
+    ]
+    assert analyze.wait_states(events)["late_sender"]["count"] == 0
+
+
+def test_imbalanced_collective_4_ranks():
+    # ranks enter an allreduce at 0.0/0.1/0.2/0.9; all leave at 1.0
+    events = [X("mpi.coll", "allreduce", r, t, 1.0 - t,
+                algorithm="ring", size=4)
+              for r, t in enumerate((0.0, 0.1, 0.2, 0.9))]
+    coll = analyze.wait_states(events)["collective"]
+    assert coll["count"] == 3  # the straggler itself waits 0
+    assert coll["total"] == pytest.approx(0.9 + 0.8 + 0.7)
+    assert coll["per_rank"][0] == pytest.approx(0.9)
+    assert 3 not in coll["per_rank"]
+
+
+def test_collective_instances_matched_by_occurrence():
+    # two successive barriers: the k-th call on each rank pairs with the
+    # k-th call on the others, not with the (k+1)-th
+    events = [
+        X("mpi.coll", "barrier", 0, 0.0, 1.0),
+        X("mpi.coll", "barrier", 1, 0.9, 0.1),
+        X("mpi.coll", "barrier", 0, 2.0, 0.5),
+        X("mpi.coll", "barrier", 1, 2.4, 0.1),
+    ]
+    coll = analyze.wait_states(events)["collective"]
+    # waits: first instance rank0 waits 0.9; second instance rank0 0.4
+    assert coll["total"] == pytest.approx(0.9 + 0.4)
+    assert coll["per_rank"] == {0: pytest.approx(1.3)}
+
+
+# ----------------------------------------------------------------------
+# critical path
+# ----------------------------------------------------------------------
+def test_critical_path_linear_chain():
+    # rank 0 computes then sends; rank 1's recv blocks on it, then
+    # computes.  Exactly known path: B <- recv <- send <- A.
+    events = [
+        X("compute", "A", 0, 0.0, 1.0),
+        X("mpi.p2p", "send", 0, 1.0, 0.1, dest=1, nbytes=8, seq=1),
+        X("mpi.p2p", "recv", 1, 0.5, 0.6, source=0, nbytes=8, seq=1),
+        X("compute", "B", 1, 1.1, 0.9),
+    ]
+    cp = analyze.critical_path(events)
+    names = [seg[1] for seg in cp["segments"]]
+    assert names == ["compute:B", "mpi.p2p:recv", "mpi.p2p:send",
+                     "compute:A"]
+    ranks = [seg[0] for seg in cp["segments"]]
+    assert ranks == [1, 1, 0, 0]
+    assert cp["total"] == pytest.approx(2.0)
+    contrib = dict((k, t) for k, t, _n in cp["contributors"])
+    assert contrib["compute:A"] == pytest.approx(1.0)
+    assert contrib["compute:B"] == pytest.approx(0.9)
+
+
+def test_critical_path_routes_through_collective_straggler():
+    # rank 1 enters the barrier late because of its long compute; the
+    # path from rank 0's tail must cross to rank 1's compute
+    events = [
+        X("compute", "fast", 0, 0.0, 0.1),
+        X("mpi.coll", "barrier", 0, 0.1, 0.95),
+        X("compute", "slow", 1, 0.0, 1.0),
+        X("mpi.coll", "barrier", 1, 1.0, 0.05),
+        X("compute", "tail", 0, 1.05, 0.2),
+    ]
+    cp = analyze.critical_path(events)
+    names = [seg[1] for seg in cp["segments"]]
+    assert names[0] == "compute:tail"
+    assert "compute:slow" in names
+    assert "compute:fast" not in names
+    assert cp["total"] == pytest.approx(1.25)
+
+
+def test_critical_path_total_within_wall_clock():
+    rng = np.random.default_rng(7)
+    events = []
+    for r in range(4):
+        t = 0.0
+        for i in range(20):
+            dur = float(rng.uniform(0.01, 0.1))
+            events.append(X("compute", f"step{i}", r, t, dur))
+            t += dur + float(rng.uniform(0.0, 0.02))
+    cp = analyze.critical_path(events)
+    t0 = min(e[4] for e in events)
+    t1 = max(e[4] + e[5] for e in events)
+    assert 0.0 < cp["total"] <= (t1 - t0) + 1e-9
+
+
+def test_critical_path_empty():
+    cp = analyze.critical_path([])
+    assert cp == {"segments": [], "total": 0.0, "contributors": []}
+
+
+# ----------------------------------------------------------------------
+# communication matrix
+# ----------------------------------------------------------------------
+def test_communication_matrix_from_events():
+    events = [
+        X("mpi.p2p", "send", 0, 0.0, 0.1, dest=1, nbytes=100, seq=1),
+        X("mpi.p2p", "send", 0, 0.2, 0.1, dest=1, nbytes=50, seq=2),
+        X("mpi.rma", "Put", 1, 0.0, 0.1, target=2, nbytes=8),
+        X("mpi.rma", "Get", 2, 0.5, 0.1, target=0, nbytes=16),
+    ]
+    bytes_mat, msgs_mat = analyze.communication_matrix(events)
+    assert bytes_mat.shape == (3, 3)
+    assert bytes_mat[0, 1] == 150 and msgs_mat[0, 1] == 2
+    assert bytes_mat[1, 2] == 8
+    assert bytes_mat[0, 2] == 16  # Get flows target -> origin
+    assert bytes_mat.sum() == 174
+
+
+def test_format_matrix_alignment():
+    mat = np.array([[0, 150], [8, 0]], dtype=np.int64)
+    text = analyze.format_matrix(mat)
+    lines = text.splitlines()
+    assert "row = source rank" in lines[0]
+    assert len(lines) == 4
+    assert "150" in lines[2] and "8" in lines[3]
+
+
+# ----------------------------------------------------------------------
+# integration: real traced runs
+# ----------------------------------------------------------------------
+def test_seq_metadata_matches_real_send_recv(tracer):
+    def body(comm):
+        if comm.rank == 0:
+            for _ in range(3):
+                comm.send(b"x" * 64, 1, tag=5)
+        elif comm.rank == 1:
+            for _ in range(3):
+                comm.recv(0, tag=5)
+
+    spmd(2)(body)
+    events = tracer.events()
+    sends = [e for e in events if e[1] == "mpi.p2p" and e[2] == "send"]
+    recvs = [e for e in events if e[1] == "mpi.p2p" and e[2] == "recv"]
+    assert len(sends) == 3 and len(recvs) == 3
+    assert sorted(e[6]["seq"] for e in sends) == [1, 2, 3]
+    assert sorted(e[6]["seq"] for e in recvs) == [1, 2, 3]
+    waits = analyze.wait_states(events)
+    # every recv found its matching send (wait may be zero, but all three
+    # pairs must have been considered without error)
+    assert waits["late_sender"]["count"] <= 3
+
+
+def test_trace_matrix_agrees_with_counter_matrix(tracer):
+    from repro.mpi.counters import CounterSnapshot
+
+    worlds = {}
+
+    def body(comm):
+        payload = np.arange(100, dtype=np.float64)
+        dest = (comm.rank + 1) % comm.size
+        src = (comm.rank - 1) % comm.size
+        comm.Send(payload, dest, tag=1)
+        buf = np.empty(100, dtype=np.float64)
+        comm.Recv(buf, src, tag=1)
+        worlds[comm.rank] = comm.context.world
+
+    spmd(4)(body)
+    trace_mat, _msgs = analyze.communication_matrix(tracer.events(),
+                                                    nranks=4)
+    world = worlds[0]
+    counter_mat = CounterSnapshot.matrix(
+        [c.snapshot() for c in world.counters])
+    np.testing.assert_array_equal(trace_mat, counter_mat)
+
+
+def test_report_runs_on_real_trace(tracer):
+    def body(comm):
+        x = comm.allreduce(comm.rank)
+        if comm.rank == 0:
+            comm.send(b"y" * 32, 1, tag=2)
+        elif comm.rank == 1:
+            comm.recv(0, tag=2)
+        return x
+
+    spmd(2)(body)
+    text = analyze.report(tracer.events())
+    assert "critical path" in text
+    assert "load imbalance" in text
+    assert "wait states" in text
+    assert "communication matrix" in text
+
+
+def test_report_empty_trace():
+    text = analyze.report([])
+    assert "no span events" in text

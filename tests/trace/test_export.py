@@ -49,6 +49,25 @@ class TestChromeTrace:
         assert len(payload["traceEvents"]) == n > 0
         assert payload["displayTimeUnit"] == "ms"
 
+    def test_events_sorted_by_timestamp_within_lane(self, tracer):
+        # record out of global order across two lanes: completion order
+        # is inner-before-outer, but the export must stream each lane in
+        # timestamp order for Perfetto's nesting reconstruction
+        t0 = tracer.now()
+        with tracer.span("cat", "outer", rank=0):
+            with tracer.span("cat", "inner", rank=0):
+                pass
+        tracer.complete("cat", "late", t0, rank=1)
+        events = [e for e in chrome_trace_events(tracer)
+                  if e["ph"] == "X"]
+        for tid in {e["tid"] for e in events}:
+            ts = [e["ts"] for e in events if e["tid"] == tid]
+            assert ts == sorted(ts)
+        lane0 = [e["name"] for e in events if e["tid"] == 0]
+        # equal-timestamp ties break longer-span-first: the enclosing
+        # span precedes the child it starts simultaneously with
+        assert lane0.index("outer") < lane0.index("inner")
+
 
 class TestSummary:
     def test_empty(self, tracer):
@@ -102,6 +121,38 @@ class TestTrafficReport:
         c.record_recv(1, 50)
         text = traffic_report([c.snapshot()])
         assert "-> 1:" in text and "<- 1:" in text
+
+    def test_includes_rank_by_rank_matrix(self):
+        def body(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            comm.send(np.zeros(16), dest=right)
+            comm.recv(source=left)
+            return comm.context.world
+        world = spmd(3)(body)[0]
+        text = traffic_report(world)
+        assert "row = source rank" in text
+
+
+class TestCounterMatrix:
+    def test_reconciles_both_wire_ends(self):
+        from repro.mpi.counters import CommCounters, CounterSnapshot
+        c0, c1 = CommCounters(), CommCounters()
+        c0.record_send(1, 100)
+        c1.record_recv(0, 100)   # same transfer, receiver side
+        c1.record_send(0, 40)    # counted on one end only
+        mat = CounterSnapshot.matrix([c0.snapshot(), c1.snapshot()])
+        assert mat.shape == (2, 2)
+        assert mat[0, 1] == 100  # not double-counted
+        assert mat[1, 0] == 40   # still visible from the single end
+        assert mat[0, 0] == mat[1, 1] == 0
+
+    def test_explicit_nranks_pads(self):
+        from repro.mpi.counters import CommCounters, CounterSnapshot
+        c = CommCounters()
+        c.record_send(1, 8)
+        mat = CounterSnapshot.matrix([c.snapshot()], nranks=4)
+        assert mat.shape == (4, 4) and mat[0, 1] == 8
 
 
 class TestLayerIntegration:
