@@ -31,6 +31,7 @@ MODULES = [
     "bench_ablation_collectives",
     "bench_ablation_rma",
     "bench_block_solves",
+    "bench_chaos_overhead",
 ]
 
 

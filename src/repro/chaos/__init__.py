@@ -1,0 +1,44 @@
+"""Deterministic fault injection + differential conformance (``repro.chaos``).
+
+Two halves:
+
+- :mod:`repro.chaos.core` -- a seeded, declarative :class:`FaultPlan`
+  consulted by the MPI substrate at its injection points (p2p sends and
+  receives, collectives, RMA).  Disabled cost is one predicate per site,
+  the same contract as :mod:`repro.trace` and :mod:`repro.metrics`.
+- :mod:`repro.chaos.conformance` -- a property-based harness: random
+  ODIN programs executed distributed across an nranks sweep and checked
+  against a single-process NumPy oracle, with automatic shrinking of
+  failures to a minimal repro and a printed ``--seed`` replay line
+  (``python -m repro.chaos --seed N ...``).
+
+This ``__init__`` stays import-light: the MPI runtime imports
+:data:`ENGINE` during package init, so the conformance half (which pulls
+in ODIN and would recurse into :mod:`repro.mpi`) loads lazily on first
+attribute access.
+"""
+
+from .core import (ENGINE, ChaosEngine, FaultPlan, FaultRule, active_plan,
+                   install, uninstall)
+
+__all__ = [
+    "ENGINE", "ChaosEngine", "FaultPlan", "FaultRule",
+    "install", "uninstall", "active_plan",
+    # lazily resolved from .conformance:
+    "Program", "generate_program", "run_numpy", "run_distributed",
+    "check_program", "shrink_program", "run_sweep", "ConformanceFailure",
+]
+
+_CONFORMANCE_NAMES = frozenset(__all__[7:])
+
+
+def __getattr__(name):
+    if name in _CONFORMANCE_NAMES or name == "conformance":
+        # importlib, not ``from . import``: the latter re-enters this
+        # __getattr__ via hasattr() and recurses
+        import importlib
+        conformance = importlib.import_module(".conformance", __name__)
+        if name == "conformance":
+            return conformance
+        return getattr(conformance, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

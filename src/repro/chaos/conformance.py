@@ -1,0 +1,734 @@
+"""Property-based differential conformance for the ODIN runtime.
+
+Random programs over the distributed-array API -- sources in several
+dtypes and distributions (block / cyclic / block-cyclic), ufunc chains,
+slicing with halo patterns, reductions, redistribution, tabular
+map-reduce -- are executed two ways and compared step by step:
+
+- the **oracle**: plain single-process NumPy;
+- the **subject**: ODIN driver + workers over the MPI substrate, across
+  a sweep of worker counts, optionally under an installed
+  :class:`~repro.chaos.core.FaultPlan`.
+
+Elementwise results, slices, redistributions and min/max reductions must
+match **element-exact**; floating sum/mean reductions (whose operation
+order legitimately differs between a distributed fold and NumPy's
+pairwise summation) must match within an ULP bound proportional to the
+number of additions.  Under *benign* faults (delay, slowdown, MPI-legal
+reordering) results must still match exactly; under destructive faults
+(crash, truncation) a typed :class:`~repro.mpi.errors.MPIError` is the
+accepted outcome -- a silently wrong result is always a failure.
+
+Failures shrink automatically (drop steps with their dependents, shrink
+source shapes, halve map-reduce row counts) to a minimal program that
+still fails, and every failure prints a ``--seed`` line that replays it
+bit-identically via ``python -m repro.chaos``.
+
+Programs are plain data (lists of steps, JSON round-trippable), so a
+shrunk repro can be stored as a CI artifact and replayed from its seed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .core import FaultPlan, _mix
+
+__all__ = ["Program", "generate_program", "run_numpy", "run_distributed",
+           "check_program", "shrink_program", "run_sweep",
+           "ConformanceFailure", "plan_for_mode", "CHAOS_MODES"]
+
+# step-kind safe operation sets: every op here is warning-free on the
+# generated data ranges (positive floats in [0.5, 2), ints in [1, 9)),
+# and element-exact between NumPy and a distributed evaluation
+_UNARY = {
+    "float": ("negative", "absolute", "square", "tanh", "sin", "cos",
+              "floor", "ceil", "rint", "sign"),
+    "int": ("negative", "absolute", "square", "sign"),
+    "bool": ("logical_not",),
+}
+_BINARY = {
+    "float": ("add", "subtract", "multiply", "maximum", "minimum", "hypot"),
+    "int": ("add", "subtract", "multiply", "maximum", "minimum"),
+    "bool": ("logical_and", "logical_or", "logical_xor"),
+}
+_COMPARE = ("less", "greater", "less_equal", "greater_equal",
+            "equal", "not_equal")
+_REDUCE = {"float": ("sum", "min", "max", "mean"),
+           "int": ("sum", "min", "max"),
+           "bool": ("sum",)}
+_TABLE_OPS = ("sum", "count", "mean", "min", "max")
+_DTYPES = ("float64", "float32", "int64")
+_DIST_KINDS = ("block", "cyclic", "block-cyclic")
+
+
+class Program:
+    """A generated conformance program: an ordered list of steps.
+
+    Steps are JSON-able lists; each produces one value referred to by
+    its index.  Kinds::
+
+        ["source", shape, dtype, [dist_kind, axis, block_size], dseed]
+        ["unary", src, fname]
+        ["binary", a, b, fname]        # includes comparisons
+        ["slice", src, [[start, stop], ...]]
+        ["reduce", src, op, axis]      # axis None -> scalar
+        ["redistribute", src, [dist_kind, axis, block_size]]
+        ["mapreduce", nrows, op, dseed]
+    """
+
+    def __init__(self, seed: int, steps: Sequence[list]):
+        self.seed = int(seed)
+        self.steps = [list(s) for s in steps]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"seed": self.seed, "steps": self.steps}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "Program":
+        return cls(d["seed"], d["steps"])
+
+    def describe(self) -> str:
+        lines = []
+        for i, s in enumerate(self.steps):
+            kind = s[0]
+            if kind == "source":
+                _, shape, dtype, dist, dseed = s
+                lines.append(f"v{i} = source(shape={tuple(shape)}, "
+                             f"dtype={dtype}, dist={_dist_str(dist)}, "
+                             f"dseed={dseed})")
+            elif kind == "unary":
+                lines.append(f"v{i} = {s[2]}(v{s[1]})")
+            elif kind == "binary":
+                lines.append(f"v{i} = {s[3]}(v{s[1]}, v{s[2]})")
+            elif kind == "slice":
+                sl = ", ".join(f"{a}:{b}" for a, b in s[2])
+                lines.append(f"v{i} = v{s[1]}[{sl}]")
+            elif kind == "reduce":
+                lines.append(f"v{i} = v{s[1]}.{s[2]}(axis={s[3]})")
+            elif kind == "redistribute":
+                lines.append(f"v{i} = v{s[1]}.redistribute"
+                             f"({_dist_str(s[2])})")
+            elif kind == "mapreduce":
+                lines.append(f"v{i} = mapreduce(nrows={s[1]}, op={s[2]!r}, "
+                             f"dseed={s[3]})")
+            else:
+                lines.append(f"v{i} = <unknown {kind!r}>")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return f"Program(seed={self.seed}, steps={len(self.steps)})"
+
+
+def _dist_str(spec) -> str:
+    kind, axis, bs = spec
+    extra = f", block_size={bs}" if kind == "block-cyclic" else ""
+    return f"{kind}(axis={axis}{extra})"
+
+
+def _source_data(shape, dtype, dseed) -> np.ndarray:
+    """Deterministic per-source payload: positive floats in [0.5, 2) or
+    small positive ints, so the safe op sets stay warning-free."""
+    rng = np.random.default_rng(np.uint64(dseed))
+    if dtype == "int64":
+        return rng.integers(1, 9, size=tuple(shape), dtype=np.int64)
+    return rng.uniform(0.5, 2.0, size=tuple(shape)).astype(dtype)
+
+
+def _table_data(nrows, dseed) -> np.ndarray:
+    rng = np.random.default_rng(np.uint64(dseed))
+    rec = np.zeros(nrows, dtype=[("key", np.int64), ("value", np.float64)])
+    rec["key"] = rng.integers(0, 5, size=nrows)
+    rec["value"] = rng.uniform(0.5, 2.0, size=nrows)
+    return rec
+
+
+# ----------------------------------------------------------------------
+# generation
+# ----------------------------------------------------------------------
+def generate_program(seed: int, max_steps: int = 10) -> Program:
+    """Deterministically generate a random valid program from *seed*."""
+    rng = np.random.default_rng(np.uint64(seed))
+    steps: List[list] = []
+    metas: List[tuple] = []  # ("array", shape, cls) | ("scalar",) | ("table",)
+    # Steps whose values carry distributed-fold rounding (float sum/mean
+    # axis reductions).  They are observed and ULP-compared, but never fed
+    # into later steps: elementwise chains can amplify a 1-ulp difference
+    # without bound (cancellation), which no fixed tolerance survives.
+    tainted: set = set()
+
+    def arrays(pred: Callable[[tuple], bool] = None) -> List[int]:
+        return [i for i, m in enumerate(metas)
+                if m[0] == "array" and i not in tainted
+                and (pred is None or pred(m))]
+
+    def pick(idx_list: List[int]) -> int:
+        return int(idx_list[rng.integers(0, len(idx_list))])
+
+    def rand_dist(shape) -> list:
+        kind = str(rng.choice(_DIST_KINDS))
+        axis = int(rng.integers(0, len(shape)))
+        bs = int(rng.integers(1, 4)) if kind == "block-cyclic" else 0
+        return [kind, axis, bs]
+
+    def add_source() -> None:
+        nd = 1 if rng.random() < 0.7 else 2
+        if nd == 1:
+            shape = (int(rng.integers(5, 25)),)
+        else:
+            shape = (int(rng.integers(3, 9)), int(rng.integers(3, 9)))
+        dtype = str(rng.choice(_DTYPES))
+        cls = "int" if dtype == "int64" else "float"
+        dseed = int(rng.integers(0, 2 ** 31))
+        steps.append(["source", list(shape), dtype, rand_dist(shape), dseed])
+        metas.append(("array", shape, cls))
+
+    def add_unary() -> None:
+        i = pick(arrays())
+        _, shape, cls = metas[i]
+        fname = str(rng.choice(_UNARY[cls]))
+        steps.append(["unary", i, fname])
+        metas.append(("array", shape, cls))
+
+    def add_binary() -> None:
+        cands = arrays()
+        i = pick(cands)
+        _, shape, cls = metas[i]
+        mates = [j for j in cands
+                 if metas[j][1] == shape and metas[j][2] == cls]
+        if not mates:
+            return add_unary()
+        j = pick(mates)
+        fname = str(rng.choice(_BINARY[cls]))
+        steps.append(["binary", i, j, fname])
+        metas.append(("array", shape, cls))
+
+    def add_compare() -> None:
+        cands = arrays(lambda m: m[2] in ("float", "int"))
+        if not cands:
+            return add_unary()
+        i = pick(cands)
+        _, shape, cls = metas[i]
+        mates = [j for j in cands
+                 if metas[j][1] == shape and metas[j][2] == cls]
+        if not mates:
+            return add_unary()
+        j = pick(mates)
+        fname = str(rng.choice(_COMPARE))
+        steps.append(["binary", i, j, fname])
+        metas.append(("array", shape, "bool"))
+
+    def add_slice() -> None:
+        cands = arrays(lambda m: max(m[1]) >= 3)
+        if not cands:
+            return add_unary()
+        i = pick(cands)
+        _, shape, cls = metas[i]
+        spec, out_shape = [], []
+        for n in shape:
+            lo = int(rng.integers(0, min(3, n)))
+            hi = n - int(rng.integers(0, min(3, n - lo)))
+            spec.append([lo, hi])
+            out_shape.append(hi - lo)
+        steps.append(["slice", i, spec])
+        metas.append(("array", tuple(out_shape), cls))
+
+    def add_halo() -> None:
+        cands = arrays(lambda m: len(m[1]) == 1 and m[1][0] >= 4
+                       and m[2] in ("float", "int"))
+        if not cands:
+            return add_slice()
+        i = pick(cands)
+        _, (n,), cls = metas[i]
+        steps.append(["slice", i, [[1, n]]])
+        metas.append(("array", (n - 1,), cls))
+        steps.append(["slice", i, [[0, n - 1]]])
+        metas.append(("array", (n - 1,), cls))
+        fname = "subtract" if cls != "bool" else "logical_xor"
+        steps.append(["binary", len(steps) - 2, len(steps) - 1, fname])
+        metas.append(("array", (n - 1,), cls))
+
+    def add_reduce() -> None:
+        i = pick(arrays())
+        _, shape, cls = metas[i]
+        op = str(rng.choice(_REDUCE[cls]))
+        if len(shape) == 2 and rng.random() < 0.5:
+            axis = int(rng.integers(0, 2))
+            out = tuple(s for a, s in enumerate(shape) if a != axis)
+            steps.append(["reduce", i, op, axis])
+            metas.append(("array", out,
+                          "float" if op == "mean" else cls))
+            if op == "mean" or (op == "sum" and cls == "float"):
+                tainted.add(len(steps) - 1)
+        else:
+            steps.append(["reduce", i, op, None])
+            metas.append(("scalar",))
+
+    def add_redistribute() -> None:
+        i = pick(arrays())
+        _, shape, cls = metas[i]
+        steps.append(["redistribute", i, rand_dist(shape)])
+        metas.append(("array", shape, cls))
+
+    def add_mapreduce() -> None:
+        nrows = int(rng.integers(8, 41))
+        op = str(rng.choice(_TABLE_OPS))
+        dseed = int(rng.integers(0, 2 ** 31))
+        steps.append(["mapreduce", nrows, op, dseed])
+        metas.append(("table",))
+
+    add_source()
+    n_target = int(rng.integers(3, max(4, max_steps + 1)))
+    makers = {"source": add_source, "unary": add_unary,
+              "binary": add_binary, "compare": add_compare,
+              "slice": add_slice, "halo": add_halo, "reduce": add_reduce,
+              "redistribute": add_redistribute, "mapreduce": add_mapreduce}
+    kinds = list(makers)
+    probs = np.array([0.12, 0.16, 0.16, 0.08, 0.12, 0.08, 0.12, 0.11, 0.05])
+    while len(steps) < n_target:
+        makers[str(rng.choice(kinds, p=probs))]()
+    return Program(seed, steps)
+
+
+# ----------------------------------------------------------------------
+# execution: NumPy oracle and distributed subject
+# ----------------------------------------------------------------------
+def _np_mapreduce(nrows, op, dseed) -> Tuple[np.ndarray, np.ndarray]:
+    rec = _table_data(nrows, dseed)
+    keys = np.unique(rec["key"])
+    fold = {"sum": np.sum, "mean": np.mean, "min": np.min, "max": np.max,
+            "count": len}
+    vals = np.array([fold[op](rec["value"][rec["key"] == k]) for k in keys],
+                    dtype=np.float64)
+    return keys, vals
+
+
+def run_numpy(program: Program) -> List[Any]:
+    """Single-process oracle: evaluate every step with plain NumPy."""
+    vals: List[Any] = []
+    obs: List[Any] = []
+    for s in program.steps:
+        kind = s[0]
+        if kind == "source":
+            v = _source_data(s[1], s[2], s[4])
+        elif kind == "unary":
+            v = getattr(np, s[2])(vals[s[1]])
+        elif kind == "binary":
+            v = getattr(np, s[3])(vals[s[1]], vals[s[2]])
+        elif kind == "slice":
+            v = vals[s[1]][tuple(slice(a, b) for a, b in s[2])]
+        elif kind == "reduce":
+            arr, op, axis = vals[s[1]], s[2], s[3]
+            v = getattr(np, op if op != "mean" else "mean")(arr, axis=axis)
+        elif kind == "redistribute":
+            v = vals[s[1]]
+        elif kind == "mapreduce":
+            v = _np_mapreduce(s[1], s[2], s[3])
+        else:
+            raise ValueError(f"unknown step kind {kind!r}")
+        vals.append(v)
+        obs.append(v)
+    return obs
+
+
+def _odin_dist(spec, shape, nworkers):
+    from ..odin.distribution import make_distribution
+    kind, axis, bs = spec
+    kwargs = {"block_size": bs} if kind == "block-cyclic" else {}
+    return make_distribution(tuple(shape), nworkers, dist=kind, axis=axis,
+                             **kwargs)
+
+
+def _run_odin(program: Program, ctx) -> List[Any]:
+    import repro.odin as odin
+    from ..odin import tabular
+
+    vals: List[Any] = []
+    obs: List[Any] = []
+    for s in program.steps:
+        kind = s[0]
+        if kind == "source":
+            data = _source_data(s[1], s[2], s[4])
+            dk, axis, bs = s[3]
+            kwargs = {"block_size": bs} if dk == "block-cyclic" else {}
+            v = odin.array(data, dist=dk, axis=axis, ctx=ctx, **kwargs)
+        elif kind == "unary":
+            v = getattr(odin, s[2])(vals[s[1]])
+        elif kind == "binary":
+            v = getattr(odin, s[3])(vals[s[1]], vals[s[2]])
+        elif kind == "slice":
+            v = vals[s[1]][tuple(slice(a, b) for a, b in s[2])]
+        elif kind == "reduce":
+            v = getattr(vals[s[1]], s[2])(axis=s[3])
+            # reducing along the distributed axis collapses to a local
+            # ndarray; re-scatter it so downstream steps (redistribute,
+            # ufuncs) keep operating on a DistArray like the generator
+            # assumes
+            if isinstance(v, np.ndarray) and v.ndim > 0:
+                v = odin.array(v, ctx=ctx)
+        elif kind == "redistribute":
+            src = vals[s[1]]
+            v = src.redistribute(_odin_dist(s[2], src.shape, ctx.nworkers))
+        elif kind == "mapreduce":
+            rec = tabular.from_records(_table_data(s[1], s[3]), ctx=ctx)
+            v = tabular.group_aggregate(rec, "key", "value", op=s[2])
+        else:
+            raise ValueError(f"unknown step kind {kind!r}")
+        vals.append(v)
+        # observe immediately: gather to the driver
+        if kind == "mapreduce":
+            table = v.gather()
+            order = np.argsort(table["key"], kind="stable")
+            obs.append((table["key"][order].astype(np.int64),
+                        table["value"][order].astype(np.float64)))
+        elif hasattr(v, "gather"):
+            obs.append(v.gather())
+        else:
+            obs.append(v)
+    return obs
+
+
+def run_distributed(program: Program, nworkers: int,
+                    fault_plan: Optional[FaultPlan] = None,
+                    timeout: float = 30.0) -> List[Any]:
+    """Run *program* on a fresh ODIN context with *nworkers* workers,
+    optionally under *fault_plan*.  Always tears the context down, even
+    after a crash-aborted world."""
+    from ..odin.context import OdinContext
+    from .core import ENGINE
+
+    ctx = OdinContext(nworkers, timeout=timeout)
+    try:
+        if fault_plan is not None:
+            ENGINE.install(fault_plan)
+        try:
+            return _run_odin(program, ctx)
+        finally:
+            if fault_plan is not None:
+                ENGINE.uninstall()
+    finally:
+        try:
+            ctx.shutdown()
+        except Exception:
+            # the world may already be abort-poisoned (crash faults)
+            pass
+
+
+# ----------------------------------------------------------------------
+# comparison
+# ----------------------------------------------------------------------
+def _ulp_close(a, b, ulps: float) -> bool:
+    a, b = np.asarray(a), np.asarray(b)
+    if a.shape != b.shape:
+        return False
+    # compare at the *lowest* precision present: the driver returns
+    # Python floats (float64) even for float32 arrays, and a distributed
+    # float32 fold may differ from NumPy's by ulps *of float32*
+    dts = [x.dtype for x in (a, b) if x.dtype.kind == "f"]
+    dt = min(dts, key=lambda d: d.itemsize) if dts else np.dtype(np.float64)
+    af, bf = a.astype(dt), b.astype(dt)
+    if np.array_equal(af, bf, equal_nan=True):
+        return True
+    with np.errstate(invalid="ignore", over="ignore"):
+        tol = ulps * np.spacing(np.maximum(np.abs(af), np.abs(bf)))
+        ok = (af == bf) | (np.abs(af - bf) <= tol) \
+            | (np.isnan(af) & np.isnan(bf))
+    return bool(np.all(ok))
+
+
+def _step_tolerance(program: Program, i: int) -> Optional[float]:
+    """ULP budget for step *i*'s comparison, or None for element-exact.
+
+    Only floating sum/mean reductions may differ between a distributed
+    fold and the NumPy oracle (operation order); everything else --
+    elementwise chains, slices, redistributions, min/max, integer and
+    boolean reductions (modular addition is associative) -- is exact.
+    """
+    s = program.steps[i]
+    if s[0] == "reduce" and s[2] in ("sum", "mean"):
+        src = program.steps[s[1]]
+        while src[0] in ("unary", "binary", "slice", "redistribute"):
+            src = program.steps[src[1]]
+        if src[0] == "source" and src[2] == "int64" and s[2] == "sum":
+            return None  # integer folds are exact under wraparound
+        n = int(np.prod(_shape_of(program, s[1])))
+        return 8.0 * max(4, n)
+    if s[0] == "mapreduce" and s[2] in ("sum", "mean"):
+        return 8.0 * max(4, s[1])
+    return None
+
+
+def _shape_of(program: Program, i: int) -> Tuple[int, ...]:
+    """Static shape of step *i* (mirrors the generator's tracking)."""
+    s = program.steps[i]
+    kind = s[0]
+    if kind == "source":
+        return tuple(s[1])
+    if kind in ("unary", "redistribute"):
+        return _shape_of(program, s[1])
+    if kind == "binary":
+        return _shape_of(program, s[1])
+    if kind == "slice":
+        return tuple(b - a for a, b in s[2])
+    if kind == "reduce":
+        shape, axis = _shape_of(program, s[1]), s[3]
+        if axis is None:
+            return ()
+        return tuple(n for a, n in enumerate(shape) if a != axis)
+    return ()
+
+
+def compare_observations(program: Program, oracle: List[Any],
+                         subject: List[Any]) -> Optional[str]:
+    """None if conformant, else a description of the first divergence."""
+    for i, (want, got) in enumerate(zip(oracle, subject)):
+        step = program.steps[i]
+        if step[0] == "mapreduce":
+            wk, wv = want
+            gk, gv = got
+            if not np.array_equal(wk, gk):
+                return (f"step {i} ({step[0]}): key sets differ: "
+                        f"{wk!r} vs {gk!r}")
+            tol = _step_tolerance(program, i)
+            ok = (_ulp_close(wv, gv, tol) if tol is not None
+                  else np.array_equal(wv, gv))
+            if not ok:
+                return (f"step {i} ({step[0]}): aggregated values differ: "
+                        f"{wv!r} vs {gv!r}")
+            continue
+        want_a, got_a = np.asarray(want), np.asarray(got)
+        if want_a.shape != got_a.shape:
+            return (f"step {i} ({step[0]}): shape {got_a.shape} != "
+                    f"expected {want_a.shape}")
+        tol = _step_tolerance(program, i)
+        if tol is not None:
+            if not _ulp_close(want_a, got_a, tol):
+                return (f"step {i} ({step[0]}): beyond {tol:.0f}-ulp "
+                        f"bound: {want_a!r} vs {got_a!r}")
+        elif not np.array_equal(want_a, got_a, equal_nan=True):
+            return (f"step {i} ({step[0]}): element mismatch: "
+                    f"{want_a!r} vs {got_a!r}")
+    return None
+
+
+# ----------------------------------------------------------------------
+# checking, shrinking, sweeping
+# ----------------------------------------------------------------------
+def check_program(program: Program, nworkers: int,
+                  fault_plan: Optional[FaultPlan] = None,
+                  expect_errors: bool = False,
+                  timeout: float = 30.0) -> Optional[str]:
+    """Differential check: None if conformant, else a failure string.
+
+    With *expect_errors* (destructive fault plans), a typed
+    :class:`MPIError` is an accepted outcome; a *wrong result* never is.
+    """
+    from ..mpi.errors import MPIError
+
+    oracle = run_numpy(program)
+    try:
+        subject = run_distributed(program, nworkers, fault_plan, timeout)
+    except MPIError as exc:
+        if expect_errors:
+            return None
+        return f"typed MPI error: {type(exc).__name__}: {exc}"
+    except Exception as exc:  # noqa: BLE001 - any escape is a finding
+        return f"untyped {type(exc).__name__}: {exc!r}"
+    return compare_observations(program, oracle, subject)
+
+
+class ConformanceFailure:
+    """A failing case: the program, its shrunk form, and how it failed."""
+
+    def __init__(self, seed: int, nranks: int, chaos_mode: str,
+                 program: Program, detail: str,
+                 shrunk: Optional[Program] = None,
+                 shrunk_detail: Optional[str] = None):
+        self.seed = seed
+        self.nranks = nranks
+        self.chaos_mode = chaos_mode
+        self.program = program
+        self.detail = detail
+        self.shrunk = shrunk or program
+        self.shrunk_detail = shrunk_detail or detail
+
+    def replay_line(self, strict: bool = False) -> str:
+        flag = " --strict" if strict else ""
+        return (f"REPLAY: python -m repro.chaos --seed {self.seed} "
+                f"--programs 1 --nranks {self.nranks} "
+                f"--chaos {self.chaos_mode}{flag}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed, "nranks": self.nranks,
+            "chaos": self.chaos_mode, "detail": self.detail,
+            "program": self.program.to_dict(),
+            "shrunk": self.shrunk.to_dict(),
+            "shrunk_detail": self.shrunk_detail,
+            "shrunk_source": self.shrunk.describe(),
+        }
+
+
+def _drop_step(program: Program, victim: int) -> Optional[Program]:
+    """Remove *victim* and every transitive dependent; reindex refs."""
+    dead = {victim}
+    refs = {"unary": (1,), "binary": (1, 2), "slice": (1,),
+            "reduce": (1,), "redistribute": (1,)}
+    for i, s in enumerate(program.steps):
+        if i in dead:
+            continue
+        if any(s[r] in dead for r in refs.get(s[0], ())):
+            dead.add(i)
+    keep = [i for i in range(len(program.steps)) if i not in dead]
+    if not keep:
+        return None
+    remap = {old: new for new, old in enumerate(keep)}
+    steps = []
+    for old in keep:
+        s = list(program.steps[old])
+        for r in refs.get(s[0], ()):
+            s[r] = remap[s[r]]
+        steps.append(s)
+    return Program(program.seed, steps)
+
+
+def _shrink_source(program: Program, i: int) -> Optional[Program]:
+    """Halve one source's dims (floor 2); fix no downstream specs --
+    callers validate candidates through the oracle."""
+    s = program.steps[i]
+    if s[0] == "source":
+        shape = [max(2, n // 2) for n in s[1]]
+        if shape == s[1]:
+            return None
+        steps = [list(x) for x in program.steps]
+        steps[i] = [s[0], shape, s[2], s[3], s[4]]
+        return Program(program.seed, steps)
+    if s[0] == "mapreduce" and s[1] > 4:
+        steps = [list(x) for x in program.steps]
+        steps[i] = [s[0], max(4, s[1] // 2), s[2], s[3]]
+        return Program(program.seed, steps)
+    return None
+
+
+def shrink_program(program: Program,
+                   still_fails: Callable[[Program], bool],
+                   max_rounds: int = 200) -> Program:
+    """Greedy minimization: repeatedly drop steps (with dependents) and
+    shrink source shapes while *still_fails* holds.
+
+    Candidates that the NumPy oracle itself rejects (a shape-shrink can
+    invalidate a downstream slice) are skipped, so *still_fails* is only
+    consulted on well-formed programs.
+    """
+    def valid_and_fails(cand: Program) -> bool:
+        try:
+            run_numpy(cand)
+        except Exception:
+            return False
+        return still_fails(cand)
+
+    current = program
+    for _round in range(max_rounds):
+        improved = False
+        for i in reversed(range(len(current.steps))):
+            cand = _drop_step(current, i)
+            if cand is not None and len(cand.steps) < len(current.steps) \
+                    and valid_and_fails(cand):
+                current = cand
+                improved = True
+                break
+        if improved:
+            continue
+        for i in range(len(current.steps)):
+            cand = _shrink_source(current, i)
+            if cand is not None and valid_and_fails(cand):
+                current = cand
+                improved = True
+                break
+        if not improved:
+            break
+    return current
+
+
+#: fault-plan templates the sweep/CLI can apply per (seed, nranks);
+#: "benign" plans must leave results exact, destructive ones may only
+#: surface as typed errors
+CHAOS_MODES = ("none", "benign", "delay", "crash", "truncate")
+
+
+def plan_for_mode(mode: str, seed: int,
+                  nranks: int) -> Tuple[Optional[FaultPlan], bool]:
+    """(fault plan, expect_errors) for a chaos *mode*.
+
+    World ranks in an ODIN context are driver=0, workers=1..nranks; the
+    plans only target worker ranks so the driver thread (which is the
+    caller) never crashes.
+    """
+    if mode == "none":
+        return None, False
+    victim = 1 + _mix(seed, nranks) % nranks
+    if mode == "benign":
+        return (FaultPlan(seed=seed)
+                .delay(seconds=0.002, prob=0.15)
+                .slowdown(seconds=0.001, rank=victim, prob=0.1)
+                .reorder(depth=2, prob=0.2)), False
+    if mode == "delay":
+        return (FaultPlan(seed=seed)
+                .delay(seconds=0.005, rank=victim, prob=0.5)), False
+    if mode == "crash":
+        after = 5 + _mix(seed, nranks, 1) % 60
+        return FaultPlan(seed=seed).crash(rank=victim, after=after), True
+    if mode == "truncate":
+        return (FaultPlan(seed=seed)
+                .truncate(keep=0.5, rank=victim, prob=0.3)), True
+    raise ValueError(f"unknown chaos mode {mode!r}; "
+                     f"expected one of {CHAOS_MODES}")
+
+
+def run_sweep(seed: int, nprograms: int, nranks_list: Sequence[int],
+              chaos_mode: str = "none", max_steps: int = 10,
+              timeout: float = 30.0, strict: bool = False,
+              shrink: bool = True, max_failures: int = 5,
+              log: Callable[[str], None] = None) -> List[ConformanceFailure]:
+    """Fixed-seed conformance sweep; returns the (shrunk) failures.
+
+    Program *i* uses seed ``seed + i``, so any failure replays in
+    isolation with ``--seed seed+i --programs 1``.  With *strict*, typed
+    errors under destructive chaos modes also count as failures (used to
+    exercise the replay machinery on a case guaranteed to fail).
+    """
+    failures: List[ConformanceFailure] = []
+    for i in range(nprograms):
+        pseed = seed + i
+        program = generate_program(pseed, max_steps=max_steps)
+        for nranks in nranks_list:
+            plan, expect = plan_for_mode(chaos_mode, pseed, nranks)
+            expect = expect and not strict
+            detail = check_program(program, nranks, plan, expect, timeout)
+            if detail is None:
+                continue
+            shrunk, shrunk_detail = program, detail
+            if shrink:
+                def fails(cand: Program) -> bool:
+                    return check_program(cand, nranks, plan, expect,
+                                         timeout) is not None
+                shrunk = shrink_program(program, fails)
+                shrunk_detail = check_program(shrunk, nranks, plan,
+                                              expect, timeout) or detail
+            failure = ConformanceFailure(pseed, nranks, chaos_mode,
+                                         program, detail, shrunk,
+                                         shrunk_detail)
+            failures.append(failure)
+            if log is not None:
+                log(f"FAIL seed={pseed} nranks={nranks} "
+                    f"chaos={chaos_mode}\n  {detail}\n"
+                    f"  shrunk to {len(shrunk.steps)} step(s):\n"
+                    + "\n".join("    " + ln
+                                for ln in shrunk.describe().splitlines())
+                    + f"\n  shrunk failure: {shrunk_detail}\n  "
+                    + failure.replay_line(strict))
+            if len(failures) >= max_failures:
+                return failures
+    return failures

@@ -17,6 +17,7 @@ from typing import Any, List, Optional, Sequence
 
 import numpy as np
 
+from ..chaos.core import ENGINE as _CH
 from ..metrics import REGISTRY as _MX
 from ..trace import TRACER as _TR
 from . import ops as _ops
@@ -29,6 +30,22 @@ from .status import ANY_SOURCE, ANY_TAG, Status
 __all__ = ["Group", "Intracomm"]
 
 
+def _loads(payload: bytes):
+    """Unpickle a message payload, surfacing corruption as a typed error.
+
+    A payload truncated in flight (chaos injection, or any future real
+    transport) fails to unpickle with an arbitrary ``UnpicklingError`` /
+    ``EOFError``; callers must instead see the substrate's own
+    :class:`TruncationError` so tests and solvers can handle it.
+    """
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:
+        raise TruncationError(
+            f"received message payload failed to decode ({exc!r}); "
+            f"payload was truncated or corrupted in flight") from exc
+
+
 def _traced_collective(algorithm: str):
     """Wrap a collective so each call records one span tagged with the
     algorithm it implements, and (when metrics are on) counts calls and
@@ -39,6 +56,8 @@ def _traced_collective(algorithm: str):
         name = fn.__name__
 
         def wrapper(self, *args, **kwargs):
+            if _CH.enabled:
+                _CH.on_op("coll", self._ctx.rank)
             tr, mx = _TR.enabled, _MX.enabled
             if not (tr or mx):
                 return fn(self, *args, **kwargs)
@@ -201,7 +220,7 @@ class Intracomm:
             status.source = self._rank_of_world[msg.src]
             status.tag = msg.tag
             status.count_bytes = msg.nbytes
-        return pickle.loads(msg.payload)
+        return _loads(msg.payload)
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> SendRequest:
         self.send(obj, dest, tag)
@@ -219,7 +238,7 @@ class Intracomm:
                 status.source = self._rank_of_world[msg.src]
                 status.tag = msg.tag
                 status.count_bytes = msg.nbytes
-            return pickle.loads(msg.payload)
+            return _loads(msg.payload)
 
         def poll(status):
             msg = self._ctx.poll_message(self._p2p_ctx(), src_world, tag,
@@ -230,7 +249,7 @@ class Intracomm:
                 status.source = self._rank_of_world[msg.src]
                 status.tag = msg.tag
                 status.count_bytes = msg.nbytes
-            return True, pickle.loads(msg.payload)
+            return True, _loads(msg.payload)
 
         return RecvRequest(complete, poll)
 
@@ -367,7 +386,7 @@ class Intracomm:
         if vrank != 0:
             src = (((vrank - 1) // 2) + root) % p  # parent in binary tree
             msg = self._ctx.recv_message(ctx_id, self._world_ranks[src], tag)
-            obj = pickle.loads(msg.payload)
+            obj = _loads(msg.payload)
         for child in (2 * vrank + 1, 2 * vrank + 2):
             if child < p:
                 dest = (child + root) % p
@@ -391,7 +410,7 @@ class Intracomm:
                                           tag, sendobj[r])
             return mine
         msg = self._ctx.recv_message(ctx_id, self._world_ranks[root], tag)
-        return pickle.loads(msg.payload)
+        return _loads(msg.payload)
 
     @_traced_collective("linear-root")
     def gather(self, sendobj: Any, root: int = 0) -> Optional[List[Any]]:
@@ -404,7 +423,7 @@ class Intracomm:
                 if r != root:
                     msg = self._ctx.recv_message(
                         ctx_id, self._world_ranks[r], tag)
-                    out[r] = pickle.loads(msg.payload)
+                    out[r] = _loads(msg.payload)
             return out
         self._ctx.send_object(self._world_ranks[root], ctx_id, tag, sendobj)
         return None
@@ -426,7 +445,7 @@ class Intracomm:
         for _step in range(p - 1):
             self._ctx.send_object(right, ctx_id, tag, (cur_idx, cur))
             msg = self._ctx.recv_message(ctx_id, left, tag)
-            cur_idx, cur = pickle.loads(msg.payload)
+            cur_idx, cur = _loads(msg.payload)
             out[cur_idx] = cur
         return out
 
@@ -445,7 +464,7 @@ class Intracomm:
             self._ctx.send_object(self._world_ranks[dest], ctx_id, tag,
                                   sendobjs[dest])
             msg = self._ctx.recv_message(ctx_id, self._world_ranks[src], tag)
-            out[src] = pickle.loads(msg.payload)
+            out[src] = _loads(msg.payload)
         return out
 
     @_traced_collective("binomial-tree")
@@ -477,7 +496,7 @@ class Intracomm:
                 src = (partner + root) % p
                 msg = self._ctx.recv_message(ctx_id, self._world_ranks[src],
                                              tag)
-                acc = op(acc, pickle.loads(msg.payload))
+                acc = op(acc, _loads(msg.payload))
             mask <<= 1
         return acc if self._rank == root else None
 
@@ -494,7 +513,7 @@ class Intracomm:
         if self._rank > 0:
             msg = self._ctx.recv_message(
                 ctx_id, self._world_ranks[self._rank - 1], tag)
-            acc = op(pickle.loads(msg.payload), sendobj)
+            acc = op(_loads(msg.payload), sendobj)
         if self._rank + 1 < self._size:
             self._ctx.send_object(self._world_ranks[self._rank + 1],
                                   ctx_id, tag, acc)
@@ -508,7 +527,7 @@ class Intracomm:
         if self._rank > 0:
             msg = self._ctx.recv_message(
                 ctx_id, self._world_ranks[self._rank - 1], tag)
-            prefix = pickle.loads(msg.payload)
+            prefix = _loads(msg.payload)
         if self._rank + 1 < self._size:
             acc = sendobj if prefix is None else op(prefix, sendobj)
             self._ctx.send_object(self._world_ranks[self._rank + 1],
@@ -531,6 +550,10 @@ class Intracomm:
             src = (((vrank - 1) // 2) + root) % p
             msg = self._ctx.recv_message(ctx_id, self._world_ranks[src], tag)
             incoming = np.asarray(msg.payload).view(dt.np_dtype)
+            if incoming.size < count:
+                raise TruncationError(
+                    f"Bcast expected {count} elements, received "
+                    f"{incoming.size}: payload truncated in flight")
             flat[:count] = incoming[:count]
         for child in (2 * vrank + 1, 2 * vrank + 2):
             if child < p:
@@ -627,6 +650,11 @@ class Intracomm:
             msg = self._ctx.recv_message(ctx_id, left, tag)
             cur_idx = (cur_idx - 1) % p
             incoming = np.asarray(msg.payload).view(rdt.np_dtype)
+            if incoming.size < counts[cur_idx]:
+                raise TruncationError(
+                    f"Allgatherv expected {counts[cur_idx]} elements for "
+                    f"block {cur_idx}, received {incoming.size}: payload "
+                    f"truncated in flight")
             rflat[displs[cur_idx]:displs[cur_idx] + incoming.size] = incoming
 
     @_traced_collective("pairwise-exchange")
@@ -648,6 +676,10 @@ class Intracomm:
                                   sflat[dest * sblk:(dest + 1) * sblk])
             msg = self._ctx.recv_message(ctx_id, self._world_ranks[src], tag)
             incoming = np.asarray(msg.payload).view(rdt.np_dtype)
+            if incoming.size < rblk:
+                raise TruncationError(
+                    f"Alltoall expected {rblk} elements from rank {src}, "
+                    f"received {incoming.size}: payload truncated in flight")
             rflat[src * rblk:src * rblk + incoming.size] = incoming
 
     @_traced_collective("binomial-tree")
@@ -674,6 +706,11 @@ class Intracomm:
                 msg = self._ctx.recv_message(ctx_id, self._world_ranks[src],
                                              tag)
                 incoming = np.asarray(msg.payload).view(sdt.np_dtype)
+                if incoming.size != acc.size:
+                    raise TruncationError(
+                        f"Reduce expected {acc.size} elements from rank "
+                        f"{src}, received {incoming.size}: payload "
+                        f"truncated in flight")
                 acc = op.np_func(acc, incoming)
             mask <<= 1
         if done_root and self._rank == root and recvbuf is not None:
@@ -708,6 +745,10 @@ class Intracomm:
             msg = self._ctx.recv_message(
                 ctx_id, self._world_ranks[self._rank - 1], tag)
             incoming = np.asarray(msg.payload).view(sdt.np_dtype)
+            if incoming.size != acc.size:
+                raise TruncationError(
+                    f"Scan expected {acc.size} elements, received "
+                    f"{incoming.size}: payload truncated in flight")
             acc = op.np_func(incoming, acc)
         if self._rank + 1 < self._size:
             self._ctx.send_buffer(self._world_ranks[self._rank + 1],
@@ -726,6 +767,10 @@ class Intracomm:
             msg = self._ctx.recv_message(
                 ctx_id, self._world_ranks[self._rank - 1], tag)
             prefix = np.asarray(msg.payload).view(sdt.np_dtype).copy()
+            if prefix.size != scount:
+                raise TruncationError(
+                    f"Exscan expected {scount} elements, received "
+                    f"{prefix.size}: payload truncated in flight")
         if self._rank + 1 < self._size:
             acc = sflat[:scount].astype(sdt.np_dtype, copy=True) \
                 if prefix is None else op.np_func(prefix, sflat[:scount])

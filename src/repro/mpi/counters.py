@@ -35,7 +35,16 @@ class CounterSnapshot:
         self.by_peer_recv = dict(by_peer_recv)
 
     def __sub__(self, other):
-        """Traffic delta between two snapshots (self - other)."""
+        """Traffic delta between two snapshots (self - other).
+
+        *other* may be ``None`` (a rank that crashed before its baseline
+        could be captured): the delta is then ``self`` unchanged, so
+        post-mortem reports over a partially-dead world never raise.
+        """
+        if other is None:
+            return CounterSnapshot(self.sends, self.recvs, self.bytes_sent,
+                                   self.bytes_recvd, self.by_peer,
+                                   self.by_peer_recv)
         by_peer = defaultdict(int, self.by_peer)
         for peer, nbytes in other.by_peer.items():
             by_peer[peer] -= nbytes
@@ -63,13 +72,20 @@ class CounterSnapshot:
         This is the single aggregation point behind both
         :func:`repro.trace.export.traffic_report` and the analyzer's
         communication-matrix report.
+
+        A ``None`` entry stands for a rank that crashed mid-run (its
+        counters were lost): its rows/columns come out zero except where
+        surviving peers counted traffic against it -- missing peer keys
+        never raise.
         """
-        peers = [p for snap in snapshots
+        peers = [p for snap in snapshots if snap is not None
                  for p in (*snap.by_peer, *snap.by_peer_recv)]
         n = max(len(snapshots), 1 + max(peers, default=-1)) \
             if nranks is None else nranks
         mat = np.zeros((n, n), dtype=np.int64)
         for i, snap in enumerate(snapshots):
+            if snap is None:
+                continue
             for peer, nbytes in snap.by_peer.items():
                 if peer < n:
                     mat[i, peer] = max(mat[i, peer], nbytes)

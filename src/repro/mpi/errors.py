@@ -30,6 +30,22 @@ class CommError(MPIError):
     outside the SPMD region that created it)."""
 
 
+class InjectedFault(MPIError):
+    """A scripted fault from :mod:`repro.chaos` fired on this rank.
+
+    Raised *in the faulted rank* when a crash rule triggers; peers then
+    observe the ordinary :class:`AbortError` through world abort, exactly
+    as they would for any other unhandled rank failure.
+    """
+
+    def __init__(self, rank, step, rule):
+        super().__init__(
+            f"injected fault on rank {rank} at step {step}: {rule}")
+        self.rank = rank
+        self.step = step
+        self.rule = rule
+
+
 class AbortError(MPIError):
     """Raised in every rank when one rank calls :func:`abort` or dies with
     an unhandled exception, mirroring ``MPI_Abort`` semantics."""

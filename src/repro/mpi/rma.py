@@ -23,6 +23,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..chaos.core import ENGINE as _CH
 from ..metrics import REGISTRY as _MX
 from ..trace import TRACER as _TR
 from . import ops as _ops
@@ -103,6 +104,9 @@ class Win:
             target_offset: int = 0) -> None:
         """Write *origin* into the target window at element offset."""
         self._check_epoch()
+        if _CH.enabled:
+            _CH.on_op("rma", self.comm.context.rank,
+                      peer=self.comm.world_rank(target_rank))
         t0 = _TR.now() if _TR.enabled else 0.0
         data = np.ascontiguousarray(origin)
         buf, lock = self._target_entry(target_rank)
@@ -126,6 +130,9 @@ class Win:
             target_offset: int = 0) -> None:
         """Read from the target window into *origin*."""
         self._check_epoch()
+        if _CH.enabled:
+            _CH.on_op("rma", self.comm.context.rank,
+                      peer=self.comm.world_rank(target_rank))
         t0 = _TR.now() if _TR.enabled else 0.0
         buf, lock = self._target_entry(target_rank)
         flat = buf.reshape(-1)
@@ -154,6 +161,9 @@ class Win:
         """Combine *origin* into the target window with *op* (atomically
         with respect to other accumulates on the same target)."""
         self._check_epoch()
+        if _CH.enabled:
+            _CH.on_op("rma", self.comm.context.rank,
+                      peer=self.comm.world_rank(target_rank))
         t0 = _TR.now() if _TR.enabled else 0.0
         data = np.ascontiguousarray(origin)
         buf, lock = self._target_entry(target_rank)

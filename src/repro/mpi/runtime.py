@@ -28,6 +28,7 @@ from typing import Any, Callable, List, Optional, Sequence
 
 import numpy as np
 
+from ..chaos.core import ENGINE as _CH
 from ..trace import TRACER as _TR
 from .counters import CommCounters
 from .errors import AbortError, DeadlockError, MPIError
@@ -100,9 +101,20 @@ class _Mailbox:
         self._cond = threading.Condition()
         self._queue: List[Message] = []
 
-    def deposit(self, msg: Message) -> None:
+    def deposit(self, msg: Message, jump: int = 0) -> None:
+        """Enqueue *msg*; a positive *jump* (chaos reordering) lets it
+        overtake up to that many queued messages, but never one from the
+        same ``(src, ctx_id)`` stream -- the FIFO non-overtaking rule MPI
+        guarantees per peer/context is preserved even under injection."""
         with self._cond:
-            self._queue.append(msg)
+            pos = len(self._queue)
+            while jump > 0 and pos > 0:
+                ahead = self._queue[pos - 1]
+                if ahead.src == msg.src and ahead.ctx_id == msg.ctx_id:
+                    break
+                pos -= 1
+                jump -= 1
+            self._queue.insert(pos, msg)
             self._cond.notify_all()
 
     def wake(self) -> None:
@@ -181,18 +193,21 @@ class World:
 
     # -- transport ----------------------------------------------------------
     def deliver(self, src: int, dest: int, ctx_id, tag, kind, payload,
-                nbytes) -> int:
+                nbytes, jump: int = 0) -> int:
         """Deposit a message into *dest*'s mailbox and count the traffic.
 
         Returns the message's per-(src, dest) sequence number, which the
         sender's trace event shares with the receiver's so post-mortem
-        analysis can match the two ends of every transfer.
+        analysis can match the two ends of every transfer.  *jump* is a
+        chaos-injected reorder depth (see :meth:`_Mailbox.deposit`); the
+        sequence number is stamped in true send order regardless, so
+        trace matching survives reordering.
         """
         seq = self._pair_seq.get((src, dest), 0) + 1
         self._pair_seq[(src, dest)] = seq
         self.counters[src].record_send(dest, nbytes)
         self.mailboxes[dest].deposit(
-            Message(ctx_id, src, tag, kind, payload, nbytes, seq))
+            Message(ctx_id, src, tag, kind, payload, nbytes, seq), jump)
         return seq
 
     def total_traffic(self):
@@ -211,34 +226,38 @@ class RankContext:
 
     # -- low-level typed transport (used by Comm) ---------------------------
     def send_buffer(self, dest: int, ctx_id, tag, flat: np.ndarray) -> None:
-        if _TR.enabled:
-            t0 = _TR.now()
-            payload = np.ascontiguousarray(flat).copy()
-            seq = self.world.deliver(self.rank, dest, ctx_id, tag, "buffer",
-                                     payload, payload.nbytes)
-            _TR.complete("mpi.p2p", "send", t0, rank=self.rank, dest=dest,
-                         nbytes=payload.nbytes, kind="buffer", seq=seq)
-            return
+        t0 = _TR.now() if _TR.enabled else 0.0
         payload = np.ascontiguousarray(flat).copy()
-        self.world.deliver(self.rank, dest, ctx_id, tag, "buffer",
-                           payload, payload.nbytes)
+        nbytes = payload.nbytes
+        jump = 0
+        if _CH.enabled:
+            payload, nbytes, jump = _CH.on_send(self.rank, dest, "buffer",
+                                                payload, nbytes)
+        seq = self.world.deliver(self.rank, dest, ctx_id, tag, "buffer",
+                                 payload, nbytes, jump)
+        if _TR.enabled:
+            _TR.complete("mpi.p2p", "send", t0, rank=self.rank, dest=dest,
+                         nbytes=nbytes, kind="buffer", seq=seq)
 
     def send_object(self, dest: int, ctx_id, tag, obj: Any) -> None:
-        if _TR.enabled:
-            t0 = _TR.now()
-            blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-            seq = self.world.deliver(self.rank, dest, ctx_id, tag, "pickle",
-                                     blob, len(blob))
-            _TR.complete("mpi.p2p", "send", t0, rank=self.rank, dest=dest,
-                         nbytes=len(blob), kind="pickle", seq=seq)
-            return
+        t0 = _TR.now() if _TR.enabled else 0.0
         blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-        self.world.deliver(self.rank, dest, ctx_id, tag, "pickle",
-                           blob, len(blob))
+        nbytes = len(blob)
+        jump = 0
+        if _CH.enabled:
+            blob, nbytes, jump = _CH.on_send(self.rank, dest, "pickle",
+                                             blob, nbytes)
+        seq = self.world.deliver(self.rank, dest, ctx_id, tag, "pickle",
+                                 blob, nbytes, jump)
+        if _TR.enabled:
+            _TR.complete("mpi.p2p", "send", t0, rank=self.rank, dest=dest,
+                         nbytes=nbytes, kind="pickle", seq=seq)
 
     def recv_message(self, ctx_id, source, tag,
                      timeout: Optional[float] = None) -> Message:
         timeout = self.world.timeout if timeout is None else timeout
+        if _CH.enabled:
+            _CH.on_op("recv", self.rank)
         if _TR.enabled:
             # the span covers the blocked wait: recv time in the trace is
             # time spent *waiting* for the matching message

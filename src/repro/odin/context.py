@@ -21,6 +21,7 @@ from typing import Any, Callable, Dict, List, Optional
 import numpy as np
 
 from ..mpi.comm import Intracomm
+from ..mpi.errors import InjectedFault
 from ..mpi.runtime import RankContext, World
 from ..trace import TRACER as _TR
 from .distribution import Distribution
@@ -101,14 +102,16 @@ class OdinContext:
     def _worker_main(self, windex: int) -> None:
         ctx = RankContext(self.world, windex + 1)
         ctx.bind()
-        comm = Intracomm(ctx, list(range(self.nworkers + 1)))
-        wcomm = comm.split(0, windex)
-        _worker_tls.comm = wcomm
-        _worker_tls.index = windex
-        state = WorkerState(index=windex, comm=wcomm,
-                            registry=local_registry, full_comm=comm)
-        _worker_tls.state = state
         try:
+            # setup is inside the try: a chaos-scripted crash can fire in
+            # the startup split's collectives just as well as mid-loop
+            comm = Intracomm(ctx, list(range(self.nworkers + 1)))
+            wcomm = comm.split(0, windex)
+            _worker_tls.comm = wcomm
+            _worker_tls.index = windex
+            state = WorkerState(index=windex, comm=wcomm,
+                                registry=local_registry, full_comm=comm)
+            _worker_tls.state = state
             while True:
                 op = comm.bcast(None, root=0)
                 if op[0] == opcodes.SHUTDOWN:
@@ -117,9 +120,19 @@ class OdinContext:
                 try:
                     result = execute_op(state, op)
                     status = ("ok", result)
+                except InjectedFault:
+                    # scripted chaos crash: the rank dies, it does not
+                    # report a recoverable op error
+                    raise
                 except Exception as exc:  # noqa: BLE001 - report to driver
                     status = ("err", exc)
                 comm.gather(status, root=0)
+        except InjectedFault as exc:
+            # chaos-scripted rank crash: die loudly so the driver and the
+            # surviving workers fail fast with AbortError instead of
+            # waiting out the deadlock timeout
+            self.world.abort(ctx.rank, exc)
+            return
         except Exception:
             # runtime failure (e.g. world aborted): leave quietly, the
             # driver will see the abort on its own next operation.

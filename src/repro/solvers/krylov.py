@@ -70,6 +70,22 @@ def _residual(op: Operator, x: Vector, b: Vector) -> Vector:
     return r
 
 
+def _verified(op: Operator, x: Vector, b: Vector, bnorm: float, k: int,
+              history: List[float], tol: float) -> SolverResult:
+    """Trust-but-verify: recompute the true residual before declaring
+    convergence.  The recursive residual the iteration monitors can part
+    ways with reality -- through rounding drift, or through corrupted
+    reduction payloads -- and a solver must report non-convergence rather
+    than certify a wrong answer."""
+    rel_true = _residual(op, x, b).norm2() / bnorm
+    history[-1] = rel_true
+    if rel_true <= 10 * tol:
+        return SolverResult(x, True, k, rel_true, history)
+    return SolverResult(x, False, k, rel_true, history,
+                        f"recurrence converged but true residual is "
+                        f"{rel_true:.3e}: possible data corruption")
+
+
 def cg(op: Operator, b: Vector, x: Optional[Vector] = None,
        prec: Optional[Operator] = None, tol: float = 1e-8,
        maxiter: int = 1000) -> SolverResult:
@@ -99,7 +115,7 @@ def cg(op: Operator, b: Vector, x: Optional[Vector] = None,
         if _TR.enabled or _MX.enabled:
             _iter_done("cg.iter", t0, k, rel)
         if rel <= tol:
-            return SolverResult(x, True, k, rel, history)
+            return _verified(op, x, b, bnorm, k, history, tol)
         z = _apply_prec(prec, r)
         rz_new = r.dot(z)
         beta = rz_new / rz
@@ -243,7 +259,7 @@ def bicgstab(op: Operator, b: Vector, x: Optional[Vector] = None,
             history.append(s.norm2() / bnorm)
             if _TR.enabled or _MX.enabled:
                 _iter_done("bicgstab.iter", t0, k, history[-1])
-            return SolverResult(x, True, k, history[-1], history)
+            return _verified(op, x, b, bnorm, k, history, tol)
         shat = _apply_prec(prec, s)
         t = Vector(b.map, dtype=b.dtype)
         op.apply(shat, t)
@@ -258,7 +274,7 @@ def bicgstab(op: Operator, b: Vector, x: Optional[Vector] = None,
         if _TR.enabled or _MX.enabled:
             _iter_done("bicgstab.iter", t0, k, rel)
         if rel <= tol:
-            return SolverResult(x, True, k, rel, history)
+            return _verified(op, x, b, bnorm, k, history, tol)
         if omega == 0:
             return SolverResult(x, False, k, rel, history,
                                 "breakdown: omega = 0")

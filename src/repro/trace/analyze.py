@@ -141,11 +141,15 @@ def wait_states(events: Sequence[Event]) -> Dict[str, dict]:
 
     Returns ``{"late_sender": {...}, "collective": {...}}``, each with
     ``total`` seconds, ``count`` of waits observed, and a ``per_rank``
-    breakdown of who did the waiting.
+    breakdown of who did the waiting.  Late-sender waits additionally
+    carry ``by_sender``: the same seconds charged to the rank whose late
+    send *caused* each wait, so an injected (or real) per-rank delay
+    shows up against the delayed rank, not just its victims.
     """
     spans = _spans(events)
     late = {"total": 0.0, "count": 0,
-            "per_rank": defaultdict(float)}
+            "per_rank": defaultdict(float),
+            "by_sender": defaultdict(float)}
     for send, recv in _match_p2p(spans):
         arrival = send[4] + send[5]  # eager send: deposited by span end
         wait = min(max(0.0, arrival - recv[4]), recv[5])
@@ -153,6 +157,7 @@ def wait_states(events: Sequence[Event]) -> Dict[str, dict]:
             late["total"] += wait
             late["count"] += 1
             late["per_rank"][recv[3]] += wait
+            late["by_sender"][send[3]] += wait
     coll = {"total": 0.0, "count": 0,
             "per_rank": defaultdict(float)}
     for group in _collective_instances(spans):
@@ -165,6 +170,8 @@ def wait_states(events: Sequence[Event]) -> Dict[str, dict]:
                 coll["per_rank"][ev[3]] += wait
     for d in (late, coll):
         d["per_rank"] = dict(sorted(d["per_rank"].items(),
+                                    key=lambda kv: str(kv[0])))
+    late["by_sender"] = dict(sorted(late["by_sender"].items(),
                                     key=lambda kv: str(kv[0])))
     return {"late_sender": late, "collective": coll}
 
@@ -239,8 +246,13 @@ def critical_path(events: Sequence[Event], top_n: int = 10,
         args = cur[6] or {}
         if cur[1] == "mpi.p2p" and cur[2] == "recv" and "seq" in args:
             send = send_of.get((args.get("source"), cur[3], args["seq"]))
+            # jump to the sender only if it actually bounded this recv:
+            # a send that completed before the recv began left the message
+            # waiting in the mailbox, so whatever delayed the *receiver*
+            # (e.g. an injected chaos:delay) is the real bound
             if send is not None and send[3] != cur[3] \
-                    and id(send) not in visited:
+                    and id(send) not in visited \
+                    and send[4] + send[5] > cur[4] + _EPS:
                 nxt = send
         elif cur[1] == "mpi.coll":
             group = instance_of.get(id(cur))
@@ -375,6 +387,12 @@ def report(events: Optional[Sequence[Event]] = None, top_n: int = 10
             ranked = sorted(st["per_rank"].items(),
                             key=lambda kv: -kv[1])[:top_n]
             for rank, t in ranked:
+                out.write(f"    rank {rank}: {t:.6f} s\n")
+        if st.get("by_sender"):
+            blamed = sorted(st["by_sender"].items(),
+                            key=lambda kv: -kv[1])[:top_n]
+            out.write("  caused by late sends from:\n")
+            for rank, t in blamed:
                 out.write(f"    rank {rank}: {t:.6f} s\n")
     out.write("\n")
 

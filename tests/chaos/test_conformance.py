@@ -1,0 +1,176 @@
+"""Property-based differential conformance harness tests."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import chaos
+from repro.chaos import conformance as conf
+from repro.chaos.__main__ import main as chaos_main
+
+
+@pytest.fixture(autouse=True)
+def clean_engine():
+    yield
+    chaos.uninstall()
+
+
+class TestGenerator:
+    def test_same_seed_same_program(self):
+        a = conf.generate_program(1234)
+        b = conf.generate_program(1234)
+        assert a.steps == b.steps
+
+    def test_different_seeds_differ(self):
+        assert conf.generate_program(1).steps != \
+            conf.generate_program(2).steps
+
+    def test_programs_are_json_round_trippable(self):
+        p = conf.generate_program(7, max_steps=12)
+        clone = conf.Program.from_dict(json.loads(json.dumps(p.to_dict())))
+        assert clone.steps == p.steps and clone.seed == p.seed
+
+    def test_every_program_runs_on_the_oracle(self):
+        for seed in range(30):
+            conf.run_numpy(conf.generate_program(seed))
+
+    def test_describe_names_every_step(self):
+        p = conf.generate_program(3, max_steps=8)
+        text = p.describe()
+        assert len(text.splitlines()) == len(p.steps)
+        assert "<unknown" not in text
+
+
+class TestComparison:
+    def test_ulp_close_accepts_one_float32_ulp(self):
+        a = np.float32(9.564284)
+        b = float(np.float32(9.5642834))  # neighbouring float32 value
+        assert conf._ulp_close(a, b, ulps=4)
+
+    def test_ulp_close_rejects_large_gaps(self):
+        assert not conf._ulp_close(np.float32(1.0), 1.01, ulps=64)
+
+    def test_wrong_element_is_always_a_failure(self):
+        p = conf.generate_program(11)
+        oracle = conf.run_numpy(p)
+        subject = [np.array(o, copy=True) if isinstance(o, np.ndarray)
+                   else o for o in oracle]
+        # corrupt one element of the first array observation
+        for i, o in enumerate(subject):
+            if isinstance(o, np.ndarray) and o.size and \
+                    o.dtype.kind in "if":
+                o.reshape(-1)[0] += 1
+                break
+        detail = conf.compare_observations(p, oracle, subject)
+        assert detail is not None and f"step {i}" in detail
+
+    def test_identical_observations_pass(self):
+        p = conf.generate_program(12)
+        oracle = conf.run_numpy(p)
+        assert conf.compare_observations(p, oracle, oracle) is None
+
+
+class TestDifferential:
+    def test_mini_sweep_no_faults(self):
+        failures = conf.run_sweep(1234, 4, [1, 2], shrink=False)
+        assert failures == []
+
+    def test_mini_sweep_benign_faults_stay_exact(self):
+        failures = conf.run_sweep(2024, 2, [2], chaos_mode="benign",
+                                  shrink=False)
+        assert failures == []
+
+    def test_crash_mode_accepts_typed_errors_only(self):
+        # seed chosen so the scripted crash actually fires mid-program
+        program = conf.generate_program(1235)
+        plan, expect = conf.plan_for_mode("crash", 1235, 3)
+        assert expect
+        assert conf.check_program(program, 3, plan, expect_errors=True) \
+            is None
+        detail = conf.check_program(program, 3, plan, expect_errors=False)
+        assert detail is not None and detail.startswith("typed MPI error")
+
+    def test_plan_for_mode_never_targets_the_driver(self):
+        for mode in ("benign", "delay", "crash", "truncate"):
+            for nranks in (1, 2, 3, 4):
+                plan, _ = conf.plan_for_mode(mode, 9, nranks)
+                for rule in plan.rules:
+                    assert rule.rank is None or 1 <= rule.rank <= nranks
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown chaos mode"):
+            conf.plan_for_mode("meteor", 0, 2)
+
+
+class TestShrinker:
+    def test_shrinks_to_minimal_failing_program(self):
+        program = conf.generate_program(55, max_steps=14)
+        assert len(program.steps) > 2
+
+        def fails(cand):
+            return any(s[0] == "reduce" for s in cand.steps)
+
+        if not fails(program):
+            program.steps.append(["reduce", 0, "sum", None])
+        shrunk = conf.shrink_program(program, fails)
+        assert fails(shrunk)
+        conf.run_numpy(shrunk)  # still a valid program
+        # minimal: one source + one reduce (plus at most one dependency)
+        assert len(shrunk.steps) <= 3
+
+    def test_shrinker_drops_dependents_transitively(self):
+        p = conf.Program(0, [
+            ["source", [8], "float64", ["block", 0, 0], 1],
+            ["unary", 0, "square"],
+            ["binary", 0, 1, "add"],
+            ["source", [4], "int64", ["block", 0, 0], 2],
+        ])
+        cand = conf._drop_step(p, 1)
+        # dropping step 1 removes its dependent (step 2) and reindexes
+        assert [s[0] for s in cand.steps] == ["source", "source"]
+        conf.run_numpy(cand)
+
+    def test_shape_shrink_keeps_program_valid(self):
+        p = conf.Program(0, [
+            ["source", [20], "float64", ["block", 0, 0], 1],
+            ["reduce", 0, "sum", None],
+        ])
+        cand = conf._shrink_source(p, 0)
+        assert cand.steps[0][1] == [10]
+        conf.run_numpy(cand)
+
+
+class TestReplayCLI:
+    def test_replay_is_bit_identical(self, capsys):
+        argv = ["--seed", "1235", "--programs", "1", "--nranks", "3",
+                "--chaos", "crash", "--strict", "--no-shrink"]
+        assert chaos_main(argv) == 1
+        first = capsys.readouterr().out
+        assert chaos_main(argv) == 1
+        second = capsys.readouterr().out
+        assert first == second
+        assert "REPLAY: python -m repro.chaos --seed 1235" in first
+
+    def test_conformant_sweep_exits_zero(self, capsys):
+        assert chaos_main(["--seed", "1234", "--programs", "2",
+                           "--nranks", "1,2"]) == 0
+        assert "RESULT: OK" in capsys.readouterr().out
+
+    def test_repro_artifact_written_on_failure(self, tmp_path, capsys):
+        out = tmp_path / "repro.json"
+        code = chaos_main(["--seed", "1235", "--programs", "1",
+                           "--nranks", "3", "--chaos", "crash",
+                           "--strict", "--no-shrink",
+                           "--repro-out", str(out)])
+        assert code == 1 and out.exists()
+        artifact = json.loads(out.read_text())
+        assert artifact["seed"] == 1235 and artifact["nranks"] == 3
+        # the artifact replays: its program regenerates from its seed
+        regen = conf.generate_program(artifact["seed"])
+        assert regen.steps == \
+            conf.Program.from_dict(artifact["program"]).steps
+
+    def test_bad_nranks_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            chaos_main(["--nranks", "zero"])

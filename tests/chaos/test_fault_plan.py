@@ -1,0 +1,230 @@
+"""Fault-plan engine tests: determinism, typed surfacing, MPI legality."""
+
+import numpy as np
+import pytest
+
+from repro import chaos, mpi
+from repro.chaos import ENGINE, FaultPlan, FaultRule
+from repro.chaos.core import _mix, _unit
+from repro.mpi.counters import CounterSnapshot
+
+
+@pytest.fixture(autouse=True)
+def clean_engine():
+    """No test leaves a plan installed behind it."""
+    yield
+    chaos.uninstall()
+
+
+class TestFaultRule:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultRule("explode")
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown op class"):
+            FaultRule("delay", op="teleport")
+
+    def test_prob_range_checked(self):
+        with pytest.raises(ValueError, match="prob"):
+            FaultRule("delay", prob=1.5)
+
+    def test_keep_must_drop_bytes(self):
+        with pytest.raises(ValueError, match="keep"):
+            FaultRule("truncate", keep=1.0)
+
+    def test_matching_is_and_over_set_fields(self):
+        rule = FaultRule("delay", op="send", rank=1)
+        assert rule.matches("send", 1, 0)
+        assert rule.matches("send", 1, None)
+        assert not rule.matches("send", 2, 0)
+        assert not rule.matches("recv", 1, 0)
+
+    def test_plan_dict_round_trip(self):
+        plan = (FaultPlan(seed=99, max_sleep=0.5)
+                .delay(seconds=0.01, rank=1, prob=0.3)
+                .crash(rank=2, after=10)
+                .truncate(keep=0.25)
+                .reorder(depth=3))
+        clone = FaultPlan.from_dict(plan.to_dict())
+        assert clone.seed == 99 and clone.max_sleep == 0.5
+        assert [r.to_dict() for r in clone.rules] == \
+            [r.to_dict() for r in plan.rules]
+
+
+class TestDeterminism:
+    def test_mix_is_stable_and_salt_free(self):
+        # fixed-point values: any change to the mixing constants (or an
+        # accidental switch to Python's salted hash()) breaks replay
+        assert _mix(0) == _mix(0)
+        assert _mix(1, 2, 3) != _mix(3, 2, 1)
+        assert 0.0 <= _unit(42, 0, 1, 7) < 1.0
+        assert _unit(42, 0, 1, 7) == _unit(42, 0, 1, 7)
+
+    def test_injected_schedule_replays_identically(self):
+        """The same plan against the same program fires the same faults
+        at the same rank-local steps, run after run."""
+        plan_dict = (FaultPlan(seed=21)
+                     .delay(seconds=0.0005, prob=0.4)
+                     .slowdown(seconds=0.0002, rank=1, prob=0.3)).to_dict()
+
+        def body(comm):
+            total = comm.allreduce(comm.rank)
+            comm.barrier()
+            return total
+
+        schedules = []
+        for _run in range(2):
+            chaos.install(FaultPlan.from_dict(plan_dict))
+            assert mpi.run_spmd(body, 3, timeout=30) == [3, 3, 3]
+            schedule = sorted((e["kind"], e["rank"], e["op"], e["step"])
+                              for e in ENGINE.injected())
+            chaos.uninstall()
+            schedules.append(schedule)
+        assert schedules[0], "plan with prob=0.4 never fired"
+        assert schedules[0] == schedules[1]
+
+
+class TestFaultKinds:
+    def test_crash_raises_typed_and_aborts_peers(self):
+        chaos.install(FaultPlan(seed=1).crash(rank=0, after=0))
+
+        def body(comm):
+            comm.barrier()
+            return comm.rank
+        with pytest.raises((mpi.InjectedFault, mpi.AbortError)) as exc_info:
+            mpi.run_spmd(body, 3, timeout=30)
+        # the log records the scripted crash on the victim
+        crashes = [e for e in ENGINE.injected() if e["kind"] == "crash"]
+        assert crashes and crashes[0]["rank"] == 0
+        assert isinstance(exc_info.value, mpi.MPIError)
+
+    def test_crash_fires_exactly_once(self):
+        chaos.install(FaultPlan(seed=1).crash(rank=1, after=1))
+
+        def body(comm):
+            fired = 0
+            for i in range(5):
+                try:
+                    comm.send(i, comm.rank)
+                    comm.recv(source=comm.rank)
+                except mpi.InjectedFault:
+                    fired += 1
+            return fired
+        results = mpi.run_spmd(body, 2, timeout=30)
+        assert results[1] == 1 and results[0] == 0
+        crashes = [e for e in ENGINE.injected() if e["kind"] == "crash"]
+        assert len(crashes) == 1
+
+    def test_pickle_truncation_is_typed(self):
+        chaos.install(FaultPlan(seed=2).truncate(keep=0.3, prob=1.0))
+
+        def body(comm):
+            if comm.rank == 0:
+                comm.send({"data": list(range(100))}, dest=1)
+            else:
+                return comm.recv(source=0)
+        with pytest.raises((mpi.TruncationError, mpi.AbortError)):
+            mpi.run_spmd(body, 2, timeout=10)
+
+    def test_buffer_truncation_is_typed(self):
+        chaos.install(FaultPlan(seed=3).truncate(keep=0.5, prob=1.0))
+
+        def body(comm):
+            out = np.zeros(16)
+            comm.Allreduce(np.ones(16), out)
+            return out
+        with pytest.raises((mpi.TruncationError, mpi.AbortError)):
+            mpi.run_spmd(body, 2, timeout=10)
+
+    def test_reorder_never_overtakes_same_stream(self):
+        """MPI non-overtaking: messages between one (src, ctx) pair stay
+        FIFO even with aggressive reordering injected."""
+        chaos.install(FaultPlan(seed=4).reorder(depth=3, prob=1.0))
+
+        def body(comm):
+            if comm.rank == 0:
+                for i in range(6):
+                    comm.send(i, dest=1)
+            else:
+                return [comm.recv(source=0) for _ in range(6)]
+        results = mpi.run_spmd(body, 2, timeout=10)
+        assert results[1] == list(range(6))
+
+    def test_delay_preserves_semantics(self):
+        chaos.install(FaultPlan(seed=5).delay(seconds=0.001, prob=0.5))
+
+        def body(comm):
+            return comm.allreduce(comm.rank + 1)
+        assert mpi.run_spmd(body, 4, timeout=30) == [10] * 4
+
+    def test_sleep_capped_by_max_sleep(self):
+        chaos.install(FaultPlan(seed=6, max_sleep=0.01)
+                      .delay(seconds=60.0, prob=1.0))
+
+        def body(comm):
+            if comm.rank == 0:
+                comm.send("x", dest=1)
+            else:
+                return comm.recv(source=0)
+        import time
+        start = time.monotonic()
+        assert mpi.run_spmd(body, 2, timeout=30)[1] == "x"
+        assert time.monotonic() - start < 5
+        delays = [e for e in ENGINE.injected() if e["kind"] == "delay"]
+        assert delays and all(e["seconds"] <= 0.01 for e in delays)
+
+
+class TestDisabledPath:
+    def test_no_plan_means_no_effect(self):
+        assert not ENGINE.enabled
+        assert chaos.active_plan() is None
+
+        def body(comm):
+            return comm.allreduce(comm.rank)
+        assert mpi.run_spmd(body, 3) == [3, 3, 3]
+
+    def test_install_uninstall_toggles_enabled(self):
+        chaos.install(FaultPlan(seed=0))
+        assert ENGINE.enabled and chaos.active_plan() is not None
+        chaos.uninstall()
+        assert not ENGINE.enabled and chaos.active_plan() is None
+
+
+class TestCrashedRankCounters:
+    """Satellite: post-mortem counter reports over a half-dead world."""
+
+    def test_snapshot_minus_none_is_self(self):
+        snap = CounterSnapshot(3, 2, 100, 80, {1: 100}, {1: 80})
+        delta = snap - None
+        assert delta.sends == 3 and delta.bytes_sent == 100
+        assert delta.by_peer == {1: 100}
+
+    def test_matrix_tolerates_crashed_rank(self):
+        alive = CounterSnapshot(1, 0, 64, 0, {1: 64}, {})
+        # rank 1 crashed: its snapshot was never captured
+        mat = CounterSnapshot.matrix([alive, None])
+        assert mat.shape == (2, 2)
+        assert mat[0, 1] == 64          # survivor's send still appears
+        assert mat[1, :].sum() == 0     # crashed rank's row is zeros
+
+    def test_matrix_reconciles_receiver_side_for_crashed_sender(self):
+        # rank 0 died, but rank 1 counted 32 bytes received from it
+        survivor = CounterSnapshot(0, 1, 0, 32, {}, {0: 32})
+        mat = CounterSnapshot.matrix([None, survivor])
+        assert mat[0, 1] == 32
+
+    def test_live_crash_then_report(self):
+        chaos.install(FaultPlan(seed=8).crash(rank=1, after=2))
+
+        def body(comm):
+            try:
+                for _ in range(10):
+                    comm.allreduce(1.0)
+            except mpi.MPIError:
+                pass
+            return comm.counters().snapshot()
+        world_snaps = mpi.run_spmd(body, 3, timeout=30)
+        world_snaps[1] = None  # crashed rank: counters lost
+        mat = CounterSnapshot.matrix(world_snaps, nranks=3)
+        assert mat.shape == (3, 3)  # and no KeyError along the way

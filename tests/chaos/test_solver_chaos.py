@@ -1,0 +1,166 @@
+"""Solvers under payload corruption must never be silently wrong.
+
+Differential contract: against a statically-known system (dense oracle
+via ``numpy.linalg.solve``), a Krylov or Newton solve under injected
+truncation may (a) raise a typed MPI error, or (b) report
+``converged=False``, or (c) converge to the right answer -- but it must
+never certify a wrong one.
+"""
+
+import numpy as np
+import pytest
+
+from repro import chaos, mpi, solvers, tpetra
+from repro.chaos import FaultPlan
+from repro.solvers.krylov import SolverResult, _verified
+from tests.conftest import spmd
+
+N = 16
+_A_DENSE = (np.diag(np.full(N, 2.5))
+            + np.diag(np.full(N - 1, -1.0), 1)
+            + np.diag(np.full(N - 1, -1.0), -1))
+_B = np.arange(1.0, N + 1)
+_X_REF = np.linalg.solve(_A_DENSE, _B)
+
+
+@pytest.fixture(autouse=True)
+def clean_engine():
+    yield
+    chaos.uninstall()
+
+
+def _tridiag(comm):
+    """Distributed copy of the oracle system (SPD tridiagonal)."""
+    m = tpetra.Map.create_contiguous(N, comm)
+    A = tpetra.CrsMatrix(m)
+    for gid in m.my_gids:
+        g = int(gid)
+        cols, vals = [g], [2.5]
+        if g > 0:
+            cols.append(g - 1)
+            vals.append(-1.0)
+        if g < N - 1:
+            cols.append(g + 1)
+            vals.append(-1.0)
+        A.insert_global_values(g, cols, vals)
+    A.fillComplete()
+    b = tpetra.Vector(m)
+    b.local_view[...] = _B[m.my_gids]
+    return A, b, m
+
+
+def _krylov_body(method):
+    def body(comm):
+        A, b, m = _tridiag(comm)
+        r = getattr(solvers, method)(A, b, tol=1e-10, maxiter=200)
+        err = float(np.abs(r.x.local_view - _X_REF[m.my_gids]).max())
+        return r.converged, err
+    return body
+
+
+def _run_under(plan, body, nranks=2, timeout=30):
+    """One faulted solve: ('typed-error', cls) or ('results', [...])."""
+    chaos.install(plan)
+    try:
+        results = spmd(nranks, timeout=timeout)(body)
+    except mpi.MPIError as exc:
+        return "typed-error", type(exc).__name__
+    finally:
+        fired = len(chaos.ENGINE.injected())
+        chaos.uninstall()
+    return "results", (results, fired)
+
+
+class TestKrylovUnderCorruption:
+    @pytest.mark.parametrize("method", ["cg", "gmres"])
+    def test_truncation_never_silently_wrong(self, method):
+        total_fired = 0
+        for seed in range(6):
+            plan = FaultPlan(seed=seed).truncate(keep=0.5, prob=0.08)
+            kind, detail = _run_under(plan, _krylov_body(method))
+            if kind == "typed-error":
+                total_fired += 1
+                continue
+            results, fired = detail
+            total_fired += fired
+            for converged, err in results:
+                if converged:
+                    assert err < 1e-6, \
+                        f"{method} certified a wrong answer (err={err})"
+        assert total_fired > 0, "no fault ever fired: sweep proved nothing"
+
+    @pytest.mark.parametrize("method", ["cg", "gmres", "bicgstab"])
+    def test_benign_delay_converges_correctly(self, method):
+        plan = (FaultPlan(seed=7)
+                .delay(seconds=0.001, prob=0.2)
+                .reorder(depth=2, prob=0.2))
+        kind, detail = _run_under(plan, _krylov_body(method), nranks=3)
+        assert kind == "results"
+        for converged, err in detail[0]:
+            assert converged and err < 1e-6
+
+
+class TestTrustButVerify:
+    def test_verified_rejects_wrong_answer(self):
+        def body(comm):
+            A, b, _m = _tridiag(comm)
+            x_bad = tpetra.Vector(A.row_map).putScalar(1.0)
+            res = _verified(A, x_bad, b, b.norm2(), 5, [1e-12], 1e-10)
+            return res.converged, res.message
+        converged, message = spmd(1)(body)[0]
+        assert not converged
+        assert "possible data corruption" in message
+
+    def test_verified_accepts_true_solution(self):
+        def body(comm):
+            A, b, m = _tridiag(comm)
+            x = tpetra.Vector(m)
+            x.local_view[...] = _X_REF[m.my_gids]
+            res = _verified(A, x, b, b.norm2(), 5, [1e-12], 1e-10)
+            return res.converged
+        assert spmd(2)(body) == [True, True]
+
+    def test_history_tail_is_true_residual(self):
+        """The verified result's last history entry is the recomputed
+        true residual, not the recurrence estimate it replaced."""
+        def body(comm):
+            A, b, _m = _tridiag(comm)
+            r = solvers.cg(A, b, tol=1e-10, maxiter=200)
+            from repro.solvers.krylov import _residual
+            rel = _residual(A, r.x, b).norm2() / b.norm2()
+            return r.converged, r.history[-1], rel
+        converged, tail, rel = spmd(2)(body)[0]
+        assert converged and tail == pytest.approx(rel)
+
+
+class TestNewtonUnderCorruption:
+    def test_jfnk_truncation_never_silently_wrong(self):
+        def body(comm):
+            m = tpetra.Map.create_contiguous(8, comm)
+            targets = m.my_gids + 1.0
+
+            def residual(x):
+                r = tpetra.Vector(m)
+                r.local_view[...] = x.local_view ** 2 - targets
+                return r
+
+            x0 = tpetra.Vector(m).putScalar(2.0)
+            result = solvers.NewtonSolver(residual).solve(x0)
+            err = float(np.abs(result.x.local_view -
+                               np.sqrt(targets)).max())
+            return result.converged, err
+
+        total_fired = 0
+        for seed in range(4):
+            plan = FaultPlan(seed=seed).truncate(keep=0.5, prob=0.1)
+            kind, detail = _run_under(plan, body, nranks=3)
+            if kind == "typed-error":
+                total_fired += 1
+                continue
+            results, fired = detail
+            total_fired += fired
+            for converged, err in results:
+                if converged:
+                    assert err < 1e-6, \
+                        f"Newton certified a wrong root (err={err})"
+        assert total_fired > 0

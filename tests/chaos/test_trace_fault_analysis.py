@@ -1,0 +1,153 @@
+"""Trace analysis over injected faults: the analyzer must point at the
+fault, not just at its victims.
+
+The synthetic tests use exactly-known schedules (hand-written event
+tuples) so the expected attribution is arithmetic, not approximation;
+the live test runs a real delayed program end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro import chaos, mpi, trace
+from repro.chaos import FaultPlan
+from repro.trace.analyze import critical_path, report, wait_states
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    yield
+    chaos.uninstall()
+    trace.TRACER.disable()
+    trace.TRACER.clear()
+
+
+def _ev(cat, name, rank, ts, dur, **args):
+    return ("X", cat, name, rank, ts, dur, args)
+
+
+class TestSyntheticSchedules:
+    def test_late_sender_wait_blames_the_delayed_sender(self):
+        """Rank 1's send completes at t=1.0; rank 0 has been blocked in
+        recv since t=0.1.  The 0.9 s wait is charged to rank 0 in
+        per_rank (who waited) and to rank 1 in by_sender (who caused
+        it)."""
+        events = [
+            _ev("mpi.p2p", "send", 1, 0.9, 0.1, dest=0, seq=1, nbytes=8),
+            _ev("mpi.p2p", "recv", 0, 0.1, 0.9, source=1, seq=1, nbytes=8),
+        ]
+        late = wait_states(events)["late_sender"]
+        assert late["count"] == 1
+        assert late["total"] == pytest.approx(0.9)
+        assert late["per_rank"] == {0: pytest.approx(0.9)}
+        assert late["by_sender"] == {1: pytest.approx(0.9)}
+
+    def test_prompt_sender_is_not_blamed(self):
+        # the send finished before the recv even started: no wait at all
+        events = [
+            _ev("mpi.p2p", "send", 1, 0.0, 0.05, dest=0, seq=1, nbytes=8),
+            _ev("mpi.p2p", "recv", 0, 0.2, 0.1, source=1, seq=1, nbytes=8),
+        ]
+        late = wait_states(events)["late_sender"]
+        assert late["count"] == 0 and late["by_sender"] == {}
+
+    def test_two_senders_blame_splits_correctly(self):
+        events = [
+            _ev("mpi.p2p", "send", 1, 0.5, 0.1, dest=0, seq=1, nbytes=8),
+            _ev("mpi.p2p", "recv", 0, 0.0, 0.6, source=1, seq=1, nbytes=8),
+            _ev("mpi.p2p", "send", 2, 0.8, 0.1, dest=0, seq=1, nbytes=8),
+            _ev("mpi.p2p", "recv", 0, 0.7, 0.2, source=2, seq=1, nbytes=8),
+        ]
+        late = wait_states(events)["late_sender"]
+        assert late["by_sender"] == {1: pytest.approx(0.6),
+                                     2: pytest.approx(0.2)}
+
+    def test_critical_path_routes_through_injected_delay(self):
+        """Rank 1 slept 0.85 s (chaos:delay span), then sent; rank 0
+        spent the whole run blocked in the matching recv.  The critical
+        path must be recv -> send -> the injected delay."""
+        events = [
+            _ev("chaos", "delay", 1, 0.0, 0.85, op="send", step=0,
+                seconds=0.85),
+            _ev("mpi.p2p", "send", 1, 0.85, 0.05, dest=0, seq=1, nbytes=8),
+            _ev("mpi.p2p", "recv", 0, 0.0, 0.95, source=1, seq=1, nbytes=8),
+        ]
+        cp = critical_path(events)
+        keys = [key for _rank, key, _start, _dur in cp["segments"]]
+        assert keys[0] == "mpi.p2p:recv"
+        assert "chaos:delay" in keys
+        # the delay dominates the path's contributor table
+        top_key, top_time, _n = cp["contributors"][0]
+        assert top_key == "mpi.p2p:recv"
+        assert ("chaos:delay", pytest.approx(0.85), 1) in cp["contributors"]
+
+    def test_critical_path_skips_uninvolved_fast_rank(self):
+        events = [
+            _ev("chaos", "delay", 1, 0.0, 0.8, op="send", step=0,
+                seconds=0.8),
+            _ev("mpi.p2p", "send", 1, 0.8, 0.1, dest=0, seq=1, nbytes=8),
+            _ev("mpi.p2p", "recv", 0, 0.0, 0.95, source=1, seq=1, nbytes=8),
+            # rank 2 did quick unrelated work early on
+            _ev("compute", "local", 2, 0.0, 0.1),
+        ]
+        cp = critical_path(events)
+        ranks_on_path = {rank for rank, _k, _s, _d in cp["segments"]}
+        assert ranks_on_path == {0, 1}
+
+
+class TestLiveInjectedDelay:
+    def test_analyzer_attributes_live_injected_delay(self):
+        """End-to-end: inject a per-rank send delay, trace the run, and
+        check the analyzer (a) blames the delayed rank for the late-sender
+        wait and (b) records the chaos span that explains it."""
+        trace.TRACER.clear()
+        trace.TRACER.enable()
+        chaos.install(FaultPlan(seed=13)
+                      .delay(seconds=0.05, rank=1, op="send", prob=1.0))
+
+        def body(comm):
+            if comm.rank == 1:
+                comm.send(np.arange(4.0), dest=0)
+            elif comm.rank == 0:
+                return comm.recv(source=1)
+        mpi.run_spmd(body, 2, timeout=30)
+        chaos.uninstall()
+        trace.TRACER.disable()
+
+        events = trace.TRACER.events()
+        delays = [ev for ev in events
+                  if ev[0] == "X" and ev[1] == "chaos" and ev[2] == "delay"]
+        assert delays and all(ev[3] == 1 for ev in delays)
+
+        late = wait_states(events)["late_sender"]
+        assert late["count"] >= 1
+        blamed = max(late["by_sender"], key=late["by_sender"].get)
+        assert blamed == 1
+        # and the rendered report names the blamed rank
+        text = report(events)
+        assert "caused by late sends from:" in text
+
+    def test_live_delay_dominates_critical_path(self):
+        trace.TRACER.clear()
+        trace.TRACER.enable()
+        chaos.install(FaultPlan(seed=14)
+                      .delay(seconds=0.08, rank=1, op="recv", prob=1.0))
+
+        def body(comm):
+            # rank 1's recv is delayed, holding up its reply to rank 0
+            if comm.rank == 0:
+                comm.send("ping", dest=1)
+                return comm.recv(source=1)
+            msg = comm.recv(source=0)
+            comm.send(msg + "-pong", dest=0)
+            return msg
+        results = mpi.run_spmd(body, 2, timeout=30)
+        chaos.uninstall()
+        trace.TRACER.disable()
+        assert results[0] == "ping-pong"
+
+        cp = critical_path(trace.TRACER.events())
+        keys = [key for _rank, key, _start, _dur in cp["segments"]]
+        # the injected recv-side delay sits on the chain that bounded
+        # the run: rank 0's final recv <- rank 1's send <- chaos:delay
+        assert "chaos:delay" in keys

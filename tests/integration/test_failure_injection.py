@@ -1,11 +1,30 @@
-"""Failure-injection tests: the runtime must fail loudly, not hang."""
+"""Failure-injection tests: the runtime must fail loudly, not hang.
+
+Fault scenarios are scripted through :mod:`repro.chaos` fault plans
+(deterministic, seeded) rather than ad-hoc ``raise`` statements inside
+rank bodies; the deadlock-shape tests keep their hand-written bodies
+because a *missing* operation is the fault being tested.
+"""
+
+import time
 
 import numpy as np
 import pytest
 
-from repro import mpi, tpetra
+from repro import chaos, mpi, tpetra
 from repro import odin
+from repro.chaos import FaultPlan
 from repro.odin.context import OdinContext
+
+
+@pytest.fixture
+def fault_plan():
+    """Install a FaultPlan for one test, always uninstalling after."""
+    def _install(plan):
+        chaos.install(plan)
+        return plan
+    yield _install
+    chaos.uninstall()
 
 
 class TestMpiFailures:
@@ -24,18 +43,42 @@ class TestMpiFailures:
         with pytest.raises(mpi.DeadlockError):
             mpi.run_spmd(body, 3, timeout=0.6)
 
-    def test_exception_during_collective_frees_peers_quickly(self):
-        import time
+    def test_injected_crash_frees_peers_quickly(self, fault_plan):
+        """A scripted rank crash aborts the world: peers are woken by the
+        abort (AbortError), not by the 60 s deadlock timeout."""
+        fault_plan(FaultPlan(seed=7).crash(rank=0, after=0))
 
         def body(comm):
-            if comm.rank == 0:
-                raise RuntimeError("injected")
             comm.barrier()
         start = time.monotonic()
-        with pytest.raises(RuntimeError, match="injected"):
+        with pytest.raises((mpi.InjectedFault, mpi.AbortError)):
             mpi.run_spmd(body, 4, timeout=60)
-        # peers were woken by the abort, not by the 60 s timeout
         assert time.monotonic() - start < 10
+
+    def test_injected_truncation_is_typed_not_wrong(self, fault_plan):
+        """Payload corruption surfaces as TruncationError (or an abort
+        triggered by a peer's TruncationError) -- never a silent wrong
+        answer and never a hang."""
+        fault_plan(FaultPlan(seed=11).truncate(keep=0.5, prob=1.0))
+
+        def body(comm):
+            out = np.zeros(8)
+            comm.Allreduce(np.ones(8), out)
+            return out
+        with pytest.raises((mpi.TruncationError, mpi.AbortError)):
+            mpi.run_spmd(body, 2, timeout=5)
+
+    def test_injected_delay_preserves_results(self, fault_plan):
+        """Benign faults (delay + reorder) are semantics-preserving: the
+        program still computes the exact same answers."""
+        fault_plan(FaultPlan(seed=5)
+                   .delay(seconds=0.002, prob=0.5)
+                   .reorder(depth=2, prob=0.5))
+
+        def body(comm):
+            return comm.allreduce(comm.rank + 1)
+        assert mpi.run_spmd(body, 4, timeout=10) == [10, 10, 10, 10]
+        assert chaos.ENGINE.injected(), "plan with prob=0.5 never fired"
 
     def test_send_to_self_works(self):
         def body(comm):
@@ -62,6 +105,26 @@ class TestOdinFailures:
                 div_by_zero(x)
             # context survives
             assert odin.ones(4, ctx=ctx).sum() == 4.0
+
+    def test_injected_worker_crash_aborts_driver(self, fault_plan):
+        """A scripted crash on a worker rank kills the whole context
+        fast: the driver's next op raises AbortError wrapping the
+        InjectedFault instead of waiting out the deadlock timeout."""
+        ctx = OdinContext(2, timeout=60)
+        # installed after startup so the crash hits a steady-state op
+        fault_plan(FaultPlan(seed=3).crash(rank=1, after=2))
+        start = time.monotonic()
+        try:
+            with pytest.raises(mpi.AbortError):
+                for _ in range(50):
+                    odin.ones(16, ctx=ctx).sum()
+        finally:
+            chaos.uninstall()
+            try:
+                ctx.shutdown()
+            except Exception:
+                pass  # abort-poisoned world
+        assert time.monotonic() - start < 10
 
     def test_bad_load_shape(self, tmp_path):
         with OdinContext(2) as ctx:
