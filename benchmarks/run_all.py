@@ -8,6 +8,8 @@ document (written to stdout and, with ``--out``, to a file).
 from __future__ import annotations
 
 import argparse
+import json
+import statistics
 import sys
 import time
 
@@ -35,12 +37,25 @@ MODULES = [
 ]
 
 
+def _iqr(values) -> float:
+    if len(values) < 2:
+        return 0.0
+    q = statistics.quantiles(values, n=4, method="inclusive")
+    return q[2] - q[0]
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument("--out", default=None,
                         help="also write the combined report to this file")
     parser.add_argument("--only", default=None,
                         help="comma-separated module suffixes to run")
+    parser.add_argument("--json", default=None, metavar="FILE",
+                        help="write per-bench wall-clock stats (median + "
+                             "IQR over --repeats runs) as JSON")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repetitions per bench for --json "
+                             "(default 3; the report uses the last run)")
     args = parser.parse_args(argv)
 
     selected = MODULES
@@ -48,21 +63,36 @@ def main(argv=None) -> int:
         wanted = args.only.split(",")
         selected = [m for m in MODULES if any(w in m for w in wanted)]
 
+    repeats = max(args.repeats, 1) if args.json else 1
     chunks = []
+    stats = {}
     for name in selected:
         module = __import__(f"benchmarks.{name}", fromlist=["generate_report"])
-        t0 = time.perf_counter()
-        try:
-            report = module.generate_report()
-        except Exception as exc:  # noqa: BLE001 - collect, don't die
-            report = f"## {name}\n\nFAILED: {exc!r}\n"
-        dt = time.perf_counter() - t0
-        chunks.append(report + f"\n(generated in {dt:.1f}s)\n")
+        times = []
+        report = ""
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            try:
+                report = module.generate_report()
+            except Exception as exc:  # noqa: BLE001 - collect, don't die
+                report = f"## {name}\n\nFAILED: {exc!r}\n"
+            times.append(time.perf_counter() - t0)
+        stats[name] = {
+            "median_s": round(statistics.median(times), 4),
+            "iqr_s": round(_iqr(times), 4),
+            "runs": len(times),
+            "times_s": [round(t, 4) for t in times],
+        }
+        chunks.append(report + f"\n(generated in {times[-1]:.1f}s)\n")
         print(chunks[-1])
     combined = "\n".join(chunks)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(combined)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump({"benchmarks": stats}, fh, indent=2)
+            fh.write("\n")
     return 0
 
 

@@ -345,6 +345,25 @@ class ChaosEngine:
             keep_n = min(int(n * rule.keep), max(n - 1, 0))
             payload = payload[:keep_n].copy()
             new_nbytes = payload.nbytes
+        elif kind == "pickle5":
+            # out-of-band payload: (blob, frames).  The frames are the
+            # shared read-only isolation copies, so truncation must not
+            # mutate them in place -- drop the tail of the last frame by
+            # re-slicing (a fresh copy), or the blob when frame-less.
+            blob, frames = payload
+            if frames:
+                last = frames[-1]
+                n = last.nbytes
+                keep_n = min(int(n * rule.keep), max(n - 1, 0))
+                cut = last[:keep_n].copy()
+                cut.flags.writeable = False
+                frames = list(frames[:-1]) + [cut]
+            else:
+                n = len(blob)
+                keep_n = min(int(n * rule.keep), max(n - 1, 0))
+                blob = blob[:keep_n]
+            payload = (blob, frames)
+            new_nbytes = len(blob) + sum(f.nbytes for f in frames)
         else:  # pickle blob
             n = len(payload)
             keep_n = min(int(n * rule.keep), max(n - 1, 0))

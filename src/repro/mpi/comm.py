@@ -30,16 +30,23 @@ from .status import ANY_SOURCE, ANY_TAG, Status
 __all__ = ["Group", "Intracomm"]
 
 
-def _loads(payload: bytes):
-    """Unpickle a message payload, surfacing corruption as a typed error.
+def _loads(msg):
+    """Decode a received message, surfacing corruption as a typed error.
 
-    A payload truncated in flight (chaos injection, or any future real
-    transport) fails to unpickle with an arbitrary ``UnpicklingError`` /
-    ``EOFError``; callers must instead see the substrate's own
-    :class:`TruncationError` so tests and solvers can handle it.
+    ``pickle5`` messages carry their ndarray data as out-of-band frames;
+    unpickling reconstructs arrays as *read-only views* of the frames (the
+    sender's single isolation copy) -- zero additional copies on the
+    receive side.  A payload truncated in flight (chaos injection, or any
+    future real transport) fails to decode with an arbitrary
+    ``UnpicklingError`` / ``EOFError`` / ``ValueError``; callers must
+    instead see the substrate's own :class:`TruncationError` so tests and
+    solvers can handle it.
     """
     try:
-        return pickle.loads(payload)
+        if msg.kind == "pickle5":
+            blob, frames = msg.payload
+            return pickle.loads(blob, buffers=frames)
+        return pickle.loads(msg.payload)
     except Exception as exc:
         raise TruncationError(
             f"received message payload failed to decode ({exc!r}); "
@@ -220,7 +227,7 @@ class Intracomm:
             status.source = self._rank_of_world[msg.src]
             status.tag = msg.tag
             status.count_bytes = msg.nbytes
-        return _loads(msg.payload)
+        return _loads(msg)
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> SendRequest:
         self.send(obj, dest, tag)
@@ -238,7 +245,7 @@ class Intracomm:
                 status.source = self._rank_of_world[msg.src]
                 status.tag = msg.tag
                 status.count_bytes = msg.nbytes
-            return _loads(msg.payload)
+            return _loads(msg)
 
         def poll(status):
             msg = self._ctx.poll_message(self._p2p_ctx(), src_world, tag,
@@ -249,7 +256,7 @@ class Intracomm:
                 status.source = self._rank_of_world[msg.src]
                 status.tag = msg.tag
                 status.count_bytes = msg.nbytes
-            return True, _loads(msg.payload)
+            return True, _loads(msg)
 
         return RecvRequest(complete, poll)
 
@@ -386,7 +393,7 @@ class Intracomm:
         if vrank != 0:
             src = (((vrank - 1) // 2) + root) % p  # parent in binary tree
             msg = self._ctx.recv_message(ctx_id, self._world_ranks[src], tag)
-            obj = _loads(msg.payload)
+            obj = _loads(msg)
         for child in (2 * vrank + 1, 2 * vrank + 2):
             if child < p:
                 dest = (child + root) % p
@@ -410,7 +417,7 @@ class Intracomm:
                                           tag, sendobj[r])
             return mine
         msg = self._ctx.recv_message(ctx_id, self._world_ranks[root], tag)
-        return _loads(msg.payload)
+        return _loads(msg)
 
     @_traced_collective("linear-root")
     def gather(self, sendobj: Any, root: int = 0) -> Optional[List[Any]]:
@@ -423,7 +430,7 @@ class Intracomm:
                 if r != root:
                     msg = self._ctx.recv_message(
                         ctx_id, self._world_ranks[r], tag)
-                    out[r] = _loads(msg.payload)
+                    out[r] = _loads(msg)
             return out
         self._ctx.send_object(self._world_ranks[root], ctx_id, tag, sendobj)
         return None
@@ -445,7 +452,7 @@ class Intracomm:
         for _step in range(p - 1):
             self._ctx.send_object(right, ctx_id, tag, (cur_idx, cur))
             msg = self._ctx.recv_message(ctx_id, left, tag)
-            cur_idx, cur = _loads(msg.payload)
+            cur_idx, cur = _loads(msg)
             out[cur_idx] = cur
         return out
 
@@ -464,7 +471,7 @@ class Intracomm:
             self._ctx.send_object(self._world_ranks[dest], ctx_id, tag,
                                   sendobjs[dest])
             msg = self._ctx.recv_message(ctx_id, self._world_ranks[src], tag)
-            out[src] = _loads(msg.payload)
+            out[src] = _loads(msg)
         return out
 
     @_traced_collective("binomial-tree")
@@ -496,7 +503,7 @@ class Intracomm:
                 src = (partner + root) % p
                 msg = self._ctx.recv_message(ctx_id, self._world_ranks[src],
                                              tag)
-                acc = op(acc, _loads(msg.payload))
+                acc = op(acc, _loads(msg))
             mask <<= 1
         return acc if self._rank == root else None
 
@@ -513,7 +520,7 @@ class Intracomm:
         if self._rank > 0:
             msg = self._ctx.recv_message(
                 ctx_id, self._world_ranks[self._rank - 1], tag)
-            acc = op(_loads(msg.payload), sendobj)
+            acc = op(_loads(msg), sendobj)
         if self._rank + 1 < self._size:
             self._ctx.send_object(self._world_ranks[self._rank + 1],
                                   ctx_id, tag, acc)
@@ -527,7 +534,7 @@ class Intracomm:
         if self._rank > 0:
             msg = self._ctx.recv_message(
                 ctx_id, self._world_ranks[self._rank - 1], tag)
-            prefix = _loads(msg.payload)
+            prefix = _loads(msg)
         if self._rank + 1 < self._size:
             acc = sendobj if prefix is None else op(prefix, sendobj)
             self._ctx.send_object(self._world_ranks[self._rank + 1],

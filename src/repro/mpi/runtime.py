@@ -68,9 +68,17 @@ def current_context() -> "RankContext":
 class Message:
     """An in-flight message envelope.
 
-    ``kind`` is ``'buffer'`` (payload: contiguous 1-D ndarray copy) or
-    ``'pickle'`` (payload: pickled bytes).  ``nbytes`` is the on-the-wire
-    size used for instrumentation.
+    ``kind`` is ``'buffer'`` (payload: contiguous 1-D ndarray copy),
+    ``'pickle'`` (payload: pickled bytes), or ``'pickle5'`` (payload:
+    ``(blob, frames)`` -- a protocol-5 pickle stream plus its out-of-band
+    buffers).  ``nbytes`` is the on-the-wire size used for
+    instrumentation; for ``'pickle5'`` it counts the blob *and* the
+    frames, so wire bytes always equal isolation-copy bytes.
+
+    Payload buffers are marked read-only before delivery: the same
+    physical copy is handed to the (same-process) receiver, so a writable
+    view would let the receiver silently mutate what the sender believes
+    was an immutable snapshot.
     """
 
     __slots__ = ("ctx_id", "src", "tag", "kind", "payload", "nbytes",
@@ -227,12 +235,14 @@ class RankContext:
     # -- low-level typed transport (used by Comm) ---------------------------
     def send_buffer(self, dest: int, ctx_id, tag, flat: np.ndarray) -> None:
         t0 = _TR.now() if _TR.enabled else 0.0
-        payload = np.ascontiguousarray(flat).copy()
+        payload = np.array(flat, copy=True, order="C")
         nbytes = payload.nbytes
         jump = 0
         if _CH.enabled:
             payload, nbytes, jump = _CH.on_send(self.rank, dest, "buffer",
                                                 payload, nbytes)
+        if isinstance(payload, np.ndarray):
+            payload.flags.writeable = False
         seq = self.world.deliver(self.rank, dest, ctx_id, tag, "buffer",
                                  payload, nbytes, jump)
         if _TR.enabled:
@@ -240,18 +250,43 @@ class RankContext:
                          nbytes=nbytes, kind="buffer", seq=seq)
 
     def send_object(self, dest: int, ctx_id, tag, obj: Any) -> None:
+        """Pickle *obj* and deposit it at *dest*.
+
+        ndarray-bearing objects take the protocol-5 out-of-band path:
+        ``pickle.dumps`` captures zero-copy :class:`pickle.PickleBuffer`
+        views of the array data, and the ONE copy made per buffer below
+        is the isolation copy that stands in for the wire transfer.  The
+        copy is marked read-only and the receiver unpickles arrays as
+        views of it -- no second (deserialization) copy.  Objects without
+        ndarrays keep the classic single-blob pickle path.
+        """
         t0 = _TR.now() if _TR.enabled else 0.0
-        blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-        nbytes = len(blob)
+        buffers: List[pickle.PickleBuffer] = []
+        blob = pickle.dumps(obj, protocol=5, buffer_callback=buffers.append)
+        if buffers:
+            frames = []
+            nbytes = len(blob)
+            for pb in buffers:
+                frame = np.frombuffer(pb.raw(), dtype=np.uint8).copy()
+                pb.release()
+                frame.flags.writeable = False
+                frames.append(frame)
+                nbytes += frame.nbytes
+            kind = "pickle5"
+            payload: Any = (blob, frames)
+        else:
+            kind = "pickle"
+            payload = blob
+            nbytes = len(blob)
         jump = 0
         if _CH.enabled:
-            blob, nbytes, jump = _CH.on_send(self.rank, dest, "pickle",
-                                             blob, nbytes)
-        seq = self.world.deliver(self.rank, dest, ctx_id, tag, "pickle",
-                                 blob, nbytes, jump)
+            payload, nbytes, jump = _CH.on_send(self.rank, dest, kind,
+                                                payload, nbytes)
+        seq = self.world.deliver(self.rank, dest, ctx_id, tag, kind,
+                                 payload, nbytes, jump)
         if _TR.enabled:
             _TR.complete("mpi.p2p", "send", t0, rank=self.rank, dest=dest,
-                         nbytes=nbytes, kind="pickle", seq=seq)
+                         nbytes=nbytes, kind=kind, seq=seq)
 
     def recv_message(self, ctx_id, source, tag,
                      timeout: Optional[float] = None) -> Message:

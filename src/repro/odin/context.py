@@ -9,14 +9,22 @@ private sub-communicator so they "can communicate directly with each other,
 bypassing the ODIN process", which is how redistribution and halo exchange
 avoid making the driver a bottleneck.
 
-Every op round-trips a tiny status gather so worker exceptions surface on
-the driver immediately instead of desynchronizing the command stream.
+Synchronizing ops (GATHER, reductions, anything whose result the driver
+needs) round-trip a tiny status gather.  Ops with no meaningful per-worker
+result (CREATE, stores, deletes, SCATTER acks) are *batched*: they are
+broadcast fire-and-forget within an epoch, and any worker exception is
+recorded and delivered -- with the originating op named -- at the next
+synchronizing op or explicit :meth:`OdinContext.flush`.  A sequence of N
+store ops therefore costs N broadcasts plus one gather instead of N of
+each.  Set ``REPRO_ODIN_BATCH=0`` (or ``batch=False``) for the classic
+op-per-round-trip behavior.
 """
 
 from __future__ import annotations
 
+import os
 import threading
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -39,6 +47,24 @@ __all__ = ["OdinContext", "init", "shutdown", "get_context",
 local_registry: Dict[str, Callable] = {}
 
 _worker_tls = threading.local()
+
+# Opcodes whose per-worker result is always None: safe to fire-and-forget
+# within a batched epoch.  SAVE and LOAD are deliberately absent (external
+# file side effects should fail at the call site); result-bearing ops
+# synchronize.
+ASYNC_OPCODES = frozenset({
+    opcodes.CREATE, opcodes.DELETE, opcodes.DELETE_MANY, opcodes.UFUNC,
+    opcodes.FUSED, opcodes.REDIST, opcodes.TRANSPOSE, opcodes.SLICE,
+    opcodes.SETITEM, opcodes.SET_DIST,
+})
+
+# an epoch auto-flushes after this many fire-and-forget ops so error
+# delivery latency (and the workers' deferred lists) stay bounded
+_EPOCH_CAP = 512
+
+
+def _batching_default() -> bool:
+    return os.environ.get("REPRO_ODIN_BATCH", "1") != "0"
 
 
 def worker_comm() -> Intracomm:
@@ -73,7 +99,8 @@ def worker_state():
 class OdinContext:
     """One driver plus *nworkers* persistent worker threads."""
 
-    def __init__(self, nworkers: int, timeout: Optional[float] = None):
+    def __init__(self, nworkers: int, timeout: Optional[float] = None,
+                 batch: Optional[bool] = None):
         if nworkers < 1:
             raise ValueError("need at least one worker")
         self.nworkers = nworkers
@@ -84,6 +111,9 @@ class OdinContext:
         self._next_array_id = 0
         self._alive = True
         self._pending_deletes: List[int] = []
+        self._batch = _batching_default() if batch is None else bool(batch)
+        self._op_seq = 0       # control ops broadcast so far (epoch clock)
+        self._epoch_len = 0    # fire-and-forget ops since the last sync
         self._lock = threading.RLock()
         self._threads = [
             threading.Thread(target=self._worker_main, args=(w,),
@@ -112,11 +142,25 @@ class OdinContext:
             state = WorkerState(index=windex, comm=wcomm,
                                 registry=local_registry, full_comm=comm)
             _worker_tls.state = state
+            # deferred errors from fire-and-forget ops in the current
+            # epoch: (op seq, op name, exception).  seq counts broadcasts,
+            # so it is identical across workers and matches the driver's
+            # _op_seq clock.
+            deferred: List[Tuple[int, str, Exception]] = []
+            seq = 0
             while True:
                 op = comm.bcast(None, root=0)
+                seq += 1
+                fire_and_forget = op[0] == opcodes.ASYNC
+                if fire_and_forget:
+                    op = op[1]
                 if op[0] == opcodes.SHUTDOWN:
-                    comm.gather(("ok", None), root=0)
+                    comm.gather(("ok", None, deferred), root=0)
                     return
+                if op[0] == opcodes.FLUSH:
+                    comm.gather(("ok", None, deferred), root=0)
+                    deferred = []
+                    continue
                 try:
                     result = execute_op(state, op)
                     status = ("ok", result)
@@ -125,8 +169,14 @@ class OdinContext:
                     # report a recoverable op error
                     raise
                 except Exception as exc:  # noqa: BLE001 - report to driver
+                    if fire_and_forget:
+                        deferred.append((seq, str(op[0]), exc))
+                        continue
                     status = ("err", exc)
-                comm.gather(status, root=0)
+                if fire_and_forget:
+                    continue
+                comm.gather(status + (deferred,), root=0)
+                deferred = []
         except InjectedFault as exc:
             # chaos-scripted rank crash: die loudly so the driver and the
             # surviving workers fail fast with AbortError instead of
@@ -143,8 +193,47 @@ class OdinContext:
     # ------------------------------------------------------------------
     # driver side
     # ------------------------------------------------------------------
+    def _bcast(self, op) -> None:
+        """Broadcast one wire op, advancing the epoch clock (lock held)."""
+        self.comm.bcast(op, root=0)
+        self._op_seq += 1
+
+    def _check_alive(self) -> None:
+        if not self._alive:
+            raise RuntimeError("ODIN context has been shut down")
+
+    def _process_statuses(self, statuses, opname: str) -> List[Any]:
+        """Unpack per-worker (tag, payload, deferred) gather statuses.
+
+        Deferred errors from earlier fire-and-forget ops take precedence
+        over a failure of the current op (they happened first); among all
+        collected errors the one with the smallest op sequence is raised,
+        annotated with the op it came from.
+        """
+        results = []
+        errs: List[Tuple[int, str, Exception]] = []
+        for status in statuses[1:]:
+            tag, payload, deferred = status
+            errs.extend(deferred)
+            if tag == "err":
+                errs.append((self._op_seq, opname, payload))
+                results.append(None)
+            else:
+                results.append(payload)
+        if errs:
+            seq, err_op, exc = min(errs, key=lambda e: e[0])
+            if seq < self._op_seq:
+                exc.add_note(
+                    f"deferred from batched op {err_op!r}; delivered at "
+                    f"the next synchronizing op ({opname!r})")
+            raise exc
+        return results
+
     def _issue(self, *op) -> List[Any]:
-        """Broadcast one op and collect per-worker results (driver)."""
+        """Dispatch one op: fire-and-forget when batching allows it,
+        otherwise broadcast + collect per-worker results (driver)."""
+        if self._batch and op[0] in ASYNC_OPCODES:
+            return self._issue_async(op)
         if _TR.enabled:
             with _TR.span("odin.control", str(op[0]), rank="driver",
                           nworkers=self.nworkers):
@@ -153,30 +242,65 @@ class OdinContext:
 
     def _issue_impl(self, *op) -> List[Any]:
         with self._lock:
-            if not self._alive:
-                raise RuntimeError("ODIN context has been shut down")
+            self._check_alive()
             self._drain_pending_deletes()
-            self.comm.bcast(op, root=0)
+            self._bcast(op)
+            self._epoch_len = 0
             statuses = self.comm.gather(None, root=0)
-        results = []
-        for status in statuses[1:]:
-            tag, payload = status
-            if tag == "err":
-                raise payload
-            results.append(payload)
-        return results
+        return self._process_statuses(statuses, str(op[0]))
+
+    def _issue_async(self, op) -> List[Any]:
+        """Fire-and-forget: broadcast only, no result gather.  Errors are
+        recorded on the workers and surface at the next synchronizing op."""
+        if _TR.enabled:
+            with _TR.span("odin.control", f"{op[0]}.async", rank="driver",
+                          nworkers=self.nworkers):
+                self._issue_async_impl(op)
+        else:
+            self._issue_async_impl(op)
+        return [None] * self.nworkers
+
+    def _issue_async_impl(self, op) -> None:
+        with self._lock:
+            self._check_alive()
+            self._drain_pending_deletes()
+            self._bcast((opcodes.ASYNC, op))
+            self._epoch_len += 1
+            if self._epoch_len >= _EPOCH_CAP:
+                self._flush_locked()
+
+    def _flush_locked(self) -> None:
+        self._bcast((opcodes.FLUSH,))
+        self._epoch_len = 0
+        statuses = self.comm.gather(None, root=0)
+        self._process_statuses(statuses, str(opcodes.FLUSH))
+
+    def flush(self) -> None:
+        """Synchronize with the workers and deliver any deferred errors
+        from fire-and-forget ops in the current epoch."""
+        with self._lock:
+            if not self._alive:
+                return
+            self._drain_pending_deletes()
+            self._flush_locked()
 
     def _drain_pending_deletes(self) -> None:
         """Free arrays whose handles were garbage collected.
 
         ``DistArray.__del__`` must not issue ops itself (GC can fire in the
         middle of another op's bcast/gather pair); it enqueues ids here and
-        the next user-initiated op flushes them.  Caller holds the lock.
+        the next user-initiated op flushes them.  With batching the drain
+        rides the current epoch as one more fire-and-forget broadcast;
+        otherwise it costs its own round trip.  Caller holds the lock.
         """
         if self._pending_deletes:
             ids, self._pending_deletes = self._pending_deletes, []
-            self.comm.bcast((opcodes.DELETE_MANY, ids), root=0)
-            self.comm.gather(None, root=0)
+            if self._batch:
+                self._bcast((opcodes.ASYNC, (opcodes.DELETE_MANY, ids)))
+                self._epoch_len += 1
+            else:
+                self._bcast((opcodes.DELETE_MANY, ids))
+                self.comm.gather(None, root=0)
 
     def new_array_id(self) -> int:
         with self._lock:
@@ -208,19 +332,26 @@ class OdinContext:
         for w in range(self.nworkers):
             blocks.append(np.ascontiguousarray(
                 array[dist.global_selector(w)]))
+        wire = (opcodes.SCATTER, array_id, dist, array.dtype.str)
         with self._lock:
-            if not self._alive:
-                raise RuntimeError("ODIN context has been shut down")
+            self._check_alive()
             self._drain_pending_deletes()
-            self.comm.bcast((opcodes.SCATTER, array_id, dist,
-                             array.dtype.str), root=0)
+            if self._batch:
+                # the scatter collective itself confirms delivery; the
+                # per-worker status ack rides the next synchronizing op
+                self._bcast((opcodes.ASYNC, wire))
+                self.comm.scatter([None] + blocks, root=0)
+                self._epoch_len += 1
+                if self._epoch_len >= _EPOCH_CAP:
+                    self._flush_locked()
+                return
+            self._bcast(wire)
             # workers participate in the scatter inside their op handler;
             # the driver's own slot is unused
             self.comm.scatter([None] + blocks, root=0)
+            self._epoch_len = 0
             statuses = self.comm.gather(None, root=0)
-        for status in statuses[1:]:
-            if status[0] == "err":
-                raise status[1]
+        self._process_statuses(statuses, str(opcodes.SCATTER))
 
     def delete(self, array_id: int) -> None:
         """Queue an array for deletion (safe to call from __del__)."""
@@ -283,16 +414,27 @@ class OdinContext:
         for c in self.world.counters:
             c.reset()
 
+    def plan_cache_stats(self) -> Dict[str, Any]:
+        """Aggregate worker-side communication-plan cache statistics."""
+        stats = self._issue(opcodes.PLAN_STATS)
+        hits = sum(s[0] for s in stats)
+        misses = sum(s[1] for s in stats)
+        return {"hits": hits, "misses": misses,
+                "cached_plans": sum(s[2] for s in stats),
+                "hit_rate": hits / max(hits + misses, 1)}
+
     # -- lifecycle ---------------------------------------------------------
     def shutdown(self) -> None:
         with self._lock:
             if not self._alive:
                 return
-            self.comm.bcast((opcodes.SHUTDOWN,), root=0)
-            self.comm.gather(None, root=0)
+            self._bcast((opcodes.SHUTDOWN,))
+            statuses = self.comm.gather(None, root=0)
             self._alive = False
         for t in self._threads:
             t.join(timeout=10)
+        # deferred errors from a trailing epoch must not vanish silently
+        self._process_statuses(statuses, str(opcodes.SHUTDOWN))
 
     def __enter__(self):
         return self
@@ -308,12 +450,13 @@ class OdinContext:
 _default_context: Optional[OdinContext] = None
 
 
-def init(nworkers: int = 4, timeout: Optional[float] = None) -> OdinContext:
+def init(nworkers: int = 4, timeout: Optional[float] = None,
+         batch: Optional[bool] = None) -> OdinContext:
     """Start (or restart) the default ODIN context."""
     global _default_context
     if _default_context is not None and _default_context._alive:
         _default_context.shutdown()
-    _default_context = OdinContext(nworkers, timeout=timeout)
+    _default_context = OdinContext(nworkers, timeout=timeout, batch=batch)
     return _default_context
 
 

@@ -146,6 +146,9 @@ def fromfunction(fn, shape: Shape, dtype=np.float64, dist="block", axis=0,
     try:
         return _create(ctx, d, dtype, ("fromfunction", fname))
     finally:
+        # the CREATE may be batched (fire-and-forget): synchronize before
+        # removing the function the workers need to run it
+        ctx.flush()
         local_registry.pop(fname, None)
 
 

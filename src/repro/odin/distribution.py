@@ -14,6 +14,7 @@ built on those answers.
 
 from __future__ import annotations
 
+import hashlib
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -81,6 +82,11 @@ class Distribution:
             return False
         if self.axis != other.axis or self.nworkers != other.nworkers:
             return False
+        ka, kb = self.cache_key(), other.cache_key()
+        if ka is not None and ka == kb:
+            # equal keys guarantee an identical index mapping; unequal
+            # keys prove nothing (block vs 1-axis grid), so fall through
+            return True
         return all(
             np.array_equal(self.indices_for(w), other.indices_for(w))
             for w in range(self.nworkers))
@@ -88,6 +94,14 @@ class Distribution:
     def with_shape(self, global_shape: Sequence[int]) -> "Distribution":
         """Same scheme applied to a different global shape."""
         raise NotImplementedError
+
+    def cache_key(self):
+        """Hashable value identifying the index mapping, or None when the
+        distribution cannot be cheaply keyed (such a distribution opts out
+        of the worker-side redistribution-plan cache).  Two distributions
+        with equal keys must assign every global index to the same worker
+        at the same local position."""
+        return None
 
     # -- multi-axis protocol (used by the redistribution engine) --------
     @property
@@ -175,6 +189,10 @@ class BlockDistribution(Distribution):
     def with_shape(self, global_shape) -> "BlockDistribution":
         return BlockDistribution(global_shape, self.axis, self.nworkers)
 
+    def cache_key(self):
+        return ("block", self.global_shape, self.axis, self.nworkers,
+                tuple(self._counts))
+
 
 class CyclicDistribution(Distribution):
     """Round-robin along the axis: index i lives on worker i % P."""
@@ -195,6 +213,9 @@ class CyclicDistribution(Distribution):
 
     def with_shape(self, global_shape) -> "CyclicDistribution":
         return CyclicDistribution(global_shape, self.axis, self.nworkers)
+
+    def cache_key(self):
+        return ("cyclic", self.global_shape, self.axis, self.nworkers)
 
 
 class BlockCyclicDistribution(Distribution):
@@ -233,6 +254,10 @@ class BlockCyclicDistribution(Distribution):
         return BlockCyclicDistribution(global_shape, self.axis,
                                        self.nworkers, self.block_size)
 
+    def cache_key(self):
+        return ("block-cyclic", self.global_shape, self.axis, self.nworkers,
+                self.block_size)
+
 
 class ArbitraryDistribution(Distribution):
     """Explicit global-to-local mapping: one index list per worker.
@@ -257,6 +282,7 @@ class ArbitraryDistribution(Distribution):
             if not np.array_equal(np.sort(seen), np.arange(n)):
                 raise ValueError("index lists must partition the axis "
                                  "exactly")
+        self._digest = None
         self._owner = np.empty(n, dtype=np.int64)
         self._pos = np.empty(n, dtype=np.int64)
         for w, ix in enumerate(self._lists):
@@ -275,6 +301,16 @@ class ArbitraryDistribution(Distribution):
     def with_shape(self, global_shape) -> "Distribution":
         raise ValueError("an arbitrary distribution does not generalize to "
                          "a new shape; specify one explicitly")
+
+    def cache_key(self):
+        if self._digest is None:
+            h = hashlib.blake2b(digest_size=16)
+            for ix in self._lists:
+                h.update(np.ascontiguousarray(ix).tobytes())
+                h.update(b"|")
+            self._digest = h.hexdigest()
+        return ("arbitrary", self.global_shape, self.axis, self.nworkers,
+                self._digest)
 
 
 class GridDistribution(Distribution):
@@ -388,6 +424,9 @@ class GridDistribution(Distribution):
     def with_shape(self, global_shape) -> "GridDistribution":
         return GridDistribution(global_shape, self.axes, self.grid)
 
+    def cache_key(self):
+        return ("grid", self.global_shape, self.axes, self.grid)
+
     def __repr__(self):
         return (f"GridDistribution(shape={self.global_shape}, "
                 f"axes={self.axes}, grid={self.grid})")
@@ -462,6 +501,12 @@ class ConcatDistribution(Distribution):
     def with_shape(self, global_shape) -> "Distribution":
         raise ValueError("a concat distribution does not generalize to a "
                          "new shape")
+
+    def cache_key(self):
+        part_keys = tuple(p.cache_key() for p in self.parts)
+        if any(k is None for k in part_keys):
+            return None
+        return ("concat", self.global_shape, self.axis, part_keys)
 
 
 def _block_same_as_gridlike(self: "BlockDistribution",

@@ -13,6 +13,11 @@ graph instead of executing.  :func:`evaluate` then
    single control message, where it runs as one fused pass -- through a
    Seamless-compiled native kernel when available, else a NumPy stack
    machine that still eliminates per-op control round-trips.
+
+With control-plane batching (the default), the conforming
+redistributions and the fused program are all fire-and-forget: the whole
+lazy chain lands on the workers as one batched epoch with zero driver
+round trips until a result is actually gathered.
 """
 
 from __future__ import annotations

@@ -27,4 +27,13 @@ SAVE = "save"                # (id, path_pattern)
 GROUPBY = "groupby"          # tabular shuffle-reduce
 TRANSFORM = "transform"      # (src_id, dst_id, fname) -> new local length
 SET_DIST = "set_dist"        # (id, dist) fix metadata after a transform
+PLAN_STATS = "plan_stats"    # () -> (hits, misses, cached_plans)
 SHUTDOWN = "shutdown"
+
+# Control-plane batching (PR 4).  ``(ASYNC, inner_op)`` is broadcast with
+# *no* matching gather: the worker executes ``inner_op``, records any
+# exception instead of raising, and keeps listening.  The deferred errors
+# ride back on the third slot of the next synchronizing gather.  ``FLUSH``
+# is an explicit barrier op that does nothing but synchronize.
+ASYNC = "async"              # (inner_op,) fire-and-forget within an epoch
+FLUSH = "flush"              # () -> synchronize, deliver deferred errors

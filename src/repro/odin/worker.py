@@ -8,7 +8,9 @@ data (Fig. 1's "worker nodes can communicate directly with each other").
 
 from __future__ import annotations
 
+import os
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -22,6 +24,11 @@ from .distribution import (ArbitraryDistribution, BlockDistribution,
                            Distribution)
 
 __all__ = ["WorkerState", "execute_op", "UFUNCS"]
+
+
+def _plan_cache_cap() -> int:
+    """Max cached communication plans per worker (LRU bound)."""
+    return int(os.environ.get("REPRO_ODIN_PLAN_CACHE", "64"))
 
 # ufuncs exposed as odin.<name>; unary and binary sets drive arity checks
 UNARY_UFUNCS = {
@@ -66,6 +73,13 @@ class WorkerState:
     full_comm: Optional[Intracomm] = None  # driver + workers (scatter path)
     arrays: Dict[int, Tuple[np.ndarray, Distribution]] = field(
         default_factory=dict)
+    # communication-plan cache (redistribution + slicing index math),
+    # LRU-bounded; keyed on (kind, src dist key, dst dist key, dtype)
+    plan_cache: "OrderedDict[tuple, Any]" = field(
+        default_factory=OrderedDict)
+    plan_cache_cap: int = field(default_factory=_plan_cache_cap)
+    plan_hits: int = 0
+    plan_misses: int = 0
 
     def get(self, array_id: int) -> Tuple[np.ndarray, Distribution]:
         try:
@@ -165,9 +179,65 @@ def _is_multi_axis(src: Distribution, dst: Distribution) -> bool:
             or src.general_only or dst.general_only)
 
 
-def _redistribute_block(state: WorkerState, local: np.ndarray,
-                        src: Distribution, dst: Distribution) -> np.ndarray:
-    """Move a local block from distribution *src* to *dst*.
+class _RedistPlan:
+    """Precomputed communication schedule for one (src, dst) pair on one
+    worker.
+
+    All index math -- ownership intersections, local take positions,
+    output placement indexers -- is computed once from the distribution
+    descriptors; execution replays the schedule: take, alltoall, place.
+    Plans are pure index metadata, so one plan serves every array with
+    the same (src, dst) pair regardless of contents.
+    """
+
+    __slots__ = ("kind", "out_shape", "send", "recv", "self_pair")
+
+    def __init__(self, kind, out_shape, send, recv, self_pair):
+        self.kind = kind              # "single-axis" | "general"
+        self.out_shape = out_shape    # dst.local_shape(w)
+        self.send = send              # [(peer, [(axis, idx), ...]), ...]
+        self.recv = recv              # [(peer, placement indexer), ...]
+        self.self_pair = self_pair    # (take_ops, placement) or None
+
+    def execute(self, state: WorkerState, local: np.ndarray) -> np.ndarray:
+        comm = state.comm
+        out = np.empty(self.out_shape, dtype=local.dtype)
+        if self.self_pair is not None:
+            take_ops, place = self.self_pair
+            out[place] = _apply_take(local, take_ops)
+        sendobjs: List[Any] = [None] * comm.size
+        for v, take_ops in self.send:
+            sendobjs[v] = _apply_take(local, take_ops)
+        received = comm.alltoall(sendobjs)
+        for u, place in self.recv:
+            out[place] = received[u]
+        return out
+
+
+def _apply_take(local: np.ndarray, take_ops) -> np.ndarray:
+    """Sequentially gather positions along each planned axis."""
+    out = local
+    for ax, idx in take_ops:
+        out = np.take(out, idx, axis=ax)
+    return out if take_ops else np.ascontiguousarray(out)
+
+
+def _place_indexer(src: Distribution, dst: Distribution, from_w: int,
+                   to_w: int):
+    """Indexer into to_w's output block for the piece sent by from_w."""
+    sl: List[Any] = [slice(None)] * dst.ndim
+    if src.axis == dst.axis:
+        inter = _intersect_owned(src.indices_for(from_w), dst, to_w)
+        sl[dst.axis] = dst.local_position(inter)
+    else:
+        # full extent locally on the dst side: global ids are positions
+        sl[src.axis] = src.indices_for(from_w)
+    return tuple(sl)
+
+
+def _build_redist_plan(state: WorkerState, src: Distribution,
+                       dst: Distribution) -> _RedistPlan:
+    """Plan construction: the index math formerly done on every call.
 
     Both sides of every pairwise transfer compute the intersection of
     ownership deterministically from the distribution descriptors, so only
@@ -177,43 +247,46 @@ def _redistribute_block(state: WorkerState, local: np.ndarray,
     axis, so the overlap of two workers is always a rectangular tile).
     """
     if _is_multi_axis(src, dst):
-        return _redistribute_general(state, local, src, dst)
-    if _TR.enabled:
-        with _TR.span("odin.worker", "redistribute.exchange",
-                      worker=state.index, kind="single-axis"):
-            return _redistribute_block_impl(state, local, src, dst)
-    return _redistribute_block_impl(state, local, src, dst)
-
-
-def _redistribute_block_impl(state: WorkerState, local: np.ndarray,
-                             src: Distribution,
-                             dst: Distribution) -> np.ndarray:
-    comm = state.comm
-    P = comm.size
+        return _build_general_plan(state, src, dst)
     w = state.index
-    out = np.empty(dst.local_shape(w),
-                   dtype=local.dtype)
+    P = state.comm.size
     my_src = src.indices_for(w)
-    sendobjs: List[Any] = [None] * P
+    send = []
+    self_pair = None
     for v in range(P):
         if src.axis == dst.axis:
             inter = _intersect_owned(my_src, dst, v)
             if len(inter) == 0:
                 continue
-            take = src.local_position(inter)
-            piece = np.take(local, take, axis=src.axis)
+            take_ops = [(src.axis, src.local_position(inter))]
         else:
             # I own full slabs along dst.axis; send v's columns of my slab
-            piece = np.take(local, dst.indices_for(v), axis=dst.axis)
+            take_ops = [(dst.axis, dst.indices_for(v))]
         if v == w:
-            _place_piece(out, piece, w, w, src, dst)
+            self_pair = (take_ops, _place_indexer(src, dst, w, w))
         else:
-            sendobjs[v] = piece
-    received = comm.alltoall(sendobjs)
-    for u, piece in enumerate(received):
-        if piece is not None:
-            _place_piece(out, piece, u, w, src, dst)
-    return out
+            send.append((v, take_ops))
+    recv = []
+    for u in range(P):
+        if u == w:
+            continue
+        if src.axis == dst.axis and \
+                len(_intersect_owned(src.indices_for(u), dst, w)) == 0:
+            continue
+        recv.append((u, _place_indexer(src, dst, u, w)))
+    return _RedistPlan("single-axis", dst.local_shape(w), send, recv,
+                       self_pair)
+
+
+def _redistribute_block(state: WorkerState, local: np.ndarray,
+                        src: Distribution, dst: Distribution) -> np.ndarray:
+    """Move a local block from distribution *src* to *dst* (plan-cached)."""
+    plan = _redist_plan_for(state, src, dst, local.dtype)
+    if _TR.enabled:
+        with _TR.span("odin.worker", "redistribute.exchange",
+                      worker=state.index, kind=plan.kind):
+            return plan.execute(state, local)
+    return plan.execute(state, local)
 
 
 def _pair_tile(src: Distribution, dst: Distribution, from_w: int,
@@ -241,76 +314,86 @@ def _pair_tile(src: Distribution, dst: Distribution, from_w: int,
     return tile
 
 
-def _take_tile(local: np.ndarray, dist: Distribution, worker: int,
-               tile) -> np.ndarray:
-    out = local
-    for ax, inter in enumerate(tile):
-        if inter is None:
-            continue
-        pos = dist.axis_local_position(worker, ax, inter)
-        out = np.take(out, pos, axis=ax)
-    return np.ascontiguousarray(out)
+def _take_tile_ops(src: Distribution, worker: int, tile):
+    """Planned gather positions for a pairwise tile (skips full axes)."""
+    return [(ax, src.axis_local_position(worker, ax, inter))
+            for ax, inter in enumerate(tile) if inter is not None]
 
 
-def _place_tile(out: np.ndarray, piece: np.ndarray, dist: Distribution,
-                worker: int, tile) -> None:
+def _tile_indexer(dst: Distribution, worker: int, tile, out_shape):
     per_axis = []
     for ax, inter in enumerate(tile):
         if inter is None:
-            per_axis.append(np.arange(out.shape[ax], dtype=np.int64))
+            per_axis.append(np.arange(out_shape[ax], dtype=np.int64))
         else:
-            per_axis.append(dist.axis_local_position(worker, ax, inter))
-    out[np.ix_(*per_axis)] = piece
+            per_axis.append(dst.axis_local_position(worker, ax, inter))
+    return np.ix_(*per_axis)
 
 
-def _redistribute_general(state: WorkerState, local: np.ndarray,
-                          src: Distribution,
-                          dst: Distribution) -> np.ndarray:
-    if _TR.enabled:
-        with _TR.span("odin.worker", "redistribute.exchange",
-                      worker=state.index, kind="general"):
-            return _redistribute_general_impl(state, local, src, dst)
-    return _redistribute_general_impl(state, local, src, dst)
-
-
-def _redistribute_general_impl(state: WorkerState, local: np.ndarray,
-                               src: Distribution,
-                               dst: Distribution) -> np.ndarray:
-    comm = state.comm
-    P = comm.size
+def _build_general_plan(state: WorkerState, src: Distribution,
+                        dst: Distribution) -> _RedistPlan:
     w = state.index
-    out = np.empty(dst.local_shape(w), dtype=local.dtype)
-    sendobjs: List[Any] = [None] * P
+    P = state.comm.size
+    out_shape = dst.local_shape(w)
+    send = []
+    self_pair = None
     for v in range(P):
         tile = _pair_tile(src, dst, w, v)
         if tile is None:
             continue
-        piece = _take_tile(local, src, w, tile)
+        take_ops = _take_tile_ops(src, w, tile)
         if v == w:
-            _place_tile(out, piece, dst, w, tile)
+            self_pair = (take_ops, _tile_indexer(dst, w, tile, out_shape))
         else:
-            sendobjs[v] = piece
-    received = comm.alltoall(sendobjs)
-    for u, piece in enumerate(received):
-        if piece is not None:
-            tile = _pair_tile(src, dst, u, w)
-            _place_tile(out, piece, dst, w, tile)
-    return out
+            send.append((v, take_ops))
+    recv = []
+    for u in range(P):
+        if u == w:
+            continue
+        tile = _pair_tile(src, dst, u, w)
+        if tile is None:
+            continue
+        recv.append((u, _tile_indexer(dst, w, tile, out_shape)))
+    return _RedistPlan("general", out_shape, send, recv, self_pair)
 
 
-def _place_piece(out: np.ndarray, piece: np.ndarray, from_w: int,
-                 to_w: int, src: Distribution, dst: Distribution) -> None:
-    if src.axis == dst.axis:
-        inter = _intersect_owned(src.indices_for(from_w), dst, to_w)
-        pos = dst.local_position(inter)
-        sl = [slice(None)] * dst.ndim
-        sl[dst.axis] = pos
-        out[tuple(sl)] = piece
-    else:
-        rows = src.indices_for(from_w)   # global along src.axis
-        sl = [slice(None)] * dst.ndim
-        sl[src.axis] = rows              # full extent locally on dst side
-        out[tuple(sl)] = piece
+# ----------------------------------------------------------------------
+# plan cache (LRU per worker; keys derived from distribution descriptors)
+# ----------------------------------------------------------------------
+def _plan_cache_get(state: WorkerState, key):
+    plan = state.plan_cache.get(key)
+    if plan is not None:
+        state.plan_cache.move_to_end(key)
+        state.plan_hits += 1
+        if _MX.enabled:
+            _MX.inc("odin.plan_cache.hits", worker=state.index)
+        return plan
+    state.plan_misses += 1
+    if _MX.enabled:
+        _MX.inc("odin.plan_cache.misses", worker=state.index)
+    return None
+
+
+def _plan_cache_put(state: WorkerState, key, plan) -> None:
+    cache = state.plan_cache
+    cache[key] = plan
+    while len(cache) > state.plan_cache_cap:
+        cache.popitem(last=False)
+
+
+def _redist_plan_for(state: WorkerState, src: Distribution,
+                     dst: Distribution, dtype) -> _RedistPlan:
+    src_key = src.cache_key()
+    dst_key = dst.cache_key()
+    if src_key is None or dst_key is None:
+        # unkeyable distribution: build fresh, bypass the cache entirely
+        return _build_redist_plan(state, src, dst)
+    key = ("redist", src_key, dst_key, np.dtype(dtype).str)
+    plan = _plan_cache_get(state, key)
+    if plan is None:
+        plan = _build_redist_plan(state, src, dst)
+        _plan_cache_put(state, key, plan)
+    return plan
 
 
 # ----------------------------------------------------------------------
@@ -330,12 +413,34 @@ def _slice_survivors(dist: Distribution, worker: int, sl: slice):
     return kept, new_g
 
 
-def _apply_slice(state: WorkerState, local: np.ndarray, src: Distribution,
-                 slices, new_dist: Distribution) -> np.ndarray:
-    """Slice then redistribute to *new_dist* (same ndim preserved)."""
+class _SlicePlan:
+    """Precomputed slice-then-redistribute schedule.
+
+    Stores the local slicing indexer, the survivor take along the
+    distributed axis, and the inner redistribution plan from the implied
+    intermediate distribution to the target -- so a cache hit skips the
+    survivor scan and the ArbitraryDistribution construction entirely.
+    """
+
+    __slots__ = ("local_sl", "take", "axis", "inner")
+
+    def __init__(self, local_sl, take, axis, inner):
+        self.local_sl = local_sl
+        self.take = take
+        self.axis = axis
+        self.inner = inner
+
+    def execute(self, state: WorkerState, local: np.ndarray) -> np.ndarray:
+        part = local[self.local_sl]
+        part = np.take(part, self.take, axis=self.axis)
+        return self.inner.execute(state, part)
+
+
+def _build_slice_plan(state: WorkerState, src: Distribution, slices,
+                      new_dist: Distribution) -> _SlicePlan:
     w = state.index
     # local part: every non-distributed axis is sliced in place
-    local_sl = []
+    local_sl: List[Any] = []
     mid_shape = list(src.global_shape)
     for ax, sl in enumerate(slices):
         if ax == src.axis:
@@ -343,12 +448,10 @@ def _apply_slice(state: WorkerState, local: np.ndarray, src: Distribution,
         else:
             local_sl.append(sl)
             mid_shape[ax] = len(range(*sl.indices(src.global_shape[ax])))
-    part = local[tuple(local_sl)]
     # distributed axis: keep survivors, renumber them globally
     axis_sl = slices[src.axis]
     kept, _new_g = _slice_survivors(src, w, axis_sl)
     take = src.axis_local_position(w, src.axis, kept)
-    part = np.take(part, take, axis=src.axis)
     start, stop, step = axis_sl.indices(src.axis_length)
     mid_shape[src.axis] = len(range(start, stop, step))
     # ownership after the cut, before rebalancing: each worker holds the
@@ -357,7 +460,33 @@ def _apply_slice(state: WorkerState, local: np.ndarray, src: Distribution,
              for v in range(src.nworkers)]
     inter = ArbitraryDistribution(tuple(mid_shape), src.axis, lists,
                                   validate=False)
-    return _redistribute_block(state, part, inter, new_dist)
+    inner = _build_redist_plan(state, inter, new_dist)
+    return _SlicePlan(tuple(local_sl), take, src.axis, inner)
+
+
+def _apply_slice(state: WorkerState, local: np.ndarray, src: Distribution,
+                 slices, new_dist: Distribution) -> np.ndarray:
+    """Slice then redistribute to *new_dist* (same ndim preserved)."""
+    src_key = src.cache_key()
+    dst_key = new_dist.cache_key()
+    key = None
+    plan = None
+    if src_key is not None and dst_key is not None:
+        # slices are unhashable before 3.12: normalize to index triples
+        triples = tuple(sl.indices(src.global_shape[ax])
+                        for ax, sl in enumerate(slices))
+        key = ("slice", src_key, triples, dst_key,
+               np.dtype(local.dtype).str)
+        plan = _plan_cache_get(state, key)
+    if plan is None:
+        plan = _build_slice_plan(state, src, slices, new_dist)
+        if key is not None:
+            _plan_cache_put(state, key, plan)
+    if _TR.enabled:
+        with _TR.span("odin.worker", "redistribute.exchange",
+                      worker=state.index, kind=plan.inner.kind):
+            return plan.execute(state, local)
+    return plan.execute(state, local)
 
 
 # ----------------------------------------------------------------------
@@ -540,9 +669,17 @@ def _execute_op_impl(state: WorkerState, op: tuple) -> Any:
         state.arrays[dst_id] = (out, new_dist)
         return None
 
+    if code == opcodes.PLAN_STATS:
+        return (state.plan_hits, state.plan_misses, len(state.plan_cache))
+
     if code == opcodes.SETITEM:
         _code, array_id, slices, value_spec = op
         local, dist = state.get(array_id)
+        if not local.flags.writeable:
+            # scattered/received blocks share read-only payload buffers
+            # (one-copy rule); mutate a private copy
+            local = local.copy()
+            state.arrays[array_id] = (local, dist)
         w = state.index
         local_sl = []
         for ax, sl in enumerate(slices):

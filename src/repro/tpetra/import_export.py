@@ -14,11 +14,12 @@ exchanges and the CrsMatrix SpMV both execute Import plans.
 from __future__ import annotations
 
 import enum
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from ..metrics import REGISTRY as _MX
+from ..mpi.status import ANY_SOURCE, Status
 from .map import Map
 
 __all__ = ["CombineMode", "Import", "Export"]
@@ -54,6 +55,13 @@ class _Plan:
     ``send_plan``: list of (dest rank, source lids to send).
     ``recv_plan``: list of (src rank, target lids to fill, in arrival order).
     ``permute``: (source lids, target lids) moved locally.
+
+    A plan is built once and executed many times (a Krylov SpMV executes
+    the same Import every iteration), so execution state is cached on the
+    instance: per-destination pack buffers are reused across ``execute``
+    calls, and the transpose plan built by :meth:`reversed` is memoized.
+    Plans are treated as immutable once built -- the lid arrays are shared,
+    never copied, between a plan and its reverse.
     """
 
     def __init__(self, send_plan, recv_plan, permute_src, permute_tgt):
@@ -61,17 +69,48 @@ class _Plan:
         self.recv_plan: List[Tuple[int, np.ndarray]] = recv_plan
         self.permute_src = permute_src
         self.permute_tgt = permute_tgt
+        self._reversed: "_Plan" = None
+        self._send_bufs: Dict[int, np.ndarray] = {}
+        # receives drained with ANY_SOURCE can overshoot into the *next*
+        # execution's message from an already-satisfied peer (per-pair
+        # FIFO still holds, so a stashed message is exactly that peer's
+        # next-execution payload); consume the stash first next time
+        self._stash: Dict[int, List[np.ndarray]] = {}
+        # arrival-order combining is only deterministic when no two
+        # sources write the same target lid (always true for Imports by
+        # construction); otherwise stage and combine in plan order
+        if len(recv_plan) > 1:
+            all_lids = np.concatenate([lids for _r, lids in recv_plan])
+            self._recv_disjoint = len(np.unique(all_lids)) == len(all_lids)
+        else:
+            self._recv_disjoint = True
+
+    def _pack(self, dest: int, src_local: np.ndarray,
+              lids: np.ndarray) -> np.ndarray:
+        """Gather the outgoing rows into a reused per-destination buffer."""
+        shape = (len(lids),) + src_local.shape[1:]
+        buf = self._send_bufs.get(dest)
+        if buf is None or buf.shape != shape or buf.dtype != src_local.dtype:
+            buf = np.empty(shape, dtype=src_local.dtype)
+            self._send_bufs[dest] = buf
+        np.take(src_local, lids, axis=0, out=buf)
+        return buf
 
     def execute(self, comm, src_local: np.ndarray, tgt_local: np.ndarray,
                 mode: CombineMode, tag: int) -> None:
         """Move values according to the plan.
 
         ``src_local`` / ``tgt_local`` may be 1-D (Vector) or 2-D
-        (MultiVector, rows = local elements).
+        (MultiVector, rows = local elements).  All sends are posted
+        before any receive is drained, and receives are drained in
+        arrival order (late senders never block combining of data that
+        has already arrived).  When the combine is order-sensitive
+        (overlapping target lids under ADD/ABSMAX), incoming values are
+        staged and combined in plan order so results stay deterministic.
         """
         mx = _MX.enabled
         for dest, lids in self.send_plan:
-            packed = np.ascontiguousarray(src_local[lids])
+            packed = self._pack(dest, src_local, lids)
             if mx:
                 _MX.inc("tpetra.plan.pack_bytes", packed.nbytes,
                         rank=comm.rank)
@@ -79,21 +118,53 @@ class _Plan:
         if len(self.permute_src):
             _combine(tgt_local, self.permute_tgt, src_local[self.permute_src],
                      mode)
-        for src, lids in self.recv_plan:
-            values = comm.recv(src, tag=tag)
+        if not self.recv_plan:
+            if mx:
+                _MX.inc("tpetra.plan.executions", rank=comm.rank)
+            return
+        in_order = self._recv_disjoint or mode in (CombineMode.INSERT,
+                                                   CombineMode.REPLACE)
+        by_src = {src: lids for src, lids in self.recv_plan}
+        staged: Dict[int, np.ndarray] = {}
+        pending = set(by_src)
+        while pending:
+            src = next((s for s in pending if self._stash.get(s)), -1)
+            if src >= 0:
+                values = self._stash[src].pop(0)
+            else:
+                st = Status()
+                values = comm.recv(ANY_SOURCE, tag=tag, status=st)
+                src = st.source
+                if src not in pending:
+                    # next execution's message from a finished peer
+                    self._stash.setdefault(src, []).append(values)
+                    continue
+            pending.discard(src)
             if mx:
                 _MX.inc("tpetra.plan.unpack_bytes",
                         np.asarray(values).nbytes, rank=comm.rank)
-            _combine(tgt_local, lids, values, mode)
+            if in_order:
+                _combine(tgt_local, by_src[src], values, mode)
+            else:
+                staged[src] = values
+        if staged:
+            for src, lids in self.recv_plan:
+                _combine(tgt_local, lids, staged[src], mode)
         if mx:
             _MX.inc("tpetra.plan.executions", rank=comm.rank)
 
     def reversed(self) -> "_Plan":
-        """The transpose plan (Import -> reverse Export and vice versa)."""
-        send = [(rank, lids.copy()) for rank, lids in self.recv_plan]
-        recv = [(rank, lids.copy()) for rank, lids in self.send_plan]
-        return _Plan(send, recv, self.permute_tgt.copy(),
-                     self.permute_src.copy())
+        """The transpose plan (Import -> reverse Export and vice versa),
+        built once on first use and cached; the reverse of the reverse is
+        the original plan (no rebuild, no lid-array copies)."""
+        if self._reversed is None:
+            rev = _Plan(list(self.recv_plan), list(self.send_plan),
+                        self.permute_tgt, self.permute_src)
+            rev._reversed = self
+            self._reversed = rev
+            if _MX.enabled:
+                _MX.inc("tpetra.plan.reverse_builds")
+        return self._reversed
 
     @property
     def num_messages(self) -> int:
@@ -184,14 +255,20 @@ def _build_export_plan(source: Map, target: Map) -> _Plan:
     return _Plan(send_plan, recv_plan, permute_src, permute_tgt)
 
 
-# Fixed tags for plan execution.  Ranks share class objects (threads), so a
-# class-level counter would diverge across ranks; a constant tag is safe
-# because per-pair FIFO delivery plus SPMD program order keeps successive
-# plan executions from cross-matching.
-_IMPORT_TAG = 7001
-_IMPORT_REV_TAG = 7002
-_EXPORT_TAG = 7003
-_EXPORT_REV_TAG = 7004
+# Every plan gets its own (forward, reverse) tag pair so the
+# arrival-order ANY_SOURCE drain can never confuse two different plans'
+# messages: with a unique tag, an overshoot can only be the *same* plan's
+# next execution (per-pair FIFO), which the per-plan stash handles.  Ranks
+# share class objects (threads), so the counter lives on the communicator
+# (one instance per rank) and advances identically everywhere because plan
+# construction is collective and in SPMD program order.
+_PLAN_TAG_BASE = 7001
+
+
+def _alloc_plan_tag(comm) -> int:
+    nxt = getattr(comm, "_plan_tag_next", _PLAN_TAG_BASE)
+    comm._plan_tag_next = nxt + 2
+    return nxt
 
 
 class Import:
@@ -204,7 +281,7 @@ class Import:
         self.source = source
         self.target = target
         self.plan = _build_import_plan(source, target)
-        self._tag = _IMPORT_TAG
+        self._tag = _alloc_plan_tag(source.comm)
 
     def apply(self, src_local: np.ndarray, tgt_local: np.ndarray,
               mode: CombineMode = CombineMode.INSERT) -> None:
@@ -234,7 +311,7 @@ class Export:
         self.source = source
         self.target = target
         self.plan = _build_export_plan(source, target)
-        self._tag = _EXPORT_TAG
+        self._tag = _alloc_plan_tag(source.comm)
 
     def apply(self, src_local: np.ndarray, tgt_local: np.ndarray,
               mode: CombineMode = CombineMode.ADD) -> None:

@@ -44,6 +44,7 @@ class TestControlPlane:
             x = odin.arange(40_000, ctx=ctx, dtype=np.float64)
             ctx.reset_counters()
             _y = x.redistribute(odin.CyclicDistribution((40_000,), 0, 4))
+            ctx.flush()  # batched op: synchronize before reading counters
             _cmsgs, ctl_bytes = ctx.control_traffic()
             _wmsgs, data_bytes = ctx.worker_traffic()
             # the payload went worker-to-worker, dwarfing the control op

@@ -223,3 +223,77 @@ class TestBufferPath:
             comm.Recv(buf, source=0)
             return buf[1, 2]
         assert spmd(2)(body)[1] == 5.0
+
+
+class TestOutOfBandPath:
+    """ndarray-bearing objects travel as pickle-protocol-5 out-of-band
+    frames: one isolation copy at send time, zero-copy read-only views at
+    receive time."""
+
+    def test_object_with_arrays_roundtrips(self):
+        def body(comm):
+            if comm.rank == 0:
+                obj = {"x": np.arange(50, dtype=np.float64),
+                       "y": np.ones((3, 4), dtype=np.int32),
+                       "label": "frames"}
+                comm.send(obj, 1, tag=21)
+                return None
+            got = comm.recv(0, tag=21)
+            return (got["x"].sum(), got["y"].shape, got["label"])
+        assert spmd(2)(body)[1] == (1225.0, (3, 4), "frames")
+
+    def test_received_arrays_are_readonly_views(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send({"a": np.arange(64, dtype=np.float64)}, 1, tag=22)
+                return None
+            a = comm.recv(0, tag=22)["a"]
+            # zero-copy on receive: the array is a view of the sender's
+            # single isolation copy, and that copy is immutable
+            return (a.flags.writeable, a.base is not None,
+                    a.flags.owndata)
+        writeable, has_base, owndata = spmd(2)(body)[1]
+        assert writeable is False
+        assert has_base is True
+        assert owndata is False
+
+    def test_sender_mutation_after_send_is_isolated(self):
+        def body(comm):
+            if comm.rank == 0:
+                data = np.arange(32, dtype=np.float64)
+                comm.send({"a": data}, 1, tag=23)
+                data[:] = -1.0  # after-send mutation must not leak
+                return None
+            return comm.recv(0, tag=23)["a"].copy()
+        got = spmd(2)(body)[1]
+        assert np.array_equal(got, np.arange(32, dtype=np.float64))
+
+    def test_plain_objects_keep_single_blob_path(self):
+        worlds = {}
+
+        def body(comm):
+            if comm.rank == 0:
+                comm.send({"n": 5, "s": "no arrays here"}, 1, tag=24)
+            else:
+                assert comm.recv(0, tag=24)["n"] == 5
+            worlds[comm.rank] = comm.context.world
+
+        spmd(2)(body)
+        # a pickle-5 dump of an ndarray-free object emits no frames, so
+        # the wire kind stays "pickle" -- assert via counters that only
+        # one small message moved
+        snap = worlds[0].counters[1].snapshot()
+        assert snap.recvs == 1 and snap.bytes_recvd < 256
+
+    def test_readonly_view_copy_is_writable(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send({"a": np.zeros(16)}, 1, tag=25)
+                return None
+            a = comm.recv(0, tag=25)["a"]
+            with pytest.raises((ValueError, RuntimeError)):
+                a[0] = 1.0
+            b = a.copy()
+            b[0] = 1.0  # the standard escape hatch
+            return b[0]
+        assert spmd(2)(body)[1] == 1.0

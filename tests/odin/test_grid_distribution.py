@@ -84,7 +84,10 @@ class TestGridArrays:
         dist = odin.GridDistribution((10, 10), (0, 1), (2, 2))
         ctx = odin.get_context()
         with pytest.raises(ValueError, match="fromfunction"):
+            # with control-plane batching the CREATE is fire-and-forget;
+            # the worker error surfaces at the next synchronizing op
             _create(ctx, dist, np.float64, ("linspace", 0.0, 1.0, 10, True))
+            ctx.flush()
 
     def test_fromfunction(self, odin4):
         f = odin.fromfunction(lambda i, j: i - j, (9, 9), dist="grid")

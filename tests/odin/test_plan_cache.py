@@ -1,0 +1,163 @@
+"""Worker-side communication-plan cache (PR 4).
+
+Redistribution and slicing compute their intersection/index math once per
+``(src dist, dst dist, dtype)`` key and replay precomputed schedules on
+every later call.  These tests pin down correctness under cache hits,
+key discrimination across dtype/distribution changes, the LRU eviction
+bound, and the driver-visible statistics API.
+"""
+
+import numpy as np
+import pytest
+
+from repro import odin
+from repro.odin import opcodes
+from repro.odin.context import OdinContext
+from repro.odin.distribution import (ArbitraryDistribution,
+                                     BlockCyclicDistribution,
+                                     BlockDistribution, ConcatDistribution,
+                                     CyclicDistribution, GridDistribution)
+
+
+@pytest.fixture
+def ctx():
+    with OdinContext(4) as c:
+        yield c
+
+
+def _stats(ctx):
+    return ctx.plan_cache_stats()
+
+
+class TestCacheKeys:
+    def test_equal_distributions_share_a_key(self):
+        a = BlockDistribution((100,), 0, 4)
+        b = BlockDistribution((100,), 0, 4)
+        assert a.cache_key() == b.cache_key()
+
+    def test_keys_discriminate_shape_axis_scheme(self):
+        base = BlockDistribution((100,), 0, 4)
+        assert base.cache_key() != BlockDistribution((101,), 0, 4).cache_key()
+        assert base.cache_key() != CyclicDistribution((100,), 0,
+                                                      4).cache_key()
+        two_d = BlockDistribution((10, 10), 0, 4)
+        assert two_d.cache_key() != \
+            BlockDistribution((10, 10), 1, 4).cache_key()
+        bc2 = BlockCyclicDistribution((100,), 0, 4, block_size=2)
+        bc3 = BlockCyclicDistribution((100,), 0, 4, block_size=3)
+        assert bc2.cache_key() != bc3.cache_key()
+
+    def test_arbitrary_key_hashes_index_lists(self):
+        lists_a = [np.array([0, 1]), np.array([2, 3])]
+        lists_b = [np.array([0, 2]), np.array([1, 3])]
+        da = ArbitraryDistribution((4,), 0, lists_a)
+        db = ArbitraryDistribution((4,), 0, lists_b)
+        same = ArbitraryDistribution((4,), 0,
+                                     [np.array([0, 1]), np.array([2, 3])])
+        assert da.cache_key() != db.cache_key()
+        assert da.cache_key() == same.cache_key()
+
+    def test_grid_and_concat_keys(self):
+        g = GridDistribution((8, 8), (0, 1), (2, 2))
+        assert g.cache_key() == \
+            GridDistribution((8, 8), (0, 1), (2, 2)).cache_key()
+        parts = [BlockDistribution((4,), 0, 2), BlockDistribution((6,), 0, 2)]
+        c = ConcatDistribution(parts, 0)
+        assert c.cache_key() is not None
+        assert c.cache_key() != ConcatDistribution(
+            [BlockDistribution((6,), 0, 2), BlockDistribution((4,), 0, 2)],
+            0).cache_key()
+
+
+class TestCachedRedistribution:
+    def test_repeated_redistribution_hits_and_stays_correct(self, ctx):
+        data = np.arange(4000.0)
+        x = odin.array(data, ctx=ctx)
+        cyc = CyclicDistribution((4000,), 0, 4)
+        for _ in range(5):
+            y = x.redistribute(cyc)
+            assert np.array_equal(y.gather(), data)
+        stats = _stats(ctx)
+        # 4 workers miss once each; every later call hits
+        assert stats["hits"] > 0
+        assert stats["hit_rate"] > 0.5
+
+    def test_hit_rate_exceeds_90_percent_on_repeats(self, ctx):
+        data = np.arange(2000.0)
+        x = odin.array(data, ctx=ctx)
+        cyc = CyclicDistribution((2000,), 0, 4)
+        blk = BlockDistribution((2000,), 0, 4)
+        for _ in range(25):
+            y = x.redistribute(cyc)
+            x = y.redistribute(blk)
+        assert np.array_equal(x.gather(), data)
+        assert _stats(ctx)["hit_rate"] > 0.9
+
+    def test_dtype_change_misses_but_stays_correct(self, ctx):
+        cyc = CyclicDistribution((1000,), 0, 4)
+        f64 = odin.array(np.arange(1000.0), ctx=ctx)
+        i64 = odin.array(np.arange(1000), ctx=ctx)
+        assert np.array_equal(f64.redistribute(cyc).gather(),
+                              np.arange(1000.0))
+        s_mid = _stats(ctx)
+        assert np.array_equal(i64.redistribute(cyc).gather(),
+                              np.arange(1000))
+        s_end = _stats(ctx)
+        # the int64 redistribution keyed differently: fresh misses
+        assert s_end["misses"] > s_mid["misses"]
+
+    def test_distribution_change_misses_but_stays_correct(self, ctx):
+        data = np.arange(1200.0)
+        x = odin.array(data, ctx=ctx)
+        for target in (CyclicDistribution((1200,), 0, 4),
+                       BlockCyclicDistribution((1200,), 0, 4, block_size=8),
+                       BlockDistribution((1200,), 0, 4,
+                                         counts=[600, 300, 200, 100])):
+            assert np.array_equal(x.redistribute(target).gather(), data)
+        stats = _stats(ctx)
+        assert stats["misses"] >= 3 * 4  # three distinct keys, 4 workers
+
+    def test_grid_redistribution_cached(self, ctx):
+        data = np.random.default_rng(7).normal(size=(16, 12))
+        g = odin.array(data, ctx=ctx, dist="grid", axes=(0, 1), grid=(2, 2))
+        blk = BlockDistribution((16, 12), 0, 4)
+        for _ in range(3):
+            assert np.allclose(g.redistribute(blk).gather(), data)
+        assert _stats(ctx)["hits"] > 0
+
+    def test_sliced_views_cached(self, ctx):
+        data = np.arange(3000.0)
+        x = odin.array(data, ctx=ctx)
+        for _ in range(4):
+            y = x[100:2900:3]
+            assert np.array_equal(y.gather(), data[100:2900:3])
+        assert _stats(ctx)["hits"] > 0
+
+
+class TestEvictionBound:
+    def test_cache_size_is_bounded(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ODIN_PLAN_CACHE", "4")
+        with OdinContext(2) as ctx:
+            data = np.arange(600.0)
+            x = odin.array(data, ctx=ctx)
+            # 8 distinct keys through a 4-entry cache
+            targets = [
+                BlockCyclicDistribution((600,), 0, 2, block_size=b)
+                for b in (1, 2, 3, 4, 5, 6, 7, 8)
+            ]
+            for t in targets:
+                assert np.array_equal(x.redistribute(t).gather(), data)
+            stats = ctx.plan_cache_stats()
+            assert stats["cached_plans"] <= 4 * 2  # cap x workers
+            # re-running the oldest key misses again (it was evicted)
+            before = stats["misses"]
+            assert np.array_equal(
+                x.redistribute(targets[0]).gather(), data)
+            assert ctx.plan_cache_stats()["misses"] > before
+
+    def test_plan_stats_opcode_roundtrip(self):
+        with OdinContext(2) as ctx:
+            raw = ctx.run(opcodes.PLAN_STATS)
+            assert len(raw) == 2
+            for hits, misses, cached in raw:
+                assert hits == 0 and misses == 0 and cached == 0

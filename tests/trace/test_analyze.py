@@ -241,6 +241,42 @@ def test_trace_matrix_agrees_with_counter_matrix(tracer):
     np.testing.assert_array_equal(trace_mat, counter_mat)
 
 
+def test_trace_matrix_agrees_with_counters_for_oob_objects(tracer):
+    """Out-of-band (pickle-5) object sends change how nbytes is computed
+    -- wire bytes are the blob plus every isolation-copy frame -- and the
+    trace-derived matrix must keep agreeing with the counter matrix."""
+    from repro.mpi.counters import CounterSnapshot
+
+    worlds = {}
+    payload_nbytes = {}
+
+    def body(comm):
+        obj = {"a": np.arange(200, dtype=np.float64),
+               "b": np.ones((8, 8), dtype=np.int32),
+               "meta": "oob"}
+        dest = (comm.rank + 1) % comm.size
+        src = (comm.rank - 1) % comm.size
+        comm.send(obj, dest, tag=9)
+        got = comm.recv(src, tag=9)
+        assert np.array_equal(got["a"], np.arange(200, dtype=np.float64))
+        payload_nbytes[comm.rank] = got["a"].nbytes + got["b"].nbytes
+        worlds[comm.rank] = comm.context.world
+
+    spmd(3)(body)
+    events = tracer.events()
+    trace_mat, _msgs = analyze.communication_matrix(events, nranks=3)
+    counter_mat = CounterSnapshot.matrix(
+        [c.snapshot() for c in worlds[0].counters])
+    np.testing.assert_array_equal(trace_mat, counter_mat)
+    # every send's recorded nbytes covers the raw array frames on top of
+    # the pickle blob: the isolation copy IS the wire transfer
+    sends = [e for e in events if e[1] == "mpi.p2p" and e[2] == "send"]
+    assert len(sends) == 3
+    for e in sends:
+        assert e[6]["kind"] == "pickle5"
+        assert e[6]["nbytes"] > payload_nbytes[e[3]]
+
+
 def test_report_runs_on_real_trace(tracer):
     def body(comm):
         x = comm.allreduce(comm.rank)
