@@ -34,6 +34,7 @@ MODULES = [
     "bench_ablation_rma",
     "bench_block_solves",
     "bench_chaos_overhead",
+    "bench_recovery",
 ]
 
 

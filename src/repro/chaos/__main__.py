@@ -16,6 +16,12 @@ Examples::
 
     # destructive faults: typed MPI errors accepted, wrong answers never
     python -m repro.chaos --seed 1234 --programs 20 --nranks 3 --chaos crash
+
+    # fault recovery: the crash is detected, the worker pool shrinks,
+    # state restores from partner checkpoints + op-log replay, and the
+    # result must STILL match the oracle (needs nranks >= 2)
+    python -m repro.chaos --seed 1234 --programs 20 --nranks 2,3,4 \
+        --chaos crash --recover
 """
 
 from __future__ import annotations
@@ -47,6 +53,10 @@ def main(argv=None) -> int:
     parser.add_argument("--strict", action="store_true",
                         help="count typed MPI errors as failures even under "
                              "destructive chaos modes")
+    parser.add_argument("--recover", action="store_true",
+                        help="enable fault recovery (shrink + checkpoint/"
+                             "replay): crashes must yield oracle-conformant "
+                             "results instead of typed errors")
     parser.add_argument("--no-shrink", action="store_true",
                         help="skip shrinking failures to minimal programs")
     parser.add_argument("--max-failures", type=int, default=5,
@@ -64,17 +74,22 @@ def main(argv=None) -> int:
     if not nranks_list or any(n < 1 for n in nranks_list):
         parser.error("--nranks needs at least one positive worker count")
 
+    if args.recover and any(n < 2 for n in nranks_list):
+        parser.error("--recover needs every --nranks >= 2: a sole "
+                     "worker's crash leaves no survivors to recover onto")
+
     print(f"chaos conformance sweep: seed={args.seed} "
           f"programs={args.programs} nranks={nranks_list} "
           f"chaos={args.chaos}"
-          f"{' strict' if args.strict else ''}")
+          f"{' strict' if args.strict else ''}"
+          f"{' recover' if args.recover else ''}")
 
     failures = run_sweep(args.seed, args.programs, nranks_list,
                          chaos_mode=args.chaos, max_steps=args.max_steps,
                          timeout=args.timeout, strict=args.strict,
                          shrink=not args.no_shrink,
                          max_failures=args.max_failures,
-                         log=print)
+                         log=print, recover=args.recover)
 
     checked = args.programs * len(nranks_list)
     if failures:

@@ -392,14 +392,20 @@ def _run_odin(program: Program, ctx) -> List[Any]:
 
 def run_distributed(program: Program, nworkers: int,
                     fault_plan: Optional[FaultPlan] = None,
-                    timeout: float = 30.0) -> List[Any]:
+                    timeout: float = 30.0,
+                    recover: bool = False) -> List[Any]:
     """Run *program* on a fresh ODIN context with *nworkers* workers,
     optionally under *fault_plan*.  Always tears the context down, even
-    after a crash-aborted world."""
+    after a crash-aborted world.
+
+    With *recover*, the context runs with checkpoint/replay recovery
+    enabled: an injected crash shrinks the worker pool and the program is
+    expected to complete with oracle-conformant results anyway.
+    """
     from ..odin.context import OdinContext
     from .core import ENGINE
 
-    ctx = OdinContext(nworkers, timeout=timeout)
+    ctx = OdinContext(nworkers, timeout=timeout, recover=recover)
     try:
         if fault_plan is not None:
             ENGINE.install(fault_plan)
@@ -519,17 +525,21 @@ def compare_observations(program: Program, oracle: List[Any],
 def check_program(program: Program, nworkers: int,
                   fault_plan: Optional[FaultPlan] = None,
                   expect_errors: bool = False,
-                  timeout: float = 30.0) -> Optional[str]:
+                  timeout: float = 30.0,
+                  recover: bool = False) -> Optional[str]:
     """Differential check: None if conformant, else a failure string.
 
     With *expect_errors* (destructive fault plans), a typed
     :class:`MPIError` is an accepted outcome; a *wrong result* never is.
+    With *recover*, crashes are expected to be recovered from -- the
+    result must match the oracle despite the mid-program rank kill.
     """
     from ..mpi.errors import MPIError
 
     oracle = run_numpy(program)
     try:
-        subject = run_distributed(program, nworkers, fault_plan, timeout)
+        subject = run_distributed(program, nworkers, fault_plan, timeout,
+                                  recover=recover)
     except MPIError as exc:
         if expect_errors:
             return None
@@ -545,7 +555,8 @@ class ConformanceFailure:
     def __init__(self, seed: int, nranks: int, chaos_mode: str,
                  program: Program, detail: str,
                  shrunk: Optional[Program] = None,
-                 shrunk_detail: Optional[str] = None):
+                 shrunk_detail: Optional[str] = None,
+                 recover: bool = False):
         self.seed = seed
         self.nranks = nranks
         self.chaos_mode = chaos_mode
@@ -553,9 +564,12 @@ class ConformanceFailure:
         self.detail = detail
         self.shrunk = shrunk or program
         self.shrunk_detail = shrunk_detail or detail
+        self.recover = recover
 
     def replay_line(self, strict: bool = False) -> str:
         flag = " --strict" if strict else ""
+        if self.recover:
+            flag += " --recover"
         return (f"REPLAY: python -m repro.chaos --seed {self.seed} "
                 f"--programs 1 --nranks {self.nranks} "
                 f"--chaos {self.chaos_mode}{flag}")
@@ -691,13 +705,17 @@ def run_sweep(seed: int, nprograms: int, nranks_list: Sequence[int],
               chaos_mode: str = "none", max_steps: int = 10,
               timeout: float = 30.0, strict: bool = False,
               shrink: bool = True, max_failures: int = 5,
-              log: Callable[[str], None] = None) -> List[ConformanceFailure]:
+              log: Callable[[str], None] = None,
+              recover: bool = False) -> List[ConformanceFailure]:
     """Fixed-seed conformance sweep; returns the (shrunk) failures.
 
     Program *i* uses seed ``seed + i``, so any failure replays in
     isolation with ``--seed seed+i --programs 1``.  With *strict*, typed
     errors under destructive chaos modes also count as failures (used to
-    exercise the replay machinery on a case guaranteed to fail).
+    exercise the replay machinery on a case guaranteed to fail).  With
+    *recover*, contexts run with fault recovery on and destructive
+    crashes must yield oracle-conformant results, not typed errors
+    (needs nranks >= 2: a sole worker's crash leaves no survivors).
     """
     failures: List[ConformanceFailure] = []
     for i in range(nprograms):
@@ -705,21 +723,24 @@ def run_sweep(seed: int, nprograms: int, nranks_list: Sequence[int],
         program = generate_program(pseed, max_steps=max_steps)
         for nranks in nranks_list:
             plan, expect = plan_for_mode(chaos_mode, pseed, nranks)
-            expect = expect and not strict
-            detail = check_program(program, nranks, plan, expect, timeout)
+            expect = expect and not strict and not recover
+            detail = check_program(program, nranks, plan, expect, timeout,
+                                   recover=recover)
             if detail is None:
                 continue
             shrunk, shrunk_detail = program, detail
             if shrink:
                 def fails(cand: Program) -> bool:
                     return check_program(cand, nranks, plan, expect,
-                                         timeout) is not None
+                                         timeout,
+                                         recover=recover) is not None
                 shrunk = shrink_program(program, fails)
                 shrunk_detail = check_program(shrunk, nranks, plan,
-                                              expect, timeout) or detail
+                                              expect, timeout,
+                                              recover=recover) or detail
             failure = ConformanceFailure(pseed, nranks, chaos_mode,
                                          program, detail, shrunk,
-                                         shrunk_detail)
+                                         shrunk_detail, recover=recover)
             failures.append(failure)
             if log is not None:
                 log(f"FAIL seed={pseed} nranks={nranks} "

@@ -27,8 +27,9 @@ from .datatypes import (BOOL, BYTE, CHAR, C_DOUBLE_COMPLEX, C_FLOAT_COMPLEX,
                         DOUBLE, FLOAT, INT, INT32_T, INT64_T, LONG,
                         LONG_LONG, SHORT, UNSIGNED, UNSIGNED_LONG, Datatype,
                         from_numpy_dtype)
-from .errors import (AbortError, CommError, DeadlockError, InjectedFault,
-                     MPIError, RankError, TagError, TruncationError)
+from .errors import (AbortError, CommError, CommRevokedError, DeadlockError,
+                     InjectedFault, MPIError, RankError, RankFailure,
+                     TagError, TruncationError)
 from .io import (MODE_APPEND, MODE_CREATE, MODE_RDONLY, MODE_RDWR,
                  MODE_WRONLY, File)
 from .ops import (BAND, BOR, BXOR, LAND, LOR, MAX, MAXLOC, MIN, MINLOC,
@@ -64,7 +65,8 @@ __all__ = [
     "BOR", "BXOR", "MAXLOC", "MINLOC",
     # errors
     "MPIError", "DeadlockError", "TruncationError", "RankError", "TagError",
-    "CommError", "AbortError", "InjectedFault",
+    "CommError", "AbortError", "InjectedFault", "RankFailure",
+    "CommRevokedError",
     # instrumentation
     "CommCounters", "CounterSnapshot", "CostModel", "COMMODITY_CLUSTER",
     "FAST_INTERCONNECT", "ETHERNET",

@@ -22,9 +22,10 @@ from ..metrics import REGISTRY as _MX
 from ..trace import TRACER as _TR
 from . import ops as _ops
 from .datatypes import decode_buffer_spec
-from .errors import RankError, TagError, TruncationError
+from .errors import (CommRevokedError, RankError, RankFailure, TagError,
+                     TruncationError)
 from .request import RecvRequest, SendRequest
-from .runtime import RankContext
+from .runtime import RankContext, _NOT_FAILED
 from .status import ANY_SOURCE, ANY_TAG, Status
 
 __all__ = ["Group", "Intracomm"]
@@ -65,6 +66,12 @@ def _traced_collective(algorithm: str):
         def wrapper(self, *args, **kwargs):
             if _CH.enabled:
                 _CH.on_op("coll", self._ctx.rank)
+            # entry guard: a collective over a revoked comm or a dead
+            # member can never complete -- fail typed and immediately
+            # rather than blocking until some recv inside the algorithm
+            # happens to involve the dead rank (a root's bcast, for
+            # instance, never receives at all)
+            self._check_usable(name)
             tr, mx = _TR.enabled, _MX.enabled
             if not (tr or mx):
                 return fn(self, *args, **kwargs)
@@ -142,6 +149,7 @@ class Intracomm:
         self._size = len(self._world_ranks)
         self._coll_seq = 0   # per-collective tag stream; SPMD-consistent
         self._child_seq = 0  # id stream for derived communicators
+        self._agree_seq = 0  # agreement rendezvous stream; SPMD-consistent
 
     # ------------------------------------------------------------------
     # identity
@@ -199,7 +207,28 @@ class Intracomm:
         if tag < 0:
             raise TagError(f"tag must be >= 0, got {tag}")
 
+    def _check_usable(self, opname: str) -> None:
+        """Raise the typed fault if this comm is revoked or has a dead
+        member.  O(size) only once a failure exists; two attribute reads
+        otherwise."""
+        world = self._ctx.world
+        if world._revoked and world.is_revoked(self._ctx_id):
+            raise CommRevokedError(
+                f"{opname} on revoked communicator ctx={self._ctx_id!r}")
+        if world.has_failures:
+            for wr in self._world_ranks:
+                cause = world.failure_cause(wr)
+                if cause is not _NOT_FAILED:
+                    raise RankFailure(wr, f"{opname} (world rank {wr} is "
+                                      f"a member of ctx={self._ctx_id!r})",
+                                      cause)
+
     def _p2p_ctx(self):
+        world = self._ctx.world
+        if world._revoked and world.is_revoked(self._ctx_id):
+            raise CommRevokedError(
+                f"point-to-point op on revoked communicator "
+                f"ctx={self._ctx_id!r}")
         return (self._ctx_id, "p")
 
     def _next_coll(self):
@@ -222,7 +251,8 @@ class Intracomm:
         self._check_tag(tag, allow_any=True)
         src_world = (ANY_SOURCE if source == ANY_SOURCE
                      else self._world_ranks[source])
-        msg = self._ctx.recv_message(self._p2p_ctx(), src_world, tag)
+        msg = self._ctx.recv_message(self._p2p_ctx(), src_world, tag,
+                                     members=self._world_ranks)
         if status is not None:
             status.source = self._rank_of_world[msg.src]
             status.tag = msg.tag
@@ -240,7 +270,8 @@ class Intracomm:
                      else self._world_ranks[source])
 
         def complete(status):
-            msg = self._ctx.recv_message(self._p2p_ctx(), src_world, tag)
+            msg = self._ctx.recv_message(self._p2p_ctx(), src_world, tag,
+                                         members=self._world_ranks)
             if status is not None:
                 status.source = self._rank_of_world[msg.src]
                 status.tag = msg.tag
@@ -275,7 +306,8 @@ class Intracomm:
                      else self._world_ranks[source])
         mb = self._ctx.world.mailboxes[self._ctx.rank]
         msg = mb.retrieve(self._p2p_ctx(), src_world, tag,
-                          self._ctx.world.timeout, remove=False)
+                          self._ctx.world.timeout, remove=False,
+                          members=self._world_ranks)
         st = status if status is not None else Status()
         st.source = self._rank_of_world[msg.src]
         st.tag = msg.tag
@@ -315,7 +347,8 @@ class Intracomm:
         flat, count, dt = decode_buffer_spec(buf)
         src_world = (ANY_SOURCE if source == ANY_SOURCE
                      else self._world_ranks[source])
-        msg = self._ctx.recv_message(self._p2p_ctx(), src_world, tag)
+        msg = self._ctx.recv_message(self._p2p_ctx(), src_world, tag,
+                                     members=self._world_ranks)
         incoming = np.asarray(msg.payload)
         if incoming.nbytes > flat.nbytes:
             raise TruncationError(
@@ -829,6 +862,73 @@ class Intracomm:
 
     def Free(self) -> None:
         """No-op: contexts are garbage collected."""
+
+    # ------------------------------------------------------------------
+    # ULFM fault tolerance: revoke / agree / shrink
+    # ------------------------------------------------------------------
+    def revoke(self) -> None:
+        """Revoke this communicator (ULFM ``MPI_Comm_revoke``).
+
+        Non-collective: any single member may call it.  All members'
+        in-flight and future operations on this communicator raise
+        :class:`CommRevokedError` (blocked waiters wake within the 0.25 s
+        detection period).  Derived communicators are not revoked.
+        Idempotent.
+        """
+        self._ctx.world.revoke_ctx(self._ctx_id)
+        if _TR.enabled:
+            _TR.instant("mpi.coll", "revoke", rank=self._ctx.rank)
+        if _MX.enabled:
+            _MX.inc("mpi.coll.calls", op="revoke", algorithm="revoke")
+
+    def agree(self, value: Any = 1, combine=None) -> Any:
+        """Fault-tolerant agreement (ULFM ``MPI_Comm_agree``).
+
+        Returns ``combine`` over the contributions of every member that
+        has not failed -- identically on all survivors, even if members
+        die mid-agreement.  The default *combine* is the bitwise AND of
+        integer contributions, matching the MPI standard's operator.
+        Works on revoked communicators (it is the one collective that
+        must, since recovery is negotiated after a revoke).
+        """
+        seq = self._agree_seq
+        self._agree_seq += 1
+        if combine is None:
+            def combine(values):
+                out = ~0
+                for v in values:
+                    out &= int(v)
+                return out
+        return self._ctx.world.agreement(
+            (self._ctx_id, "agree", seq), self._ctx.rank, value,
+            self._world_ranks, combine)
+
+    def shrink(self) -> "Intracomm":
+        """New communicator over the surviving members, densely re-ranked
+        in parent rank order (ULFM ``MPI_Comm_shrink``).
+
+        Members first agree on the union of their failed-rank views, so
+        every survivor constructs the same group.  Works on revoked
+        communicators.  A member that dies *after* contributing to the
+        agreement may still appear in the shrunk group; the next
+        operation on it raises :class:`RankFailure` and the caller can
+        shrink again.
+        """
+        seq = self._agree_seq
+        self._agree_seq += 1
+        world = self._ctx.world
+        failed = world.agreement(
+            (self._ctx_id, "shrink", seq), self._ctx.rank,
+            frozenset(world.failed_ranks()), self._world_ranks,
+            lambda views: frozenset().union(*views))
+        survivors = [wr for wr in self._world_ranks if wr not in failed]
+        if _TR.enabled:
+            _TR.instant("mpi.coll", "shrink", rank=self._ctx.rank,
+                        survivors=len(survivors), failed=len(failed))
+        if _MX.enabled:
+            _MX.inc("mpi.coll.calls", op="shrink", algorithm="shrink")
+        return Intracomm(self._ctx, survivors,
+                         ctx_id=(self._ctx_id, "shrink", seq))
 
     def Abort(self, errorcode: int = 1) -> None:
         self._ctx.world.abort(self._ctx.rank,

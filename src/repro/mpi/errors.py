@@ -46,6 +46,36 @@ class InjectedFault(MPIError):
         self.rule = rule
 
 
+class RankFailure(MPIError):
+    """A peer rank is dead (fail-stop) and a pending operation involved it.
+
+    Unlike :class:`AbortError` — which tears the whole world down — a
+    ``RankFailure`` is the recoverable signal of ULFM-style fault
+    tolerance: the surviving ranks may ``revoke()`` and ``shrink()`` the
+    communicator and continue on the survivor set.
+    """
+
+    def __init__(self, rank, op, cause=None):
+        super().__init__(
+            f"rank {rank} failed during {op}"
+            + (f" ({cause!r})" if cause is not None else ""))
+        self.rank = rank
+        self.op = op
+        self.cause = cause
+
+
+class CommRevokedError(MPIError):
+    """The communicator was revoked (``Comm.revoke()``) by some member.
+
+    All in-flight and future point-to-point and collective operations on
+    the revoked communicator raise this, guaranteeing no member stays
+    blocked on a communication pattern the failure broke.  Derived
+    communicators (``dup``/``split``/``shrink`` children) are *not*
+    revoked transitively — each must be revoked individually, matching
+    MPI ULFM semantics.
+    """
+
+
 class AbortError(MPIError):
     """Raised in every rank when one rank calls :func:`abort` or dies with
     an unhandled exception, mirroring ``MPI_Abort`` semantics."""

@@ -31,7 +31,8 @@ import numpy as np
 from ..chaos.core import ENGINE as _CH
 from ..trace import TRACER as _TR
 from .counters import CommCounters
-from .errors import AbortError, DeadlockError, MPIError
+from .errors import (AbortError, CommRevokedError, DeadlockError,
+                     InjectedFault, MPIError, RankFailure)
 from .status import ANY_SOURCE, ANY_TAG, Status
 
 __all__ = ["World", "RankContext", "Message", "run_spmd", "current_context",
@@ -39,7 +40,18 @@ __all__ = ["World", "RankContext", "Message", "run_spmd", "current_context",
 
 _DEFAULT_TIMEOUT = float(os.environ.get("REPRO_MPI_TIMEOUT", "120"))
 
+
+def _env_deadline() -> Optional[float]:
+    raw = os.environ.get("REPRO_MPI_DEADLINE")
+    if not raw:
+        return None
+    value = float(raw)
+    return value if value > 0 else None
+
 _tls = threading.local()
+
+# distinguishes "rank not failed" from "rank failed with cause None"
+_NOT_FAILED = object()
 
 
 def default_timeout() -> float:
@@ -104,8 +116,9 @@ class Message:
 class _Mailbox:
     """FIFO of pending messages for one rank, with matched retrieval."""
 
-    def __init__(self, world: "World"):
+    def __init__(self, world: "World", rank: int):
         self._world = world
+        self._rank = rank
         self._cond = threading.Condition()
         self._queue: List[Message] = []
 
@@ -139,22 +152,56 @@ class _Mailbox:
         return None
 
     def retrieve(self, ctx_id, source, tag, timeout: float,
-                 remove: bool = True) -> Message:
-        """Block until a matching message arrives; return (and remove) it."""
+                 remove: bool = True, members=None) -> Message:
+        """Block until a matching message arrives; return (and remove) it.
+
+        The wait is watched three ways: world abort (fatal), the comm's
+        revocation flag and the failed-rank set (both recoverable, raised
+        as typed errors within one 0.25 s wake period -- the detection
+        latency bound), and the deadline/timeout (``DeadlockError`` with a
+        dump of every rank's pending op).
+        """
+        world = self._world
+        if world.deadline is not None:
+            timeout = min(timeout, world.deadline)
         deadline = time.monotonic() + timeout
-        with self._cond:
-            while True:
-                self._world.check_abort()
-                msg = self._find(ctx_id, source, tag, remove)
-                if msg is not None:
-                    return msg
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    raise DeadlockError(
-                        f"recv(source={source}, tag={tag}, ctx={ctx_id}) "
-                        f"timed out after {timeout:.1f}s; pending queue has "
-                        f"{len(self._queue)} unmatched message(s)")
-                self._cond.wait(timeout=min(remaining, 0.25))
+        desc = f"recv(source={source}, tag={tag}, ctx={ctx_id})"
+        world.note_pending(self._rank, desc)
+        try:
+            with self._cond:
+                while True:
+                    world.check_abort()
+                    if world.is_revoked(ctx_id):
+                        raise CommRevokedError(
+                            f"communicator revoked while blocked in {desc}")
+                    msg = self._find(ctx_id, source, tag, remove)
+                    if msg is not None:
+                        return msg
+                    world.check_leases()
+                    if world.has_failures:
+                        if source != ANY_SOURCE:
+                            cause = world.failure_cause(source)
+                            if cause is not _NOT_FAILED:
+                                raise RankFailure(source, desc, cause)
+                        elif members is not None:
+                            # ULFM's MPI_ERR_PROC_FAILED_PENDING: a
+                            # wildcard recv cannot complete safely once
+                            # any member of the comm is dead -- the
+                            # awaited sender might be the dead one
+                            for m in members:
+                                cause = world.failure_cause(m)
+                                if cause is not _NOT_FAILED:
+                                    raise RankFailure(
+                                        m, desc + " [wildcard]", cause)
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise DeadlockError(
+                            f"{desc} timed out after {timeout:.1f}s; pending "
+                            f"queue has {len(self._queue)} unmatched "
+                            f"message(s)\n" + world.pending_dump())
+                    self._cond.wait(timeout=min(remaining, 0.25))
+        finally:
+            world.clear_pending(self._rank)
 
     def poll(self, ctx_id, source, tag, remove: bool) -> Optional[Message]:
         with self._cond:
@@ -170,26 +217,52 @@ class World:
     own ranks onto these.
     """
 
-    def __init__(self, nranks: int, timeout: Optional[float] = None):
+    def __init__(self, nranks: int, timeout: Optional[float] = None,
+                 deadline: Optional[float] = None):
         if nranks < 1:
             raise ValueError("world needs at least one rank")
         self.nranks = nranks
         self.timeout = _DEFAULT_TIMEOUT if timeout is None else float(timeout)
-        self.mailboxes = [_Mailbox(self) for _ in range(nranks)]
+        # REPRO_MPI_DEADLINE caps every blocking wait regardless of the
+        # caller's timeout: the watchdog for crash-between-abort-windows
+        # hangs.  None = no cap beyond the per-call timeout.
+        self.deadline = _env_deadline() if deadline is None else float(deadline)
+        self.mailboxes = [_Mailbox(self, r) for r in range(nranks)]
         self.counters = [CommCounters() for _ in range(nranks)]
         # (src, dest) -> messages delivered so far; each key is written
         # only by the src rank's thread, so no lock is needed
         self._pair_seq = {}
         self._abort_lock = threading.Lock()
         self._abort: Optional[AbortError] = None
+        # -- fail-stop state (ULFM substrate) --
+        # has_failures is the one-predicate fast path read on every wait
+        # iteration; the dict/lock are only touched once it flips.
+        self.has_failures = False
+        self._failed: dict = {}            # rank -> cause (may be None)
+        self._revoked: set = set()         # revoked comm base ctx_ids
+        self._fail_lock = threading.Lock()
+        # rank -> (pending op description, per-rank blocking-op seq);
+        # written only by the owning rank's thread
+        self._pending: dict = {}
+        self._pending_seq = [0] * nranks
+        # rank -> last transport activity (the piggybacked heartbeat);
+        # stamped on every deliver/retrieve by the owning rank's thread
+        self._heartbeat = [time.monotonic()] * nranks
+        # agreement slots: key -> {rank: value}; survivors of a failure
+        # rendezvous here because mailbox traffic with a dead member hangs
+        self._agree_cond = threading.Condition()
+        self._agree_slots: dict = {}
+        # rank -> executing thread (the lease).  Only recovery-enabled
+        # runtimes register: in plain run_spmd a silently-dead thread
+        # keeps surfacing as DeadlockError, exactly as before.
+        self._rank_threads: dict = {}
 
     # -- failure propagation ------------------------------------------------
     def abort(self, origin_rank: int, cause: BaseException) -> None:
         with self._abort_lock:
             if self._abort is None:
                 self._abort = AbortError(origin_rank, cause)
-        for mb in self.mailboxes:
-            mb.wake()
+        self._wake_all()
 
     def check_abort(self) -> None:
         if self._abort is not None:
@@ -198,6 +271,161 @@ class World:
     @property
     def aborted(self) -> bool:
         return self._abort is not None
+
+    def _wake_all(self) -> None:
+        for mb in self.mailboxes:
+            mb.wake()
+        with self._agree_cond:
+            self._agree_cond.notify_all()
+
+    # -- fail-stop failures (recoverable, unlike abort) ---------------------
+    def mark_failed(self, rank: int, cause: Optional[BaseException] = None
+                    ) -> None:
+        """Record *rank* as dead (fail-stop) and wake all blocked waiters.
+
+        Unlike :meth:`abort` this does not poison the world: surviving
+        ranks observe typed :class:`RankFailure` errors on operations
+        involving the dead rank and may revoke/shrink and continue.
+        """
+        with self._fail_lock:
+            if rank not in self._failed:
+                self._failed[rank] = cause
+                self.has_failures = True
+        self._wake_all()
+
+    def failed_ranks(self):
+        with self._fail_lock:
+            return sorted(self._failed)
+
+    def failure_cause(self, rank: int):
+        """Cause for a failed rank, or the ``_NOT_FAILED`` sentinel."""
+        if not self.has_failures:
+            return _NOT_FAILED
+        with self._fail_lock:
+            return self._failed.get(rank, _NOT_FAILED)
+
+    def is_failed(self, rank: int) -> bool:
+        return self.has_failures and self.failure_cause(rank) is not _NOT_FAILED
+
+    # -- rank leases --------------------------------------------------------
+    def register_rank_thread(self, rank: int, thread) -> None:
+        """Register *thread* as the lease for *rank*: if the thread dies
+        without reporting (any death mode, not just an injected fault),
+        blocked peers detect the rank as failed on their next wake."""
+        self._rank_threads[rank] = thread
+
+    def check_leases(self) -> None:
+        """Expire the lease of any registered rank whose thread is dead
+        but was never marked failed (e.g. it was killed by an uncaught
+        error before it could report).
+
+        Records the failure without :meth:`_wake_all`: callers poll from
+        inside their own mailbox/agreement condition, and notifying every
+        other condition from there could deadlock on lock ordering.
+        Other blocked ranks run this same check on their next 0.25 s
+        wake, which preserves the detection latency bound.
+        """
+        if not self._rank_threads:
+            return
+        for rank, thread in list(self._rank_threads.items()):
+            if not thread.is_alive() and not self.is_failed(rank):
+                with self._fail_lock:
+                    if rank not in self._failed:
+                        self._failed[rank] = RuntimeError(
+                            f"rank {rank}'s thread died without reporting")
+                        self.has_failures = True
+
+    # -- communicator revocation --------------------------------------------
+    def revoke_ctx(self, base_ctx_id) -> None:
+        """Poison one communicator's context: every blocked or future op
+        on it raises :class:`CommRevokedError`.  Derived communicators
+        have distinct base ids and are untouched (ULFM semantics)."""
+        with self._fail_lock:
+            self._revoked.add(base_ctx_id)
+        self._wake_all()
+
+    def is_revoked(self, ctx_id) -> bool:
+        if not self._revoked:
+            return False
+        if ctx_id in self._revoked:
+            return True
+        # transport streams wrap the comm's base id: p2p is (base, "p"),
+        # collectives are (base, "c").  Only these inherit the flag --
+        # derived-comm ids like (base, "shrink", seq) nest the parent
+        # base too, but revocation must NOT cascade into children.
+        return (isinstance(ctx_id, tuple) and len(ctx_id) == 2
+                and ctx_id[1] in ("p", "c")
+                and ctx_id[0] in self._revoked)
+
+    # -- pending-op registry (deadlock watchdog evidence) -------------------
+    def note_pending(self, rank: int, desc: str) -> None:
+        self._pending_seq[rank] += 1
+        self._pending[rank] = (desc, self._pending_seq[rank])
+        self._heartbeat[rank] = time.monotonic()
+
+    def clear_pending(self, rank: int) -> None:
+        self._pending.pop(rank, None)
+        self._heartbeat[rank] = time.monotonic()
+
+    def pending_dump(self) -> str:
+        """One line per rank: its pending blocking op and op sequence."""
+        now = time.monotonic()
+        lines = ["pending operations by rank:"]
+        for rank in range(self.nranks):
+            entry = self._pending.get(rank)
+            state = ("FAILED" if self.is_failed(rank) else
+                     f"{entry[0]} [op #{entry[1]}]" if entry is not None else
+                     "idle")
+            age = now - self._heartbeat[rank]
+            lines.append(f"  rank {rank}: {state} "
+                         f"(last heartbeat {age:.2f}s ago)")
+        return "\n".join(lines)
+
+    # -- fault-tolerant agreement -------------------------------------------
+    def agreement(self, key, rank: int, value, participants, combine):
+        """Contribute *value* under *key* and return ``combine`` over the
+        contributions of every participant that has not failed.
+
+        This is the rendezvous the ULFM ``shrink``/``agree`` collectives
+        are built on: it cannot use mailboxes (a dead member would stall
+        any message pattern), so contributions meet in a world-level slot
+        guarded by one condition variable.  Survivors return the same
+        result because a failed rank never contributes after being marked
+        failed, and the slot is immutable once complete.
+        """
+        participants = list(participants)
+        with self._agree_cond:
+            slot = self._agree_slots.setdefault(key, {})
+            if not isinstance(slot, dict):      # already decided
+                return slot[1]
+            slot[rank] = value
+            self._agree_cond.notify_all()
+            deadline = time.monotonic() + (
+                self.timeout if self.deadline is None
+                else min(self.timeout, self.deadline))
+            while True:
+                self.check_abort()
+                self.check_leases()
+                slot = self._agree_slots[key]
+                if not isinstance(slot, dict):  # a peer froze the result
+                    return slot[1]
+                waiting = [r for r in participants
+                           if r not in slot and not self.is_failed(r)]
+                if not waiting:
+                    # freeze: the first member to observe completeness
+                    # computes the result once (under the lock), so every
+                    # participant returns the identical value even if
+                    # further failures land mid-agreement
+                    result = combine([slot[r] for r in sorted(slot)])
+                    self._agree_slots[key] = ("decided", result)
+                    self._agree_cond.notify_all()
+                    return result
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise DeadlockError(
+                        f"agreement {key!r} timed out waiting for ranks "
+                        f"{waiting}\n" + self.pending_dump())
+                self._agree_cond.wait(timeout=min(remaining, 0.25))
 
     # -- transport ----------------------------------------------------------
     def deliver(self, src: int, dest: int, ctx_id, tag, kind, payload,
@@ -213,6 +441,7 @@ class World:
         """
         seq = self._pair_seq.get((src, dest), 0) + 1
         self._pair_seq[(src, dest)] = seq
+        self._heartbeat[src] = time.monotonic()
         self.counters[src].record_send(dest, nbytes)
         self.mailboxes[dest].deposit(
             Message(ctx_id, src, tag, kind, payload, nbytes, seq), jump)
@@ -289,7 +518,8 @@ class RankContext:
                          nbytes=nbytes, kind=kind, seq=seq)
 
     def recv_message(self, ctx_id, source, tag,
-                     timeout: Optional[float] = None) -> Message:
+                     timeout: Optional[float] = None,
+                     members=None) -> Message:
         timeout = self.world.timeout if timeout is None else timeout
         if _CH.enabled:
             _CH.on_op("recv", self.rank)
@@ -298,13 +528,13 @@ class RankContext:
             # time spent *waiting* for the matching message
             t0 = _TR.now()
             msg = self.world.mailboxes[self.rank].retrieve(
-                ctx_id, source, tag, timeout)
+                ctx_id, source, tag, timeout, members=members)
             self.world.counters[self.rank].record_recv(msg.src, msg.nbytes)
             _TR.complete("mpi.p2p", "recv", t0, rank=self.rank,
                          source=msg.src, nbytes=msg.nbytes, seq=msg.seq)
             return msg
         msg = self.world.mailboxes[self.rank].retrieve(
-            ctx_id, source, tag, timeout)
+            ctx_id, source, tag, timeout, members=members)
         self.world.counters[self.rank].record_recv(msg.src, msg.nbytes)
         return msg
 
@@ -331,7 +561,8 @@ class RankContext:
 
 def run_spmd(fn: Callable[..., Any], nranks: int, args: Sequence = (),
              kwargs: Optional[dict] = None, timeout: Optional[float] = None,
-             pass_comm: bool = True) -> List[Any]:
+             pass_comm: bool = True,
+             fault_mode: str = "abort") -> List[Any]:
     """Run *fn* on every rank of a fresh *nranks*-rank world.
 
     This is the offline equivalent of ``mpiexec -n nranks``.  When
@@ -340,12 +571,22 @@ def run_spmd(fn: Callable[..., Any], nranks: int, args: Sequence = (),
     otherwise ``fn(*args, **kwargs)`` and the rank obtains its communicator
     via :func:`repro.mpi.get_comm_world`.
 
-    Returns the list of per-rank return values (index = rank).  If any rank
-    raises, the world is aborted and the first failing rank's exception is
-    re-raised in the caller.
+    *fault_mode* selects what a rank death means for the others:
+
+    - ``"abort"`` (default): any unhandled exception aborts the world;
+      the first failing rank's exception is re-raised in the caller.
+    - ``"failstop"``: an :class:`InjectedFault` marks just that rank
+      failed; survivors see typed :class:`RankFailure` errors and may
+      ``revoke()``/``shrink()`` and continue.  The dead rank's entry in
+      the result list is its ``InjectedFault``; survivor exceptions other
+      than the fault still re-raise.
+
+    Returns the list of per-rank return values (index = rank).
     """
     from .comm import Intracomm  # local import: comm builds on runtime
 
+    if fault_mode not in ("abort", "failstop"):
+        raise ValueError(f"unknown fault_mode {fault_mode!r}")
     kwargs = kwargs or {}
     world = World(nranks, timeout=timeout)
     results: List[Any] = [None] * nranks
@@ -360,6 +601,13 @@ def run_spmd(fn: Callable[..., Any], nranks: int, args: Sequence = (),
                 results[rank] = fn(comm, *args, **kwargs)
             else:
                 results[rank] = fn(*args, **kwargs)
+        except InjectedFault as exc:
+            errors[rank] = exc
+            if fault_mode == "failstop":
+                results[rank] = exc
+                world.mark_failed(rank, exc)
+            else:
+                world.abort(rank, exc)
         except BaseException as exc:  # noqa: BLE001 - must propagate any error
             errors[rank] = exc
             world.abort(rank, exc)
@@ -375,9 +623,13 @@ def run_spmd(fn: Callable[..., Any], nranks: int, args: Sequence = (),
         t.join()
 
     for rank, exc in enumerate(errors):
-        if exc is not None and not isinstance(exc, AbortError):
-            raise exc
-    for exc in errors:
-        if exc is not None:
-            raise exc
+        if exc is None or isinstance(exc, AbortError):
+            continue
+        if fault_mode == "failstop" and isinstance(exc, InjectedFault):
+            continue  # the scripted death is the experiment, not a failure
+        raise exc
+    if fault_mode == "abort":
+        for exc in errors:
+            if exc is not None:
+                raise exc
     return results

@@ -36,6 +36,9 @@ class DistArray:
         self.array_id = array_id
         self.dist = dist
         self.dtype = np.dtype(dtype)
+        # recovery re-points .dist after a shrink+replay (weak ref, so
+        # handles still die -- and enqueue their delete -- normally)
+        ctx._register_handle(self)
 
     # ------------------------------------------------------------------
     # metadata

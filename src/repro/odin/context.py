@@ -24,15 +24,20 @@ from __future__ import annotations
 
 import os
 import threading
+import time
+import weakref
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..metrics import REGISTRY as _MX
 from ..mpi.comm import Intracomm
-from ..mpi.errors import InjectedFault
+from ..mpi.errors import (AbortError, CommRevokedError, InjectedFault,
+                          RankFailure)
 from ..mpi.runtime import RankContext, World
+from ..recover import OpLog, remap_op_dists
 from ..trace import TRACER as _TR
-from .distribution import Distribution
+from .distribution import BlockDistribution, Distribution
 from . import opcodes
 from .worker import WorkerState, execute_op
 
@@ -65,6 +70,30 @@ _EPOCH_CAP = 512
 
 def _batching_default() -> bool:
     return os.environ.get("REPRO_ODIN_BATCH", "1") != "0"
+
+
+def _recover_default() -> bool:
+    return os.environ.get("REPRO_ODIN_RECOVER", "0") == "1"
+
+
+def _ckpt_every_default() -> int:
+    """Auto-checkpoint period in logged ops (0 = only explicit ckpts)."""
+    try:
+        return int(os.environ.get("REPRO_ODIN_CKPT", "0"))
+    except ValueError:
+        return 0
+
+
+# Mutating opcodes recorded in the recovery op-log.  Read-only ops
+# (GATHER, FETCH, PLAN_STATS) and external side effects (SAVE) replay as
+# no-ops for state reconstruction, so they are skipped.  REDUCE is logged
+# because its local-axis variant stores a result array.
+_LOGGED_OPCODES = frozenset({
+    opcodes.CREATE, opcodes.DELETE, opcodes.DELETE_MANY, opcodes.UFUNC,
+    opcodes.FUSED, opcodes.REDIST, opcodes.TRANSPOSE, opcodes.SLICE,
+    opcodes.SETITEM, opcodes.SET_DIST, opcodes.REDUCE, opcodes.CALL_LOCAL,
+    opcodes.TRANSFORM, opcodes.GROUPBY, opcodes.LOAD,
+})
 
 
 def worker_comm() -> Intracomm:
@@ -100,7 +129,9 @@ class OdinContext:
     """One driver plus *nworkers* persistent worker threads."""
 
     def __init__(self, nworkers: int, timeout: Optional[float] = None,
-                 batch: Optional[bool] = None):
+                 batch: Optional[bool] = None,
+                 recover: Optional[bool] = None,
+                 ckpt_every: Optional[int] = None):
         if nworkers < 1:
             raise ValueError("need at least one worker")
         self.nworkers = nworkers
@@ -115,6 +146,26 @@ class OdinContext:
         self._op_seq = 0       # control ops broadcast so far (epoch clock)
         self._epoch_len = 0    # fire-and-forget ops since the last sync
         self._lock = threading.RLock()
+        # -- fault recovery (repro.recover) --
+        self._recover = _recover_default() if recover is None \
+            else bool(recover)
+        self._ckpt_every = _ckpt_every_default() if ckpt_every is None \
+            else int(ckpt_every)
+        self._oplog: Optional[OpLog] = OpLog() if self._recover else None
+        self._ckpt_version = 0   # 0 = empty baseline (replay the full log)
+        # checkpoint-generation bookkeeping: blocks in a checkpoint are
+        # laid out for the worker count at checkpoint time.  _ckpt_map[j]
+        # is current worker j's index in that generation, _ckpt_dead the
+        # generation indices whose owner has since died; both compose
+        # across repeated shrinks until a new checkpoint re-anchors them.
+        self._ckpt_map: List[int] = list(range(nworkers))
+        self._ckpt_dead: set = set()
+        self._ckpt_n = nworkers
+        self._recovering = False
+        self._closing = False
+        # live DistArray handles, re-pointed after a recovery replay
+        self._handles: "weakref.WeakValueDictionary[int, Any]" = \
+            weakref.WeakValueDictionary()
         self._threads = [
             threading.Thread(target=self._worker_main, args=(w,),
                              name=f"odin-worker-{w}", daemon=True)
@@ -122,9 +173,22 @@ class OdinContext:
         ]
         for t in self._threads:
             t.start()
+        if self._recover:
+            # lease registration: a worker thread that dies without
+            # reporting (any death mode, not just InjectedFault) is
+            # detected as a failed rank by blocked peers
+            for w, t in enumerate(self._threads):
+                self.world.register_rank_thread(w + 1, t)
         # Workers split off their own comm; the driver passes a negative
         # color so it is excluded (split over the full comm, collective).
-        self.comm.split(-1, 0)
+        # A chaos crash can land inside this startup collective; recovery
+        # shrinks around it exactly as it would mid-program.
+        try:
+            self.comm.split(-1, 0)
+        except (RankFailure, CommRevokedError) as exc:
+            if not self._recover:
+                raise
+            self._recover_and_replay(exc)
 
     # ------------------------------------------------------------------
     # worker side
@@ -132,63 +196,119 @@ class OdinContext:
     def _worker_main(self, windex: int) -> None:
         ctx = RankContext(self.world, windex + 1)
         ctx.bind()
+        comm: Optional[Intracomm] = None
+        state: Optional[WorkerState] = None
         try:
-            # setup is inside the try: a chaos-scripted crash can fire in
-            # the startup split's collectives just as well as mid-loop
-            comm = Intracomm(ctx, list(range(self.nworkers + 1)))
-            wcomm = comm.split(0, windex)
-            _worker_tls.comm = wcomm
-            _worker_tls.index = windex
-            state = WorkerState(index=windex, comm=wcomm,
-                                registry=local_registry, full_comm=comm)
-            _worker_tls.state = state
-            # deferred errors from fire-and-forget ops in the current
-            # epoch: (op seq, op name, exception).  seq counts broadcasts,
-            # so it is identical across workers and matches the driver's
-            # _op_seq clock.
-            deferred: List[Tuple[int, str, Exception]] = []
-            seq = 0
-            while True:
-                op = comm.bcast(None, root=0)
-                seq += 1
-                fire_and_forget = op[0] == opcodes.ASYNC
-                if fire_and_forget:
-                    op = op[1]
-                if op[0] == opcodes.SHUTDOWN:
-                    comm.gather(("ok", None, deferred), root=0)
-                    return
-                if op[0] == opcodes.FLUSH:
-                    comm.gather(("ok", None, deferred), root=0)
-                    deferred = []
-                    continue
+            while True:  # one iteration per communicator generation
                 try:
-                    result = execute_op(state, op)
-                    status = ("ok", result)
-                except InjectedFault:
-                    # scripted chaos crash: the rank dies, it does not
-                    # report a recoverable op error
-                    raise
-                except Exception as exc:  # noqa: BLE001 - report to driver
-                    if fire_and_forget:
-                        deferred.append((seq, str(op[0]), exc))
+                    if comm is None:
+                        # setup is inside the try: a chaos-scripted crash
+                        # can fire in the startup split's collectives just
+                        # as well as mid-loop
+                        comm = Intracomm(ctx,
+                                         list(range(len(self._threads) + 1)))
+                        wcomm = comm.split(0, windex)
+                        state = WorkerState(index=windex, comm=wcomm,
+                                            registry=local_registry,
+                                            full_comm=comm)
+                        _worker_tls.comm = wcomm
+                        _worker_tls.index = windex
+                        _worker_tls.state = state
+                    self._worker_serve(comm, state)
+                    return  # clean SHUTDOWN
+                except InjectedFault as exc:
+                    if self._recover:
+                        # fail-stop: this rank dies, survivors see typed
+                        # RankFailure and negotiate a shrink
+                        self.world.mark_failed(ctx.rank, exc)
+                        return
+                    # chaos-scripted rank crash without recovery: die
+                    # loudly so the driver and the surviving workers fail
+                    # fast with AbortError instead of waiting out the
+                    # deadlock timeout
+                    self.world.abort(ctx.rank, exc)
+                    return
+                except (RankFailure, CommRevokedError):
+                    if not self._recover or self._closing:
+                        return  # teardown, or nobody will coordinate
+                    # survivor: poison both comms so every other survivor
+                    # unblocks (the driver only revokes the full comm; a
+                    # peer blocked in a worker-comm collective needs this
+                    # revoke), then rendezvous on the shrunk group
+                    if state is not None:
+                        state.comm.revoke()
+                    if comm is not None:
+                        comm.revoke()
+                        new_full = comm.shrink()
+                        new_wcomm = new_full.split(0, new_full.rank)
+                        new_index = new_full.rank - 1
+                        if state is None:
+                            state = WorkerState(index=new_index,
+                                                comm=new_wcomm,
+                                                registry=local_registry,
+                                                full_comm=new_full)
+                        else:
+                            state.index = new_index
+                            state.comm = new_wcomm
+                            state.full_comm = new_full
+                            state.plan_cache.clear()
+                        comm = new_full
+                        _worker_tls.comm = new_wcomm
+                        _worker_tls.index = new_index
+                        _worker_tls.state = state
                         continue
-                    status = ("err", exc)
-                if fire_and_forget:
-                    continue
-                comm.gather(status + (deferred,), root=0)
-                deferred = []
-        except InjectedFault as exc:
-            # chaos-scripted rank crash: die loudly so the driver and the
-            # surviving workers fail fast with AbortError instead of
-            # waiting out the deadlock timeout
-            self.world.abort(ctx.rank, exc)
-            return
+                    return
         except Exception:
             # runtime failure (e.g. world aborted): leave quietly, the
             # driver will see the abort on its own next operation.
             return
         finally:
             ctx.unbind()
+
+    def _worker_serve(self, comm: Intracomm, state: WorkerState) -> None:
+        """The worker service loop; returns on SHUTDOWN, raises on faults.
+
+        Deferred errors from fire-and-forget ops in the current epoch are
+        (op seq, op name, exception) triples.  seq counts broadcasts, so
+        it is identical across workers and matches the driver's _op_seq
+        clock (until a recovery resets this loop; the mismatch after that
+        only affects the cosmetic "deferred from" note).
+        """
+        deferred: List[Tuple[int, str, Exception]] = []
+        seq = 0
+        while True:
+            op = comm.bcast(None, root=0)
+            seq += 1
+            fire_and_forget = op[0] == opcodes.ASYNC
+            if fire_and_forget:
+                op = op[1]
+            if op[0] == opcodes.SHUTDOWN:
+                comm.gather(("ok", None, deferred), root=0)
+                return
+            if op[0] == opcodes.FLUSH:
+                comm.gather(("ok", None, deferred), root=0)
+                deferred = []
+                continue
+            try:
+                result = execute_op(state, op)
+                status = ("ok", result)
+            except InjectedFault:
+                # scripted chaos crash: the rank dies, it does not
+                # report a recoverable op error
+                raise
+            except (RankFailure, CommRevokedError):
+                # a peer died mid-op: enter recovery, do not report this
+                # as an op error
+                raise
+            except Exception as exc:  # noqa: BLE001 - report to driver
+                if fire_and_forget:
+                    deferred.append((seq, str(op[0]), exc))
+                    continue
+                status = ("err", exc)
+            if fire_and_forget:
+                continue
+            comm.gather(status + (deferred,), root=0)
+            deferred = []
 
     # ------------------------------------------------------------------
     # driver side
@@ -237,8 +357,11 @@ class OdinContext:
         if _TR.enabled:
             with _TR.span("odin.control", str(op[0]), rank="driver",
                           nworkers=self.nworkers):
-                return self._issue_impl(*op)
-        return self._issue_impl(*op)
+                out = self._with_recovery(self._issue_impl, *op)
+        else:
+            out = self._with_recovery(self._issue_impl, *op)
+        self._log_op(op)
+        return out
 
     def _issue_impl(self, *op) -> List[Any]:
         with self._lock:
@@ -255,9 +378,10 @@ class OdinContext:
         if _TR.enabled:
             with _TR.span("odin.control", f"{op[0]}.async", rank="driver",
                           nworkers=self.nworkers):
-                self._issue_async_impl(op)
+                self._with_recovery(self._issue_async_impl, op)
         else:
-            self._issue_async_impl(op)
+            self._with_recovery(self._issue_async_impl, op)
+        self._log_op(op)
         return [None] * self.nworkers
 
     def _issue_async_impl(self, op) -> None:
@@ -278,6 +402,11 @@ class OdinContext:
     def flush(self) -> None:
         """Synchronize with the workers and deliver any deferred errors
         from fire-and-forget ops in the current epoch."""
+        if not self._alive:
+            return
+        self._with_recovery(self._flush_impl)
+
+    def _flush_impl(self) -> None:
         with self._lock:
             if not self._alive:
                 return
@@ -295,6 +424,10 @@ class OdinContext:
         """
         if self._pending_deletes:
             ids, self._pending_deletes = self._pending_deletes, []
+            if self._oplog is not None and not self._recovering:
+                # the drain rides the wire before the op that flushed it,
+                # so it must precede that op in the log as well
+                self._oplog.record((opcodes.DELETE_MANY, ids))
             if self._batch:
                 self._bcast((opcodes.ASYNC, (opcodes.DELETE_MANY, ids)))
                 self._epoch_len += 1
@@ -306,6 +439,231 @@ class OdinContext:
         with self._lock:
             self._next_array_id += 1
             return self._next_array_id
+
+    # ------------------------------------------------------------------
+    # fault recovery (repro.recover)
+    # ------------------------------------------------------------------
+    def _log_op(self, op: Tuple) -> None:
+        """Record a successfully-issued mutating op for post-crash replay."""
+        if (self._oplog is not None and not self._recovering
+                and op[0] in _LOGGED_OPCODES):
+            self._oplog.record(op)
+            self._maybe_auto_ckpt()
+
+    def _maybe_auto_ckpt(self) -> None:
+        if (self._ckpt_every > 0 and self._oplog is not None
+                and not self._recovering
+                and len(self._oplog) >= self._ckpt_every):
+            self.checkpoint()
+
+    def checkpoint(self) -> int:
+        """Snapshot every live array, mirrored on each worker's ring
+        partner (SCR-style partner copy), and truncate the replay log.
+
+        Returns the number of bytes checkpointed across all workers.  A
+        crash *during* the checkpoint is safe: workers keep the previous
+        version until the new one completes, and the log is only cleared
+        on success, so recovery falls back to version ``N-1`` plus the
+        full log.
+        """
+        self._check_alive()
+        if self._oplog is None:
+            raise RuntimeError(
+                "checkpoint() requires recover=True (or "
+                "REPRO_ODIN_RECOVER=1) so the op-log half of "
+                "checkpoint/replay is maintained")
+        version = self._ckpt_version + 1
+        t0 = time.perf_counter()
+        if _TR.enabled:
+            with _TR.span("recover", "checkpoint", rank="driver",
+                          version=version):
+                sizes = self._with_recovery(self._issue_impl,
+                                            opcodes.CKPT, version)
+        else:
+            sizes = self._with_recovery(self._issue_impl,
+                                        opcodes.CKPT, version)
+        self._ckpt_version = version
+        self._oplog.clear()
+        self._ckpt_map = list(range(self.nworkers))
+        self._ckpt_dead = set()
+        self._ckpt_n = self.nworkers
+        nbytes = sum(int(s) for s in sizes)
+        if _MX.enabled:
+            _MX.inc("recover.checkpoints")
+            _MX.inc("recover.ckpt_total_bytes", nbytes)
+            _MX.observe("recover.ckpt_seconds",
+                        time.perf_counter() - t0)
+        return nbytes
+
+    def _with_recovery(self, fn: Callable, *args):
+        """Run a driver-side control op; on a worker failure, shrink the
+        world, restore state, replay the log, and retry the op.
+
+        Terminates because every recovery round permanently removes at
+        least one worker, and an unrecoverable state raises RuntimeError
+        (not a fault type) out of the retry loop.
+        """
+        while True:
+            try:
+                return fn(*args)
+            except (RankFailure, CommRevokedError) as exc:
+                if (not self._recover or self._recovering
+                        or self._closing or not self._alive):
+                    raise
+                while True:
+                    try:
+                        self._recover_and_replay(exc)
+                        break
+                    except (RankFailure, CommRevokedError) as exc2:
+                        # another rank died mid-recovery: go again (the
+                        # log was not cleared, the checkpoint stands)
+                        exc = exc2
+                args = remap_op_dists(args, self.nworkers)
+
+    def _recover_and_replay(self, exc: Exception) -> None:
+        """ULFM-style mitigation + state recovery, driver side.
+
+        revoke -> shrink -> re-split the worker comm -> RESTORE (workers
+        rebuild checkpointed arrays from own + partner blocks and
+        redistribute onto the survivor layout) -> replay the op-log ->
+        re-point live DistArray handles at their post-replay
+        distributions.
+        """
+        self._recovering = True
+        t0 = time.perf_counter()
+        try:
+            if _MX.enabled:
+                _MX.inc("recover.detections")
+            old_ranks = list(self.comm._world_ranks)
+            with _TR.span("recover", "shrink+replay", rank="driver",
+                          cause=str(exc)):
+                self.comm.revoke()
+                new_full = self.comm.shrink()
+                old_workers = old_ranks[1:]
+                survivors = set(new_full._world_ranks)
+                new_workers = list(new_full._world_ranks[1:])
+                if not new_workers:
+                    raise RuntimeError(
+                        "unrecoverable: every ODIN worker has failed"
+                    ) from exc
+                # survivor j's old index, and the old indices now dead
+                old_indices = [old_workers.index(wr) for wr in new_workers]
+                dead_indices = [i for i, wr in enumerate(old_workers)
+                                if wr not in survivors]
+                self.comm = new_full
+                # compose this shrink into the checkpoint-generation map
+                # (exactly once per generation: a crash later in this
+                # method retries with the composed map already in place)
+                self._ckpt_dead |= {self._ckpt_map[i]
+                                    for i in dead_indices}
+                self._ckpt_map = [self._ckpt_map[i] for i in old_indices]
+                # workers split their private sub-comm off the shrunk
+                # comm as its first collective (tags stay aligned)
+                self.comm.split(-1, 0)
+                self.nworkers = len(new_workers)
+                if _MX.enabled:
+                    _MX.inc("recover.shrinks")
+                self._issue_impl(opcodes.RESTORE, self._ckpt_version,
+                                 self._ckpt_map,
+                                 sorted(self._ckpt_dead), self._ckpt_n)
+                replayed = 0
+                # length-changing ops (TRANSFORM, GROUPBY shuffle) yield
+                # different per-worker counts on the shrunk layout; their
+                # paired SET_DIST must be rebuilt from the replayed
+                # counts, not remapped from the logged distribution
+                fresh_counts: Dict[int, List[int]] = {}
+                for kind, entry in self._oplog.entries():
+                    try:
+                        if kind == "scatter":
+                            aid, dist, dtype, data = entry
+                            self._scatter_impl(
+                                aid, dist.with_nworkers(self.nworkers),
+                                np.asarray(data, dtype=dtype))
+                        else:
+                            op = remap_op_dists(entry, self.nworkers)
+                            if op[0] in (opcodes.TRANSFORM,
+                                         opcodes.GROUPBY):
+                                results = self._issue_impl(*op)
+                                fresh_counts[op[2]] = [
+                                    int(c) for c, _dt in results]
+                            elif (op[0] == opcodes.SET_DIST
+                                    and op[1] in fresh_counts):
+                                counts = fresh_counts.pop(op[1])
+                                dist = BlockDistribution(
+                                    (sum(counts),), 0, self.nworkers,
+                                    counts=counts)
+                                self._issue_impl(opcodes.SET_DIST,
+                                                 op[1], dist)
+                            elif self._batch and op[0] in ASYNC_OPCODES:
+                                self._issue_async_impl(op)
+                            else:
+                                self._issue_impl(*op)
+                    except (RankFailure, CommRevokedError, AbortError):
+                        raise
+                    except Exception:
+                        # app-level op error: it was already delivered to
+                        # the caller once, before the crash
+                        pass
+                    replayed += 1
+                # synchronize (tolerantly: deferred app errors were also
+                # delivered pre-crash) and re-point live handles
+                try:
+                    with self._lock:
+                        self._flush_locked()
+                except (RankFailure, CommRevokedError, AbortError):
+                    raise
+                except Exception:
+                    pass
+                self._sync_handles()
+                # re-anchor (SCR-style): the surviving partner copies are
+                # laid out for the old generation and cannot cover a
+                # second adjacent death, so snapshot the recovered state
+                # on the survivor layout and truncate the log
+                version = self._ckpt_version + 1
+                self._issue_impl(opcodes.CKPT, version)
+                self._ckpt_version = version
+                self._oplog.clear()
+                self._ckpt_map = list(range(self.nworkers))
+                self._ckpt_dead = set()
+                self._ckpt_n = self.nworkers
+            if _MX.enabled:
+                _MX.inc("recover.replayed_ops", replayed)
+                _MX.observe("recover.seconds", time.perf_counter() - t0)
+        finally:
+            self._recovering = False
+
+    def _sync_handles(self) -> None:
+        """Re-point live DistArray handles at their authoritative
+        post-recovery distributions (worker 0's view)."""
+        ids = list(self._handles.keys())
+        if not ids:
+            return
+        views = self._issue_impl(opcodes.DIST_SYNC, ids)
+        dists = views[0] or {}
+        for aid, dist in dists.items():
+            arr = self._handles.get(aid)
+            # a None dist is a transform output awaiting its SET_DIST;
+            # leave the handle's metadata alone
+            if arr is not None and dist is not None:
+                arr.dist = dist
+
+    def _register_handle(self, arr) -> None:
+        """Track a live DistArray so recovery can fix its metadata.
+
+        A handle can be constructed from a distribution computed *before*
+        a recovery that shrank the pool mid-op (the caller's local
+        variable is not remapped by the retry); when the worker counts
+        disagree, fetch the authoritative post-replay layout.
+        """
+        self._handles[arr.array_id] = arr
+        if (self._recover and not self._recovering
+                and arr.dist is not None
+                and arr.dist.nworkers != self.nworkers):
+            views = self._with_recovery(self._issue_impl,
+                                        opcodes.DIST_SYNC, [arr.array_id])
+            dist = (views[0] or {}).get(arr.array_id)
+            if dist is not None:
+                arr.dist = dist
 
     # -- array lifecycle -------------------------------------------------
     def create(self, array_id: int, dist: Distribution, dtype,
@@ -323,8 +681,14 @@ class OdinContext:
             # global -> local transition: real data leaves the driver
             with _TR.span("odin.control", "scatter", rank="driver",
                           nbytes=int(array.nbytes)):
-                return self._scatter_impl(array_id, dist, array)
-        return self._scatter_impl(array_id, dist, array)
+                self._with_recovery(self._scatter_impl, array_id, dist,
+                                    array)
+        else:
+            self._with_recovery(self._scatter_impl, array_id, dist, array)
+        if self._oplog is not None and not self._recovering:
+            # replaying a scatter re-sends the data, so pin a copy
+            self._oplog.record_scatter(array_id, dist, array.dtype, array)
+            self._maybe_auto_ckpt()
 
     def _scatter_impl(self, array_id: int, dist: Distribution,
                       array: np.ndarray) -> None:
@@ -425,16 +789,33 @@ class OdinContext:
 
     # -- lifecycle ---------------------------------------------------------
     def shutdown(self) -> None:
+        statuses = None
         with self._lock:
             if not self._alive:
                 return
-            self._bcast((opcodes.SHUTDOWN,))
-            statuses = self.comm.gather(None, root=0)
+            self._closing = True
+            try:
+                self._bcast((opcodes.SHUTDOWN,))
+                statuses = self.comm.gather(None, root=0)
+            except AbortError:
+                # world already abort-poisoned (e.g. a chaos crash): the
+                # caller saw the AbortError from the failing op itself;
+                # teardown must not raise it a second time
+                pass
+            except (RankFailure, CommRevokedError):
+                # a worker died and nobody is recovering it: teardown must
+                # not raise.  Revoke so any survivor blocked in a
+                # collective unblocks and exits via its _closing path.
+                try:
+                    self.comm.revoke()
+                except Exception:  # noqa: BLE001 - teardown best effort
+                    pass
             self._alive = False
         for t in self._threads:
             t.join(timeout=10)
         # deferred errors from a trailing epoch must not vanish silently
-        self._process_statuses(statuses, str(opcodes.SHUTDOWN))
+        if statuses is not None:
+            self._process_statuses(statuses, str(opcodes.SHUTDOWN))
 
     def __enter__(self):
         return self
@@ -451,12 +832,14 @@ _default_context: Optional[OdinContext] = None
 
 
 def init(nworkers: int = 4, timeout: Optional[float] = None,
-         batch: Optional[bool] = None) -> OdinContext:
+         batch: Optional[bool] = None, recover: Optional[bool] = None,
+         ckpt_every: Optional[int] = None) -> OdinContext:
     """Start (or restart) the default ODIN context."""
     global _default_context
     if _default_context is not None and _default_context._alive:
         _default_context.shutdown()
-    _default_context = OdinContext(nworkers, timeout=timeout, batch=batch)
+    _default_context = OdinContext(nworkers, timeout=timeout, batch=batch,
+                                   recover=recover, ckpt_every=ckpt_every)
     return _default_context
 
 

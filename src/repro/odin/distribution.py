@@ -95,6 +95,19 @@ class Distribution:
         """Same scheme applied to a different global shape."""
         raise NotImplementedError
 
+    def with_nworkers(self, nworkers: int) -> "Distribution":
+        """Same scheme over a different worker count.
+
+        This is the remap recovery applies when a communicator shrinks:
+        each surviving array's target distribution is its old scheme
+        re-balanced over the survivors.  Schemes with worker-count-bound
+        parameters (explicit counts, arbitrary index lists) rebalance
+        deterministically rather than erroring -- any valid partition is
+        correct because recovery redistributes/replays the content onto
+        whatever this returns.
+        """
+        raise NotImplementedError
+
     def cache_key(self):
         """Hashable value identifying the index mapping, or None when the
         distribution cannot be cheaply keyed (such a distribution opts out
@@ -189,6 +202,10 @@ class BlockDistribution(Distribution):
     def with_shape(self, global_shape) -> "BlockDistribution":
         return BlockDistribution(global_shape, self.axis, self.nworkers)
 
+    def with_nworkers(self, nworkers: int) -> "BlockDistribution":
+        # explicit counts are bound to the old worker count; rebalance
+        return BlockDistribution(self.global_shape, self.axis, nworkers)
+
     def cache_key(self):
         return ("block", self.global_shape, self.axis, self.nworkers,
                 tuple(self._counts))
@@ -213,6 +230,9 @@ class CyclicDistribution(Distribution):
 
     def with_shape(self, global_shape) -> "CyclicDistribution":
         return CyclicDistribution(global_shape, self.axis, self.nworkers)
+
+    def with_nworkers(self, nworkers: int) -> "CyclicDistribution":
+        return CyclicDistribution(self.global_shape, self.axis, nworkers)
 
     def cache_key(self):
         return ("cyclic", self.global_shape, self.axis, self.nworkers)
@@ -253,6 +273,10 @@ class BlockCyclicDistribution(Distribution):
     def with_shape(self, global_shape) -> "BlockCyclicDistribution":
         return BlockCyclicDistribution(global_shape, self.axis,
                                        self.nworkers, self.block_size)
+
+    def with_nworkers(self, nworkers: int) -> "BlockCyclicDistribution":
+        return BlockCyclicDistribution(self.global_shape, self.axis,
+                                       nworkers, self.block_size)
 
     def cache_key(self):
         return ("block-cyclic", self.global_shape, self.axis, self.nworkers,
@@ -301,6 +325,23 @@ class ArbitraryDistribution(Distribution):
     def with_shape(self, global_shape) -> "Distribution":
         raise ValueError("an arbitrary distribution does not generalize to "
                          "a new shape; specify one explicitly")
+
+    def with_nworkers(self, nworkers: int) -> "ArbitraryDistribution":
+        # deterministic rebalance: old lists concatenated in worker order,
+        # re-dealt as contiguous runs -- preserves the (possibly permuted)
+        # global ordering the lists encode while dropping the dependence
+        # on the old worker count
+        order = (np.concatenate(self._lists) if self._lists
+                 else np.empty(0, dtype=np.int64))
+        n = len(order)
+        base, extra = divmod(n, nworkers)
+        lists, lo = [], 0
+        for w in range(nworkers):
+            hi = lo + base + (1 if w < extra else 0)
+            lists.append(order[lo:hi])
+            lo = hi
+        return ArbitraryDistribution(self.global_shape, self.axis, lists,
+                                     validate=False)
 
     def cache_key(self):
         if self._digest is None:
@@ -424,6 +465,10 @@ class GridDistribution(Distribution):
     def with_shape(self, global_shape) -> "GridDistribution":
         return GridDistribution(global_shape, self.axes, self.grid)
 
+    def with_nworkers(self, nworkers: int) -> "GridDistribution":
+        return GridDistribution(self.global_shape, self.axes,
+                                _balanced_grid(nworkers, len(self.axes)))
+
     def cache_key(self):
         return ("grid", self.global_shape, self.axes, self.grid)
 
@@ -501,6 +546,10 @@ class ConcatDistribution(Distribution):
     def with_shape(self, global_shape) -> "Distribution":
         raise ValueError("a concat distribution does not generalize to a "
                          "new shape")
+
+    def with_nworkers(self, nworkers: int) -> "ConcatDistribution":
+        return ConcatDistribution(
+            [p.with_nworkers(nworkers) for p in self.parts], self.axis)
 
     def cache_key(self):
         part_keys = tuple(p.cache_key() for p in self.parts)

@@ -30,6 +30,17 @@ SET_DIST = "set_dist"        # (id, dist) fix metadata after a transform
 PLAN_STATS = "plan_stats"    # () -> (hits, misses, cached_plans)
 SHUTDOWN = "shutdown"
 
+# Fault recovery (repro.recover).  CKPT snapshots every live array and
+# mirrors the snapshot on the ring partner ``(w + 1) % P``.  RESTORE,
+# issued on the *shrunk* communicator after a failure, rebuilds each
+# array at a checkpoint version from own + partner-held blocks and
+# redistributes to the remapped survivor distribution.  DIST_SYNC reports
+# worker 0's authoritative ``{array_id: dist}`` so driver handles can be
+# re-pointed after replay.
+CKPT = "ckpt"                # (version,) -> bytes checkpointed
+RESTORE = "restore"          # (version, old_indices, dead, old_n, dists)
+DIST_SYNC = "dist_sync"      # (ids,) -> {id: dist} (worker 0 only)
+
 # Control-plane batching (PR 4).  ``(ASYNC, inner_op)`` is broadcast with
 # *no* matching gather: the worker executes ``inner_op``, records any
 # exception instead of raising, and keeps listening.  The deferred errors

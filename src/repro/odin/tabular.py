@@ -44,7 +44,10 @@ def _transform(a: DistArray, fn: Callable, fname_prefix: str) -> DistArray:
         out_id = a.ctx.new_array_id()
         results = a.ctx.run(opcodes.TRANSFORM, a.array_id, out_id, fname)
     finally:
-        local_registry.pop(fname, None)
+        # under recovery the op-log may replay this TRANSFORM later, so
+        # the function must stay resolvable by name
+        if not getattr(a.ctx, "_recover", False):
+            local_registry.pop(fname, None)
     counts = [c for c, _dt in results]
     dtype = np.dtype(results[0][1])
     total = int(sum(counts))

@@ -80,6 +80,17 @@ class WorkerState:
     plan_cache_cap: int = field(default_factory=_plan_cache_cap)
     plan_hits: int = 0
     plan_misses: int = 0
+    # SCR-style in-memory checkpoints: version -> (own snapshot, partner's
+    # snapshot, partner's old worker index).  A snapshot is a deep-copied
+    # {array_id: (block, dist)}.  The partner copy belongs to the previous
+    # worker in the ring, so worker (d+1) % P can resurrect a dead d.
+    checkpoints: Dict[int, Tuple] = field(default_factory=dict)
+
+    def prune_checkpoints(self, keep: int = 2) -> None:
+        """Keep only the newest *keep* versions (a crash mid-checkpoint
+        must still be able to restore the previous one)."""
+        for version in sorted(self.checkpoints)[:-keep]:
+            del self.checkpoints[version]
 
     def get(self, array_id: int) -> Tuple[np.ndarray, Distribution]:
         try:
@@ -556,6 +567,136 @@ def _key_hash(keys: np.ndarray) -> np.ndarray:
 
 
 # ----------------------------------------------------------------------
+# checkpoint / restore (repro.recover)
+# ----------------------------------------------------------------------
+_CKPT_TAG = 7001  # p2p tag for the partner ring exchange
+
+
+def _checkpoint(state: WorkerState, version: int) -> int:
+    """Snapshot every live array and mirror the snapshot on the ring
+    partner ``(w + 1) % P``; returns the snapshot's payload bytes."""
+    snapshot = {array_id: (np.array(block, copy=True), dist)
+                for array_id, (block, dist) in state.arrays.items()}
+    nbytes = sum(block.nbytes for block, _dist in snapshot.values())
+    comm = state.comm
+    P = comm.size
+    if P > 1:
+        # eager buffered sends: everyone sends before anyone receives,
+        # so the ring cannot deadlock
+        comm.send(snapshot, dest=(state.index + 1) % P, tag=_CKPT_TAG)
+        partner = comm.recv(source=(state.index - 1) % P, tag=_CKPT_TAG)
+    else:
+        partner = {}
+    state.checkpoints[version] = (snapshot, partner,
+                                  (state.index - 1) % P)
+    state.prune_checkpoints()
+    if _MX.enabled:
+        _MX.inc("recover.ckpt_bytes", nbytes, worker=state.index)
+    return nbytes
+
+
+def _restore(state: WorkerState, version: int, old_indices, dead_indices,
+             old_n: int) -> int:
+    """Rebuild every checkpointed array on the shrunk worker set.
+
+    Runs on the post-shrink communicator; ``state.index``/``state.comm``
+    are already the new ones.  ``old_indices[j]`` is new worker j's old
+    index; each dead worker's blocks come from its ring partner's copy.
+    Single-axis arrays are redistributed with the (cacheable) alltoall
+    plan; grid/concat/undistributed arrays take an allgather-assemble
+    fallback.  Returns the number of restored arrays.
+    """
+    own, partner, partner_of = state.checkpoints.get(
+        version, ({}, {}, None))
+    my_old = old_indices[state.index]
+    dead = set(dead_indices)
+    for d in dead:
+        holder = (d + 1) % old_n
+        if holder in dead:
+            raise RuntimeError(
+                f"unrecoverable: worker {d} and its checkpoint partner "
+                f"{holder} both failed")
+    # old worker index -> snapshot dict I can contribute
+    mine = {my_old: own}
+    if partner_of in dead and partner:
+        mine[partner_of] = partner
+    elif partner_of in dead and not own:
+        # version 0 (no checkpoint taken): nothing to contribute is fine
+        pass
+
+    new_n = len(old_indices)
+    state.arrays.clear()
+
+    # split arrays by restore strategy using my own snapshot's metadata
+    # (every worker checkpointed the same id set)
+    simple, general = [], []
+    for array_id, (_block, dist) in own.items():
+        if (dist is not None and len(dist.dist_axes) == 1
+                and not dist.general_only):
+            simple.append(array_id)
+        else:
+            general.append(array_id)
+
+    # -- single-axis arrays: alltoall redistribution, plan-cacheable ----
+    for array_id in sorted(simple):
+        _block, old_dist = own[array_id]
+        # source view over the NEW workers: worker j holds the old blocks
+        # of old_indices[j] plus any dead worker it partners for
+        src_lists = []
+        for j in range(new_n):
+            covered = [old_indices[j]]
+            covered += [d for d in sorted(dead)
+                        if (d + 1) % old_n == old_indices[j]]
+            src_lists.append(np.concatenate(
+                [old_dist.indices_for(v) for v in covered])
+                if covered else np.empty(0, dtype=np.int64))
+        src_dist = ArbitraryDistribution(
+            old_dist.global_shape, old_dist.axis, src_lists, validate=False)
+        parts = [own[array_id][0]]
+        parts += [mine[d][array_id][0] for d in sorted(dead)
+                  if d in mine and d != my_old]
+        local_src = np.concatenate(parts, axis=old_dist.axis) \
+            if len(parts) > 1 else parts[0]
+        new_dist = old_dist.with_nworkers(new_n)
+        moved = _redistribute_block(state, local_src, src_dist, new_dist)
+        state.arrays[array_id] = (moved, new_dist)
+
+    # -- grid/concat/undistributed: allgather and assemble globally -----
+    if general:
+        contributions = state.comm.allgather(
+            {v: {array_id: snap[array_id] for array_id in general
+                 if array_id in snap}
+             for v, snap in mine.items()})
+        by_old: Dict[int, dict] = {}
+        for contrib in contributions:
+            by_old.update(contrib)
+        for array_id in sorted(general):
+            _block, old_dist = own[array_id]
+            if old_dist is None:
+                # tabular/unknown layout: concatenate rows in old worker
+                # order, re-deal contiguously over the new workers
+                rows = np.concatenate(
+                    [by_old[v][array_id][0] for v in sorted(by_old)])
+                base, extra = divmod(len(rows), new_n)
+                lo = state.index * base + min(state.index, extra)
+                hi = lo + base + (1 if state.index < extra else 0)
+                state.arrays[array_id] = (rows[lo:hi].copy(), None)
+                continue
+            glob = np.empty(old_dist.global_shape,
+                            dtype=own[array_id][0].dtype)
+            for v in range(old_n):
+                glob[old_dist.global_selector(v)] = by_old[v][array_id][0]
+            new_dist = old_dist.with_nworkers(new_n)
+            state.arrays[array_id] = (
+                np.ascontiguousarray(glob[new_dist.global_selector(
+                    state.index)]), new_dist)
+
+    if _MX.enabled:
+        _MX.inc("recover.restored_arrays", len(own), worker=state.index)
+    return len(own)
+
+
+# ----------------------------------------------------------------------
 # dispatch
 # ----------------------------------------------------------------------
 def execute_op(state: WorkerState, op: tuple) -> Any:
@@ -823,6 +964,19 @@ def _execute_op_impl(state: WorkerState, op: tuple) -> Any:
         out["value"] = agg
         state.arrays[dst_id] = (out, None)
         return (int(len(out)), out.dtype.descr)
+
+    if code == opcodes.CKPT:
+        _code, version = op
+        return _checkpoint(state, version)
+
+    if code == opcodes.RESTORE:
+        _code, version, old_indices, dead_indices, old_n = op
+        return _restore(state, version, old_indices, dead_indices, old_n)
+
+    if code == opcodes.DIST_SYNC:
+        _code, ids = op
+        return {array_id: state.arrays[array_id][1]
+                for array_id in ids if array_id in state.arrays}
 
     if code == opcodes.SAVE:
         _code, array_id, pattern = op

@@ -1,0 +1,21 @@
+"""repro.recover -- fault recovery for the ODIN driver/worker runtime.
+
+Three pieces close the loop that :mod:`repro.chaos` opens when it kills a
+rank mid-program:
+
+- the MPI substrate's ULFM-style primitives (``RankFailure`` detection,
+  ``Comm.revoke`` / ``Comm.shrink`` / ``Comm.agree``) turn a dead rank
+  into a typed, bounded-latency event instead of a hang;
+- SCR-style in-memory partner checkpoints (each worker mirrors its blocks
+  on the next worker in the ring) make the dead worker's state
+  re-fetchable from a survivor;
+- the driver-side :class:`OpLog` replays every control-plane op issued
+  since the last checkpoint onto the shrunk communicator, with array
+  distributions remapped over the survivor count.
+
+See ``docs/INTERNALS.md`` section 8 for the failure model and protocol.
+"""
+
+from .oplog import OpLog, remap_op_dists
+
+__all__ = ["OpLog", "remap_op_dists"]

@@ -7,6 +7,7 @@
 - :mod:`repro.solvers.anasazi` -- eigensolvers
 - :mod:`repro.solvers.nox`     -- nonlinear (Newton / JFNK) solvers
 - :mod:`repro.solvers.komplex` -- complex systems via real equivalents
+- :mod:`repro.solvers.resilient` -- shrink-and-restart fault recovery
 """
 
 from .anasazi import (EigenResult, inverse_iteration, lanczos, lobpcg,
@@ -22,6 +23,8 @@ from .krylov import (AztecOO, BlockSolverResult, SolverResult, bicgstab,
                      block_cg, cg, gmres, minres, tfqmr)
 from .ml import Level, MLPreconditioner, smoothed_aggregation_hierarchy
 from .nox import JacobianFreeOperator, NewtonSolver, NonlinearResult
+from .resilient import (IterateCheckpoint, ResilientResult,
+                        resilient_newton, resilient_solve)
 
 __all__ = [
     "cg", "gmres", "bicgstab", "minres", "tfqmr", "block_cg",
@@ -35,4 +38,6 @@ __all__ = [
     "power_method", "inverse_iteration", "lanczos", "lobpcg", "EigenResult",
     "NewtonSolver", "NonlinearResult", "JacobianFreeOperator",
     "komplex_system", "split_komplex_solution", "complex_to_real_maps",
+    "resilient_solve", "resilient_newton", "ResilientResult",
+    "IterateCheckpoint",
 ]

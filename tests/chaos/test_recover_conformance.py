@@ -1,0 +1,57 @@
+"""Conformance under recovery: crashed runs must match the oracle.
+
+With ``--recover`` a scripted worker kill is no longer allowed to
+surface as a typed MPI error: the run must detect it, shrink, restore
+from partner checkpoints, replay the op-log and still produce the
+NumPy oracle's answer under the sweep's ULP policy.
+"""
+
+import pytest
+
+from repro.chaos.__main__ import main as chaos_main
+from repro.chaos.conformance import (ConformanceFailure, generate_program,
+                                     run_sweep)
+
+
+class TestRecoverSweep:
+    def test_small_recover_sweep_is_conformant(self):
+        failures = run_sweep(20260806, 6, [2, 3], chaos_mode="crash",
+                             timeout=30.0, shrink=False, recover=True)
+        assert failures == []
+
+    def test_recover_failure_replay_line_carries_flag(self):
+        """A failure recorded under --recover advertises the flag in its
+        replay line, so the printed command reproduces the same mode."""
+        prog = generate_program(20260806, max_steps=4)
+        fail = ConformanceFailure(20260806, 2, "crash", prog,
+                                  "synthetic", recover=True)
+        assert fail.replay_line().endswith(
+            "--nranks 2 --chaos crash --recover")
+
+    def test_crash_without_recover_still_allows_typed_errors(self):
+        """The pre-existing contract is unchanged: without --recover a
+        crash may produce a typed MPI error (never a wrong answer)."""
+        failures = run_sweep(20260806, 4, [2], chaos_mode="crash",
+                             timeout=30.0, shrink=False, recover=False)
+        assert failures == []
+
+
+class TestRecoverCli:
+    def test_recover_rejects_single_worker(self, capsys):
+        with pytest.raises(SystemExit):
+            chaos_main(["--recover", "--nranks", "1,2", "--chaos", "crash",
+                        "--programs", "1"])
+        assert "--recover needs every --nranks >= 2" in \
+            capsys.readouterr().err
+
+    def test_recovery_replay_is_deterministic(self, capsys):
+        """Two identical --recover runs print byte-identical reports --
+        the property the CI replay-determinism job diffs at scale."""
+        args = ["--seed", "20260806", "--programs", "2", "--nranks", "2",
+                "--chaos", "crash", "--recover", "--timeout", "30"]
+        assert chaos_main(args) == 0
+        first = capsys.readouterr().out
+        assert chaos_main(args) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert "RESULT: OK" in first

@@ -1,0 +1,144 @@
+"""Crash propagation through each collective algorithm and RMA epochs.
+
+For every collective: one rank dies mid-program (fail-stop), survivors
+must observe a *typed* recoverable error (RankFailure or, once someone
+revoked, CommRevokedError) -- never a hang, never a wrong answer -- and
+after revoke + shrink the same collective succeeds on the survivor set.
+"""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.mpi import SUM
+from repro.mpi.errors import InjectedFault
+
+RECOVERABLE = (mpi.RankFailure, mpi.CommRevokedError)
+
+
+def _crash_then_recover(collective_on, nranks=4, victim=2):
+    """Run a collective with a dead member, then redo it post-shrink.
+
+    ``collective_on(comm)`` runs the collective and returns a value;
+    returns the per-rank list of (shrunk_size, value) for survivors.
+    """
+    def body(comm):
+        if comm.rank == victim:
+            raise InjectedFault(victim, 0, "scripted collective crash")
+        try:
+            while True:
+                collective_on(comm)
+        except RECOVERABLE:
+            comm.revoke()
+        new = comm.shrink()
+        return new.size, collective_on(new)
+
+    out = mpi.run_spmd(body, nranks, timeout=30.0, fault_mode="failstop")
+    assert isinstance(out[victim], InjectedFault)
+    return [out[r] for r in range(nranks) if r != victim]
+
+
+class TestCollectiveCrash:
+    def test_bcast(self):
+        for size, val in _crash_then_recover(
+                lambda c: c.bcast("payload" if c.rank == 0 else None,
+                                  root=0)):
+            assert size == 3 and val == "payload"
+
+    def test_reduce(self):
+        for size, val in _crash_then_recover(
+                lambda c: c.reduce(c.rank + 1, SUM, root=0)):
+            assert size == 3 and val in (None, 6)  # 1+2+3 on the root
+
+    def test_allreduce(self):
+        for size, val in _crash_then_recover(
+                lambda c: c.allreduce(1, SUM)):
+            assert size == 3 and val == 3
+
+    def test_alltoall(self):
+        for size, val in _crash_then_recover(
+                lambda c: c.alltoall([c.rank * 10 + j
+                                      for j in range(c.size)])):
+            assert size == 3
+            # rank r receives j*10 + r from every sender j
+            assert len({v % 10 for v in val}) == 1
+            assert [v // 10 for v in val] == [0, 1, 2]
+
+    def test_scan(self):
+        for size, val in _crash_then_recover(
+                lambda c: c.scan(c.rank + 1, SUM)):
+            assert size == 3
+            # inclusive prefix over ranks 0..new_rank
+            assert val in (1, 3, 6)
+
+    def test_allgather(self):
+        for size, val in _crash_then_recover(
+                lambda c: c.allgather(c.rank)):
+            assert size == 3 and val == [0, 1, 2]
+
+    def test_barrier(self):
+        for size, val in _crash_then_recover(lambda c: c.barrier()):
+            assert size == 3
+
+    def test_root_death_during_bcast(self):
+        """The root itself dying is the worst case: nobody has the
+        payload; survivors still unblock with a typed error."""
+        def body(comm):
+            if comm.rank == 0:
+                raise InjectedFault(0, 0, "root dies")
+            try:
+                while True:
+                    comm.bcast(None, root=0)
+            except RECOVERABLE:
+                comm.revoke()
+            new = comm.shrink()
+            return new.allreduce(1)
+
+        out = mpi.run_spmd(body, 3, timeout=30.0, fault_mode="failstop")
+        assert out[1] == out[2] == 2
+
+
+class TestRmaEpochCrash:
+    def test_fence_epoch_with_dead_rank(self):
+        """A fence (collective barrier) with a dead member raises a
+        typed error; after shrink a fresh window works."""
+        def body(comm):
+            if comm.rank == 1:
+                raise InjectedFault(1, 0, "dies before fence")
+            buf = np.full(4, float(comm.rank))
+            try:
+                win = mpi.Win.Create(buf, comm)  # collective create
+                while True:
+                    win.Fence()
+            except RECOVERABLE:
+                comm.revoke()
+            new = comm.shrink()
+            buf2 = np.full(4, float(new.rank))
+            win2 = mpi.Win.Create(buf2, new)
+            win2.Fence()
+            got = np.zeros(4)
+            win2.Get(got, target_rank=(new.rank + 1) % new.size)
+            win2.Fence()
+            return float(got[0])
+
+        out = mpi.run_spmd(body, 3, timeout=30.0, fault_mode="failstop")
+        # survivors 0,2 -> new ranks 0,1; each reads its neighbour
+        assert out[0] == 1.0 and out[2] == 0.0
+
+    def test_put_to_dead_rank_window(self):
+        """One-sided ops targeting a failed rank's window fail typed,
+        not silently."""
+        def body(comm):
+            if comm.rank == 1:
+                raise InjectedFault(1, 0, "dies before window create")
+            buf = np.zeros(2)
+            try:
+                while True:
+                    win = mpi.Win.Create(buf, comm)   # collective: hangs
+                    win.Fence()
+            except RECOVERABLE:
+                comm.revoke()
+            return "typed"
+
+        out = mpi.run_spmd(body, 3, timeout=30.0, fault_mode="failstop")
+        assert out[0] == out[2] == "typed"

@@ -1,0 +1,183 @@
+"""ULFM-style fault-tolerance primitives: revoke / agree / shrink."""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.mpi.errors import InjectedFault
+
+
+class TestRevoke:
+    def test_revoke_poisons_future_ops(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.revoke()
+            # every member, including the revoker, sees the typed error
+            with pytest.raises(mpi.CommRevokedError):
+                while True:
+                    comm.barrier()
+            return "poisoned"
+
+        assert mpi.run_spmd(body, 3, timeout=30.0) == ["poisoned"] * 3
+
+    def test_revoke_wakes_blocked_waiter(self):
+        """An in-flight recv on the revoked comm wakes with the typed
+        error inside the 0.25 s detection period, not at the timeout."""
+        import time
+
+        def body(comm):
+            if comm.rank == 0:
+                t0 = time.monotonic()
+                with pytest.raises(mpi.CommRevokedError):
+                    comm.recv(source=1, tag=5)
+                return time.monotonic() - t0
+            time.sleep(0.3)
+            comm.revoke()
+            return 0.0
+
+        latency = mpi.run_spmd(body, 2, timeout=60.0)[0]
+        assert latency < 5.0
+
+    def test_revoke_is_idempotent(self):
+        def body(comm):
+            comm.revoke()
+            comm.revoke()
+            with pytest.raises(mpi.CommRevokedError):
+                comm.bcast(1, root=0)
+
+        mpi.run_spmd(body, 2, timeout=30.0)
+
+    def test_revoke_does_not_cascade_to_derived(self):
+        """Revoking the parent leaves a split-off child usable, and
+        vice versa (ULFM revocation is per-communicator)."""
+        def body(comm):
+            child = comm.split(comm.rank % 2, comm.rank)
+            sync = comm.split(0, comm.rank)
+            # drain the parent-ctx split traffic on every rank before
+            # revoking, so no rank is mid-split when the flag lands
+            sync.barrier()
+            if comm.rank == 0:
+                comm.revoke()
+            with pytest.raises(mpi.CommRevokedError):
+                while True:
+                    comm.barrier()           # parent is dead
+            return child.allreduce(1)        # child still works
+
+        out = mpi.run_spmd(body, 4, timeout=30.0)
+        assert out == [2, 2, 2, 2]
+
+    def test_child_revoke_leaves_parent_alive(self):
+        def body(comm):
+            child = comm.split(0, comm.rank)
+            child.revoke()
+            with pytest.raises(mpi.CommRevokedError):
+                child.barrier()
+            return comm.allreduce(1)
+
+        assert mpi.run_spmd(body, 3, timeout=30.0) == [3, 3, 3]
+
+
+class TestAgree:
+    def test_default_combine_is_bitwise_and(self):
+        def body(comm):
+            return comm.agree(0b110 if comm.rank else 0b011)
+
+        assert mpi.run_spmd(body, 3, timeout=30.0) == [0b010] * 3
+
+    def test_custom_combine(self):
+        def body(comm):
+            return comm.agree({comm.rank},
+                              combine=lambda vs: sorted(set().union(*vs)))
+
+        assert mpi.run_spmd(body, 3, timeout=30.0) == [[0, 1, 2]] * 3
+
+    def test_agree_works_on_revoked_comm(self):
+        """Agreement is the one collective that must survive revocation:
+        recovery is negotiated after the revoke."""
+        def body(comm):
+            comm.revoke()
+            return comm.agree(1)
+
+        assert mpi.run_spmd(body, 3, timeout=30.0) == [1, 1, 1]
+
+    def test_agree_survives_member_death(self):
+        """Survivors decide identically even when a member dies instead
+        of contributing."""
+        def body(comm):
+            if comm.rank == 1:
+                raise InjectedFault(1, 0, "dies before agree")
+            return comm.agree({comm.rank},
+                              combine=lambda vs: sorted(set().union(*vs)))
+
+        out = mpi.run_spmd(body, 3, timeout=30.0, fault_mode="failstop")
+        assert out[0] == out[2] == [0, 2]
+        assert isinstance(out[1], InjectedFault)
+
+
+class TestShrink:
+    def test_shrink_densely_reranks_survivors(self):
+        def body(comm):
+            if comm.rank == 1:
+                raise InjectedFault(1, 0, "dies before shrink")
+            try:
+                comm.allreduce(1)
+            except (mpi.RankFailure, mpi.CommRevokedError):
+                comm.revoke()
+            new = comm.shrink()
+            # dense re-rank in parent order: world 0 -> 0, world 2 -> 1
+            total = new.allreduce(new.rank)
+            return new.rank, new.size, total
+
+        out = mpi.run_spmd(body, 3, timeout=30.0, fault_mode="failstop")
+        assert out[0] == (0, 2, 1)
+        assert out[2] == (1, 2, 1)
+
+    def test_shrink_without_failures_is_identity_group(self):
+        def body(comm):
+            new = comm.shrink()
+            return new.size, new.allreduce(1)
+
+        assert mpi.run_spmd(body, 3, timeout=30.0) == [(3, 3)] * 3
+
+    def test_shrunk_comm_supports_p2p_and_collectives(self):
+        def body(comm):
+            if comm.rank == 0:
+                raise InjectedFault(0, 0, "root dies")
+            try:
+                comm.bcast(None, root=0)
+            except (mpi.RankFailure, mpi.CommRevokedError):
+                comm.revoke()
+            new = comm.shrink()
+            if new.rank == 0:
+                new.send(np.arange(4.0), dest=1, tag=2)
+                return new.allreduce(10)
+            got = new.recv(source=0, tag=2)
+            assert np.array_equal(got, np.arange(4.0))
+            return new.allreduce(10)
+
+        out = mpi.run_spmd(body, 3, timeout=30.0, fault_mode="failstop")
+        assert out[1] == out[2] == 20
+
+    def test_repeated_shrink_after_second_death(self):
+        """A rank that dies after the first recovery is handled by
+        shrinking again (the ULFM escalation loop)."""
+        def body(comm):
+            if comm.rank == 3:
+                raise InjectedFault(3, 0, "first death")
+            try:
+                comm.allreduce(1)
+            except (mpi.RankFailure, mpi.CommRevokedError):
+                comm.revoke()
+            c1 = comm.shrink()
+            if comm.rank == 2:
+                raise InjectedFault(2, 1, "second death")
+            try:
+                while True:
+                    c1.allreduce(1)
+            except (mpi.RankFailure, mpi.CommRevokedError):
+                c1.revoke()
+            c2 = c1.shrink()
+            return c2.size, c2.allreduce(1)
+
+        out = mpi.run_spmd(body, 4, timeout=30.0, fault_mode="failstop")
+        assert out[0] == out[1] == (2, 2)

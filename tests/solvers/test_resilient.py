@@ -1,0 +1,190 @@
+"""Resilient solvers: iterate checkpoints + shrink-and-restart."""
+
+import numpy as np
+import pytest
+
+from repro import galeri, mpi, solvers
+from repro.mpi.errors import InjectedFault
+from repro.solvers.resilient import IterateCheckpoint
+from repro.tpetra import Operator, Vector
+
+NX = NY = 10
+N = NX * NY
+
+
+def _make_system(comm):
+    A = galeri.laplace_2d(NX, NY, comm)
+    b = Vector(A.row_map)
+    b.local_view = np.sin(np.asarray(A.row_map.my_gids, dtype=float))
+    return A, b
+
+
+class _KillerOp(Operator):
+    """Wraps an operator; raises InjectedFault on chosen ranks after a
+    number of applies (counted per victim across restarts)."""
+
+    def __init__(self, inner, comm, kills, counts):
+        self.inner = inner
+        self.comm = comm
+        self.kills = kills      # {victim_rank_at_start: after_n_applies}
+        self.counts = counts    # shared dict: victim -> applies so far
+
+    def domain_map(self):
+        return self.inner.domain_map()
+
+    def range_map(self):
+        return self.inner.range_map()
+
+    def apply(self, x, y, trans=False):
+        me = self.comm.context.rank   # world rank: stable across shrinks
+        if me in self.kills:
+            k = self.counts.get(me, 0) + 1
+            self.counts[me] = k
+            if k > self.kills[me]:
+                raise InjectedFault(me, k, "scripted solver kill")
+        return self.inner.apply(x, y, trans=trans)
+
+
+def _oracle():
+    def body(comm):
+        A, b = _make_system(comm)
+        r = solvers.cg(A, b, tol=1e-10, maxiter=500)
+        assert r.converged
+        return (np.asarray(A.domain_map().my_gids),
+                np.array(r.x.local_view))
+    g, v = mpi.run_spmd(body, 1)[0]
+    xg = np.zeros(N)
+    xg[g] = v
+    return xg
+
+
+def _resilient(nranks, kills, **kw):
+    counts = {}
+
+    def body(comm):
+        def make(c):
+            A, b = _make_system(c)
+            return _KillerOp(A, c, kills, counts), b
+
+        res = solvers.resilient_solve(comm, make, method="cg",
+                                      tol=1e-10, maxiter=500,
+                                      ckpt_every=10, **kw)
+        return (res.converged, res.restarts, res.ranks_lost,
+                np.asarray(res.x.map.my_gids), np.array(res.x.local_view))
+
+    return mpi.run_spmd(body, nranks, timeout=30.0, fault_mode="failstop")
+
+
+class TestResilientSolve:
+    def test_mid_solve_kill_matches_fault_free_answer(self):
+        xg = _oracle()
+        out = _resilient(3, kills={2: 25})
+        live = [o for o in out if not isinstance(o, InjectedFault)]
+        assert len(live) == 2
+        got = np.zeros(N)
+        for conv, restarts, lost, g, v in live:
+            assert conv and restarts >= 1 and lost == 1
+            got[g] = v
+        err = np.linalg.norm(got - xg) / np.linalg.norm(xg)
+        assert err < 1e-7
+
+    def test_two_kills_two_restarts(self):
+        xg = _oracle()
+        out = _resilient(4, kills={1: 15, 3: 40})
+        live = [o for o in out if not isinstance(o, InjectedFault)]
+        assert len(live) == 2
+        got = np.zeros(N)
+        for conv, restarts, lost, g, v in live:
+            assert conv and restarts >= 2 and lost == 2
+            got[g] = v
+        err = np.linalg.norm(got - xg) / np.linalg.norm(xg)
+        assert err < 1e-7
+
+    def test_fault_free_run_has_no_restarts(self):
+        out = _resilient(2, kills={})
+        for conv, restarts, lost, _g, _v in out:
+            assert conv and restarts == 0 and lost == 0
+
+    def test_unknown_method_rejected(self):
+        def body(comm):
+            with pytest.raises(ValueError, match="unknown method"):
+                solvers.resilient_solve(comm, _make_system,
+                                        method="nope")
+        mpi.run_spmd(body, 1)
+
+
+class TestIterateCheckpoint:
+    def test_keeps_two_versions(self):
+        def body(comm):
+            A, b = _make_system(comm)
+            x = Vector(A.row_map)
+            ckpt = IterateCheckpoint()
+            for _ in range(4):
+                ckpt.save(comm, x)
+            return sorted(ckpt.own), sorted(ckpt.held)
+
+        own, held = mpi.run_spmd(body, 2)[0]
+        assert own == [3, 4] and held == [3, 4]
+
+    def test_partner_pieces_cover_dead_rank(self):
+        """After rank 1 'dies', rank 2 contributes the mirrored copy of
+        rank 1's slice: the union of survivor pieces covers everything."""
+        def body(comm):
+            A, b = _make_system(comm)
+            x = Vector(A.row_map)
+            x.local_view = np.asarray(A.row_map.my_gids, dtype=float)
+            ckpt = IterateCheckpoint()
+            ckpt.save(comm, x)
+            pieces = ckpt.pieces_for(dead=[1])
+            covered = np.zeros(N, dtype=bool)
+            for _v, gids, _vals in pieces:
+                covered[gids] = True
+            return comm.rank, int(covered.sum())
+
+        out = mpi.run_spmd(body, 3)
+        cover = {r: c for r, c in out}
+        # rank 2 holds its own slice plus dead rank 1's copy
+        assert cover[2] > cover[0]
+
+
+class TestResilientNewton:
+    def test_newton_recovers_from_kill(self):
+        """JFNK on a mildly nonlinear diagonal problem survives a kill.
+
+        F(x) = x + 0.1 x^3 - c has a unique solution per component."""
+        from repro.tpetra import Map
+
+        counts = {}
+
+        def body(comm):
+            def make_problem(c):
+                m = Map.create_contiguous(40, c)
+                x0 = Vector(m)
+                target = Vector(m)
+                target.local_view = 0.5 * np.sin(
+                    np.asarray(m.my_gids, dtype=float))
+
+                def residual(x):
+                    out = Vector(m)
+                    me = c.context.rank
+                    if me == 1:
+                        k = counts.get(me, 0) + 1
+                        counts[me] = k
+                        if k > 12:
+                            raise InjectedFault(me, k, "newton kill")
+                    out.local_view = (x.local_view
+                                      + 0.1 * x.local_view ** 3
+                                      - target.local_view)
+                    return out
+
+                return residual, x0
+
+            res = solvers.resilient_newton(comm, make_problem, tol=1e-10,
+                                           maxiter=50, ckpt_every=3)
+            return res.converged, res.residual_norm
+
+        out = mpi.run_spmd(body, 3, timeout=30.0, fault_mode="failstop")
+        live = [o for o in out if not isinstance(o, InjectedFault)]
+        assert len(live) == 2
+        for conv, rnorm in live:
+            assert conv and rnorm < 1e-9
