@@ -18,10 +18,12 @@ Quick start::
     results = mpi.run_spmd(program, nranks=4)
 """
 
-from .comm import Group, Intracomm
+from .comm import (Group, Intracomm, collective_label_catalogue,
+                   set_collective_tuning)
 from .cart import CartComm, dims_create
-from .costmodel import (COMMODITY_CLUSTER, ETHERNET, FAST_INTERCONNECT,
-                        CostModel)
+from .costmodel import (COLLECTIVE_ALGORITHMS, COMMODITY_CLUSTER, ETHERNET,
+                        FAST_INTERCONNECT, FLAT, CostModel, Topology,
+                        collective_costs, crossover_size, select_algorithm)
 from .counters import CommCounters, CounterSnapshot
 from .datatypes import (BOOL, BYTE, CHAR, C_DOUBLE_COMPLEX, C_FLOAT_COMPLEX,
                         DOUBLE, FLOAT, INT, INT32_T, INT64_T, LONG,
@@ -67,9 +69,12 @@ __all__ = [
     "MPIError", "DeadlockError", "TruncationError", "RankError", "TagError",
     "CommError", "AbortError", "InjectedFault", "RankFailure",
     "CommRevokedError",
-    # instrumentation
+    # instrumentation / adaptive collectives
     "CommCounters", "CounterSnapshot", "CostModel", "COMMODITY_CLUSTER",
-    "FAST_INTERCONNECT", "ETHERNET",
+    "FAST_INTERCONNECT", "ETHERNET", "Topology", "FLAT",
+    "COLLECTIVE_ALGORITHMS", "collective_costs", "select_algorithm",
+    "crossover_size", "set_collective_tuning",
+    "collective_label_catalogue",
     # MPI-IO / RMA
     "Win", "File", "MODE_RDONLY", "MODE_WRONLY", "MODE_RDWR", "MODE_CREATE",
     "MODE_APPEND",

@@ -5,15 +5,25 @@ guides reference): lowercase methods communicate arbitrary picklable Python
 objects; uppercase methods communicate NumPy buffers with near-zero
 interpretation overhead.  Collectives are implemented *on top of* the
 point-to-point layer with the classic algorithms (binomial trees, rings,
-pairwise exchange, dissemination barrier) so that message counters reflect
-genuine algorithmic traffic rather than magic shared-memory shortcuts.
+recursive doubling, pairwise exchange, dissemination barrier) so that
+message counters reflect genuine algorithmic traffic rather than magic
+shared-memory shortcuts.
+
+Broadcast, reduce and allreduce are *adaptive*: each call picks the
+cheapest algorithm for its message size, communicator size and declared
+:class:`~repro.mpi.costmodel.Topology` under the active
+:class:`~repro.mpi.costmodel.CostModel` (see
+:func:`repro.mpi.costmodel.select_algorithm`).  The chosen algorithm is
+recorded on the call's ``mpi.coll`` trace span, its ``mpi.coll.calls``
+metric labels and the per-rank counters, so the selection is observable
+and assertable.  Pass ``algorithm=`` to force a specific variant.
 """
 
 from __future__ import annotations
 
 import math
 import pickle
-from typing import Any, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -21,6 +31,8 @@ from ..chaos.core import ENGINE as _CH
 from ..metrics import REGISTRY as _MX
 from ..trace import TRACER as _TR
 from . import ops as _ops
+from .costmodel import (COLLECTIVE_ALGORITHMS, COMMODITY_CLUSTER, CostModel,
+                        Topology, select_algorithm)
 from .datatypes import decode_buffer_spec
 from .errors import (CommRevokedError, RankError, RankFailure, TagError,
                      TruncationError)
@@ -28,7 +40,8 @@ from .request import RecvRequest, SendRequest
 from .runtime import RankContext, _NOT_FAILED
 from .status import ANY_SOURCE, ANY_TAG, Status
 
-__all__ = ["Group", "Intracomm"]
+__all__ = ["Group", "Intracomm", "set_collective_tuning",
+           "collective_label_catalogue"]
 
 
 def _loads(msg):
@@ -54,12 +67,58 @@ def _loads(msg):
             f"payload was truncated or corrupted in flight") from exc
 
 
-def _traced_collective(algorithm: str):
+# ----------------------------------------------------------------------
+# collective algorithm tuning (process-wide defaults)
+# ----------------------------------------------------------------------
+
+#: Cost model consulted by adaptive collectives when the communicator has
+#: no instance-level override (:meth:`Intracomm.set_collective_tuning`).
+_DEFAULT_COST_MODEL: CostModel = COMMODITY_CLUSTER
+#: Declared node topology; ``None`` means flat (no hierarchy to exploit).
+_DEFAULT_TOPOLOGY: Optional[Topology] = None
+
+#: Object-path payloads have per-rank pickle sizes, which must never feed
+#: the (SPMD-consistent) selection; without an explicit ``size_hint`` the
+#: selection assumes a small message.
+_OBJECT_SIZE_GUESS = 512
+
+
+def set_collective_tuning(cost_model: Optional[CostModel] = None,
+                          topology: Optional[Topology] = None) -> None:
+    """Set the process-wide cost model / topology for adaptive collectives.
+
+    Both are inherited by every communicator that has no instance-level
+    override.  Pass :data:`~repro.mpi.costmodel.FLAT` to clear a topology.
+    SPMD note: this mutates module state shared by all ranks of a thread
+    world, so it is inherently SPMD-consistent; call it outside the SPMD
+    region (or identically on every rank).
+    """
+    global _DEFAULT_COST_MODEL, _DEFAULT_TOPOLOGY
+    if cost_model is not None:
+        _DEFAULT_COST_MODEL = cost_model
+    if topology is not None:
+        _DEFAULT_TOPOLOGY = None if topology.is_flat else topology
+
+
+def _block_bounds(n: int, m: int) -> List[Tuple[int, int]]:
+    """Balanced split of ``n`` elements into ``m`` contiguous blocks."""
+    base, extra = divmod(n, m)
+    bounds = []
+    start = 0
+    for k in range(m):
+        size = base + (1 if k < extra else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def _traced_collective(default_algorithm: str):
     """Wrap a collective so each call records one span tagged with the
-    algorithm it implements, and (when metrics are on) counts calls and
-    this rank's sent bytes per algorithm.  Disabled cost: two predicates
-    (plus the wrapper call frame) per invocation -- negligible next to
-    pickling and condition-variable waits."""
+    algorithm it executed, counts the (op, algorithm) pair in the rank's
+    wire counters, and (when metrics are on) counts calls and this rank's
+    sent bytes per algorithm.  Adaptive collectives overwrite the default
+    label via :meth:`Intracomm._note_algorithm`; the label a call records
+    is always the algorithm that actually ran."""
     def deco(fn):
         name = fn.__name__
 
@@ -72,20 +131,24 @@ def _traced_collective(algorithm: str):
             # happens to involve the dead rank (a root's bcast, for
             # instance, never receives at all)
             self._check_usable(name)
+            ctrs = self._ctx.world.counters[self._ctx.rank]
             tr, mx = _TR.enabled, _MX.enabled
-            if not (tr or mx):
-                return fn(self, *args, **kwargs)
-            if mx:
-                # plain attribute read: exactness not worth a lock here
-                b0 = self._ctx.world.counters[self._ctx.rank].bytes_sent
+            # plain attribute read: exactness not worth a lock here
+            b0 = ctrs.bytes_sent if mx else 0
             t0 = _TR.now() if tr else 0.0
-            out = fn(self, *args, **kwargs)
+            notes = self._algo_notes
+            notes.append(default_algorithm)
+            try:
+                out = fn(self, *args, **kwargs)
+                algorithm = notes[-1]
+            finally:
+                notes.pop()
+            ctrs.record_coll(name, algorithm)
             if tr:
                 _TR.complete("mpi.coll", name, t0, rank=self._ctx.rank,
                              algorithm=algorithm, size=self._size)
             if mx:
-                sent = (self._ctx.world.counters[self._ctx.rank].bytes_sent
-                        - b0)
+                sent = ctrs.bytes_sent - b0
                 _MX.inc("mpi.coll.calls", op=name, algorithm=algorithm)
                 if sent > 0:
                     _MX.inc("mpi.coll.bytes_sent", sent, op=name,
@@ -97,6 +160,48 @@ def _traced_collective(algorithm: str):
         wrapper.__doc__ = fn.__doc__
         return wrapper
     return deco
+
+
+#: Algorithm label recorded by every non-adaptive collective, keyed by the
+#: op name that appears in spans / metrics.  The adaptive ops (bcast,
+#: reduce, allreduce and their buffer twins) instead draw labels from
+#: :data:`~repro.mpi.costmodel.COLLECTIVE_ALGORITHMS`.
+_STATIC_LABELS: Dict[str, str] = {
+    "barrier": "dissemination",
+    "scatter": "linear-root",
+    "gather": "linear-root",
+    "allgather": "ring",
+    "alltoall": "pairwise-exchange",
+    "scan": "linear-chain",
+    "exscan": "linear-chain",
+    "reduce_scatter": "alltoall+fold",
+    "Scatter": "linear-root",
+    "Scatterv": "linear-root",
+    "Gather": "linear-root",
+    "Gatherv": "linear-root",
+    "Allgather": "ring",
+    "Allgatherv": "ring",
+    "Alltoall": "pairwise-exchange",
+    "Scan": "linear-chain",
+    "Exscan": "linear-chain",
+}
+
+
+def collective_label_catalogue() -> Dict[str, Tuple[str, ...]]:
+    """Every algorithm label each collective op may legally record.
+
+    The audit test (and any trace consumer) checks observed
+    ``algorithm=`` span/metric labels against this catalogue, so a
+    collective whose label drifts from its implementation fails loudly.
+    """
+    cat = {op: (label, "local") for op, label in _STATIC_LABELS.items()}
+    for op in ("allreduce", "Allreduce"):
+        cat[op] = COLLECTIVE_ALGORITHMS["allreduce"]
+    for op in ("bcast", "Bcast"):
+        cat[op] = COLLECTIVE_ALGORITHMS["bcast"]
+    for op in ("reduce", "Reduce"):
+        cat[op] = COLLECTIVE_ALGORITHMS["reduce"]
+    return cat
 
 
 class Group:
@@ -147,9 +252,14 @@ class Intracomm:
         self._ctx_id = ctx_id
         self._rank = self._rank_of_world[ctx.rank]
         self._size = len(self._world_ranks)
-        self._coll_seq = 0   # per-collective tag stream; SPMD-consistent
+        self._coll_seq = 0   # per-collective context stream; SPMD-consistent
         self._child_seq = 0  # id stream for derived communicators
         self._agree_seq = 0  # agreement rendezvous stream; SPMD-consistent
+        # algorithm-label stack for the _traced_collective wrappers (a
+        # stack because adaptive collectives nest: allreduce -> Reduce)
+        self._algo_notes: List[str] = []
+        self._cost_model: Optional[CostModel] = None
+        self._topology: Optional[Topology] = None
 
     # ------------------------------------------------------------------
     # identity
@@ -192,6 +302,63 @@ class Intracomm:
                 f"ctx={self._ctx_id!r})")
 
     # ------------------------------------------------------------------
+    # collective tuning
+    # ------------------------------------------------------------------
+    def set_collective_tuning(self, cost_model: Optional[CostModel] = None,
+                              topology: Optional[Topology] = None
+                              ) -> "Intracomm":
+        """Override the cost model / topology for *this* communicator.
+
+        A non-flat *topology* must partition ``range(size)`` of this
+        communicator (``ValueError`` otherwise).  Pass
+        :data:`~repro.mpi.costmodel.FLAT` to clear a topology.  Returns
+        ``self`` so the call chains off a constructor.
+        """
+        if cost_model is not None:
+            self._cost_model = cost_model
+        if topology is not None:
+            if topology.is_flat:
+                self._topology = None
+            else:
+                topology.validate(self._size)
+                self._topology = topology
+        return self
+
+    def _tuning(self) -> Tuple[CostModel, Optional[Topology]]:
+        model = self._cost_model if self._cost_model is not None \
+            else _DEFAULT_COST_MODEL
+        topo = self._topology if self._topology is not None \
+            else _DEFAULT_TOPOLOGY
+        return model, topo
+
+    def _note_algorithm(self, algorithm: str) -> None:
+        """Record which algorithm the innermost active collective ran."""
+        if self._algo_notes:
+            self._algo_notes[-1] = algorithm
+
+    def _select(self, coll: str, nbytes: int, count: Optional[int],
+                commutative: bool, algorithm: Optional[str]) -> str:
+        """Forced algorithm (validated) or the cost-model argmin."""
+        if algorithm is not None:
+            legal = COLLECTIVE_ALGORITHMS[coll]
+            if algorithm not in legal or algorithm == "local":
+                raise ValueError(
+                    f"unknown {coll} algorithm {algorithm!r}; choose from "
+                    f"{sorted(a for a in legal if a != 'local')}")
+            return algorithm
+        model, topo = self._tuning()
+        return select_algorithm(coll, self._size, int(nbytes), model,
+                                topology=topo, commutative=commutative,
+                                count=count)
+
+    def _groups(self) -> Optional[List[List[int]]]:
+        """Usable topology groups for this communicator, else None."""
+        _model, topo = self._tuning()
+        if topo is None:
+            return None
+        return topo.groups_for(self._size)
+
+    # ------------------------------------------------------------------
     # argument checking helpers
     # ------------------------------------------------------------------
     def _check_rank(self, rank: int, allow_any: bool = False) -> None:
@@ -232,9 +399,16 @@ class Intracomm:
         return (self._ctx_id, "p")
 
     def _next_coll(self):
-        tag = self._coll_seq
+        """Fresh context id for one collective call (base tag 0).
+
+        Each call gets its *own* context rather than a shared context
+        with an incrementing tag, so a multi-phase algorithm is free to
+        use small tag offsets for its internal phases without colliding
+        with any other collective in flight on the same communicator.
+        """
+        seq = self._coll_seq
         self._coll_seq += 1
-        return (self._ctx_id, "c"), tag
+        return (self._ctx_id, "c", seq), 0
 
     # ------------------------------------------------------------------
     # point-to-point: Python objects (pickle path)
@@ -391,6 +565,469 @@ class Intracomm:
         self.Recv(recvbuf, source, recvtag, status)
 
     # ------------------------------------------------------------------
+    # collective plumbing: send/recv closures over a member list
+    # ------------------------------------------------------------------
+    def _obj_io(self, ctx_id, ws):
+        """(send, recv) closures moving pickled objects between members.
+
+        *ws* is a list of world ranks; both closures address peers by
+        index into it, so one algorithm implementation serves the full
+        communicator and any hierarchical subgroup alike.  Receives watch
+        the whole communicator's membership, so a death anywhere aborts
+        the collective instead of hanging a chain of waiters.
+        """
+        ctx = self._ctx
+        members = self._world_ranks
+
+        def send(payload, j, t):
+            ctx.send_object(ws[j], ctx_id, t, payload)
+
+        def recv(j, t):
+            return _loads(ctx.recv_message(ctx_id, ws[j], t,
+                                           members=members))
+
+        return send, recv
+
+    def _buf_io(self, ctx_id, ws, np_dtype, expect, opname):
+        """(send, recv) closures moving fixed-size buffers between members.
+
+        Every receive insists on exactly *expect* elements: a payload
+        truncated or inflated in flight raises :class:`TruncationError`
+        rather than corrupting the reduction.
+        """
+        ctx = self._ctx
+        members = self._world_ranks
+
+        def send(payload, j, t):
+            ctx.send_buffer(ws[j], ctx_id, t, payload)
+
+        def recv(j, t):
+            msg = ctx.recv_message(ctx_id, ws[j], t, members=members)
+            incoming = np.asarray(msg.payload).view(np_dtype)
+            if incoming.size != expect:
+                raise TruncationError(
+                    f"{opname} expected {expect} elements, received "
+                    f"{incoming.size}: payload truncated or oversized "
+                    f"in flight")
+            return incoming
+
+        return send, recv
+
+    def _recv_flat(self, ctx_id, src_world, tag, np_dtype, expect, opname):
+        """One exact-size buffer receive (segmented-algorithm helper)."""
+        msg = self._ctx.recv_message(ctx_id, src_world, tag,
+                                     members=self._world_ranks)
+        incoming = np.asarray(msg.payload).view(np_dtype)
+        if incoming.size != expect:
+            raise TruncationError(
+                f"{opname} expected {expect} elements, received "
+                f"{incoming.size}: payload truncated or oversized in flight")
+        return incoming
+
+    # ------------------------------------------------------------------
+    # collective algorithm kernels (generic over the io closures)
+    # ------------------------------------------------------------------
+    def _bcast_tree(self, tag, ws, i, root_i, value, send, recv):
+        """Binomial-tree broadcast over *ws* rooted at index *root_i*.
+
+        MPICH formulation in root-rotated virtual ranks: member v
+        receives from ``v - lowbit(v)`` and forwards to ``v + mask`` for
+        every mask below its low bit -- ceil(log2 m) rounds, each member
+        receives exactly once.
+        """
+        m = len(ws)
+        if m == 1:
+            return value
+        v = (i - root_i) % m
+        mask = 1
+        while mask < m:
+            if v & mask:
+                value = recv((v - mask + root_i) % m, tag)
+                break
+            mask <<= 1
+        mask >>= 1
+        while mask:
+            if v + mask < m:
+                send(value, (v + mask + root_i) % m, tag)
+            mask >>= 1
+        return value
+
+    def _fold_tree(self, tag, ws, i, acc, combine, send, recv):
+        """Rank-ordered binomial fold to member 0.
+
+        Member i always combines ``combine(own_run, higher_run)`` where
+        the higher run starts exactly where its own ends, so the fold
+        applies *combine* strictly in member order -- valid for
+        non-commutative (but associative) operations.  Returns the result
+        at member 0, ``None`` elsewhere.
+        """
+        mask = 1
+        m = len(ws)
+        while mask < m:
+            if i & mask:
+                send(acc, i & ~mask, tag)
+                return None
+            partner = i | mask
+            if partner < m:
+                acc = combine(acc, recv(partner, tag))
+            mask <<= 1
+        return acc
+
+    def _reduce_rotated(self, tag, ws, i, root_i, acc, combine, send, recv):
+        """Commutative binomial-tree reduce rooted at *root_i*."""
+        m = len(ws)
+        v = (i - root_i) % m
+        mask = 1
+        while mask < m:
+            if v & mask:
+                send(acc, ((v & ~mask) + root_i) % m, tag)
+                return None
+            partner = v | mask
+            if partner < m:
+                acc = combine(acc, recv((partner + root_i) % m, tag))
+            mask <<= 1
+        return acc
+
+    def _reduce_ordered(self, tag, ws, i, root_i, acc, combine, send, recv):
+        """Rank-ordered tree fold plus a forward hop to the root.
+
+        Uses tags ``tag`` (fold) and ``tag + 1`` (member 0 -> root).
+        """
+        acc = self._fold_tree(tag, ws, i, acc, combine, send, recv)
+        if root_i == 0:
+            return acc
+        if i == 0:
+            send(acc, root_i, tag + 1)
+            return None
+        if i == root_i:
+            return recv(0, tag + 1)
+        return None
+
+    def _reduce_gather_fold(self, tag, ws, i, root_i, value, combine,
+                            send, recv):
+        """Everyone sends to the root, which folds in member order.
+
+        O(m * msg) root memory pressure -- kept only as an explicitly
+        selectable baseline, never chosen by the cost model.
+        """
+        m = len(ws)
+        if i != root_i:
+            send(value, root_i, tag)
+            return None
+        acc = None
+        for j in range(m):
+            part = value if j == i else recv(j, tag)
+            acc = part if acc is None else combine(acc, part)
+        return acc
+
+    def _allreduce_recdbl(self, tag, ws, i, acc, combine, send, recv):
+        """Recursive-doubling allreduce with non-power-of-two folding.
+
+        The first ``2r`` members (``r = m - 2^floor(lg m)``) pair-fold so
+        a power-of-two subset runs the doubling; folded-out members get
+        the result back afterwards.  Combination order is member order
+        throughout (participants own contiguous ascending member runs and
+        the doubling merges adjacent runs), so the kernel is valid for
+        non-commutative ops too.  Tags: ``tag`` fold-in, ``tag + 1``
+        doubling exchanges, ``tag + 2`` result return.
+        """
+        m = len(ws)
+        q = 1 << (m.bit_length() - 1)
+        r = m - q
+        if i < 2 * r:
+            if i & 1:
+                send(acc, i - 1, tag)
+                return recv(i - 1, tag + 2)
+            acc = combine(acc, recv(i + 1, tag))
+            pn = i // 2
+        else:
+            pn = i - r
+        mask = 1
+        while mask < q:
+            pj = pn ^ mask
+            j = 2 * pj if pj < r else pj + r
+            send(acc, j, tag + 1)
+            other = recv(j, tag + 1)
+            acc = combine(other, acc) if pj < pn else combine(acc, other)
+            mask <<= 1
+        if pn < r:
+            send(acc, 2 * pn + 1, tag + 2)
+        return acc
+
+    def _buf_allreduce_ring(self, ctx_id, tag, ws, i, acc, op):
+        """Ring allreduce: ring reduce-scatter then ring allgather.
+
+        2(m-1) steps each moving ~1/m of the vector; bandwidth-optimal,
+        latency-heavy.  Commutative ops only (blocks fold in ring arrival
+        order).  Tags: ``tag`` reduce-scatter, ``tag + 1`` allgather.
+        """
+        m = len(ws)
+        ctx = self._ctx
+        dt = acc.dtype
+        bounds = _block_bounds(acc.size, m)
+        right = ws[(i + 1) % m]
+        left = ws[(i - 1) % m]
+        for k in range(m - 1):
+            s0, s1 = bounds[(i - k) % m]
+            ctx.send_buffer(right, ctx_id, tag, acc[s0:s1])
+            r0, r1 = bounds[(i - k - 1) % m]
+            incoming = self._recv_flat(ctx_id, left, tag, dt, r1 - r0,
+                                       "Allreduce(ring)")
+            acc[r0:r1] = op.np_func(acc[r0:r1], incoming)
+        # member i now owns the fully reduced block (i + 1) % m
+        cur = (i + 1) % m
+        for _k in range(m - 1):
+            s0, s1 = bounds[cur]
+            ctx.send_buffer(right, ctx_id, tag + 1, acc[s0:s1])
+            cur = (cur - 1) % m
+            r0, r1 = bounds[cur]
+            incoming = self._recv_flat(ctx_id, left, tag + 1, dt, r1 - r0,
+                                       "Allreduce(ring)")
+            acc[r0:r1] = incoming
+        return acc
+
+    def _buf_allreduce_rabenseifner(self, ctx_id, tag, ws, i, acc, op):
+        """Rabenseifner allreduce: recursive-halving reduce-scatter plus
+        recursive-doubling allgather -- ring's bandwidth term at tree
+        latency.  Commutative ops only.  Tags: ``tag`` pow2 fold-in,
+        ``tag + 1`` halving, ``tag + 2`` doubling, ``tag + 3`` result
+        return to folded-out members.
+        """
+        m = len(ws)
+        ctx = self._ctx
+        dt = acc.dtype
+        q = 1 << (m.bit_length() - 1)
+        r = m - q
+        if i < 2 * r:
+            if i & 1:
+                ctx.send_buffer(ws[i - 1], ctx_id, tag, acc)
+                incoming = self._recv_flat(ctx_id, ws[i - 1], tag + 3, dt,
+                                           acc.size,
+                                           "Allreduce(rabenseifner)")
+                acc[:] = incoming
+                return acc
+            incoming = self._recv_flat(ctx_id, ws[i + 1], tag, dt, acc.size,
+                                       "Allreduce(rabenseifner)")
+            acc = op.np_func(acc, incoming)
+            pn = i // 2
+        else:
+            pn = i - r
+
+        def wrank(pk):
+            return ws[2 * pk if pk < r else pk + r]
+
+        bounds = _block_bounds(acc.size, q)
+        off = [b[0] for b in bounds] + [acc.size]
+        # recursive halving: each round swap half of the live window with
+        # the partner and fold the half we keep
+        lo, hi = 0, q
+        mask = q >> 1
+        while mask:
+            pj = pn ^ mask
+            mid = lo + mask
+            if pn & mask:
+                send_sl = acc[off[lo]:off[mid]]
+                keep0, keep1 = off[mid], off[hi]
+                lo = mid
+            else:
+                send_sl = acc[off[mid]:off[hi]]
+                keep0, keep1 = off[lo], off[mid]
+                hi = mid
+            ctx.send_buffer(wrank(pj), ctx_id, tag + 1, send_sl)
+            incoming = self._recv_flat(ctx_id, wrank(pj), tag + 1, dt,
+                                       keep1 - keep0,
+                                       "Allreduce(rabenseifner)")
+            acc[keep0:keep1] = op.np_func(acc[keep0:keep1], incoming)
+            mask >>= 1
+        # recursive doubling allgather of the owned blocks
+        mask = 1
+        while mask < q:
+            pj = pn ^ mask
+            my_lo = (pn // mask) * mask
+            pr_lo = (pj // mask) * mask
+            ctx.send_buffer(wrank(pj), ctx_id, tag + 2,
+                            acc[off[my_lo]:off[my_lo + mask]])
+            incoming = self._recv_flat(ctx_id, wrank(pj), tag + 2, dt,
+                                       off[pr_lo + mask] - off[pr_lo],
+                                       "Allreduce(rabenseifner)")
+            acc[off[pr_lo]:off[pr_lo + mask]] = incoming
+            mask <<= 1
+        if pn < r:
+            ctx.send_buffer(ws[2 * pn + 1], ctx_id, tag + 3, acc)
+        return acc
+
+    def _buf_reduce_ring(self, ctx_id, tag, ws, i, root_i, acc, op):
+        """Ring reduce: ring reduce-scatter, owned blocks hop to the root.
+
+        Commutative ops only.  Tags: ``tag`` reduce-scatter, ``tag + 1``
+        block gather at the root.
+        """
+        m = len(ws)
+        ctx = self._ctx
+        dt = acc.dtype
+        bounds = _block_bounds(acc.size, m)
+        right = ws[(i + 1) % m]
+        left = ws[(i - 1) % m]
+        for k in range(m - 1):
+            s0, s1 = bounds[(i - k) % m]
+            ctx.send_buffer(right, ctx_id, tag, acc[s0:s1])
+            r0, r1 = bounds[(i - k - 1) % m]
+            incoming = self._recv_flat(ctx_id, left, tag, dt, r1 - r0,
+                                       "Reduce(ring)")
+            acc[r0:r1] = op.np_func(acc[r0:r1], incoming)
+        own = (i + 1) % m
+        o0, o1 = bounds[own]
+        if i != root_i:
+            ctx.send_buffer(ws[root_i], ctx_id, tag + 1, acc[o0:o1])
+            return None
+        out = np.empty_like(acc)
+        out[o0:o1] = acc[o0:o1]
+        for b in range(m):
+            owner = (b - 1) % m
+            if owner == i:
+                continue
+            b0, b1 = bounds[b]
+            incoming = self._recv_flat(ctx_id, ws[owner], tag + 1, dt,
+                                       b1 - b0, "Reduce(ring)")
+            out[b0:b1] = incoming
+        return out
+
+    def _buf_bcast_scatter_allgather(self, ctx_id, tag, ws, i, root_i,
+                                     flat, count, np_dtype):
+        """van de Geijn broadcast: binomial scatter + ring allgather.
+
+        Halves the bandwidth term of the binomial tree for large
+        messages at the cost of extra latency.  Tags: ``tag`` scatter,
+        ``tag + 1`` allgather.
+        """
+        m = len(ws)
+        ctx = self._ctx
+        bounds = _block_bounds(count, m)
+        off = [b[0] for b in bounds] + [count]
+        v = (i - root_i) % m
+
+        def wrank(vr):
+            return ws[(vr + root_i) % m]
+
+        # binomial scatter in virtual-rank space: v receives blocks
+        # [v, v + lowbit(v)) from v - lowbit(v), then halves its span
+        # downward
+        mask = 1
+        while mask < m:
+            if v & mask:
+                hi_blk = min(v + mask, m)
+                incoming = self._recv_flat(
+                    ctx_id, wrank(v - mask), tag, np_dtype,
+                    off[hi_blk] - off[v], "Bcast(scatter-allgather)")
+                flat[off[v]:off[hi_blk]] = incoming
+                break
+            mask <<= 1
+        mask >>= 1
+        while mask:
+            dv = v + mask
+            if dv < m:
+                hi_blk = min(dv + mask, m)
+                ctx.send_buffer(wrank(dv), ctx_id, tag,
+                                flat[off[dv]:off[hi_blk]])
+            mask >>= 1
+        # ring allgather in virtual-rank space
+        right = wrank((v + 1) % m)
+        left = wrank((v - 1) % m)
+        cur = v
+        for _k in range(m - 1):
+            ctx.send_buffer(right, ctx_id, tag + 1,
+                            flat[off[cur]:off[cur + 1]])
+            cur = (cur - 1) % m
+            incoming = self._recv_flat(ctx_id, left, tag + 1, np_dtype,
+                                       off[cur + 1] - off[cur],
+                                       "Bcast(scatter-allgather)")
+            flat[off[cur]:off[cur + 1]] = incoming
+
+    def _obj_bcast_scatter_allgather(self, ctx_id, tag, ws, i, root_i, obj):
+        """Scatter-allgather broadcast of a pickled object.
+
+        The root serializes once; the byte blob then rides the buffer
+        kernel (a size header travels down a binomial tree first so
+        non-roots can allocate).  Tags ``tag`` (header) through
+        ``tag + 2``.
+        """
+        if i == root_i:
+            blob = pickle.dumps(obj, protocol=5)
+            data = np.frombuffer(blob, dtype=np.uint8).copy()
+            n = data.size
+        else:
+            data = None
+            n = None
+        send, recv = self._obj_io(ctx_id, ws)
+        n = self._bcast_tree(tag, ws, i, root_i, n, send, recv)
+        if data is None:
+            data = np.empty(int(n), dtype=np.uint8)
+        self._buf_bcast_scatter_allgather(ctx_id, tag + 1, ws, i, root_i,
+                                          data, int(n), np.dtype(np.uint8))
+        if i == root_i:
+            return obj
+        try:
+            return pickle.loads(data.tobytes())
+        except Exception as exc:
+            raise TruncationError(
+                f"scatter-allgather bcast payload failed to decode "
+                f"({exc!r}); payload was truncated or corrupted in "
+                f"flight") from exc
+
+    def _hier_bcast(self, ctx_id, tag, groups, root, value, io_for):
+        """Hierarchical broadcast: root -> its group leader -> leaders'
+        binomial tree -> intra-group binomial trees.
+
+        *groups* are comm-rank groups from the declared topology;
+        *io_for(ws)* builds (send, recv) closures for a member list, so
+        the same skeleton drives the object and buffer paths.  Tags:
+        ``tag`` root hop, ``tag + 1`` leader tree, ``tag + 2`` intra.
+        """
+        full_ws = self._world_ranks
+        me = self._rank
+        mine = next(g for g in groups if me in g)
+        leaders = [g[0] for g in groups]
+        gidx = next(k for k, g in enumerate(groups) if root in g)
+        lead0 = groups[gidx][0]
+        if root != lead0:
+            send, recv = io_for(full_ws)
+            if me == root:
+                send(value, lead0, tag)
+            elif me == lead0:
+                value = recv(root, tag)
+        if me in leaders:
+            lws = [full_ws[r] for r in leaders]
+            send, recv = io_for(lws)
+            value = self._bcast_tree(tag + 1, lws, leaders.index(me), gidx,
+                                     value, send, recv)
+        gws = [full_ws[r] for r in mine]
+        send, recv = io_for(gws)
+        return self._bcast_tree(tag + 2, gws, mine.index(me), 0, value,
+                                send, recv)
+
+    def _hier_allreduce(self, ctx_id, tag, groups, value, combine, io_for):
+        """Hierarchical allreduce: intra-group fold -> leader
+        recursive-doubling -> intra-group broadcast.  Commutative ops
+        only (group membership need not follow rank order).  Tags:
+        ``tag`` intra fold, ``tag + 1``..``tag + 3`` leader exchange,
+        ``tag + 4`` intra broadcast.
+        """
+        full_ws = self._world_ranks
+        me = self._rank
+        mine = next(g for g in groups if me in g)
+        gws = [full_ws[r] for r in mine]
+        gi = mine.index(me)
+        send, recv = io_for(gws)
+        acc = self._fold_tree(tag, gws, gi, value, combine, send, recv)
+        if gi == 0:
+            leaders = [g[0] for g in groups]
+            lws = [full_ws[r] for r in leaders]
+            lsend, lrecv = io_for(lws)
+            acc = self._allreduce_recdbl(tag + 1, lws, leaders.index(me),
+                                         acc, combine, lsend, lrecv)
+        return self._bcast_tree(tag + 4, gws, gi, 0, acc, send, recv)
+
+    # ------------------------------------------------------------------
     # collectives: object (pickle) path
     # ------------------------------------------------------------------
     @_traced_collective("dissemination")
@@ -407,32 +1044,47 @@ class Intracomm:
             dest = (me + dist) % p
             src = (me - dist) % p
             self._ctx.send_object(self._world_ranks[dest], ctx_id,
-                                  tag * rounds + k, None)
+                                  tag + k, None)
             self._ctx.recv_message(ctx_id, self._world_ranks[src],
-                                   tag * rounds + k)
+                                   tag + k)
 
     Barrier = barrier
 
     @_traced_collective("binomial-tree")
-    def bcast(self, obj: Any = None, root: int = 0) -> Any:
-        """Binomial-tree broadcast of a Python object."""
+    def bcast(self, obj: Any = None, root: int = 0,
+              size_hint: Optional[int] = None,
+              algorithm: Optional[str] = None) -> Any:
+        """Size-adaptive broadcast of a Python object.
+
+        *size_hint* (approximate serialized bytes, SPMD-consistent)
+        admits the large-message scatter-allgather variant; without it
+        the pickled size is per-rank-unknowable and selection assumes a
+        small message.  *algorithm* forces a specific variant.
+        """
         self._check_rank(root)
-        ctx_id, tag = self._next_coll()
         p = self._size
         if p == 1:
+            self._note_algorithm("local")
             return obj
-        # Rotate ranks so the root is virtual rank 0.
-        vrank = (self._rank - root) % p
-        if vrank != 0:
-            src = (((vrank - 1) // 2) + root) % p  # parent in binary tree
-            msg = self._ctx.recv_message(ctx_id, self._world_ranks[src], tag)
-            obj = _loads(msg)
-        for child in (2 * vrank + 1, 2 * vrank + 2):
-            if child < p:
-                dest = (child + root) % p
-                self._ctx.send_object(self._world_ranks[dest], ctx_id,
-                                      tag, obj)
-        return obj
+        nbytes = int(size_hint) if size_hint else _OBJECT_SIZE_GUESS
+        count = int(size_hint) if size_hint else None
+        algo = self._select("bcast", nbytes, count, True, algorithm)
+        groups = self._groups()
+        if algo == "hierarchical" and groups is None:
+            raise ValueError(
+                "hierarchical bcast requires a topology declared for "
+                "this communicator size")
+        self._note_algorithm(algo)
+        ctx_id, tag = self._next_coll()
+        ws = self._world_ranks
+        if algo == "scatter-allgather":
+            return self._obj_bcast_scatter_allgather(ctx_id, tag, ws,
+                                                     self._rank, root, obj)
+        if algo == "hierarchical":
+            return self._hier_bcast(ctx_id, tag, groups, root, obj,
+                                    lambda mws: self._obj_io(ctx_id, mws))
+        send, recv = self._obj_io(ctx_id, ws)
+        return self._bcast_tree(tag, ws, self._rank, root, obj, send, recv)
 
     @_traced_collective("linear-root")
     def scatter(self, sendobj: Optional[Sequence] = None,
@@ -509,41 +1161,99 @@ class Intracomm:
 
     @_traced_collective("binomial-tree")
     def reduce(self, sendobj: Any, op: _ops.Op = _ops.SUM,
-               root: int = 0) -> Any:
-        """Binomial-tree reduction (rank-ordered fold if non-commutative)."""
+               root: int = 0, size_hint: Optional[int] = None,
+               algorithm: Optional[str] = None) -> Any:
+        """Size-adaptive reduction to *root*.
+
+        Commutative ops default to the rotated binomial tree;
+        non-commutative ops fold in strict rank order
+        (``rank-ordered-tree``).  ndarray payloads delegate to the buffer
+        machinery, where large vectors may take the ring variant.
+        """
         self._check_rank(root)
-        if not op.commutative:
-            parts = self.gather(sendobj, root=root)
-            if self._rank != root:
-                return None
-            acc = parts[0]
-            for part in parts[1:]:
-                acc = op(acc, part)
-            return acc
-        ctx_id, tag = self._next_coll()
         p = self._size
-        vrank = (self._rank - root) % p
-        acc = sendobj
-        mask = 1
-        while mask < p:
-            if vrank & mask:
-                dest = ((vrank & ~mask) + root) % p
-                self._ctx.send_object(self._world_ranks[dest], ctx_id,
-                                      tag, acc)
-                return None
-            partner = vrank | mask
-            if partner < p:
-                src = (partner + root) % p
-                msg = self._ctx.recv_message(ctx_id, self._world_ranks[src],
-                                             tag)
-                acc = op(acc, _loads(msg))
-            mask <<= 1
-        return acc if self._rank == root else None
+        if p == 1:
+            self._note_algorithm("local")
+            return sendobj
+        if isinstance(sendobj, np.ndarray) and sendobj.dtype != object:
+            arr = np.ascontiguousarray(sendobj)
+            recvarr = np.empty(arr.shape, arr.dtype) \
+                if self._rank == root else None
+            self._reduce_buffer(arr, recvarr, op, root, algorithm)
+            return recvarr
+        nbytes = int(size_hint) if size_hint else _OBJECT_SIZE_GUESS
+        algo = self._select("reduce", nbytes, None, op.commutative,
+                            algorithm)
+        if not op.commutative and algo in ("binomial-tree", "ring"):
+            raise ValueError(
+                f"reduce algorithm {algo!r} reorders operands; use "
+                f"rank-ordered-tree or gather-fold for non-commutative ops")
+        if algo == "ring":
+            raise ValueError("ring reduce requires ndarray payloads")
+        self._note_algorithm(algo)
+        ctx_id, tag = self._next_coll()
+        ws = self._world_ranks
+        send, recv = self._obj_io(ctx_id, ws)
+        i = self._rank
+        if algo == "rank-ordered-tree":
+            return self._reduce_ordered(tag, ws, i, root, sendobj, op,
+                                        send, recv)
+        if algo == "gather-fold":
+            return self._reduce_gather_fold(tag, ws, i, root, sendobj, op,
+                                            send, recv)
+        return self._reduce_rotated(tag, ws, i, root, sendobj, op,
+                                    send, recv)
 
     @_traced_collective("reduce+bcast")
-    def allreduce(self, sendobj: Any, op: _ops.Op = _ops.SUM) -> Any:
-        result = self.reduce(sendobj, op=op, root=0)
-        return self.bcast(result, root=0)
+    def allreduce(self, sendobj: Any, op: _ops.Op = _ops.SUM,
+                  size_hint: Optional[int] = None,
+                  algorithm: Optional[str] = None) -> Any:
+        """Size-adaptive allreduce.
+
+        ndarray payloads delegate to the buffer machinery (ring /
+        Rabenseifner eligible); other objects pick between reduce+bcast,
+        recursive doubling and the hierarchical variant.  *size_hint*
+        (approximate serialized bytes, SPMD-consistent) steers selection
+        for object payloads.
+        """
+        p = self._size
+        if p == 1:
+            self._note_algorithm("local")
+            return sendobj
+        if isinstance(sendobj, np.ndarray) and sendobj.dtype != object:
+            arr = np.ascontiguousarray(sendobj)
+            out = np.empty(arr.shape, arr.dtype)
+            self._allreduce_buffer(arr, out, op, algorithm)
+            return out
+        nbytes = int(size_hint) if size_hint else _OBJECT_SIZE_GUESS
+        algo = self._select("allreduce", nbytes, None, op.commutative,
+                            algorithm)
+        if algo in ("ring", "rabenseifner"):
+            raise ValueError(
+                f"allreduce algorithm {algo!r} requires ndarray payloads")
+        groups = self._groups()
+        if algo == "hierarchical":
+            if groups is None:
+                raise ValueError(
+                    "hierarchical allreduce requires a topology declared "
+                    "for this communicator size")
+            if not op.commutative:
+                raise ValueError("hierarchical allreduce requires a "
+                                 "commutative op")
+        self._note_algorithm(algo)
+        if algo == "reduce+bcast":
+            result = self.reduce(sendobj, op=op, root=0,
+                                 size_hint=size_hint)
+            return self.bcast(result, root=0, size_hint=size_hint)
+        ctx_id, tag = self._next_coll()
+        ws = self._world_ranks
+        if algo == "hierarchical":
+            return self._hier_allreduce(ctx_id, tag, groups, sendobj, op,
+                                        lambda mws: self._obj_io(ctx_id,
+                                                                 mws))
+        send, recv = self._obj_io(ctx_id, ws)
+        return self._allreduce_recdbl(tag, ws, self._rank, sendobj, op,
+                                      send, recv)
 
     @_traced_collective("linear-chain")
     def scan(self, sendobj: Any, op: _ops.Op = _ops.SUM) -> Any:
@@ -578,28 +1288,43 @@ class Intracomm:
     # collectives: buffer path
     # ------------------------------------------------------------------
     @_traced_collective("binomial-tree")
-    def Bcast(self, buf, root: int = 0) -> None:
+    def Bcast(self, buf, root: int = 0,
+              algorithm: Optional[str] = None) -> None:
+        """Size-adaptive broadcast of a NumPy buffer."""
         self._check_rank(root)
-        ctx_id, tag = self._next_coll()
         p = self._size
         if p == 1:
+            self._note_algorithm("local")
             return
         flat, count, dt = decode_buffer_spec(buf)
-        vrank = (self._rank - root) % p
-        if vrank != 0:
-            src = (((vrank - 1) // 2) + root) % p
-            msg = self._ctx.recv_message(ctx_id, self._world_ranks[src], tag)
-            incoming = np.asarray(msg.payload).view(dt.np_dtype)
-            if incoming.size < count:
-                raise TruncationError(
-                    f"Bcast expected {count} elements, received "
-                    f"{incoming.size}: payload truncated in flight")
-            flat[:count] = incoming[:count]
-        for child in (2 * vrank + 1, 2 * vrank + 2):
-            if child < p:
-                dest = (child + root) % p
-                self._ctx.send_buffer(self._world_ranks[dest], ctx_id, tag,
-                                      flat[:count])
+        algo = self._select("bcast", count * dt.extent, count, True,
+                            algorithm)
+        groups = self._groups()
+        if algo == "hierarchical" and groups is None:
+            raise ValueError(
+                "hierarchical Bcast requires a topology declared for "
+                "this communicator size")
+        self._note_algorithm(algo)
+        ctx_id, tag = self._next_coll()
+        ws = self._world_ranks
+        if algo == "scatter-allgather":
+            self._buf_bcast_scatter_allgather(ctx_id, tag, ws, self._rank,
+                                              root, flat, count,
+                                              dt.np_dtype)
+            return
+
+        def io_for(mws):
+            return self._buf_io(ctx_id, mws, dt.np_dtype, count, "Bcast")
+
+        if algo == "hierarchical":
+            value = self._hier_bcast(ctx_id, tag, groups, root,
+                                     flat[:count], io_for)
+        else:
+            send, recv = io_for(ws)
+            value = self._bcast_tree(tag, ws, self._rank, root,
+                                     flat[:count], send, recv)
+        if self._rank != root:
+            flat[:count] = value
 
     @_traced_collective("linear-root")
     def Scatter(self, sendbuf, recvbuf, root: int = 0) -> None:
@@ -690,12 +1415,12 @@ class Intracomm:
             msg = self._ctx.recv_message(ctx_id, left, tag)
             cur_idx = (cur_idx - 1) % p
             incoming = np.asarray(msg.payload).view(rdt.np_dtype)
-            if incoming.size < counts[cur_idx]:
+            if incoming.size != counts[cur_idx]:
                 raise TruncationError(
                     f"Allgatherv expected {counts[cur_idx]} elements for "
                     f"block {cur_idx}, received {incoming.size}: payload "
-                    f"truncated in flight")
-            rflat[displs[cur_idx]:displs[cur_idx] + incoming.size] = incoming
+                    f"truncated or oversized in flight")
+            rflat[displs[cur_idx]:displs[cur_idx] + counts[cur_idx]] = incoming
 
     @_traced_collective("pairwise-exchange")
     def Alltoall(self, sendbuf, recvbuf) -> None:
@@ -716,51 +1441,118 @@ class Intracomm:
                                   sflat[dest * sblk:(dest + 1) * sblk])
             msg = self._ctx.recv_message(ctx_id, self._world_ranks[src], tag)
             incoming = np.asarray(msg.payload).view(rdt.np_dtype)
-            if incoming.size < rblk:
+            if incoming.size != rblk:
                 raise TruncationError(
                     f"Alltoall expected {rblk} elements from rank {src}, "
-                    f"received {incoming.size}: payload truncated in flight")
-            rflat[src * rblk:src * rblk + incoming.size] = incoming
+                    f"received {incoming.size}: payload truncated or "
+                    f"oversized in flight")
+            rflat[src * rblk:(src + 1) * rblk] = incoming
 
-    @_traced_collective("binomial-tree")
-    def Reduce(self, sendbuf, recvbuf, op: _ops.Op = _ops.SUM,
-               root: int = 0) -> None:
-        self._check_rank(root)
-        ctx_id, tag = self._next_coll()
+    def _reduce_buffer(self, sendbuf, recvbuf, op, root, algorithm) -> None:
+        """Shared engine behind :meth:`Reduce` and ndarray :meth:`reduce`."""
         p = self._size
         sflat, scount, sdt = decode_buffer_spec(sendbuf)
         acc = sflat[:scount].astype(sdt.np_dtype, copy=True)
-        vrank = (self._rank - root) % p
-        mask = 1
-        done_root = True
-        while mask < p:
-            if vrank & mask:
-                dest = ((vrank & ~mask) + root) % p
-                self._ctx.send_buffer(self._world_ranks[dest], ctx_id,
-                                      tag, acc)
-                done_root = False
-                break
-            partner = vrank | mask
-            if partner < p:
-                src = (partner + root) % p
-                msg = self._ctx.recv_message(ctx_id, self._world_ranks[src],
-                                             tag)
-                incoming = np.asarray(msg.payload).view(sdt.np_dtype)
-                if incoming.size != acc.size:
-                    raise TruncationError(
-                        f"Reduce expected {acc.size} elements from rank "
-                        f"{src}, received {incoming.size}: payload "
-                        f"truncated in flight")
-                acc = op.np_func(acc, incoming)
-            mask <<= 1
-        if done_root and self._rank == root and recvbuf is not None:
+        if p == 1:
+            self._note_algorithm("local")
+            if recvbuf is not None:
+                rflat, _rc, rdt = decode_buffer_spec(recvbuf)
+                rflat[:acc.size] = acc.view(rdt.np_dtype)
+            return
+        algo = self._select("reduce", acc.nbytes, scount, op.commutative,
+                            algorithm)
+        if not op.commutative and algo in ("binomial-tree", "ring"):
+            raise ValueError(
+                f"Reduce algorithm {algo!r} reorders operands; use "
+                f"rank-ordered-tree or gather-fold for non-commutative ops")
+        self._note_algorithm(algo)
+        ctx_id, tag = self._next_coll()
+        ws = self._world_ranks
+        i = self._rank
+        if algo == "ring":
+            result = self._buf_reduce_ring(ctx_id, tag, ws, i, root, acc,
+                                           op)
+        else:
+            send, recv = self._buf_io(ctx_id, ws, sdt.np_dtype, scount,
+                                      "Reduce")
+            if algo == "rank-ordered-tree":
+                result = self._reduce_ordered(tag, ws, i, root, acc,
+                                              op.np_func, send, recv)
+            elif algo == "gather-fold":
+                result = self._reduce_gather_fold(tag, ws, i, root, acc,
+                                                  op.np_func, send, recv)
+            else:
+                result = self._reduce_rotated(tag, ws, i, root, acc,
+                                              op.np_func, send, recv)
+        if i == root and recvbuf is not None and result is not None:
             rflat, _rc, rdt = decode_buffer_spec(recvbuf)
-            rflat[:acc.size] = acc.view(rdt.np_dtype)
+            rflat[:scount] = np.asarray(result).view(rdt.np_dtype)[:scount]
+
+    @_traced_collective("binomial-tree")
+    def Reduce(self, sendbuf, recvbuf, op: _ops.Op = _ops.SUM,
+               root: int = 0, algorithm: Optional[str] = None) -> None:
+        """Size-adaptive reduction of a NumPy buffer to *root*."""
+        self._check_rank(root)
+        self._reduce_buffer(sendbuf, recvbuf, op, root, algorithm)
+
+    def _allreduce_buffer(self, sendbuf, recvbuf, op, algorithm) -> None:
+        """Shared engine behind :meth:`Allreduce` and ndarray
+        :meth:`allreduce`."""
+        sflat, scount, sdt = decode_buffer_spec(sendbuf)
+        rflat, _rcount, rdt = decode_buffer_spec(recvbuf)
+        acc = sflat[:scount].astype(sdt.np_dtype, copy=True)
+        p = self._size
+        if p == 1:
+            self._note_algorithm("local")
+            rflat[:scount] = acc.view(rdt.np_dtype)
+            return
+        algo = self._select("allreduce", acc.nbytes, scount,
+                            op.commutative, algorithm)
+        if not op.commutative and algo in ("ring", "rabenseifner"):
+            raise ValueError(
+                f"Allreduce algorithm {algo!r} reorders operands; "
+                f"non-commutative ops need reduce+bcast or "
+                f"recursive-doubling")
+        groups = None
+        if algo == "hierarchical":
+            groups = self._groups()
+            if groups is None:
+                raise ValueError(
+                    "hierarchical Allreduce requires a topology declared "
+                    "for this communicator size")
+            if not op.commutative:
+                raise ValueError("hierarchical Allreduce requires a "
+                                 "commutative op")
+        self._note_algorithm(algo)
+        if algo == "reduce+bcast":
+            self.Reduce(sendbuf, recvbuf, op=op, root=0)
+            self.Bcast(recvbuf, root=0)
+            return
+        ctx_id, tag = self._next_coll()
+        ws = self._world_ranks
+        i = self._rank
+        if algo == "ring":
+            result = self._buf_allreduce_ring(ctx_id, tag, ws, i, acc, op)
+        elif algo == "rabenseifner":
+            result = self._buf_allreduce_rabenseifner(ctx_id, tag, ws, i,
+                                                      acc, op)
+        elif algo == "hierarchical":
+            result = self._hier_allreduce(
+                ctx_id, tag, groups, acc, op.np_func,
+                lambda mws: self._buf_io(ctx_id, mws, sdt.np_dtype,
+                                         scount, "Allreduce"))
+        else:
+            send, recv = self._buf_io(ctx_id, ws, sdt.np_dtype, scount,
+                                      "Allreduce")
+            result = self._allreduce_recdbl(tag, ws, i, acc, op.np_func,
+                                            send, recv)
+        rflat[:scount] = np.asarray(result).view(rdt.np_dtype)[:scount]
 
     @_traced_collective("reduce+bcast")
-    def Allreduce(self, sendbuf, recvbuf, op: _ops.Op = _ops.SUM) -> None:
-        self.Reduce(sendbuf, recvbuf, op=op, root=0)
-        self.Bcast(recvbuf, root=0)
+    def Allreduce(self, sendbuf, recvbuf, op: _ops.Op = _ops.SUM,
+                  algorithm: Optional[str] = None) -> None:
+        """Size-adaptive allreduce of a NumPy buffer."""
+        self._allreduce_buffer(sendbuf, recvbuf, op, algorithm)
 
     @_traced_collective("alltoall+fold")
     def reduce_scatter(self, sendobjs: Sequence[Any],

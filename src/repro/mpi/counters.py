@@ -23,16 +23,25 @@ class CounterSnapshot:
     """Immutable copy of one rank's counters at a point in time."""
 
     __slots__ = ("sends", "recvs", "bytes_sent", "bytes_recvd", "by_peer",
-                 "by_peer_recv")
+                 "by_peer_recv", "coll_calls")
 
     def __init__(self, sends, recvs, bytes_sent, bytes_recvd, by_peer,
-                 by_peer_recv=()):
+                 by_peer_recv=(), coll_calls=()):
         self.sends = sends
         self.recvs = recvs
         self.bytes_sent = bytes_sent
         self.bytes_recvd = bytes_recvd
         self.by_peer = dict(by_peer)
         self.by_peer_recv = dict(by_peer_recv)
+        # (collective op name, algorithm label) -> completed call count;
+        # the counter-side record of what the trace spans claim, so the
+        # two can be cross-checked without a tracer attached
+        self.coll_calls = dict(coll_calls)
+
+    def algorithms_used(self, op: str = None):
+        """Algorithm labels recorded for *op* (or any op when None)."""
+        return {algo for (name, algo) in self.coll_calls
+                if op is None or name == op}
 
     def __sub__(self, other):
         """Traffic delta between two snapshots (self - other).
@@ -44,13 +53,16 @@ class CounterSnapshot:
         if other is None:
             return CounterSnapshot(self.sends, self.recvs, self.bytes_sent,
                                    self.bytes_recvd, self.by_peer,
-                                   self.by_peer_recv)
+                                   self.by_peer_recv, self.coll_calls)
         by_peer = defaultdict(int, self.by_peer)
         for peer, nbytes in other.by_peer.items():
             by_peer[peer] -= nbytes
         by_peer_recv = defaultdict(int, self.by_peer_recv)
         for peer, nbytes in other.by_peer_recv.items():
             by_peer_recv[peer] -= nbytes
+        coll_calls = defaultdict(int, self.coll_calls)
+        for key, n in other.coll_calls.items():
+            coll_calls[key] -= n
         return CounterSnapshot(
             self.sends - other.sends,
             self.recvs - other.recvs,
@@ -58,6 +70,7 @@ class CounterSnapshot:
             self.bytes_recvd - other.bytes_recvd,
             {p: b for p, b in by_peer.items() if b},
             {p: b for p, b in by_peer_recv.items() if b},
+            {k: n for k, n in coll_calls.items() if n},
         )
 
     @staticmethod
@@ -112,6 +125,12 @@ class CommCounters:
         self.by_peer = defaultdict(int)
         # source rank (world numbering) -> bytes received from that peer
         self.by_peer_recv = defaultdict(int)
+        # (op, algorithm) -> completed collective calls
+        self.coll_calls = defaultdict(int)
+
+    def record_coll(self, op: str, algorithm: str) -> None:
+        with self._lock:
+            self.coll_calls[(op, algorithm)] += 1
 
     def record_send(self, dest_world_rank: int, nbytes: int) -> None:
         with self._lock:
@@ -129,7 +148,7 @@ class CommCounters:
         with self._lock:
             return CounterSnapshot(self.sends, self.recvs, self.bytes_sent,
                                    self.bytes_recvd, self.by_peer,
-                                   self.by_peer_recv)
+                                   self.by_peer_recv, self.coll_calls)
 
     def reset(self) -> None:
         with self._lock:
@@ -137,3 +156,4 @@ class CommCounters:
             self.bytes_sent = self.bytes_recvd = 0
             self.by_peer.clear()
             self.by_peer_recv.clear()
+            self.coll_calls.clear()

@@ -350,10 +350,12 @@ class World:
         if ctx_id in self._revoked:
             return True
         # transport streams wrap the comm's base id: p2p is (base, "p"),
-        # collectives are (base, "c").  Only these inherit the flag --
+        # collectives are (base, "c", seq) -- one context per collective
+        # instance, so rounds of different collectives can never match
+        # each other's messages.  Only these inherit the flag --
         # derived-comm ids like (base, "shrink", seq) nest the parent
         # base too, but revocation must NOT cascade into children.
-        return (isinstance(ctx_id, tuple) and len(ctx_id) == 2
+        return (isinstance(ctx_id, tuple) and len(ctx_id) in (2, 3)
                 and ctx_id[1] in ("p", "c")
                 and ctx_id[0] in self._revoked)
 

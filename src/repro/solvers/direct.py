@@ -70,7 +70,10 @@ class DirectSolver(Operator):
             x_global = self._solve_root(b_global[:, 0])
         else:
             x_global = None
-        x_global = comm.bcast(x_global, root=0)
+        # every rank knows the global solve size, so the broadcast can
+        # pick the large-message algorithm when the vector warrants it
+        x_global = comm.bcast(x_global, root=0,
+                              size_hint=8 * self.A.domain_map().num_global)
         if x is None:
             x = Vector(self.A.domain_map(), dtype=b.dtype)
         x.local_view[...] = x_global[x.map.my_gids]

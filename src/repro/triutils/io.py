@@ -33,11 +33,13 @@ def read_matrix_market(path: str, comm: Intracomm,
     """Read on rank 0, broadcast, distribute by *row_map*.  Collective."""
     if comm.rank == 0:
         M = sp.csr_matrix(sio.mmread(path))
-        shape = M.shape
+        meta = (M.shape, M.nnz)
     else:
-        M, shape = None, None
-    shape = comm.bcast(shape, root=0)
-    M = comm.bcast(M, root=0)
+        M, meta = None, None
+    shape, nnz = comm.bcast(meta, root=0)
+    # CSR wire size is ~12 bytes/nonzero (float64 data + int32 indices);
+    # the hint is SPMD-consistent because nnz itself was just broadcast
+    M = comm.bcast(M, root=0, size_hint=12 * nnz + 8 * shape[0])
     if row_map is None:
         row_map = Map.create_contiguous(shape[0], comm)
     return CrsMatrix.from_scipy(M, row_map)
@@ -56,9 +58,11 @@ def read_vector_market(path: str, comm: Intracomm,
     """Read a dense MatrixMarket vector and distribute it.  Collective."""
     if comm.rank == 0:
         arr = np.asarray(sio.mmread(path)).reshape(-1)
+        n = (len(arr), arr.dtype.itemsize)
     else:
-        arr = None
-    arr = comm.bcast(arr, root=0)
+        arr, n = None, None
+    length, itemsize = comm.bcast(n, root=0)
+    arr = comm.bcast(arr, root=0, size_hint=length * itemsize)
     if map_ is None:
         map_ = Map.create_contiguous(len(arr), comm)
     v = Vector(map_, dtype=arr.dtype)
