@@ -51,6 +51,10 @@ def main(generate_report: Callable[[], str]) -> None:
         switch on tracing and print the post-mortem analysis (load
         imbalance, wait states, critical path, communication matrix)
         after the report.
+    ``--profile OUT.folded``
+        sample every rank thread's stack during the run
+        (:mod:`repro.obs.profiler`) and write flame-graph-ready folded
+        stacks (feed to ``flamegraph.pl`` or speedscope).
 
     ``REPRO_TRACE=1`` / ``REPRO_METRICS=1`` in the environment enable
     collection too; the flags are how the data gets onto disk either way.
@@ -71,6 +75,10 @@ def main(generate_report: Callable[[], str]) -> None:
         "--analyze", action="store_true",
         help="enable repro.trace and print the post-mortem analysis "
              "(imbalance, wait states, critical path, comm matrix)")
+    parser.add_argument(
+        "--profile", metavar="OUT.folded", default=None,
+        help="sample rank-thread stacks during the run and write "
+             "flame-graph-ready folded stacks")
     args = parser.parse_args()
     if args.trace or args.analyze:
         from repro import trace
@@ -78,7 +86,20 @@ def main(generate_report: Callable[[], str]) -> None:
     if args.metrics:
         from repro import metrics
         metrics.enable()
+    prof = None
+    if args.profile:
+        from repro.obs.profiler import SamplingProfiler
+        prof = SamplingProfiler()
+        prof.start()
     print(generate_report())
+    if prof is not None:
+        prof.stop()
+        folded = prof.folded()
+        with open(args.profile, "w") as fh:
+            fh.write(folded)
+        nsamples = sum(int(line.rsplit(" ", 1)[1])
+                       for line in folded.splitlines() if line)
+        print(f"[profile] wrote {nsamples} samples to {args.profile}")
     if args.trace:
         from repro.trace import write_chrome_trace
         nevents = write_chrome_trace(args.trace)

@@ -3,6 +3,12 @@
 Collects the ``generate_report()`` of each bench module -- one per table,
 figure, listing or claim in DESIGN.md's experiment index -- into a single
 document (written to stdout and, with ``--out``, to a file).
+
+``--check BASELINE.json`` compares this run's per-bench medians against a
+baseline previously written with ``--json`` and reports regressions
+outside an IQR-derived tolerance.  Warn-only by default (CI annotates
+but stays green -- shared runners are noisy); ``--check-fail`` turns
+regressions into a nonzero exit for local gating.
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ MODULES = [
     "bench_block_solves",
     "bench_chaos_overhead",
     "bench_recovery",
+    "bench_obs_overhead",
 ]
 
 
@@ -43,6 +50,52 @@ def _iqr(values) -> float:
         return 0.0
     q = statistics.quantiles(values, n=4, method="inclusive")
     return q[2] - q[0]
+
+
+def check_regressions(stats: dict, baseline_path: str) -> list:
+    """Compare this run's medians against a ``--json`` baseline.
+
+    The tolerance per bench is ``max(3*max(IQRs), 25% of the baseline
+    median, 50 ms)``: the IQR term absorbs machine noise measured on
+    both sides, the relative term absorbs proportional jitter on fast
+    benches, and the absolute floor keeps sub-100ms benches from
+    flapping.  Returns the list of regressed bench names and prints an
+    aligned table plus ``::warning`` annotation lines for GitHub CI.
+    """
+    with open(baseline_path, encoding="utf-8") as fh:
+        baseline = json.load(fh).get("benchmarks", {})
+    rows = []
+    regressions = []
+    for name, cur in stats.items():
+        base = baseline.get(name)
+        if base is None:
+            rows.append((name, None, cur["median_s"], None, "new"))
+            continue
+        tol = max(3.0 * max(base.get("iqr_s", 0.0), cur["iqr_s"]),
+                  0.25 * base["median_s"], 0.05)
+        delta = cur["median_s"] - base["median_s"]
+        verdict = "ok"
+        if delta > tol:
+            verdict = "REGRESSION"
+            regressions.append(name)
+        rows.append((name, base["median_s"], cur["median_s"], tol, verdict))
+    width = max(len(r[0]) for r in rows) + 2
+    print(f"\nperf check vs {baseline_path}:")
+    print(f"{'bench':<{width}}{'base (s)':>10}{'now (s)':>10}"
+          f"{'tol (s)':>10}  verdict")
+    for name, base_m, cur_m, tol, verdict in rows:
+        base_txt = "-" if base_m is None else f"{base_m:.4f}"
+        tol_txt = "-" if tol is None else f"{tol:.4f}"
+        print(f"{name:<{width}}{base_txt:>10}{cur_m:>10.4f}"
+              f"{tol_txt:>10}  {verdict}")
+    for name in regressions:
+        base_m = baseline[name]["median_s"]
+        cur_m = stats[name]["median_s"]
+        print(f"::warning title=perf regression::{name}: median "
+              f"{base_m:.4f}s -> {cur_m:.4f}s")
+    if not regressions:
+        print("perf check: OK (no regressions outside tolerance)")
+    return regressions
 
 
 def main(argv=None) -> int:
@@ -55,8 +108,15 @@ def main(argv=None) -> int:
                         help="write per-bench wall-clock stats (median + "
                              "IQR over --repeats runs) as JSON")
     parser.add_argument("--repeats", type=int, default=3,
-                        help="timing repetitions per bench for --json "
-                             "(default 3; the report uses the last run)")
+                        help="timing repetitions per bench for --json/"
+                             "--check (default 3; the report uses the "
+                             "last run)")
+    parser.add_argument("--check", default=None, metavar="BASELINE.json",
+                        help="compare per-bench medians against a --json "
+                             "baseline; report regressions outside an "
+                             "IQR-derived tolerance (warn-only)")
+    parser.add_argument("--check-fail", action="store_true",
+                        help="exit nonzero when --check finds regressions")
     args = parser.parse_args(argv)
 
     selected = MODULES
@@ -64,7 +124,7 @@ def main(argv=None) -> int:
         wanted = args.only.split(",")
         selected = [m for m in MODULES if any(w in m for w in wanted)]
 
-    repeats = max(args.repeats, 1) if args.json else 1
+    repeats = max(args.repeats, 1) if (args.json or args.check) else 1
     chunks = []
     stats = {}
     for name in selected:
@@ -94,6 +154,10 @@ def main(argv=None) -> int:
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump({"benchmarks": stats}, fh, indent=2)
             fh.write("\n")
+    if args.check:
+        regressions = check_regressions(stats, args.check)
+        if regressions and args.check_fail:
+            return 1
     return 0
 
 

@@ -96,9 +96,26 @@ def main(argv=None) -> int:
         print(f"RESULT: {len(failures)} failure(s) out of {checked} "
               f"program-runs")
         if args.repro_out:
+            doc = failures[0].to_dict()
+            # attach the crash flight recorder: the rings cover the
+            # post-shrink replay of the minimal program, and last_fault
+            # carries the causal op_id + per-rank pending snapshot taken
+            # at the moment the injected fault fired
+            from ..obs.flight import FLIGHT
+            flight_path = None
+            if FLIGHT.enabled:
+                try:
+                    flight_path = FLIGHT.dump(args.repro_out
+                                              + ".flight.json")
+                except OSError:
+                    flight_path = None
+            doc["flight_dump"] = flight_path
+            doc["last_fault"] = FLIGHT.last_fault
             with open(args.repro_out, "w") as fh:
-                json.dump(failures[0].to_dict(), fh, indent=2, sort_keys=True)
+                json.dump(doc, fh, indent=2, sort_keys=True, default=str)
             print(f"shrunk repro written to {args.repro_out}")
+            if flight_path:
+                print(f"flight recorder dump written to {flight_path}")
         return 1
     print(f"RESULT: OK ({checked} program-runs conformant)")
     return 0

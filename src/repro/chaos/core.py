@@ -278,6 +278,9 @@ class ChaosEngine:
                step: int) -> None:
         self._record("crash", rank, op, step, after=rule.after)
         from ..mpi.errors import InjectedFault
+        from ..obs.flight import FLIGHT
+        FLIGHT.notify_fault("InjectedFault",
+                            f"rank {rank} at step {step} ({op}): {rule!r}")
         raise InjectedFault(rank, step, repr(rule))
 
     def on_op(self, op: str, rank: int, peer: Optional[int] = None) -> int:

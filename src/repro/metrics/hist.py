@@ -125,6 +125,47 @@ class Histogram:
                     return min(self.bucket_upper(idx), self.max)
             return self.max
 
+    def quantile_est(self, q: float) -> float:
+        """Interpolated q-quantile: linear interpolation *within* the
+        bucket holding the q-th sample, clamped to the exact observed
+        [min, max].
+
+        Tighter than :meth:`quantile` (which reports the bucket's upper
+        bound and therefore overestimates by up to a factor of ``base``):
+        the error is bounded by the bucket width around the true value
+        instead of the full bucket.  Exact min/max at q = 0 / 1.
+        """
+        with self._lock:
+            return self._quantile_est_locked(q)
+
+    def _quantile_est_locked(self, q: float) -> float:
+        # the lock is non-reentrant, so to_dict (which already holds it)
+        # calls this variant directly
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self.count:
+            return 0.0
+        if q == 0.0:
+            return self.min
+        if q == 1.0:
+            return self.max
+        target = q * self.count
+        seen = 0
+        for idx in self._sorted_indices():
+            n = self.buckets[idx]
+            if seen + n >= target:
+                if idx is None:
+                    # the <=0 underflow bucket has no geometric width;
+                    # interpolate between the observed min and 0
+                    lo, hi = self.min, min(0.0, self.max)
+                else:
+                    lo, hi = self.base ** (idx - 1), self.base ** idx
+                frac = (target - seen) / n
+                value = lo + (hi - lo) * frac
+                return min(max(value, self.min), self.max)
+            seen += n
+        return self.max
+
     def _sorted_indices(self) -> List[Optional[int]]:
         return sorted(self.buckets,
                       key=lambda i: -math.inf if i is None else i)
@@ -143,6 +184,11 @@ class Histogram:
                 "sum": self.sum,
                 "min": self.min,
                 "max": self.max,
+                "quantiles": {
+                    "p50": self._quantile_est_locked(0.50),
+                    "p95": self._quantile_est_locked(0.95),
+                    "p99": self._quantile_est_locked(0.99),
+                },
                 "buckets": [
                     {"le": self.bucket_upper(idx), "count": n}
                     for idx, n in sorted(

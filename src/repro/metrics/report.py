@@ -4,7 +4,7 @@ Three views over one registry snapshot:
 
 - :func:`report` -- a human-readable table grouped by metric name, one
   row per label set (counters/gauges show the value, histograms show
-  count/mean/p50/p99/max).
+  count/mean and interpolated p50/p95/p99 plus the exact max).
 - :func:`to_json` -- a JSON document that round-trips through
   ``json.loads``; with ``include_timers`` the global
   ``TimeMonitor.to_dict()`` table is embedded under ``"time_monitor"``
@@ -54,9 +54,12 @@ def report(registry: MetricsRegistry) -> str:
     for m in metrics:
         label = m.name + _fmt_labels(dict(m.labels))
         if isinstance(m, Histogram):
+            # interpolated estimates: tighter than the bucket-upper-bound
+            # quantile() while staying O(buckets)
             detail = (f"count={m.count}  mean={m.mean:.6g}  "
-                      f"p50={m.quantile(0.5):.6g}  "
-                      f"p99={m.quantile(0.99):.6g}  "
+                      f"p50={m.quantile_est(0.5):.6g}  "
+                      f"p95={m.quantile_est(0.95):.6g}  "
+                      f"p99={m.quantile_est(0.99):.6g}  "
                       f"max={0.0 if m.max is None else m.max:.6g}")
             rows.append((label, "histogram", detail))
         elif isinstance(m, Gauge):

@@ -29,6 +29,8 @@ import numpy as np
 
 from ..chaos.core import ENGINE as _CH
 from ..metrics import REGISTRY as _MX
+from ..obs import causal as _CZ
+from ..obs.flight import FLIGHT as _FL
 from ..trace import TRACER as _TR
 from . import ops as _ops
 from .costmodel import (COLLECTIVE_ALGORITHMS, COMMODITY_CLUSTER, CostModel,
@@ -132,10 +134,10 @@ def _traced_collective(default_algorithm: str):
             # instance, never receives at all)
             self._check_usable(name)
             ctrs = self._ctx.world.counters[self._ctx.rank]
-            tr, mx = _TR.enabled, _MX.enabled
+            tr, mx, fl = _TR.enabled, _MX.enabled, _FL.enabled
             # plain attribute read: exactness not worth a lock here
             b0 = ctrs.bytes_sent if mx else 0
-            t0 = _TR.now() if tr else 0.0
+            t0 = _TR.now() if (tr or fl) else 0.0
             notes = self._algo_notes
             notes.append(default_algorithm)
             try:
@@ -143,10 +145,21 @@ def _traced_collective(default_algorithm: str):
                 algorithm = notes[-1]
             finally:
                 notes.pop()
-            ctrs.record_coll(name, algorithm)
+            # collectives issued while an ODIN control op executes inherit
+            # its causal identity (None outside any tagged op)
+            op_id = _CZ.current_op_id()
+            ctrs.record_coll(name, algorithm, op_id)
             if tr:
-                _TR.complete("mpi.coll", name, t0, rank=self._ctx.rank,
-                             algorithm=algorithm, size=self._size)
+                if op_id is None:
+                    _TR.complete("mpi.coll", name, t0, rank=self._ctx.rank,
+                                 algorithm=algorithm, size=self._size)
+                else:
+                    _TR.complete("mpi.coll", name, t0, rank=self._ctx.rank,
+                                 algorithm=algorithm, size=self._size,
+                                 op_id=op_id)
+            if fl:
+                _FL.complete("mpi.coll", name, self._ctx.rank, t0,
+                             algorithm=algorithm, op_id=op_id)
             if mx:
                 sent = ctrs.bytes_sent - b0
                 _MX.inc("mpi.coll.calls", op=name, algorithm=algorithm)

@@ -11,22 +11,27 @@ maps source world rank to bytes received.
 from __future__ import annotations
 
 import threading
-from collections import defaultdict
+from collections import OrderedDict, defaultdict
 from typing import Sequence
 
 import numpy as np
 
 __all__ = ["CommCounters", "CounterSnapshot"]
 
+# by_causal keeps per-op_id collective counts for this many distinct
+# recent op_ids (FIFO eviction): enough to audit any live control op or
+# recent crash window without unbounded growth over a long run
+_CAUSAL_CAP = 512
+
 
 class CounterSnapshot:
     """Immutable copy of one rank's counters at a point in time."""
 
     __slots__ = ("sends", "recvs", "bytes_sent", "bytes_recvd", "by_peer",
-                 "by_peer_recv", "coll_calls")
+                 "by_peer_recv", "coll_calls", "by_causal")
 
     def __init__(self, sends, recvs, bytes_sent, bytes_recvd, by_peer,
-                 by_peer_recv=(), coll_calls=()):
+                 by_peer_recv=(), coll_calls=(), by_causal=()):
         self.sends = sends
         self.recvs = recvs
         self.bytes_sent = bytes_sent
@@ -37,6 +42,9 @@ class CounterSnapshot:
         # the counter-side record of what the trace spans claim, so the
         # two can be cross-checked without a tracer attached
         self.coll_calls = dict(coll_calls)
+        # causal op_id -> {collective op name: calls} for recent ODIN
+        # control ops (bounded; see _CAUSAL_CAP)
+        self.by_causal = {k: dict(v) for k, v in dict(by_causal).items()}
 
     def algorithms_used(self, op: str = None):
         """Algorithm labels recorded for *op* (or any op when None)."""
@@ -53,7 +61,8 @@ class CounterSnapshot:
         if other is None:
             return CounterSnapshot(self.sends, self.recvs, self.bytes_sent,
                                    self.bytes_recvd, self.by_peer,
-                                   self.by_peer_recv, self.coll_calls)
+                                   self.by_peer_recv, self.coll_calls,
+                                   self.by_causal)
         by_peer = defaultdict(int, self.by_peer)
         for peer, nbytes in other.by_peer.items():
             by_peer[peer] -= nbytes
@@ -63,6 +72,13 @@ class CounterSnapshot:
         coll_calls = defaultdict(int, self.coll_calls)
         for key, n in other.coll_calls.items():
             coll_calls[key] -= n
+        by_causal = {}
+        for oid, ops in self.by_causal.items():
+            prior = other.by_causal.get(oid, {})
+            delta = {op: n - prior.get(op, 0) for op, n in ops.items()}
+            delta = {op: n for op, n in delta.items() if n}
+            if delta:
+                by_causal[oid] = delta
         return CounterSnapshot(
             self.sends - other.sends,
             self.recvs - other.recvs,
@@ -71,6 +87,7 @@ class CounterSnapshot:
             {p: b for p, b in by_peer.items() if b},
             {p: b for p, b in by_peer_recv.items() if b},
             {k: n for k, n in coll_calls.items() if n},
+            by_causal,
         )
 
     @staticmethod
@@ -127,10 +144,20 @@ class CommCounters:
         self.by_peer_recv = defaultdict(int)
         # (op, algorithm) -> completed collective calls
         self.coll_calls = defaultdict(int)
+        # causal op_id -> {op: calls}, bounded FIFO over recent op_ids
+        self.by_causal = OrderedDict()
 
-    def record_coll(self, op: str, algorithm: str) -> None:
+    def record_coll(self, op: str, algorithm: str,
+                    op_id=None) -> None:
         with self._lock:
             self.coll_calls[(op, algorithm)] += 1
+            if op_id is not None:
+                ops = self.by_causal.get(op_id)
+                if ops is None:
+                    ops = self.by_causal[op_id] = {}
+                    while len(self.by_causal) > _CAUSAL_CAP:
+                        self.by_causal.popitem(last=False)
+                ops[op] = ops.get(op, 0) + 1
 
     def record_send(self, dest_world_rank: int, nbytes: int) -> None:
         with self._lock:
@@ -148,7 +175,8 @@ class CommCounters:
         with self._lock:
             return CounterSnapshot(self.sends, self.recvs, self.bytes_sent,
                                    self.bytes_recvd, self.by_peer,
-                                   self.by_peer_recv, self.coll_calls)
+                                   self.by_peer_recv, self.coll_calls,
+                                   self.by_causal)
 
     def reset(self) -> None:
         with self._lock:
@@ -157,3 +185,4 @@ class CommCounters:
             self.by_peer.clear()
             self.by_peer_recv.clear()
             self.coll_calls.clear()
+            self.by_causal.clear()

@@ -62,6 +62,9 @@ class RankFailure(MPIError):
         self.rank = rank
         self.op = op
         self.cause = cause
+        # causal attribution: the ODIN driver stamps the op_id of the
+        # control op that was in flight when the failure surfaced
+        self.op_id = None
 
 
 class CommRevokedError(MPIError):

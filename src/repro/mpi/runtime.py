@@ -29,6 +29,8 @@ from typing import Any, Callable, List, Optional, Sequence
 import numpy as np
 
 from ..chaos.core import ENGINE as _CH
+from ..obs import causal as _CZ
+from ..obs.flight import FLIGHT as _FL
 from ..trace import TRACER as _TR
 from .counters import CommCounters
 from .errors import (AbortError, CommRevokedError, DeadlockError,
@@ -195,10 +197,14 @@ class _Mailbox:
                                         m, desc + " [wildcard]", cause)
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
+                        flight = _FL.notify_fault("DeadlockError", desc,
+                                                  ranks=world.status())
                         raise DeadlockError(
                             f"{desc} timed out after {timeout:.1f}s; pending "
                             f"queue has {len(self._queue)} unmatched "
-                            f"message(s)\n" + world.pending_dump())
+                            f"message(s)\n" + world.pending_dump()
+                            + (f"\nflight recorder dump: {flight}"
+                               if flight else ""))
                     self._cond.wait(timeout=min(remaining, 0.25))
         finally:
             world.clear_pending(self._rank)
@@ -259,10 +265,15 @@ class World:
 
     # -- failure propagation ------------------------------------------------
     def abort(self, origin_rank: int, cause: BaseException) -> None:
+        first = False
         with self._abort_lock:
             if self._abort is None:
                 self._abort = AbortError(origin_rank, cause)
+                first = True
         self._wake_all()
+        if first:
+            _FL.notify_fault("AbortError", repr(cause),
+                             ranks=self.status())
 
     def check_abort(self) -> None:
         if self._abort is not None:
@@ -287,11 +298,16 @@ class World:
         ranks observe typed :class:`RankFailure` errors on operations
         involving the dead rank and may revoke/shrink and continue.
         """
+        first = False
         with self._fail_lock:
             if rank not in self._failed:
                 self._failed[rank] = cause
                 self.has_failures = True
+                first = True
         self._wake_all()
+        if first:
+            _FL.notify_fault("RankFailure", f"rank {rank}: {cause!r}",
+                             ranks=self.status())
 
     def failed_ranks(self):
         with self._fail_lock:
@@ -383,6 +399,26 @@ class World:
                          f"(last heartbeat {age:.2f}s ago)")
         return "\n".join(lines)
 
+    def status(self) -> list:
+        """:meth:`pending_dump` as data: one dict per rank with its
+        pending blocking op, per-rank op sequence, failure flag and
+        heartbeat age.  Lock-free (each field is written by one thread
+        and read atomically under the GIL), so the ``/status`` endpoint
+        can call it from an observer thread while the workload is
+        blocked or even deadlocked."""
+        now = time.monotonic()
+        out = []
+        for rank in range(self.nranks):
+            entry = self._pending.get(rank)
+            out.append({
+                "rank": rank,
+                "failed": self.is_failed(rank),
+                "pending": None if entry is None else entry[0],
+                "op_seq": None if entry is None else entry[1],
+                "heartbeat_age_s": round(now - self._heartbeat[rank], 3),
+            })
+        return out
+
     # -- fault-tolerant agreement -------------------------------------------
     def agreement(self, key, rank: int, value, participants, combine):
         """Contribute *value* under *key* and return ``combine`` over the
@@ -424,9 +460,14 @@ class World:
                     return result
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
+                    flight = _FL.notify_fault(
+                        "DeadlockError", f"agreement {key!r}",
+                        ranks=self.status())
                     raise DeadlockError(
                         f"agreement {key!r} timed out waiting for ranks "
-                        f"{waiting}\n" + self.pending_dump())
+                        f"{waiting}\n" + self.pending_dump()
+                        + (f"\nflight recorder dump: {flight}"
+                           if flight else ""))
                 self._agree_cond.wait(timeout=min(remaining, 0.25))
 
     # -- transport ----------------------------------------------------------
@@ -554,11 +595,13 @@ class RankContext:
         """Bind this context to the calling thread."""
         _tls.ctx = self
         _TR.set_thread_rank(self.rank)
+        _CZ.note_rank_thread(f"rank {self.rank}")
 
     def unbind(self) -> None:
         if getattr(_tls, "ctx", None) is self:
             _tls.ctx = None
             _TR.set_thread_rank(None)
+            _CZ.forget_rank_thread()
 
 
 def run_spmd(fn: Callable[..., Any], nranks: int, args: Sequence = (),

@@ -1,0 +1,173 @@
+"""Sampling profiler: periodic stack capture of rank threads.
+
+A daemon thread wakes every ``interval`` seconds, grabs
+``sys._current_frames()``, and folds each thread's stack into a
+``label;frame;frame...;frame count`` histogram -- the *folded stacks*
+format ``flamegraph.pl`` and speedscope consume directly.  Threads
+registered through :func:`repro.obs.causal.note_rank_thread` (worker
+and SPMD ranks via ``RankContext.bind()``, the ODIN driver thread at
+context creation) get their rank label as the stack root; other
+threads fall back to their thread name.  The profiler's own thread and
+the obs HTTP server threads are excluded.
+
+Caveats (see docs/INTERNALS.md section 10): this samples *Python*
+frames only -- time inside a NumPy kernel is charged to the Python line
+that called it; the GIL means samples of CPU-bound threads are
+statistically fair but a thread blocked in a C call without releasing
+the GIL can shadow others; and at the default 5 ms interval a ~50 ms
+op gets ~10 samples, so treat short runs as qualitative.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from collections import Counter
+from typing import Optional
+
+from . import causal as _CZ
+
+__all__ = ["SamplingProfiler", "start", "stop", "running", "capture"]
+
+
+class SamplingProfiler:
+    """Aggregating stack sampler over all live threads."""
+
+    def __init__(self, interval: float = 0.005, maxdepth: int = 64,
+                 only_ranks: bool = False):
+        self.interval = max(float(interval), 0.0005)
+        self.maxdepth = int(maxdepth)
+        #: When set, threads not registered as rank threads are skipped.
+        self.only_ranks = bool(only_ranks)
+        self.samples_taken = 0
+        self._samples: "Counter[tuple]" = Counter()
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "SamplingProfiler":
+        if self._thread is not None:
+            raise RuntimeError("profiler is already running")
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-obs-profiler",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.sample_once()
+
+    def stop(self) -> None:
+        self._stop.set()
+        t = self._thread
+        if t is not None:
+            t.join(timeout=5.0)
+            self._thread = None
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def sample_once(self) -> None:
+        """Take one sample of every eligible thread's stack."""
+        frames = sys._current_frames()
+        labels = _CZ.rank_threads()
+        names = {t.ident: t.name for t in threading.enumerate()}
+        me = threading.get_ident()
+        own = self._thread.ident if self._thread is not None else None
+        with self._lock:
+            self.samples_taken += 1
+            for ident, frame in frames.items():
+                if ident in (me, own):
+                    continue
+                label = labels.get(ident)
+                if label is None:
+                    if self.only_ranks:
+                        continue
+                    label = names.get(ident, f"thread-{ident}")
+                    if label.startswith("repro-obs"):
+                        continue  # the server/profiler infrastructure
+                stack = []
+                f = frame
+                while f is not None and len(stack) < self.maxdepth:
+                    code = f.f_code
+                    stack.append(f"{code.co_name} "
+                                 f"({os.path.basename(code.co_filename)}"
+                                 f":{f.f_lineno})")
+                    f = f.f_back
+                stack.reverse()  # root first, flamegraph convention
+                self._samples[(label, tuple(stack))] += 1
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def folded(self) -> str:
+        """Flame-graph-ready folded stacks (``a;b;c count`` lines)."""
+        with self._lock:
+            items = sorted(self._samples.items())
+        lines = [";".join((label,) + stack) + f" {n}"
+                 for (label, stack), n in items]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def __repr__(self):
+        state = "running" if self._thread is not None else "stopped"
+        return (f"SamplingProfiler({state}, interval={self.interval}, "
+                f"{self.samples_taken} samples)")
+
+
+# ----------------------------------------------------------------------
+# module-level global profiler (what the endpoint and --profile drive)
+# ----------------------------------------------------------------------
+_global: Optional[SamplingProfiler] = None
+_global_lock = threading.Lock()
+
+
+def start(interval: float = 0.005,
+          only_ranks: bool = False) -> SamplingProfiler:
+    """Start (or return) the process-wide background profiler."""
+    global _global
+    with _global_lock:
+        if _global is None:
+            _global = SamplingProfiler(interval=interval,
+                                       only_ranks=only_ranks).start()
+        return _global
+
+
+def stop() -> str:
+    """Stop the process-wide profiler; returns its folded stacks."""
+    global _global
+    with _global_lock:
+        prof, _global = _global, None
+    if prof is None:
+        return ""
+    prof.stop()
+    return prof.folded()
+
+
+def running() -> Optional[SamplingProfiler]:
+    return _global
+
+
+def capture(seconds: float = 0.5, interval: float = 0.005) -> str:
+    """Folded stacks for a ``/profile`` request.
+
+    If the global profiler is running, return its accumulated view
+    immediately; otherwise sample with a temporary profiler for
+    *seconds* (capped at 10 s so a typo cannot wedge the endpoint).
+    """
+    prof = _global
+    if prof is not None:
+        return prof.folded()
+    seconds = min(max(float(seconds), 0.0), 10.0)
+    prof = SamplingProfiler(interval=interval).start()
+    try:
+        time.sleep(max(seconds, prof.interval))
+    finally:
+        prof.stop()
+    return prof.folded()

@@ -1,0 +1,74 @@
+"""Live status registry: what is every context doing *right now*?
+
+:class:`~repro.odin.context.OdinContext` registers itself here (weakly,
+so shut-down contexts vanish with their last handle) and
+:func:`snapshot` assembles the ``/status`` document the HTTP endpoint
+serves: per-context op/epoch clocks, checkpoint and plan-cache state,
+and the per-rank pending-op + heartbeat evidence the ``DeadlockError``
+watchdog prints -- but on demand, from a live (or hung) process.
+
+Everything here is read-only and communication-free by contract: a
+status query must succeed even when the control plane is wedged
+mid-collective, so nothing in this module (or in the ``status()``
+methods it calls) takes the context lock or touches a mailbox.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import weakref
+from typing import Any, Dict, List
+
+__all__ = ["register_context", "contexts", "snapshot", "maybe_autoserve"]
+
+_contexts: "weakref.WeakSet" = weakref.WeakSet()
+_autoserve_checked = False
+
+
+def register_context(ctx) -> None:
+    """Track a live OdinContext for ``/status`` (weakly referenced)."""
+    _contexts.add(ctx)
+    maybe_autoserve()
+
+
+def contexts() -> List[Any]:
+    return list(_contexts)
+
+
+def snapshot() -> Dict[str, Any]:
+    """The ``/status`` document: every live context's read-only state."""
+    out: Dict[str, Any] = {
+        "producer": "repro.obs",
+        "pid": os.getpid(),
+        "time_unix_s": time.time(),
+        "contexts": [],
+    }
+    for ctx in list(_contexts):
+        try:
+            out["contexts"].append(ctx.status())
+        except Exception as exc:  # noqa: BLE001 - a dying context must
+            # not take the endpoint down with it
+            out["contexts"].append({"error": repr(exc)})
+    return out
+
+
+def maybe_autoserve():
+    """Start the status server once iff ``REPRO_OBS_PORT`` is set.
+
+    Called on every context registration; the first call decides.  A
+    busy port or a bad value disables autoserve rather than breaking
+    the workload -- observability must never crash the computation.
+    """
+    global _autoserve_checked
+    if _autoserve_checked:
+        return None
+    _autoserve_checked = True
+    raw = os.environ.get("REPRO_OBS_PORT", "").strip()
+    if not raw:
+        return None
+    from .server import serve
+    try:
+        return serve(port=int(raw))
+    except (ValueError, OSError):
+        return None

@@ -35,6 +35,9 @@ from ..mpi.comm import Intracomm
 from ..mpi.errors import (AbortError, CommRevokedError, InjectedFault,
                           RankFailure)
 from ..mpi.runtime import RankContext, World
+from ..obs import causal as _CZ
+from ..obs import status as _OBS
+from ..obs.flight import FLIGHT as _FL
 from ..recover import OpLog, remap_op_dists
 from ..trace import TRACER as _TR
 from .distribution import BlockDistribution, Distribution
@@ -143,8 +146,11 @@ class OdinContext:
         self._alive = True
         self._pending_deletes: List[int] = []
         self._batch = _batching_default() if batch is None else bool(batch)
-        self._op_seq = 0       # control ops broadcast so far (epoch clock)
+        self._op_seq = 0       # control ops broadcast so far; doubles as
+        #                        the causal op_id of the latest broadcast
+        self._epoch_id = 0     # synchronizing gathers completed so far
         self._epoch_len = 0    # fire-and-forget ops since the last sync
+        self._last_plan_stats: Optional[Dict[str, Any]] = None
         self._lock = threading.RLock()
         # -- fault recovery (repro.recover) --
         self._recover = _recover_default() if recover is None \
@@ -166,6 +172,11 @@ class OdinContext:
         # live DistArray handles, re-pointed after a recovery replay
         self._handles: "weakref.WeakValueDictionary[int, Any]" = \
             weakref.WeakValueDictionary()
+        # live observability: the creating thread is the "driver" lane
+        # for the sampling profiler, and the context is visible on the
+        # /status endpoint (started here iff REPRO_OBS_PORT is set)
+        _CZ.note_rank_thread("driver")
+        _OBS.register_context(self)
         self._threads = [
             threading.Thread(target=self._worker_main, args=(w,),
                              name=f"odin-worker-{w}", daemon=True)
@@ -269,16 +280,23 @@ class OdinContext:
         """The worker service loop; returns on SHUTDOWN, raises on faults.
 
         Deferred errors from fire-and-forget ops in the current epoch are
-        (op seq, op name, exception) triples.  seq counts broadcasts, so
-        it is identical across workers and matches the driver's _op_seq
-        clock (until a recovery resets this loop; the mismatch after that
-        only affects the cosmetic "deferred from" note).
+        (op_id, op name, exception) triples.  The op_id comes off the
+        TAGGED wire envelope, so it matches the driver's _op_seq clock by
+        construction -- across batching and across recovery replays,
+        which re-broadcast under fresh ids.
+
+        The causal identity stays published until the next envelope
+        arrives: the blocking wait for op N+1 is attributed to op N (a
+        deliberate smear -- that wait is idle time op N's epoch left
+        behind) and the result gather for op N is correctly tagged N.
         """
         deferred: List[Tuple[int, str, Exception]] = []
-        seq = 0
+        oid = None
         while True:
             op = comm.bcast(None, root=0)
-            seq += 1
+            if op[0] == opcodes.TAGGED:
+                _code, oid, eid, op = op
+                _CZ.set_current(oid, eid)
             fire_and_forget = op[0] == opcodes.ASYNC
             if fire_and_forget:
                 op = op[1]
@@ -302,7 +320,7 @@ class OdinContext:
                 raise
             except Exception as exc:  # noqa: BLE001 - report to driver
                 if fire_and_forget:
-                    deferred.append((seq, str(op[0]), exc))
+                    deferred.append((oid, str(op[0]), exc))
                     continue
                 status = ("err", exc)
             if fire_and_forget:
@@ -314,9 +332,24 @@ class OdinContext:
     # driver side
     # ------------------------------------------------------------------
     def _bcast(self, op) -> None:
-        """Broadcast one wire op, advancing the epoch clock (lock held)."""
-        self.comm.bcast(op, root=0)
+        """Broadcast one wire op, advancing the epoch clock (lock held).
+
+        Every op ships inside a TAGGED envelope carrying its causal
+        (op_id, epoch_id); op_id is the broadcast sequence number, so
+        both ends agree on it by construction -- recovery replays, which
+        re-broadcast through this same path, get fresh ids.  The identity
+        is published thread-locally *before* the broadcast so the
+        broadcast's own collective traffic (and everything else this op
+        triggers on the driver thread) is attributed to it.
+        """
         self._op_seq += 1
+        oid = self._op_seq
+        _CZ.set_current(oid, self._epoch_id)
+        if _FL.enabled:
+            inner = op[1] if op[0] == opcodes.ASYNC else op
+            _FL.instant("odin.control", f"bcast:{inner[0]}", rank="driver",
+                        op_id=oid, epoch_id=self._epoch_id)
+        self.comm.bcast((opcodes.TAGGED, oid, self._epoch_id, op), root=0)
 
     def _check_alive(self) -> None:
         if not self._alive:
@@ -327,8 +360,8 @@ class OdinContext:
 
         Deferred errors from earlier fire-and-forget ops take precedence
         over a failure of the current op (they happened first); among all
-        collected errors the one with the smallest op sequence is raised,
-        annotated with the op it came from.
+        collected errors the one with the smallest op_id is raised,
+        annotated with the op (and causal op_id) it came from.
         """
         results = []
         errs: List[Tuple[int, str, Exception]] = []
@@ -342,10 +375,10 @@ class OdinContext:
                 results.append(payload)
         if errs:
             seq, err_op, exc = min(errs, key=lambda e: e[0])
-            if seq < self._op_seq:
+            if seq < self._op_seq and hasattr(exc, "add_note"):
                 exc.add_note(
-                    f"deferred from batched op {err_op!r}; delivered at "
-                    f"the next synchronizing op ({opname!r})")
+                    f"deferred from batched op {err_op!r} (op_id {seq}); "
+                    f"delivered at the next synchronizing op ({opname!r})")
             raise exc
         return results
 
@@ -354,10 +387,22 @@ class OdinContext:
         otherwise broadcast + collect per-worker results (driver)."""
         if self._batch and op[0] in ASYNC_OPCODES:
             return self._issue_async(op)
-        if _TR.enabled:
-            with _TR.span("odin.control", str(op[0]), rank="driver",
-                          nworkers=self.nworkers):
+        if _TR.enabled or _FL.enabled:
+            t0 = _TR.now()
+            try:
                 out = self._with_recovery(self._issue_impl, *op)
+            finally:
+                # the causal ids are known only after _bcast ran; after a
+                # recovery the retried broadcast's fresh id is current,
+                # which is the id the workers executed the op under
+                oid, eid = _CZ.current()
+                if _TR.enabled:
+                    _TR.complete("odin.control", str(op[0]), t0,
+                                 rank="driver", nworkers=self.nworkers,
+                                 op_id=oid, epoch_id=eid)
+                if _FL.enabled:
+                    _FL.complete("odin.control", str(op[0]), "driver", t0,
+                                 op_id=oid, epoch_id=eid)
         else:
             out = self._with_recovery(self._issue_impl, *op)
         self._log_op(op)
@@ -370,15 +415,25 @@ class OdinContext:
             self._bcast(op)
             self._epoch_len = 0
             statuses = self.comm.gather(None, root=0)
+            self._epoch_id += 1
         return self._process_statuses(statuses, str(op[0]))
 
     def _issue_async(self, op) -> List[Any]:
         """Fire-and-forget: broadcast only, no result gather.  Errors are
         recorded on the workers and surface at the next synchronizing op."""
-        if _TR.enabled:
-            with _TR.span("odin.control", f"{op[0]}.async", rank="driver",
-                          nworkers=self.nworkers):
+        if _TR.enabled or _FL.enabled:
+            t0 = _TR.now()
+            try:
                 self._with_recovery(self._issue_async_impl, op)
+            finally:
+                oid, eid = _CZ.current()
+                if _TR.enabled:
+                    _TR.complete("odin.control", f"{op[0]}.async", t0,
+                                 rank="driver", nworkers=self.nworkers,
+                                 op_id=oid, epoch_id=eid)
+                if _FL.enabled:
+                    _FL.complete("odin.control", f"{op[0]}.async",
+                                 "driver", t0, op_id=oid, epoch_id=eid)
         else:
             self._with_recovery(self._issue_async_impl, op)
         self._log_op(op)
@@ -397,6 +452,7 @@ class OdinContext:
         self._bcast((opcodes.FLUSH,))
         self._epoch_len = 0
         statuses = self.comm.gather(None, root=0)
+        self._epoch_id += 1
         self._process_statuses(statuses, str(opcodes.FLUSH))
 
     def flush(self) -> None:
@@ -507,6 +563,14 @@ class OdinContext:
             try:
                 return fn(*args)
             except (RankFailure, CommRevokedError) as exc:
+                if (isinstance(exc, RankFailure)
+                        and getattr(exc, "op_id", None) is None):
+                    # attribute the failure to the control op in flight;
+                    # _bcast published the id before the wire went hot
+                    exc.op_id = _CZ.current_op_id()
+                    if hasattr(exc, "add_note"):
+                        exc.add_note("raised while issuing control op_id "
+                                     f"{exc.op_id}")
                 if (not self._recover or self._recovering
                         or self._closing or not self._alive):
                     raise
@@ -534,6 +598,10 @@ class OdinContext:
         try:
             if _MX.enabled:
                 _MX.inc("recover.detections")
+            if _FL.enabled:
+                _FL.instant("recover", "shrink+replay.start", rank="driver",
+                            cause=repr(exc),
+                            op_id=getattr(exc, "op_id", None))
             old_ranks = list(self.comm._world_ranks)
             with _TR.span("recover", "shrink+replay", rank="driver",
                           cause=str(exc)):
@@ -629,6 +697,9 @@ class OdinContext:
             if _MX.enabled:
                 _MX.inc("recover.replayed_ops", replayed)
                 _MX.observe("recover.seconds", time.perf_counter() - t0)
+            if _FL.enabled:
+                _FL.instant("recover", "shrink+replay.done", rank="driver",
+                            replayed=replayed, nworkers=self.nworkers)
         finally:
             self._recovering = False
 
@@ -677,12 +748,21 @@ class OdinContext:
                 array: np.ndarray) -> None:
         """Ship real data from the driver (data plane, not control)."""
         array = np.asarray(array)
-        if _TR.enabled:
+        if _TR.enabled or _FL.enabled:
             # global -> local transition: real data leaves the driver
-            with _TR.span("odin.control", "scatter", rank="driver",
-                          nbytes=int(array.nbytes)):
+            t0 = _TR.now()
+            try:
                 self._with_recovery(self._scatter_impl, array_id, dist,
                                     array)
+            finally:
+                oid, eid = _CZ.current()
+                if _TR.enabled:
+                    _TR.complete("odin.control", "scatter", t0,
+                                 rank="driver", nbytes=int(array.nbytes),
+                                 op_id=oid, epoch_id=eid)
+                if _FL.enabled:
+                    _FL.complete("odin.control", "scatter", "driver", t0,
+                                 nbytes=int(array.nbytes), op_id=oid)
         else:
             self._with_recovery(self._scatter_impl, array_id, dist, array)
         if self._oplog is not None and not self._recovering:
@@ -715,6 +795,7 @@ class OdinContext:
             self.comm.scatter([None] + blocks, root=0)
             self._epoch_len = 0
             statuses = self.comm.gather(None, root=0)
+            self._epoch_id += 1
         self._process_statuses(statuses, str(opcodes.SCATTER))
 
     def delete(self, array_id: int) -> None:
@@ -783,9 +864,37 @@ class OdinContext:
         stats = self._issue(opcodes.PLAN_STATS)
         hits = sum(s[0] for s in stats)
         misses = sum(s[1] for s in stats)
-        return {"hits": hits, "misses": misses,
-                "cached_plans": sum(s[2] for s in stats),
-                "hit_rate": hits / max(hits + misses, 1)}
+        out = {"hits": hits, "misses": misses,
+               "cached_plans": sum(s[2] for s in stats),
+               "hit_rate": hits / max(hits + misses, 1)}
+        # cached for the /status endpoint, which must never issue ops
+        self._last_plan_stats = out
+        return out
+
+    def status(self) -> Dict[str, Any]:
+        """Runtime state snapshot for the ``/status`` endpoint.
+
+        Lock-free and communication-free by design: reads of driver-side
+        counters plus the same per-rank pending/heartbeat table a
+        ``DeadlockError`` would print, so it answers even when the
+        workload is wedged inside a collective.  Values may be slightly
+        stale under concurrent mutation -- that is the contract.
+        """
+        return {
+            "kind": "odin.context",
+            "alive": self._alive,
+            "nworkers": self.nworkers,
+            "batching": self._batch,
+            "op_id": self._op_seq,
+            "epoch_id": self._epoch_id,
+            "epoch_len": self._epoch_len,
+            "pending_deletes": len(self._pending_deletes),
+            "recover": self._recover,
+            "ckpt_version": self._ckpt_version,
+            "oplog_len": 0 if self._oplog is None else len(self._oplog),
+            "plan_cache": self._last_plan_stats,
+            "ranks": self.world.status(),
+        }
 
     # -- lifecycle ---------------------------------------------------------
     def shutdown(self) -> None:

@@ -48,3 +48,13 @@ DIST_SYNC = "dist_sync"      # (ids,) -> {id: dist} (worker 0 only)
 # is an explicit barrier op that does nothing but synchronize.
 ASYNC = "async"              # (inner_op,) fire-and-forget within an epoch
 FLUSH = "flush"              # () -> synchronize, deliver deferred errors
+
+# Causal identity (repro.obs).  Every driver broadcast is wrapped as
+# ``(TAGGED, op_id, epoch_id, inner_op)``: op_id is the broadcast
+# sequence number (so driver and workers agree on it by construction,
+# recovery replays included) and epoch_id names the batching window.
+# Workers unwrap the envelope, publish the ids thread-locally
+# (repro.obs.causal) and execute inner_op, which may itself be an
+# ``(ASYNC, op)`` pair.  The envelope adds ~20 bytes per control
+# message -- constant, preserving the "tens of bytes" economics.
+TAGGED = "tagged"            # (op_id, epoch_id, inner_op) causal envelope

@@ -35,6 +35,7 @@ participate, and rank labels may be ints (world ranks) or strings
 from __future__ import annotations
 
 import io
+import json
 from collections import defaultdict
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -42,10 +43,54 @@ import numpy as np
 
 from .tracer import TRACER, Event, RankLabel
 
-__all__ = ["load_imbalance", "wait_states", "critical_path",
-           "communication_matrix", "format_matrix", "report"]
+__all__ = ["load_chrome_trace", "load_imbalance", "wait_states",
+           "critical_path", "communication_matrix", "format_matrix",
+           "report"]
 
 _EPS = 1e-9
+
+
+def load_chrome_trace(path_or_file) -> List[Event]:
+    """Read a Chrome ``trace_event`` JSON file back into raw event tuples.
+
+    Inverse of :func:`repro.trace.export.write_chrome_trace` (and of the
+    flight recorder's crash dumps, which share the format): ``"M"``
+    thread-name metadata rebuilds the tid -> rank mapping (``"rank N"``
+    labels become ints, other lane names stay strings), ``"X"`` and
+    ``"i"`` events become ``(ph, cat, name, rank, ts, dur, args)``
+    tuples with seconds-based clocks, sorted by timestamp -- directly
+    consumable by every analysis function in this module.
+    """
+    if hasattr(path_or_file, "read"):
+        doc = json.load(path_or_file)
+    else:
+        with open(path_or_file) as fh:
+            doc = json.load(fh)
+    raw = doc["traceEvents"] if isinstance(doc, dict) else doc
+    ranks: Dict[int, RankLabel] = {}
+    for ev in raw:
+        if ev.get("ph") == "M" and ev.get("name") == "thread_name":
+            label = (ev.get("args") or {}).get("name", "")
+            rank: RankLabel = label
+            if label.startswith("rank "):
+                try:
+                    rank = int(label[5:])
+                except ValueError:
+                    pass
+            ranks[ev.get("tid", 0)] = rank
+    events: List[Event] = []
+    for ev in raw:
+        ph = ev.get("ph")
+        if ph not in ("X", "i"):
+            continue
+        tid = ev.get("tid", 0)
+        rank = ranks.get(tid, tid)
+        events.append((ph, ev.get("cat", ""), ev.get("name", ""), rank,
+                       float(ev.get("ts", 0.0)) / 1e6,
+                       float(ev.get("dur", 0.0)) / 1e6,
+                       ev.get("args") or None))
+    events.sort(key=lambda e: e[4])
+    return events
 
 
 def _spans(events: Sequence[Event]) -> List[Event]:
