@@ -6,11 +6,22 @@ instead the bench measures the actual per-worker work and communication
 for 1..16 workers and projects strong-scaling times with the alpha-beta
 cost model -- the communication *counts* are exact, only the rates are
 modeled.
+
+Since the multiprocess transport landed, the projection is no longer the
+only story: :func:`measure_backend_wall` runs the same pipeline as real
+SPMD wall time on both backends.  The per-rank work is a Python-level
+loop of ufunc applications -- the interpreter glue between calls holds
+the GIL, so rank threads serialize while rank processes genuinely
+overlap; on a multicore host the process backend shows the speedup the
+cost model has been projecting.
 """
+
+import os
+import time
 
 import numpy as np
 
-from repro import odin
+from repro import mpi, odin
 from repro.mpi import COMMODITY_CLUSTER
 from repro.odin.context import OdinContext
 
@@ -69,7 +80,74 @@ def generate_report() -> str:
         "projected efficiency stays near 100% out to 16 workers -- the "
         "serial NumPy code needed zero changes to get there, which is "
         "the section III-D claim.")
+    m = measure_backend_wall(repeats=1)
+    section.add(table(
+        ["backend", "wall s"],
+        [("thread", f"{m['thread_s']:.3f}"),
+         ("process", f"{m['process_s']:.3f}"),
+         ("speedup", f"{m['speedup']:.2f}x")],
+        title=f"measured wall time, same pipeline, nranks="
+              f"{m['nranks']} on {m['cpu_count']} CPU core(s)"))
+    section.line(
+        "The wall-time table is measured, not projected: on a multicore "
+        "host the process transport escapes the GIL and approaches the "
+        "projected scaling; on a single core it can only add fork and "
+        "IPC overhead, and the honest number shows that too.")
     return section.render()
+
+
+# ----------------------------------------------------------------------
+# measured wall time: thread vs process transport
+# ----------------------------------------------------------------------
+BACKEND_NRANKS = 4
+PIPELINE_ITERS = 4000  # ~1 s of serialized compute: dwarfs fork cost
+CHUNK = 20_000  # elements per ufunc call: interpreter glue is visible
+
+
+def _pipeline_body(comm, n, iters):
+    """The C1 expression, evaluated as a per-rank Python/ufunc loop."""
+    lo = comm.rank * (n // comm.size)
+    u = np.linspace(0.0, 1.0, CHUNK) + lo
+    v = np.linspace(1.0, 2.0, CHUNK)
+    acc = 0.0
+    for _ in range(iters):
+        w = np.sqrt(u * u + v * v) * 2.0 - 1.0
+        acc += float(w[0])
+    return acc
+
+
+def measure_backend_wall(nranks=BACKEND_NRANKS, iters=PIPELINE_ITERS,
+                         repeats=3):
+    """Median wall seconds per backend for the same SPMD pipeline."""
+    out = {"nranks": nranks, "cpu_count": os.cpu_count()}
+    for backend in ("thread", "process"):
+        times = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            res = mpi.run_spmd(_pipeline_body, nranks, args=(N, iters),
+                               backend=backend)
+            times.append(time.perf_counter() - t0)
+            assert len(res) == nranks
+        out[backend + "_s"] = sorted(times)[len(times) // 2]
+    out["speedup"] = out["thread_s"] / out["process_s"]
+    return out
+
+
+def test_process_backend_speedup_at_4_ranks(benchmark):
+    """The tentpole gate: real multicore speedup, not a projection.
+
+    Meaningful only where 4 ranks can actually run concurrently; on
+    smaller runners the process backend's fork overhead dominates and
+    the assertion would measure the machine, not the transport.
+    """
+    import pytest
+    if (os.cpu_count() or 1) < 4:
+        pytest.skip("needs >= 4 CPU cores for a meaningful "
+                    "thread-vs-process comparison")
+    m = benchmark.pedantic(measure_backend_wall, rounds=1, iterations=1)
+    assert m["speedup"] >= 2.0, (
+        f"process backend only {m['speedup']:.2f}x over thread at "
+        f"nranks={m['nranks']} on {m['cpu_count']} cores")
 
 
 def test_scaling_traffic_is_flat(benchmark):

@@ -1,0 +1,70 @@
+"""Record thread-vs-process transport wall numbers: BENCH_process.json.
+
+Companion to BENCH_baseline.json (which tracks absolute bench medians
+for the warn-only perf gate): this file records the *backend comparison*
+for the two scaling benches the multiprocess-transport PR gates on,
+together with the core count that makes the numbers interpretable -- a
+single-core runner can only show fork/IPC overhead, a multicore runner
+must show genuine speedup.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record_backend_baseline.py \
+        [--out BENCH_process.json] [--repeats 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+
+try:
+    from . import bench_solvers_gmres, bench_ufunc_scaling
+except ImportError:  # executed as a script, not as a package module
+    import bench_solvers_gmres
+    import bench_ufunc_scaling
+
+
+def collect(repeats: int) -> dict:
+    return {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "note": ("median wall seconds for identical SPMD programs on the "
+                 "thread vs process transport at nranks=4; speedup = "
+                 "thread_s / process_s.  On hosts with fewer than 4 "
+                 "cores the process backend cannot win -- the recorded "
+                 "number is honest overhead, not a regression."),
+        "benchmarks": {
+            "bench_ufunc_scaling":
+                bench_ufunc_scaling.measure_backend_wall(repeats=repeats),
+            "bench_solvers_gmres":
+                bench_solvers_gmres.measure_backend_wall(repeats=repeats),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="record thread-vs-process backend wall times")
+    parser.add_argument("--out", default="BENCH_process.json")
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    doc = collect(args.repeats)
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    for name, m in doc["benchmarks"].items():
+        print(f"{name}: thread {m['thread_s']:.3f}s  process "
+              f"{m['process_s']:.3f}s  speedup {m['speedup']:.2f}x "
+              f"(nranks={m['nranks']}, {doc['cpu_count']} cores)")
+    print(f"written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

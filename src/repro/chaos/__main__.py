@@ -57,6 +57,10 @@ def main(argv=None) -> int:
                         help="enable fault recovery (shrink + checkpoint/"
                              "replay): crashes must yield oracle-conformant "
                              "results instead of typed errors")
+    parser.add_argument("--backend", default=None,
+                        choices=("thread", "process"),
+                        help="transport backend for the ODIN contexts "
+                             "(default: REPRO_MPI_BACKEND or thread)")
     parser.add_argument("--no-shrink", action="store_true",
                         help="skip shrinking failures to minimal programs")
     parser.add_argument("--max-failures", type=int, default=5,
@@ -82,14 +86,16 @@ def main(argv=None) -> int:
           f"programs={args.programs} nranks={nranks_list} "
           f"chaos={args.chaos}"
           f"{' strict' if args.strict else ''}"
-          f"{' recover' if args.recover else ''}")
+          f"{' recover' if args.recover else ''}"
+          f"{f' backend={args.backend}' if args.backend else ''}")
 
     failures = run_sweep(args.seed, args.programs, nranks_list,
                          chaos_mode=args.chaos, max_steps=args.max_steps,
                          timeout=args.timeout, strict=args.strict,
                          shrink=not args.no_shrink,
                          max_failures=args.max_failures,
-                         log=print, recover=args.recover)
+                         log=print, recover=args.recover,
+                         backend=args.backend)
 
     checked = args.programs * len(nranks_list)
     if failures:

@@ -393,7 +393,8 @@ def _run_odin(program: Program, ctx) -> List[Any]:
 def run_distributed(program: Program, nworkers: int,
                     fault_plan: Optional[FaultPlan] = None,
                     timeout: float = 30.0,
-                    recover: bool = False) -> List[Any]:
+                    recover: bool = False,
+                    backend: Optional[str] = None) -> List[Any]:
     """Run *program* on a fresh ODIN context with *nworkers* workers,
     optionally under *fault_plan*.  Always tears the context down, even
     after a crash-aborted world.
@@ -401,19 +402,23 @@ def run_distributed(program: Program, nworkers: int,
     With *recover*, the context runs with checkpoint/replay recovery
     enabled: an injected crash shrinks the worker pool and the program is
     expected to complete with oracle-conformant results anyway.
+
+    *backend* selects the transport ("thread"/"process", default from
+    ``REPRO_MPI_BACKEND``); chaos plans are installed through the context
+    so process-backend workers arm their own engines.
     """
     from ..odin.context import OdinContext
-    from .core import ENGINE
 
-    ctx = OdinContext(nworkers, timeout=timeout, recover=recover)
+    ctx = OdinContext(nworkers, timeout=timeout, recover=recover,
+                      backend=backend)
     try:
         if fault_plan is not None:
-            ENGINE.install(fault_plan)
+            ctx.install_chaos(fault_plan)
         try:
             return _run_odin(program, ctx)
         finally:
             if fault_plan is not None:
-                ENGINE.uninstall()
+                ctx.uninstall_chaos()
     finally:
         try:
             ctx.shutdown()
@@ -526,7 +531,8 @@ def check_program(program: Program, nworkers: int,
                   fault_plan: Optional[FaultPlan] = None,
                   expect_errors: bool = False,
                   timeout: float = 30.0,
-                  recover: bool = False) -> Optional[str]:
+                  recover: bool = False,
+                  backend: Optional[str] = None) -> Optional[str]:
     """Differential check: None if conformant, else a failure string.
 
     With *expect_errors* (destructive fault plans), a typed
@@ -539,7 +545,7 @@ def check_program(program: Program, nworkers: int,
     oracle = run_numpy(program)
     try:
         subject = run_distributed(program, nworkers, fault_plan, timeout,
-                                  recover=recover)
+                                  recover=recover, backend=backend)
     except MPIError as exc:
         if expect_errors:
             return None
@@ -556,7 +562,8 @@ class ConformanceFailure:
                  program: Program, detail: str,
                  shrunk: Optional[Program] = None,
                  shrunk_detail: Optional[str] = None,
-                 recover: bool = False):
+                 recover: bool = False,
+                 backend: Optional[str] = None):
         self.seed = seed
         self.nranks = nranks
         self.chaos_mode = chaos_mode
@@ -565,11 +572,14 @@ class ConformanceFailure:
         self.shrunk = shrunk or program
         self.shrunk_detail = shrunk_detail or detail
         self.recover = recover
+        self.backend = backend
 
     def replay_line(self, strict: bool = False) -> str:
         flag = " --strict" if strict else ""
         if self.recover:
             flag += " --recover"
+        if self.backend:
+            flag += f" --backend {self.backend}"
         return (f"REPLAY: python -m repro.chaos --seed {self.seed} "
                 f"--programs 1 --nranks {self.nranks} "
                 f"--chaos {self.chaos_mode}{flag}")
@@ -578,6 +588,7 @@ class ConformanceFailure:
         return {
             "seed": self.seed, "nranks": self.nranks,
             "chaos": self.chaos_mode, "detail": self.detail,
+            "backend": self.backend,
             "program": self.program.to_dict(),
             "shrunk": self.shrunk.to_dict(),
             "shrunk_detail": self.shrunk_detail,
@@ -706,7 +717,8 @@ def run_sweep(seed: int, nprograms: int, nranks_list: Sequence[int],
               timeout: float = 30.0, strict: bool = False,
               shrink: bool = True, max_failures: int = 5,
               log: Callable[[str], None] = None,
-              recover: bool = False) -> List[ConformanceFailure]:
+              recover: bool = False,
+              backend: Optional[str] = None) -> List[ConformanceFailure]:
     """Fixed-seed conformance sweep; returns the (shrunk) failures.
 
     Program *i* uses seed ``seed + i``, so any failure replays in
@@ -725,22 +737,24 @@ def run_sweep(seed: int, nprograms: int, nranks_list: Sequence[int],
             plan, expect = plan_for_mode(chaos_mode, pseed, nranks)
             expect = expect and not strict and not recover
             detail = check_program(program, nranks, plan, expect, timeout,
-                                   recover=recover)
+                                   recover=recover, backend=backend)
             if detail is None:
                 continue
             shrunk, shrunk_detail = program, detail
             if shrink:
                 def fails(cand: Program) -> bool:
                     return check_program(cand, nranks, plan, expect,
-                                         timeout,
-                                         recover=recover) is not None
+                                         timeout, recover=recover,
+                                         backend=backend) is not None
                 shrunk = shrink_program(program, fails)
                 shrunk_detail = check_program(shrunk, nranks, plan,
                                               expect, timeout,
-                                              recover=recover) or detail
+                                              recover=recover,
+                                              backend=backend) or detail
             failure = ConformanceFailure(pseed, nranks, chaos_mode,
                                          program, detail, shrunk,
-                                         shrunk_detail, recover=recover)
+                                         shrunk_detail, recover=recover,
+                                         backend=backend)
             failures.append(failure)
             if log is not None:
                 log(f"FAIL seed={pseed} nranks={nranks} "

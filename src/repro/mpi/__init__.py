@@ -41,6 +41,7 @@ from .rma import Win
 from .runtime import (RankContext, World, current_context, default_timeout,
                       run_spmd, set_default_timeout)
 from .status import ANY_SOURCE, ANY_TAG, Status
+from .transport import BACKENDS, resolve_backend
 
 
 def get_comm_world() -> Intracomm:
@@ -53,6 +54,8 @@ __all__ = [
     # runtime
     "run_spmd", "World", "RankContext", "current_context", "get_comm_world",
     "default_timeout", "set_default_timeout",
+    # transport backends
+    "BACKENDS", "resolve_backend",
     # comm
     "Intracomm", "Group", "CartComm", "dims_create",
     # status / requests

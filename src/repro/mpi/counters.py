@@ -171,6 +171,32 @@ class CommCounters:
             self.bytes_recvd += nbytes
             self.by_peer_recv[src_world_rank] += nbytes
 
+    def absorb(self, snap: CounterSnapshot) -> None:
+        """Merge a snapshot into this counter (driver-side merge of a
+        remote rank's counters in the process backend: the snapshot
+        crossed the wire, the live object could not)."""
+        if snap is None:
+            return
+        with self._lock:
+            self.sends += snap.sends
+            self.recvs += snap.recvs
+            self.bytes_sent += snap.bytes_sent
+            self.bytes_recvd += snap.bytes_recvd
+            for peer, nbytes in snap.by_peer.items():
+                self.by_peer[peer] += nbytes
+            for peer, nbytes in snap.by_peer_recv.items():
+                self.by_peer_recv[peer] += nbytes
+            for key, n in snap.coll_calls.items():
+                self.coll_calls[key] += n
+            for oid, ops in snap.by_causal.items():
+                cur = self.by_causal.get(oid)
+                if cur is None:
+                    cur = self.by_causal[oid] = {}
+                    while len(self.by_causal) > _CAUSAL_CAP:
+                        self.by_causal.popitem(last=False)
+                for op, n in ops.items():
+                    cur[op] = cur.get(op, 0) + n
+
     def snapshot(self) -> CounterSnapshot:
         with self._lock:
             return CounterSnapshot(self.sends, self.recvs, self.bytes_sent,

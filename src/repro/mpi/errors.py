@@ -45,6 +45,13 @@ class InjectedFault(MPIError):
         self.step = step
         self.rule = rule
 
+    def __reduce__(self):
+        # default Exception pickling replays __init__ with self.args (the
+        # formatted message), which does not match this signature; typed
+        # errors must survive pickling so the process transport can ship
+        # them across rank boundaries intact
+        return (InjectedFault, (self.rank, self.step, self.rule))
+
 
 class RankFailure(MPIError):
     """A peer rank is dead (fail-stop) and a pending operation involved it.
@@ -65,6 +72,11 @@ class RankFailure(MPIError):
         # causal attribution: the ODIN driver stamps the op_id of the
         # control op that was in flight when the failure surfaced
         self.op_id = None
+
+    def __reduce__(self):
+        # see InjectedFault.__reduce__; op_id rides in the state dict
+        return (RankFailure, (self.rank, self.op, self.cause),
+                {"op_id": self.op_id})
 
 
 class CommRevokedError(MPIError):
@@ -87,3 +99,7 @@ class AbortError(MPIError):
         super().__init__(f"rank {origin_rank} aborted: {cause!r}")
         self.origin_rank = origin_rank
         self.cause = cause
+
+    def __reduce__(self):
+        # see InjectedFault.__reduce__
+        return (AbortError, (self.origin_rank, self.cause))

@@ -74,12 +74,22 @@ class Win:
         """Begin passive-target access to *rank*'s window.
 
         The per-target lock is reentrant, so one-sided operations issued
-        inside a Lock/Unlock epoch (same thread) nest safely.
+        inside a Lock/Unlock epoch (same thread) nest safely.  On the
+        process backend a remote target's lock lives in its process and
+        is held by the RMA service around each individual operation:
+        Lock/Unlock then only opens the epoch -- per-op atomicity is
+        preserved, cross-op mutual exclusion between concurrent origins
+        is not (see docs/INTERNALS.md §11).
         """
+        if self._is_remote(rank):
+            self._epoch = True
+            return
         self._target_entry(rank)[1].acquire()
         self._epoch = True
 
     def Unlock(self, rank: int) -> None:
+        if self._is_remote(rank):
+            return
         self._target_entry(rank)[1].release()
 
     # ------------------------------------------------------------------
@@ -95,6 +105,19 @@ class Win:
             raise MPIError("window not exposed on target (Create not "
                            "called there?)") from None
 
+    def _is_remote(self, rank: int) -> bool:
+        """Does *rank*'s window buffer live in another process?
+
+        Thread backend: never (all buffers share the table).  Process
+        backend: any rank but our own -- those ops ship over the mesh to
+        the target's RMA service (:meth:`ProcessWorld._rma_apply_put`
+        and friends), which applies them under the target-side lock.
+        """
+        if not 0 <= rank < self.comm.size:
+            raise RankError(f"rank {rank} out of range")
+        return self.comm.context.world.is_remote_rank(
+            self.comm.world_rank(rank))
+
     def _check_epoch(self):
         if not self._epoch:
             raise MPIError("one-sided operation outside an access epoch; "
@@ -109,14 +132,19 @@ class Win:
                       peer=self.comm.world_rank(target_rank))
         t0 = _TR.now() if _TR.enabled else 0.0
         data = np.ascontiguousarray(origin)
-        buf, lock = self._target_entry(target_rank)
-        flat = buf.reshape(-1)
-        n = data.size
-        if target_offset + n > flat.size:
-            raise MPIError("Put overruns the target window")
-        with lock:
-            flat[target_offset:target_offset + n] = \
-                data.reshape(-1).astype(buf.dtype, copy=False)
+        if self._is_remote(target_rank):
+            self.comm.context.world.rma_put(
+                self._id, self.comm.world_rank(target_rank),
+                target_offset, data)
+        else:
+            buf, lock = self._target_entry(target_rank)
+            flat = buf.reshape(-1)
+            n = data.size
+            if target_offset + n > flat.size:
+                raise MPIError("Put overruns the target window")
+            with lock:
+                flat[target_offset:target_offset + n] = \
+                    data.reshape(-1).astype(buf.dtype, copy=False)
         self.comm.counters().record_send(
             self.comm.world_rank(target_rank), data.nbytes)
         if _TR.enabled:
@@ -134,20 +162,27 @@ class Win:
             _CH.on_op("rma", self.comm.context.rank,
                       peer=self.comm.world_rank(target_rank))
         t0 = _TR.now() if _TR.enabled else 0.0
-        buf, lock = self._target_entry(target_rank)
-        flat = buf.reshape(-1)
-        out = origin.reshape(-1)
-        n = out.size
-        if target_offset + n > flat.size:
-            raise MPIError("Get overruns the target window")
-        with lock:
-            out[...] = flat[target_offset:target_offset + n].astype(
-                origin.dtype, copy=False)
-        # data flowed target -> origin
         world = self.comm.context.world
         target_world = self.comm.world_rank(target_rank)
-        world.counters[target_world].record_send(
-            self.comm.context.rank, out.nbytes)
+        out = origin.reshape(-1)
+        if self._is_remote(target_rank):
+            got = world.rma_get(self._id, target_world, target_offset,
+                                out.size, origin.dtype)
+            out[...] = got
+            # the target-side service recorded its send; count only the
+            # receive here
+        else:
+            buf, lock = self._target_entry(target_rank)
+            flat = buf.reshape(-1)
+            n = out.size
+            if target_offset + n > flat.size:
+                raise MPIError("Get overruns the target window")
+            with lock:
+                out[...] = flat[target_offset:target_offset + n].astype(
+                    origin.dtype, copy=False)
+            # data flowed target -> origin
+            world.counters[target_world].record_send(
+                self.comm.context.rank, out.nbytes)
         self.comm.counters().record_recv(target_world, out.nbytes)
         if _TR.enabled:
             _TR.complete("mpi.rma", "Get", t0, rank=self.comm.context.rank,
@@ -166,14 +201,19 @@ class Win:
                       peer=self.comm.world_rank(target_rank))
         t0 = _TR.now() if _TR.enabled else 0.0
         data = np.ascontiguousarray(origin)
-        buf, lock = self._target_entry(target_rank)
-        flat = buf.reshape(-1)
-        n = data.size
-        if target_offset + n > flat.size:
-            raise MPIError("Accumulate overruns the target window")
-        with lock:
-            sl = slice(target_offset, target_offset + n)
-            flat[sl] = op.np_func(flat[sl], data.reshape(-1))
+        if self._is_remote(target_rank):
+            self.comm.context.world.rma_acc(
+                self._id, self.comm.world_rank(target_rank),
+                target_offset, data, op)
+        else:
+            buf, lock = self._target_entry(target_rank)
+            flat = buf.reshape(-1)
+            n = data.size
+            if target_offset + n > flat.size:
+                raise MPIError("Accumulate overruns the target window")
+            with lock:
+                sl = slice(target_offset, target_offset + n)
+                flat[sl] = op.np_func(flat[sl], data.reshape(-1))
         self.comm.counters().record_send(
             self.comm.world_rank(target_rank), data.nbytes)
         if _TR.enabled:

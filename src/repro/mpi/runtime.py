@@ -496,6 +496,17 @@ class World:
         nbytes = sum(c.snapshot().bytes_sent for c in self.counters)
         return msgs, nbytes
 
+    # -- transport topology (overridden by ProcessWorld) --------------------
+    # Thread worlds share one address space: every rank is local, and
+    # shared structures (RMA windows, agreement slots) are reached
+    # directly.  The process backend overrides these to route through
+    # its socket mesh.
+    is_process_backend = False
+
+    def is_remote_rank(self, rank: int) -> bool:
+        """Whether *rank*'s state lives in another process."""
+        return False
+
 
 class RankContext:
     """Per-thread handle identifying 'which rank am I' within a world."""
@@ -607,7 +618,8 @@ class RankContext:
 def run_spmd(fn: Callable[..., Any], nranks: int, args: Sequence = (),
              kwargs: Optional[dict] = None, timeout: Optional[float] = None,
              pass_comm: bool = True,
-             fault_mode: str = "abort") -> List[Any]:
+             fault_mode: str = "abort",
+             backend: Optional[str] = None) -> List[Any]:
     """Run *fn* on every rank of a fresh *nranks*-rank world.
 
     This is the offline equivalent of ``mpiexec -n nranks``.  When
@@ -615,6 +627,12 @@ def run_spmd(fn: Callable[..., Any], nranks: int, args: Sequence = (),
     ``fn(comm, *args, **kwargs)`` with that rank's world communicator;
     otherwise ``fn(*args, **kwargs)`` and the rank obtains its communicator
     via :func:`repro.mpi.get_comm_world`.
+
+    *backend* selects the transport (``"thread"`` | ``"process"``,
+    default from ``REPRO_MPI_BACKEND``, then ``"thread"``): threads
+    share one address space and one GIL; the process backend forks one
+    OS process per rank for real multicore parallelism (see
+    :mod:`repro.mpi.transport`).
 
     *fault_mode* selects what a rank death means for the others:
 
@@ -629,9 +647,15 @@ def run_spmd(fn: Callable[..., Any], nranks: int, args: Sequence = (),
     Returns the list of per-rank return values (index = rank).
     """
     from .comm import Intracomm  # local import: comm builds on runtime
+    from .transport import resolve_backend
 
     if fault_mode not in ("abort", "failstop"):
         raise ValueError(f"unknown fault_mode {fault_mode!r}")
+    if resolve_backend(backend) == "process":
+        from .transport.process_backend import run_spmd_process
+        return run_spmd_process(fn, nranks, args=args, kwargs=kwargs,
+                                timeout=timeout, pass_comm=pass_comm,
+                                fault_mode=fault_mode)
     kwargs = kwargs or {}
     world = World(nranks, timeout=timeout)
     results: List[Any] = [None] * nranks

@@ -1,0 +1,39 @@
+"""Pluggable transport backends for the SPMD runtime.
+
+Two backends implement the same :class:`~repro.mpi.runtime.World`
+contract:
+
+- ``"thread"`` -- the original shared-address-space runtime: one OS
+  thread per rank, in-memory mailboxes.  Deterministic under chaos
+  injection and cheap to spin up, so it stays the default for tests.
+- ``"process"`` -- one OS process per rank (:mod:`.process_backend`):
+  a fork-inherited socketpair mesh for envelopes and control frames,
+  shared-memory segments for bulk ndarray frames, and *real* failure
+  detection (a dead process closes its sockets).  This is the backend
+  that escapes the GIL: rank compute genuinely overlaps on multicore.
+
+Selection: the ``backend=`` argument of
+:func:`~repro.mpi.runtime.run_spmd` / :class:`~repro.odin.context.OdinContext`,
+falling back to the ``REPRO_MPI_BACKEND`` environment variable, falling
+back to ``"thread"``.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["BACKENDS", "resolve_backend"]
+
+BACKENDS = ("thread", "process")
+
+
+def resolve_backend(backend=None) -> str:
+    """Normalize a backend choice (explicit arg > env var > thread)."""
+    if backend is None or backend == "":
+        backend = os.environ.get("REPRO_MPI_BACKEND", "").strip() \
+            or "thread"
+    backend = str(backend).strip().lower()
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown transport backend {backend!r}; "
+                         f"expected one of {BACKENDS}")
+    return backend

@@ -22,6 +22,7 @@ op-per-round-trip behavior.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import threading
 import time
@@ -32,9 +33,10 @@ import numpy as np
 
 from ..metrics import REGISTRY as _MX
 from ..mpi.comm import Intracomm
-from ..mpi.errors import (AbortError, CommRevokedError, InjectedFault,
-                          RankFailure)
+from ..mpi.errors import (AbortError, CommRevokedError, DeadlockError,
+                          InjectedFault, RankFailure)
 from ..mpi.runtime import RankContext, World
+from ..mpi.transport import resolve_backend
 from ..obs import causal as _CZ
 from ..obs import status as _OBS
 from ..obs.flight import FLIGHT as _FL
@@ -42,7 +44,7 @@ from ..recover import OpLog, remap_op_dists
 from ..trace import TRACER as _TR
 from .distribution import BlockDistribution, Distribution
 from . import opcodes
-from .worker import WorkerState, execute_op
+from .worker import WorkerState, execute_op, _ship_function
 
 __all__ = ["OdinContext", "init", "shutdown", "get_context",
            "worker_comm", "worker_index", "local_registry"]
@@ -53,6 +55,11 @@ __all__ = ["OdinContext", "init", "shutdown", "get_context",
 # the broadcast ships the (tiny) name, preserving the control-message
 # economics of the paper's design.
 local_registry: Dict[str, Callable] = {}
+
+# Live process-backend contexts: @odin.local registration must reach
+# their already-forked workers via REGISTER_LOCAL (thread contexts share
+# local_registry by reference and need no broadcast).
+_live_process_contexts: "weakref.WeakSet[OdinContext]" = weakref.WeakSet()
 
 _worker_tls = threading.local()
 
@@ -128,17 +135,210 @@ def worker_state():
     return state
 
 
+# ----------------------------------------------------------------------
+# worker side (shared by the thread and process backends)
+# ----------------------------------------------------------------------
+def _worker_loop(ctx: RankContext, nranks: int, recover: bool,
+                 is_closing: Callable[[], bool]) -> None:
+    """One worker's life: serve ops until SHUTDOWN, recovering across
+    communicator generations when *recover* is set.
+
+    Free function on purpose: thread workers call it with the driver's
+    ``self``-derived closure, process workers from a forked interpreter
+    where no ``OdinContext`` exists at all.
+    """
+    world = ctx.world
+    windex = ctx.rank - 1
+    comm: Optional[Intracomm] = None
+    state: Optional[WorkerState] = None
+    while True:  # one iteration per communicator generation
+        try:
+            if comm is None:
+                # setup is inside the try: a chaos-scripted crash can
+                # fire in the startup split's collectives just as well
+                # as mid-loop
+                comm = Intracomm(ctx, list(range(nranks)))
+                wcomm = comm.split(0, windex)
+                state = WorkerState(index=windex, comm=wcomm,
+                                    registry=local_registry,
+                                    full_comm=comm)
+                _worker_tls.comm = wcomm
+                _worker_tls.index = windex
+                _worker_tls.state = state
+            _worker_serve(comm, state)
+            return  # clean SHUTDOWN
+        except InjectedFault as exc:
+            if recover:
+                # fail-stop: this rank dies, survivors see typed
+                # RankFailure and negotiate a shrink
+                world.mark_failed(ctx.rank, exc)
+                return
+            # chaos-scripted rank crash without recovery: die loudly so
+            # the driver and the surviving workers fail fast with
+            # AbortError instead of waiting out the deadlock timeout
+            world.abort(ctx.rank, exc)
+            return
+        except (RankFailure, CommRevokedError):
+            if not recover or is_closing():
+                return  # teardown, or nobody will coordinate
+            # survivor: poison both comms so every other survivor
+            # unblocks (the driver only revokes the full comm; a peer
+            # blocked in a worker-comm collective needs this revoke),
+            # then rendezvous on the shrunk group
+            if state is not None:
+                state.comm.revoke()
+            if comm is not None:
+                comm.revoke()
+                try:
+                    new_full = comm.shrink()
+                except DeadlockError:
+                    # process backend, driver shutting down: nobody will
+                    # complete the shrink agreement -- exit, the parent
+                    # reaps us
+                    return
+                new_wcomm = new_full.split(0, new_full.rank)
+                new_index = new_full.rank - 1
+                if state is None:
+                    state = WorkerState(index=new_index,
+                                        comm=new_wcomm,
+                                        registry=local_registry,
+                                        full_comm=new_full)
+                else:
+                    state.index = new_index
+                    state.comm = new_wcomm
+                    state.full_comm = new_full
+                    state.plan_cache.clear()
+                comm = new_full
+                _worker_tls.comm = new_wcomm
+                _worker_tls.index = new_index
+                _worker_tls.state = state
+                continue
+            return
+
+
+def _shutdown_stats(comm: Intracomm):
+    """Per-worker observability payload shipped in the SHUTDOWN gather.
+
+    With thread workers the driver already shares counters and trace
+    buffers, so this is None.  A process worker's counters and trace
+    events live in its own interpreter and would die with it -- ship
+    snapshots back for the driver-side merge (``CommCounters.absorb`` /
+    ``Tracer.absorb``).
+    """
+    world = comm.context.world
+    if not getattr(world, "is_process_backend", False):
+        return None
+    snap = world.counters[comm.context.rank].snapshot()
+    events = _TR.events() if _TR.enabled else None
+    return ("proc-stats", snap, events)
+
+
+def _worker_serve(comm: Intracomm, state: WorkerState) -> None:
+    """The worker service loop; returns on SHUTDOWN, raises on faults.
+
+    Deferred errors from fire-and-forget ops in the current epoch are
+    (op_id, op name, exception) triples.  The op_id comes off the
+    TAGGED wire envelope, so it matches the driver's _op_seq clock by
+    construction -- across batching and across recovery replays,
+    which re-broadcast under fresh ids.
+
+    The causal identity stays published until the next envelope
+    arrives: the blocking wait for op N+1 is attributed to op N (a
+    deliberate smear -- that wait is idle time op N's epoch left
+    behind) and the result gather for op N is correctly tagged N.
+    """
+    deferred: List[Tuple[int, str, Exception]] = []
+    oid = None
+    while True:
+        op = comm.bcast(None, root=0)
+        if op[0] == opcodes.TAGGED:
+            _code, oid, eid, op = op
+            _CZ.set_current(oid, eid)
+        fire_and_forget = op[0] == opcodes.ASYNC
+        if fire_and_forget:
+            op = op[1]
+        if op[0] == opcodes.SHUTDOWN:
+            comm.gather(("ok", _shutdown_stats(comm), deferred), root=0)
+            return
+        if op[0] == opcodes.FLUSH:
+            comm.gather(("ok", None, deferred), root=0)
+            deferred = []
+            continue
+        try:
+            result = execute_op(state, op)
+            status = ("ok", result)
+        except InjectedFault:
+            # scripted chaos crash: the rank dies, it does not
+            # report a recoverable op error
+            raise
+        except (RankFailure, CommRevokedError):
+            # a peer died mid-op: enter recovery, do not report this
+            # as an op error
+            raise
+        except Exception as exc:  # noqa: BLE001 - report to driver
+            if fire_and_forget:
+                deferred.append((oid, str(op[0]), exc))
+                continue
+            status = ("err", exc)
+        if fire_and_forget:
+            continue
+        comm.gather(status + (deferred,), root=0)
+        deferred = []
+
+
+def _process_worker_main(mesh, windex: int, nworkers: int, recover: bool,
+                         timeout: Optional[float]) -> None:
+    """Entry point of one forked ODIN worker process."""
+    from ..mpi.transport.process_backend import ProcessWorld
+
+    rank = windex + 1
+    socks = mesh.activate(rank)
+    world = ProcessWorld(nworkers + 1, rank, mesh.session_id, socks,
+                         timeout=timeout)
+    if _TR.enabled:
+        _TR.clear()  # drop fork-inherited events; ship only our own
+    ctx = RankContext(world, rank)
+    ctx.bind()
+    try:
+        _worker_loop(ctx, nworkers + 1, recover, is_closing=lambda: False)
+    except Exception:  # noqa: BLE001 - world aborted; driver already knows
+        pass
+    finally:
+        ctx.unbind()
+        world.close()
+
+
 class OdinContext:
-    """One driver plus *nworkers* persistent worker threads."""
+    """One driver plus *nworkers* persistent workers.
+
+    ``backend="thread"`` (default) runs workers as daemon threads in the
+    calling process -- zero-copy mailboxes, shared registries, no real
+    parallelism for pure-Python op streams (the GIL).  ``backend="process"``
+    forks one OS process per worker over the multiprocess transport
+    (:mod:`repro.mpi.transport`): true parallelism, shared-memory bulk
+    frames, and *real* fail-stop -- a SIGKILLed worker surfaces as the
+    same typed :class:`RankFailure` the thread backend injects.
+    """
 
     def __init__(self, nworkers: int, timeout: Optional[float] = None,
                  batch: Optional[bool] = None,
                  recover: Optional[bool] = None,
-                 ckpt_every: Optional[int] = None):
+                 ckpt_every: Optional[int] = None,
+                 backend: Optional[str] = None):
         if nworkers < 1:
             raise ValueError("need at least one worker")
         self.nworkers = nworkers
-        self.world = World(nworkers + 1, timeout=timeout)
+        self._backend = resolve_backend(backend)
+        # the recover flag is needed before the workers start (process
+        # workers take it across the fork as an argument)
+        self._recover = _recover_default() if recover is None \
+            else bool(recover)
+        self._threads: List[threading.Thread] = []
+        self._procs: List[Any] = []
+        if self._backend == "process":
+            self.world = self._start_process_workers(nworkers, timeout)
+        else:
+            self.world = World(nworkers + 1, timeout=timeout)
         self._driver_ctx = RankContext(self.world, 0)
         self.comm = Intracomm(self._driver_ctx,
                               list(range(nworkers + 1)))
@@ -153,8 +353,6 @@ class OdinContext:
         self._last_plan_stats: Optional[Dict[str, Any]] = None
         self._lock = threading.RLock()
         # -- fault recovery (repro.recover) --
-        self._recover = _recover_default() if recover is None \
-            else bool(recover)
         self._ckpt_every = _ckpt_every_default() if ckpt_every is None \
             else int(ckpt_every)
         self._oplog: Optional[OpLog] = OpLog() if self._recover else None
@@ -177,19 +375,22 @@ class OdinContext:
         # /status endpoint (started here iff REPRO_OBS_PORT is set)
         _CZ.note_rank_thread("driver")
         _OBS.register_context(self)
-        self._threads = [
-            threading.Thread(target=self._worker_main, args=(w,),
-                             name=f"odin-worker-{w}", daemon=True)
-            for w in range(nworkers)
-        ]
-        for t in self._threads:
-            t.start()
-        if self._recover:
-            # lease registration: a worker thread that dies without
-            # reporting (any death mode, not just InjectedFault) is
-            # detected as a failed rank by blocked peers
-            for w, t in enumerate(self._threads):
-                self.world.register_rank_thread(w + 1, t)
+        if self._backend == "process":
+            _live_process_contexts.add(self)
+        else:
+            self._threads = [
+                threading.Thread(target=self._worker_main, args=(w,),
+                                 name=f"odin-worker-{w}", daemon=True)
+                for w in range(nworkers)
+            ]
+            for t in self._threads:
+                t.start()
+            if self._recover:
+                # lease registration: a worker thread that dies without
+                # reporting (any death mode, not just InjectedFault) is
+                # detected as a failed rank by blocked peers
+                for w, t in enumerate(self._threads):
+                    self.world.register_rank_thread(w + 1, t)
         # Workers split off their own comm; the driver passes a negative
         # color so it is excluded (split over the full comm, collective).
         # A chaos crash can land inside this startup collective; recovery
@@ -201,132 +402,61 @@ class OdinContext:
                 raise
             self._recover_and_replay(exc)
 
+    def _start_process_workers(self, nworkers: int,
+                               timeout: Optional[float]):
+        """Fork the worker processes and claim rank 0 of the mesh.
+
+        Order matters: the mesh is created (all socketpairs open), every
+        worker forks with the full fd set, and only then does the parent
+        activate rank 0 -- activating first would hand the children
+        already-closed fds.  The atexit sweep is registered after the
+        forks so exiting children never sweep the live session.
+        """
+        from ..mpi.transport.process_backend import (ProcessMesh,
+                                                     ProcessWorld)
+        from ..mpi.transport.shm import register_atexit_sweep
+
+        mesh = ProcessMesh(nworkers + 1)
+        mp = multiprocessing.get_context("fork")
+        try:
+            self._procs = [
+                mp.Process(target=_process_worker_main,
+                           args=(mesh, w, nworkers, self._recover,
+                                 timeout),
+                           name=f"odin-worker-{w}", daemon=True)
+                for w in range(nworkers)
+            ]
+            for p in self._procs:
+                p.start()
+        except BaseException:
+            mesh.close_all()
+            raise
+        socks = mesh.activate(0)
+        register_atexit_sweep(mesh.session_id)
+        world = ProcessWorld(nworkers + 1, 0, mesh.session_id, socks,
+                             timeout=timeout)
+        # process leases: a worker that dies without reporting (SIGKILL,
+        # fatal signal) is detected by blocked waiters on their next
+        # 0.25 s mailbox wake -- real fail-stop, not simulated
+        for w, p in enumerate(self._procs):
+            world.register_rank_process(w + 1, p)
+        return world
+
     # ------------------------------------------------------------------
-    # worker side
+    # worker side (thread backend entry; the loop itself is module-level)
     # ------------------------------------------------------------------
     def _worker_main(self, windex: int) -> None:
         ctx = RankContext(self.world, windex + 1)
         ctx.bind()
-        comm: Optional[Intracomm] = None
-        state: Optional[WorkerState] = None
         try:
-            while True:  # one iteration per communicator generation
-                try:
-                    if comm is None:
-                        # setup is inside the try: a chaos-scripted crash
-                        # can fire in the startup split's collectives just
-                        # as well as mid-loop
-                        comm = Intracomm(ctx,
-                                         list(range(len(self._threads) + 1)))
-                        wcomm = comm.split(0, windex)
-                        state = WorkerState(index=windex, comm=wcomm,
-                                            registry=local_registry,
-                                            full_comm=comm)
-                        _worker_tls.comm = wcomm
-                        _worker_tls.index = windex
-                        _worker_tls.state = state
-                    self._worker_serve(comm, state)
-                    return  # clean SHUTDOWN
-                except InjectedFault as exc:
-                    if self._recover:
-                        # fail-stop: this rank dies, survivors see typed
-                        # RankFailure and negotiate a shrink
-                        self.world.mark_failed(ctx.rank, exc)
-                        return
-                    # chaos-scripted rank crash without recovery: die
-                    # loudly so the driver and the surviving workers fail
-                    # fast with AbortError instead of waiting out the
-                    # deadlock timeout
-                    self.world.abort(ctx.rank, exc)
-                    return
-                except (RankFailure, CommRevokedError):
-                    if not self._recover or self._closing:
-                        return  # teardown, or nobody will coordinate
-                    # survivor: poison both comms so every other survivor
-                    # unblocks (the driver only revokes the full comm; a
-                    # peer blocked in a worker-comm collective needs this
-                    # revoke), then rendezvous on the shrunk group
-                    if state is not None:
-                        state.comm.revoke()
-                    if comm is not None:
-                        comm.revoke()
-                        new_full = comm.shrink()
-                        new_wcomm = new_full.split(0, new_full.rank)
-                        new_index = new_full.rank - 1
-                        if state is None:
-                            state = WorkerState(index=new_index,
-                                                comm=new_wcomm,
-                                                registry=local_registry,
-                                                full_comm=new_full)
-                        else:
-                            state.index = new_index
-                            state.comm = new_wcomm
-                            state.full_comm = new_full
-                            state.plan_cache.clear()
-                        comm = new_full
-                        _worker_tls.comm = new_wcomm
-                        _worker_tls.index = new_index
-                        _worker_tls.state = state
-                        continue
-                    return
+            _worker_loop(ctx, len(self._threads) + 1, self._recover,
+                         is_closing=lambda: self._closing)
         except Exception:
             # runtime failure (e.g. world aborted): leave quietly, the
             # driver will see the abort on its own next operation.
             return
         finally:
             ctx.unbind()
-
-    def _worker_serve(self, comm: Intracomm, state: WorkerState) -> None:
-        """The worker service loop; returns on SHUTDOWN, raises on faults.
-
-        Deferred errors from fire-and-forget ops in the current epoch are
-        (op_id, op name, exception) triples.  The op_id comes off the
-        TAGGED wire envelope, so it matches the driver's _op_seq clock by
-        construction -- across batching and across recovery replays,
-        which re-broadcast under fresh ids.
-
-        The causal identity stays published until the next envelope
-        arrives: the blocking wait for op N+1 is attributed to op N (a
-        deliberate smear -- that wait is idle time op N's epoch left
-        behind) and the result gather for op N is correctly tagged N.
-        """
-        deferred: List[Tuple[int, str, Exception]] = []
-        oid = None
-        while True:
-            op = comm.bcast(None, root=0)
-            if op[0] == opcodes.TAGGED:
-                _code, oid, eid, op = op
-                _CZ.set_current(oid, eid)
-            fire_and_forget = op[0] == opcodes.ASYNC
-            if fire_and_forget:
-                op = op[1]
-            if op[0] == opcodes.SHUTDOWN:
-                comm.gather(("ok", None, deferred), root=0)
-                return
-            if op[0] == opcodes.FLUSH:
-                comm.gather(("ok", None, deferred), root=0)
-                deferred = []
-                continue
-            try:
-                result = execute_op(state, op)
-                status = ("ok", result)
-            except InjectedFault:
-                # scripted chaos crash: the rank dies, it does not
-                # report a recoverable op error
-                raise
-            except (RankFailure, CommRevokedError):
-                # a peer died mid-op: enter recovery, do not report this
-                # as an op error
-                raise
-            except Exception as exc:  # noqa: BLE001 - report to driver
-                if fire_and_forget:
-                    deferred.append((oid, str(op[0]), exc))
-                    continue
-                status = ("err", exc)
-            if fire_and_forget:
-                continue
-            comm.gather(status + (deferred,), root=0)
-            deferred = []
 
     # ------------------------------------------------------------------
     # driver side
@@ -843,12 +973,22 @@ class OdinContext:
         snap = self.world.counters[0].snapshot()
         return snap.sends, snap.bytes_sent
 
+    def _worker_counters(self, world_rank: int):
+        """One worker's counter snapshot; fetched over the mesh in
+        process mode (its live counters are in another interpreter),
+        falling back to whatever the driver absorbed at shutdown."""
+        if self._backend == "process" and self._alive:
+            snap = self.world.fetch_counters(world_rank)
+            if snap is not None:
+                return snap
+        return self.world.counters[world_rank].snapshot()
+
     def worker_traffic(self):
         """(messages, bytes) of worker-to-worker data-plane traffic."""
         msgs = 0
         nbytes = 0
-        for w in range(1, self.nworkers + 1):
-            snap = self.world.counters[w].snapshot()
+        for wr in self.comm._world_ranks[1:]:
+            snap = self._worker_counters(wr)
             for peer, b in snap.by_peer.items():
                 if peer != 0:  # exclude worker->driver result traffic
                     nbytes += b
@@ -856,8 +996,56 @@ class OdinContext:
         return msgs, nbytes
 
     def reset_counters(self) -> None:
+        if self._backend == "process" and self._alive:
+            self.world.reset_all_counters()
+            return
         for c in self.world.counters:
             c.reset()
+
+    # -- process-backend control -------------------------------------------
+    def worker_pids(self) -> List[int]:
+        """OS pids of the worker processes (process backend; empty list
+        for thread workers).  Index j is worker j (world rank j+1)."""
+        return [p.pid for p in self._procs]
+
+    def install_chaos(self, plan) -> None:
+        """Arm a :class:`~repro.chaos.core.FaultPlan` on every rank.
+
+        Thread workers share the process-wide engine, so the local
+        install covers them.  Process workers each get a CHAOS_INSTALL
+        control op first (synchronizing, so the plan is armed before any
+        later op executes); their rank-local step counts start a few ops
+        later than thread mode's -- the install round-trip itself --
+        which shifts *where* a crash rule fires, never whether results
+        stay oracle-conformant.
+        """
+        from ..chaos.core import ENGINE
+        if self._backend == "process":
+            self._issue(opcodes.CHAOS_INSTALL, plan.to_dict())
+        ENGINE.install(plan)
+
+    def uninstall_chaos(self) -> None:
+        """Disarm fault injection everywhere (driver first, so an
+        abort-poisoned world cannot leave the local engine hot)."""
+        from ..chaos.core import ENGINE
+        ENGINE.uninstall()
+        if self._backend == "process" and self._alive:
+            try:
+                self._issue(opcodes.CHAOS_UNINSTALL)
+            except Exception:  # noqa: BLE001 - aborted world: the engine
+                pass           # dies with the worker processes anyway
+
+    @staticmethod
+    def broadcast_local(name: str, fn: Callable) -> None:
+        """Ship an ``@odin.local`` registration to every live
+        process-backend context (forked workers cannot see registry
+        mutations made after the fork)."""
+        live = [c for c in list(_live_process_contexts) if c._alive]
+        if not live:
+            return
+        spec = _ship_function(fn)
+        for c in live:
+            c._issue(opcodes.REGISTER_LOCAL, name, spec)
 
     def plan_cache_stats(self) -> Dict[str, Any]:
         """Aggregate worker-side communication-plan cache statistics."""
@@ -883,6 +1071,7 @@ class OdinContext:
         return {
             "kind": "odin.context",
             "alive": self._alive,
+            "backend": self._backend,
             "nworkers": self.nworkers,
             "batching": self._batch,
             "op_id": self._op_seq,
@@ -920,11 +1109,43 @@ class OdinContext:
                 except Exception:  # noqa: BLE001 - teardown best effort
                     pass
             self._alive = False
+        if statuses is not None and self._backend == "process":
+            self._absorb_proc_stats(statuses)
         for t in self._threads:
             t.join(timeout=10)
+        for p in self._procs:
+            p.join(timeout=10)
+            if p.is_alive():
+                p.kill()
+                p.join(timeout=10)
+        if self._backend == "process":
+            from ..mpi.transport.shm import sweep_session
+            self.world.close()
+            sweep_session(self.world.session_id)
         # deferred errors from a trailing epoch must not vanish silently
         if statuses is not None:
             self._process_statuses(statuses, str(opcodes.SHUTDOWN))
+
+    def _absorb_proc_stats(self, statuses) -> None:
+        """Driver-side merge point: fold each process worker's counter
+        snapshot and trace events (shipped in its SHUTDOWN reply) into
+        the driver's tables, so post-shutdown ``worker_traffic()`` /
+        trace exports see the whole world like the thread backend does.
+        The payload slot is cleared so ``_process_statuses`` treats the
+        reply exactly like a thread worker's ``("ok", None, deferred)``.
+        """
+        for i, status in enumerate(statuses[1:], start=1):
+            if not (isinstance(status, tuple) and len(status) == 3):
+                continue
+            tag, payload, deferred = status
+            if (isinstance(payload, tuple) and len(payload) == 3
+                    and payload[0] == "proc-stats"):
+                _kind, snap, events = payload
+                wr = self.comm._world_ranks[i]
+                self.world.counters[wr].absorb(snap)
+                if events and _TR.enabled:
+                    _TR.absorb(events)
+                statuses[i] = (tag, None, deferred)
 
     def __enter__(self):
         return self
@@ -942,13 +1163,19 @@ _default_context: Optional[OdinContext] = None
 
 def init(nworkers: int = 4, timeout: Optional[float] = None,
          batch: Optional[bool] = None, recover: Optional[bool] = None,
-         ckpt_every: Optional[int] = None) -> OdinContext:
-    """Start (or restart) the default ODIN context."""
+         ckpt_every: Optional[int] = None,
+         backend: Optional[str] = None) -> OdinContext:
+    """Start (or restart) the default ODIN context.
+
+    *backend* picks the worker transport: ``"thread"`` (default) or
+    ``"process"``; ``None`` defers to ``REPRO_MPI_BACKEND``.
+    """
     global _default_context
     if _default_context is not None and _default_context._alive:
         _default_context.shutdown()
     _default_context = OdinContext(nworkers, timeout=timeout, batch=batch,
-                                   recover=recover, ckpt_every=ckpt_every)
+                                   recover=recover, ckpt_every=ckpt_every,
+                                   backend=backend)
     return _default_context
 
 

@@ -33,8 +33,12 @@ class LocalFunction:
     def __init__(self, fn: Callable, name: Optional[str] = None):
         self.fn = fn
         self.name = name or f"{fn.__module__}.{fn.__qualname__}"
-        # inject into the worker namespace (the registry broadcast)
+        # inject into the worker namespace (the registry broadcast).
+        # Thread workers see the shared registry directly; live
+        # process-backend contexts get a REGISTER_LOCAL control op, since
+        # their forked workers cannot observe post-fork registry writes.
         local_registry[self.name] = fn
+        OdinContext.broadcast_local(self.name, fn)
         functools.update_wrapper(self, fn)
 
     def __call__(self, *args, **kwargs):

@@ -49,6 +49,19 @@ DIST_SYNC = "dist_sync"      # (ids,) -> {id: dist} (worker 0 only)
 ASYNC = "async"              # (inner_op,) fire-and-forget within an epoch
 FLUSH = "flush"              # () -> synchronize, deliver deferred errors
 
+# Process-backend control (PR 8).  With thread workers these three are
+# unnecessary: @odin.local functions live in a registry the workers
+# share by reference, and the chaos engine is process-wide.  With
+# process workers each rank is its own interpreter, so the driver must
+# ship these explicitly.  REGISTER_LOCAL carries a marshalled code
+# object (functions defined after the fork cannot pickle by reference);
+# CHAOS_INSTALL carries a FaultPlan.to_dict().  All three synchronize
+# (never batched), so ordering against subsequent ops is guaranteed by
+# the serve loop's in-order execution.
+REGISTER_LOCAL = "register_local"    # (name, shipped_fn_spec)
+CHAOS_INSTALL = "chaos_install"      # (fault_plan_dict,)
+CHAOS_UNINSTALL = "chaos_uninstall"  # ()
+
 # Causal identity (repro.obs).  Every driver broadcast is wrapped as
 # ``(TAGGED, op_id, epoch_id, inner_op)``: op_id is the broadcast
 # sequence number (so driver and workers agree on it by construction,

@@ -8,8 +8,12 @@ data (Fig. 1's "worker nodes can communicate directly with each other").
 
 from __future__ import annotations
 
+import importlib
+import marshal
 import os
+import sys
 import time
+import types
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -699,6 +703,46 @@ def _restore(state: WorkerState, version: int, old_indices, dead_indices,
 
 
 # ----------------------------------------------------------------------
+# function shipping (process-backend REGISTER_LOCAL)
+# ----------------------------------------------------------------------
+def _ship_function(fn: Callable) -> tuple:
+    """Wire form of an ``@odin.local`` function for process workers.
+
+    Plain pickling stores a module+qualname reference, which a forked
+    worker cannot resolve for functions defined *after* the fork (the
+    common case: test bodies).  Marshalling the code object ships the
+    actual bytecode; the worker rebinds it over the live globals of the
+    same module, so references like ``np`` resolve there.  Closures
+    cannot cross (cell contents live in the defining frame) -- rejected
+    with a pointed error rather than a NameError on the worker.
+    """
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        raise TypeError(f"cannot ship {fn!r} to process workers "
+                        "(not a plain Python function)")
+    if fn.__closure__:
+        raise TypeError(
+            f"@odin.local function {fn.__qualname__!r} closes over outer "
+            "variables; process-backend workers cannot rebuild closures -- "
+            "pass the values as arguments instead")
+    return (fn.__module__, fn.__name__, marshal.dumps(code), fn.__defaults__)
+
+
+def _unship_function(spec: tuple) -> Callable:
+    module, name, code_bytes, defaults = spec
+    mod = sys.modules.get(module)
+    if mod is None:
+        try:
+            mod = importlib.import_module(module)
+        except Exception:  # noqa: BLE001 - fall back to a minimal namespace
+            mod = None
+    globs = mod.__dict__ if mod is not None else {
+        "np": np, "__builtins__": __builtins__}
+    return types.FunctionType(marshal.loads(code_bytes), globs, name,
+                              defaults)
+
+
+# ----------------------------------------------------------------------
 # dispatch
 # ----------------------------------------------------------------------
 def execute_op(state: WorkerState, op: tuple) -> Any:
@@ -972,6 +1016,21 @@ def _execute_op_impl(state: WorkerState, op: tuple) -> Any:
         out["value"] = agg
         state.arrays[dst_id] = (out, None)
         return (int(len(out)), out.dtype.descr)
+
+    if code == opcodes.REGISTER_LOCAL:
+        _code, name, spec = op
+        state.registry[name] = _unship_function(spec)
+        return None
+
+    if code == opcodes.CHAOS_INSTALL:
+        from ..chaos.core import ENGINE, FaultPlan
+        ENGINE.install(FaultPlan.from_dict(op[1]))
+        return None
+
+    if code == opcodes.CHAOS_UNINSTALL:
+        from ..chaos.core import ENGINE
+        ENGINE.uninstall()
+        return None
 
     if code == opcodes.CKPT:
         _code, version = op

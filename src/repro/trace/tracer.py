@@ -225,6 +225,26 @@ class Tracer:
                 buf.events.clear()
                 buf.timers.clear()
 
+    def absorb(self, events: List[Event]) -> None:
+        """Merge events recorded by another process into this tracer
+        (the driver-side merge point of the multiprocess transport:
+        worker ranks ship their event lists back at gather/shutdown).
+        Span timers are rebuilt from the "X" events so
+        :meth:`span_timers` stays consistent with :meth:`events`."""
+        if not events:
+            return
+        buf = self._thread_buffer()
+        for ev in events:
+            ev = tuple(ev)
+            buf.events.append(ev)
+            if ev[0] == "X":
+                key = (ev[3], ev[1] + ":" + ev[2])
+                timer = buf.timers.get(key)
+                if timer is None:
+                    timer = buf.timers[key] = Time(key[1])
+                timer.total += ev[5]
+                timer.calls += 1
+
     def events(self) -> List[Event]:
         """Snapshot of all events so far, in timestamp order."""
         with self._lock:

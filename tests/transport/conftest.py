@@ -1,0 +1,49 @@
+"""Fixtures for the cross-backend transport test matrix.
+
+Every test taking the ``backend`` fixture runs twice -- once on the
+thread transport, once on the multiprocess transport -- and must produce
+identical results on both.  That equivalence is the contract that lets
+the thread backend remain the deterministic default for tests and chaos
+while the process backend carries real multicore workloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import mpi
+from repro.odin.context import OdinContext
+
+BACKENDS = mpi.BACKENDS  # ("thread", "process")
+
+
+@pytest.fixture(params=BACKENDS, ids=[f"backend={b}" for b in BACKENDS])
+def backend(request):
+    return request.param
+
+
+@pytest.fixture
+def spmd(backend):
+    """Run an SPMD body on the selected backend; returns per-rank results."""
+    def runner(fn, nranks, **kwargs):
+        kwargs.setdefault("timeout", 60.0)
+        return mpi.run_spmd(fn, nranks, backend=backend, **kwargs)
+    return runner
+
+
+@pytest.fixture
+def odin_ctx(backend):
+    """An ODIN context factory bound to the selected backend."""
+    made = []
+
+    def factory(nworkers, **kwargs):
+        ctx = OdinContext(nworkers, backend=backend, **kwargs)
+        made.append(ctx)
+        return ctx
+
+    yield factory
+    for ctx in made:
+        try:
+            ctx.shutdown()
+        except Exception:
+            pass

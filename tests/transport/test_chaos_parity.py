@@ -1,0 +1,53 @@
+"""Chaos parity: the conformance harness holds on the process backend.
+
+The thread backend has carried every chaos sweep so far; these runs
+repeat a reduced sweep on real processes.  CI runs the full 50-program
+sweep via ``python -m repro.chaos --backend process`` (see
+.github/workflows/ci.yml); this file keeps a smaller always-on slice in
+tier-1: clean-mode oracle agreement, crash-mode typed aborts (never
+hangs), and crash+recover oracle agreement after a real worker death.
+"""
+
+import numpy as np
+
+from repro.chaos.conformance import (generate_program, run_distributed,
+                                     run_sweep)
+
+
+def _assert_same(a, b):
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        np.testing.assert_array_equal(np.asarray(x), np.asarray(y))
+
+
+def test_backend_results_identical_without_faults():
+    """The same generated program yields bit-identical observations."""
+    for seed in (777, 778):
+        prog = generate_program(seed, max_steps=8)
+        _assert_same(run_distributed(prog, 2, backend="thread"),
+                     run_distributed(prog, 2, backend="process"))
+
+
+def test_clean_sweep_conformant():
+    failures = run_sweep(seed=4200, nprograms=4, nranks_list=[2],
+                         chaos_mode="none", shrink=False,
+                         backend="process")
+    assert failures == []
+
+
+def test_crash_sweep_typed_aborts_never_hang():
+    # destructive mode: a wrong answer fails, a typed MPI error is the
+    # accepted outcome -- and the 30 s timeout bounds any hang
+    failures = run_sweep(seed=4300, nprograms=3, nranks_list=[2],
+                         chaos_mode="crash", shrink=False, timeout=30.0,
+                         backend="process")
+    assert failures == []
+
+
+def test_crash_recover_matches_oracle():
+    # with recovery on, the injected crash must be survived: the pool
+    # shrinks and the results still match the NumPy oracle
+    failures = run_sweep(seed=4400, nprograms=3, nranks_list=[2],
+                         chaos_mode="crash", recover=True, shrink=False,
+                         timeout=30.0, backend="process")
+    assert failures == []

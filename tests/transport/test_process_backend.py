@@ -1,0 +1,143 @@
+"""Process-backend mechanics: semantics specific to real OS processes.
+
+The cross-backend matrix proves equivalence; this file pins down the
+parts that only exist on the process transport -- backend selection,
+fork/pipe boundary rules, the shared-memory bulk path, typed abort
+propagation across processes, and the driver-side trace/counter merge.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.mpi.errors import InjectedFault, RankFailure
+from repro.mpi.transport import resolve_backend
+from repro.mpi.transport.shm import shm_threshold
+from repro.trace import TRACER
+
+
+class TestSelection:
+    def test_resolve_precedence(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MPI_BACKEND", raising=False)
+        assert resolve_backend() == "thread"
+        monkeypatch.setenv("REPRO_MPI_BACKEND", "process")
+        assert resolve_backend() == "process"
+        assert resolve_backend("thread") == "thread"  # arg beats env
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown transport backend"):
+            resolve_backend("mpi4py")
+        with pytest.raises(ValueError):
+            mpi.run_spmd(lambda comm: 0, 2, backend="bogus")
+
+    def test_env_var_reaches_run_spmd(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MPI_BACKEND", "process")
+        pids = mpi.run_spmd(lambda comm: os.getpid(), 2)
+        assert len(set(pids)) == 2
+        assert os.getpid() not in pids
+
+    def test_thread_backend_shares_the_process(self):
+        pids = mpi.run_spmd(lambda comm: os.getpid(), 2, backend="thread")
+        assert set(pids) == {os.getpid()}
+
+
+class TestRunSpmdProcess:
+    def test_results_indexed_by_rank_with_args(self):
+        def body(comm, base, scale=1):
+            return (comm.rank + base) * scale
+
+        res = mpi.run_spmd(body, 3, args=(100,), kwargs={"scale": 2},
+                           backend="process")
+        assert res == [200, 202, 204]
+
+    def test_closures_cross_the_fork(self):
+        payload = np.arange(10.0)  # inherited by fork, not pickled
+
+        def body(comm):
+            return float(payload.sum()) + comm.rank
+
+        assert mpi.run_spmd(body, 2, backend="process") == [45.0, 46.0]
+
+    def test_unpicklable_result_is_a_typed_error(self):
+        def body(comm):
+            return lambda: None  # lambdas do not pickle
+
+        with pytest.raises(RuntimeError, match="could not be pickled"):
+            mpi.run_spmd(body, 2, backend="process")
+
+    def test_exception_aborts_world_and_reraises(self):
+        def body(comm):
+            if comm.rank == 1:
+                raise ValueError("boom on rank 1")
+            # rank 0 blocks on a recv that can never complete; the abort
+            # broadcast must wake it instead of hanging
+            return comm.recv(source=1)
+
+        with pytest.raises(ValueError, match="boom on rank 1"):
+            mpi.run_spmd(body, 2, backend="process", timeout=30.0)
+
+    def test_failstop_mode_marks_only_the_victim(self):
+        def body(comm):
+            if comm.rank == 2:
+                raise InjectedFault(2, 0, "scripted")
+            try:
+                comm.send("hi", dest=2)
+                comm.recv(source=2, tag=9)
+                return "no-failure"
+            except RankFailure as exc:
+                return ("rankfailure", exc.rank)
+
+        res = mpi.run_spmd(body, 3, backend="process",
+                           fault_mode="failstop", timeout=30.0)
+        assert isinstance(res[2], InjectedFault)
+        assert res[0] == ("rankfailure", 2)
+        assert res[1] == ("rankfailure", 2)
+
+
+class TestSharedMemoryPath:
+    def test_large_frames_ride_shm(self):
+        n = shm_threshold() // 8 + 4096  # comfortably above the threshold
+        def body(comm):
+            if comm.rank == 0:
+                comm.send({"big": np.arange(n, dtype=np.float64)}, dest=1)
+                return None
+            got = comm.recv(source=0)["big"]
+            return (got.flags.writeable, float(got.sum()))
+
+        writable, total = mpi.run_spmd(body, 2, backend="process")[1]
+        assert writable is False  # read-only view over the mapped segment
+        assert total == float(np.arange(n, dtype=np.float64).sum())
+
+    def test_counters_see_true_payload_bytes(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(50_000), dest=1)  # 400 KB via shm
+            else:
+                comm.recv(source=0)
+            snap = comm.counters().snapshot()
+            return snap.bytes_sent if comm.rank == 0 else snap.bytes_recvd
+
+        sent, recvd = mpi.run_spmd(body, 2, backend="process")
+        assert sent >= 400_000
+        assert recvd >= 400_000
+
+
+class TestDriverSideMerge:
+    def test_trace_events_merge_from_all_ranks(self):
+        was_enabled = TRACER.enabled
+        TRACER.enable()
+        TRACER.clear()
+        try:
+            def body(comm):
+                comm.allreduce(comm.rank)
+                return None
+
+            mpi.run_spmd(body, 3, backend="process")
+            ranks = {ev[3] for ev in TRACER.events()
+                     if ev[1].startswith("mpi")}
+        finally:
+            TRACER.clear()
+            TRACER.enabled = was_enabled
+        assert {0, 1, 2} <= ranks

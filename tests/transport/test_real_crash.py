@@ -1,0 +1,89 @@
+"""Real process death: SIGKILL a worker and watch the runtime cope.
+
+The thread backend can only *simulate* rank death (InjectedFault); on
+the process backend ``os.kill(pid, SIGKILL)`` is the real thing.  The
+contract under test: death surfaces as a typed ``RankFailure`` --
+detected via socket EOF / process-lease lapse, well inside the world
+timeout, never a hang -- and with ``recover=True`` the ULFM-style
+shrink + checkpoint/replay path restores oracle-conformant results.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro import mpi, odin
+from repro.mpi.errors import AbortError, RankFailure
+from repro.odin.context import OdinContext
+
+#: detection must land well within the world timeout; socket EOF makes
+#: it near-instant, the process-lease sweep bounds it even when the
+#: socket lingers (see docs/INTERNALS.md section 11)
+DETECT_BOUND = 10.0
+
+
+class TestRawSpmd:
+    def test_sigkill_surfaces_rank_failure_for_peers(self):
+        def body(comm):
+            if comm.rank == 1:
+                os.kill(os.getpid(), signal.SIGKILL)
+            t0 = time.monotonic()
+            try:
+                comm.recv(source=1, tag=5)
+                return "no-error"
+            except RankFailure as exc:
+                return ("rankfailure", exc.rank, time.monotonic() - t0)
+
+        res = mpi.run_spmd(body, 2, backend="process",
+                           fault_mode="failstop", timeout=30.0)
+        tag, rank, elapsed = res[0]
+        assert (tag, rank) == ("rankfailure", 1)
+        assert elapsed < DETECT_BOUND
+        # the dead rank reported nothing: the driver synthesizes its slot
+        assert isinstance(res[1], RuntimeError)
+
+    def test_sigkill_in_abort_mode_raises_not_hangs(self):
+        def body(comm):
+            if comm.rank == 1:
+                os.kill(os.getpid(), signal.SIGKILL)
+            return comm.recv(source=1)
+
+        t0 = time.monotonic()
+        with pytest.raises((RankFailure, AbortError, RuntimeError)):
+            mpi.run_spmd(body, 2, backend="process", timeout=30.0)
+        assert time.monotonic() - t0 < 40.0
+
+
+class TestOdinCrash:
+    def test_worker_death_is_typed_and_fast(self):
+        ctx = OdinContext(2, backend="process", timeout=30.0)
+        try:
+            x = odin.arange(100, ctx=ctx, dtype=np.float64)
+            assert x.gather().shape == (100,)  # world is healthy
+            os.kill(ctx.worker_pids()[0], signal.SIGKILL)
+            t0 = time.monotonic()
+            with pytest.raises((RankFailure, AbortError)):
+                for _ in range(5):  # first op may ride a live socket
+                    odin.sqrt(x).gather()
+            assert time.monotonic() - t0 < DETECT_BOUND
+        finally:
+            ctx.shutdown()
+
+    def test_recover_matches_no_fault_oracle(self):
+        oracle = np.sqrt(np.arange(120.0) ** 2 + 3.0)
+        ctx = OdinContext(3, backend="process", recover=True,
+                          timeout=30.0)
+        try:
+            x = odin.arange(120, ctx=ctx, dtype=np.float64)
+            y = (x * x + 3.0)
+            assert y.gather().shape == (120,)
+            os.kill(ctx.worker_pids()[1], signal.SIGKILL)
+            # shrink + partner-checkpoint replay must hide the death
+            z = odin.sqrt(y)
+            np.testing.assert_allclose(z.gather(), oracle)
+            assert ctx.nworkers == 2  # the pool really shrank
+        finally:
+            ctx.shutdown()
